@@ -1,0 +1,64 @@
+// Ablation - DFA state encoding (DESIGN.md section 5): one-hot versus
+// binary next-state logic cost for the automata the filters deploy.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "lut/mapper.hpp"
+#include "netlist/builders.hpp"
+#include "numrange/builder.hpp"
+#include "regex/dfa.hpp"
+
+namespace {
+
+using namespace jrf;
+
+int encoding_cost(const regex::dfa& d, netlist::dfa_encoding encoding) {
+  netlist::network net;
+  const auto byte = netlist::input_bus(net, "byte", 8);
+  const auto advance = net.constant(true);
+  const auto reset = net.input("reset");
+  const auto circuit =
+      netlist::elaborate_dfa(net, d, byte, advance, reset, "dfa", encoding);
+  net.mark_output(circuit.accepting, "accepting");
+  return lut::map_network(net).luts;
+}
+
+void row(const std::string& name, const regex::dfa& d) {
+  const int onehot = encoding_cost(d, netlist::dfa_encoding::one_hot);
+  const int binary = encoding_cost(d, netlist::dfa_encoding::binary);
+  std::printf("%-28s | %6d | %8d | %8d | %s\n", name.c_str(), d.state_count(),
+              onehot, binary, onehot <= binary ? "one-hot" : "binary");
+}
+
+}  // namespace
+
+int main() {
+  using namespace jrf;
+  bench::heading("Ablation: DFA state encoding (LUTs)");
+  std::printf("%-28s | %-6s | %-8s | %-8s | cheaper\n", "automaton", "states",
+              "one-hot", "binary");
+  bench::rule();
+
+  row("v(12 <= i <= 49)",
+      numrange::build_token_dfa(numrange::range_spec::integer_range("12", "49")));
+  row("v(0.7 <= f <= 35.1)",
+      numrange::build_token_dfa(numrange::range_spec::real_range("0.7", "35.1")));
+  row("v(83.36 <= f <= 3322.67)",
+      numrange::build_token_dfa(
+          numrange::range_spec::real_range("83.36", "3322.67")));
+  row("v(1345 <= i <= 26282)",
+      numrange::build_token_dfa(
+          numrange::range_spec::integer_range("1345", "26282")));
+  row(".*temperature (string DFA)",
+      regex::compile(regex::concat({regex::star(regex::chars(
+                                        regex::class_set::all())),
+                                    regex::literal("temperature")})));
+  row(".*user (string DFA)",
+      regex::compile(regex::concat(
+          {regex::star(regex::chars(regex::class_set::all())),
+           regex::literal("user")})));
+  bench::rule();
+  std::printf("the library picks binary for the chain-shaped string DFAs and\n"
+              "one-hot for the wider number-range automata (primitive.cpp).\n");
+  return 0;
+}

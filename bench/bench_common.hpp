@@ -1,0 +1,118 @@
+// Shared helpers for the reproduction benches: dataset construction,
+// string-table evaluation (Tables I-III), and paper-vs-measured printing.
+//
+// Every bench prints the paper's published numbers next to the values
+// measured on the synthetic datasets, so EXPERIMENTS.md can be regenerated
+// by running `for b in build/bench/*; do $b; done`.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/elaborate.hpp"
+#include "core/expr.hpp"
+#include "core/raw_filter.hpp"
+#include "data/stream.hpp"
+
+namespace jrf::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void rule() {
+  std::printf("%s\n", std::string(100, '-').c_str());
+}
+
+/// Paper reference cell for one string-matching technique.
+struct paper_cell {
+  double fpr;
+  int luts;
+};
+
+/// One row of Tables I-III: a search string and the paper's six cells
+/// (DFA, full-length, B = 1..4).
+struct string_row {
+  std::string needle;
+  paper_cell dfa, full, b1, b2, b3, b4;
+};
+
+/// Measured FPR of one string primitive against substring-presence ground
+/// truth (the Tables I-III labeling).
+inline double measured_string_fpr(std::string_view stream,
+                                  const std::vector<bool>& labels,
+                                  const core::primitive_spec& spec) {
+  core::raw_filter rf(core::leaf(spec));
+  return core::false_positive_rate(rf.filter_stream(stream), labels);
+}
+
+/// Print one Tables I-III style table: paper vs measured, six techniques.
+inline void run_string_table(const std::string& title, std::string_view stream,
+                             const std::vector<string_row>& rows) {
+  heading(title);
+  std::printf("%-18s | %-14s | %-14s | %-14s | %-14s | %-14s | %-14s\n",
+              "search string", "(i) DFA", "(ii) full", "B=1", "B=2", "B=3",
+              "B=4");
+  std::printf("%-18s | %-14s | %-14s | %-14s | %-14s | %-14s | %-14s\n", "",
+              "paper / ours", "paper / ours", "paper / ours", "paper / ours",
+              "paper / ours", "paper / ours");
+  rule();
+
+  for (const string_row& row : rows) {
+    const auto labels = data::contains_labels(stream, row.needle);
+    const int n = static_cast<int>(row.needle.size());
+
+    struct technique {
+      core::primitive_spec spec;
+      paper_cell paper;
+    };
+    std::vector<technique> techniques{
+        {core::string_spec{core::string_technique::dfa, 0, row.needle}, row.dfa},
+        {core::string_spec{core::string_technique::substring, n, row.needle},
+         row.full},
+        {core::string_spec{core::string_technique::substring, 1, row.needle},
+         row.b1},
+        {core::string_spec{core::string_technique::substring, std::min(2, n),
+                           row.needle},
+         row.b2},
+        {core::string_spec{core::string_technique::substring, std::min(3, n),
+                           row.needle},
+         row.b3},
+        {core::string_spec{core::string_technique::substring, std::min(4, n),
+                           row.needle},
+         row.b4},
+    };
+
+    std::printf("%-18s", row.needle.c_str());
+    std::printf("  FPR ");
+    for (const technique& t : techniques) {
+      const double fpr = measured_string_fpr(stream, labels, t.spec);
+      std::printf("| %5.3f /%6.3f ", t.paper.fpr, fpr);
+    }
+    std::printf("\n%-18s  LUT ", "");
+    for (const technique& t : techniques) {
+      const int luts = core::primitive_cost(t.spec).luts;
+      std::printf("| %5d /%6d ", t.paper.luts, luts);
+    }
+    std::printf("\n");
+  }
+  rule();
+}
+
+/// One published Pareto row of Tables V-VII.
+struct paper_pareto_row {
+  std::string config;
+  double fpr;
+  int luts;
+};
+
+inline void print_paper_front(const std::vector<paper_pareto_row>& rows) {
+  std::printf("paper front:\n");
+  std::printf("  %-5s %-5s %s\n", "FPR", "LUTs", "raw-filter configuration");
+  for (const auto& row : rows)
+    std::printf("  %5.3f %5d %s\n", row.fpr, row.luts, row.config.c_str());
+}
+
+}  // namespace jrf::bench

@@ -1,0 +1,74 @@
+// Extension (paper Section V, future work) - bound adjustment: widen a
+// value filter's bounds to rounder decimals so the derived automaton
+// shrinks. Widening can only add false positives (never false negatives),
+// so it is another resource/accuracy knob alongside block length.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/elaborate.hpp"
+#include "data/smartcity.hpp"
+#include "numrange/builder.hpp"
+#include "query/eval.hpp"
+#include "query/parse.hpp"
+
+namespace {
+
+using namespace jrf;
+
+void variant(const std::string& label, std::string_view lo, std::string_view hi,
+             bool real, const std::string& stream,
+             const std::vector<bool>& labels) {
+  const auto range = real ? numrange::range_spec::real_range(lo, hi)
+                          : numrange::range_spec::integer_range(lo, hi);
+  const auto dfa = numrange::build_token_dfa(range);
+  const core::value_spec spec{range, {}};
+  const int luts = core::primitive_cost(spec).luts;
+
+  core::raw_filter rf(core::value_leaf(range));
+  const double fpr =
+      core::false_positive_rate(rf.filter_stream(stream), labels);
+  std::printf("  %-28s | states %2d | LUTs %3d | FPR %5.3f\n", label.c_str(),
+              dfa.state_count(), luts, fpr);
+}
+
+}  // namespace
+
+int main() {
+  using namespace jrf;
+  bench::heading("Extension: value-bound adjustment (paper Section V)");
+
+  data::smartcity_generator gen;
+  const std::string stream = gen.stream(12000);
+
+  // Ground truth is the *original* dust predicate of QS0; the widened
+  // variants are evaluated against it, so their FPR isolates the cost of
+  // rounding the bounds.
+  const auto q = query::parse_filter_expression(
+      R"((83.36 <= "dust" <= 3322.67))", query::data_model::senml);
+  const auto labels = query::label_stream(q, stream);
+
+  std::printf("dust predicate of QS0, bounds progressively rounded:\n");
+  variant("v(83.36 <= f <= 3322.67)", "83.36", "3322.67", true, stream, labels);
+  variant("v(83.3 <= f <= 3322.7)", "83.3", "3322.7", true, stream, labels);
+  variant("v(83 <= f <= 3323)", "83", "3323", true, stream, labels);
+  variant("v(80 <= f <= 3330)", "80", "3330", true, stream, labels);
+  variant("v(80 <= f <= 3400)", "80", "3400", true, stream, labels);
+  variant("v(0 <= f <= 9999)", "0", "9999", true, stream, labels);
+
+  std::printf("\nairquality predicate of QS0 (integer automaton):\n");
+  const auto qa = query::parse_filter_expression(
+      R"((12 <= "airquality_raw" <= 49))", query::data_model::senml);
+  const auto labels_a = query::label_stream(qa, stream);
+  variant("v(12 <= i <= 49)", "12", "49", false, stream, labels_a);
+  variant("v(10 <= i <= 49)", "10", "49", false, stream, labels_a);
+  variant("v(10 <= i <= 50)", "10", "50", false, stream, labels_a);
+  variant("v(10 <= i <= 99)", "10", "99", false, stream, labels_a);
+  variant("v(0 <= i <= 99)", "0", "99", false, stream, labels_a);
+
+  bench::rule();
+  std::printf("widening bounds only relaxes the filter (no false negatives);\n"
+              "rounder digit strings need fewer DFA states, trading LUTs\n"
+              "against FPR exactly as the paper anticipates.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Extension (paper Section V, future work) - evolutionary raw-filter
+// generation: an NSGA-II style search over the same design space as the
+// exhaustive exploration, compared on evaluation count and front quality.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/smartcity.hpp"
+#include "dse/evolve.hpp"
+#include "dse/explore.hpp"
+#include "query/eval.hpp"
+#include "query/riotbench.hpp"
+
+namespace {
+
+using namespace jrf;
+
+/// Additive epsilon-indicator style gap: for every exhaustive-front point,
+/// the FPR excess of the best evolved point with no more LUTs.
+double front_gap(const std::vector<dse::design_point>& exhaustive,
+                 const std::vector<dse::design_point>& evolved) {
+  double gap = 0.0;
+  for (const auto& target : exhaustive) {
+    double best = 1.0;
+    for (const auto& candidate : evolved)
+      if (candidate.luts <= target.luts) best = std::min(best, candidate.fpr);
+    gap = std::max(gap, best - target.fpr);
+  }
+  return gap;
+}
+
+}  // namespace
+
+int main() {
+  using namespace jrf;
+  bench::heading("Extension: evolutionary RF search (paper Section V)");
+
+  data::smartcity_generator gen;
+  const std::string stream = gen.stream(8000);
+  const auto q = query::riotbench::qs0();
+  const auto labels = query::label_stream(q, stream);
+
+  dse::explore_options space;
+  space.exact_pareto = false;
+  const auto exhaustive = dse::explore(q, stream, labels, space);
+  std::vector<dse::design_point> exhaustive_front;
+  for (const std::size_t index : exhaustive.pareto)
+    exhaustive_front.push_back(exhaustive.points[index]);
+
+  std::printf("exhaustive baseline: %zu evaluations, front size %zu\n",
+              exhaustive.points.size(), exhaustive_front.size());
+  bench::rule();
+  std::printf("%-12s | %-12s | %-7s | %-9s | %s\n", "generations",
+              "evaluations", "|front|", "eval cost", "max FPR gap to "
+              "exhaustive front");
+  bench::rule();
+
+  for (const int generations : {5, 15, 30, 60}) {
+    dse::evolve_options options;
+    options.space = space;
+    options.generations = generations;
+    const auto result = dse::evolve(q, stream, labels, options);
+    std::printf("%-12d | %-12zu | %-7zu | %8.2f%% | %.4f\n", generations,
+                result.evaluations, result.front.size(),
+                100.0 * static_cast<double>(result.evaluations) /
+                    static_cast<double>(exhaustive.points.size()),
+                front_gap(exhaustive_front, result.front));
+  }
+  bench::rule();
+  std::printf("best evolved front (final row's configuration view):\n");
+  dse::evolve_options options;
+  options.space = space;
+  options.generations = 60;
+  const auto result = dse::evolve(q, stream, labels, options);
+  for (const auto& p : result.front)
+    std::printf("  FPR %5.3f @ %4d LUTs  %s\n", p.fpr, p.luts,
+                p.notation.c_str());
+  return 0;
+}

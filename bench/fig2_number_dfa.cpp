@@ -1,0 +1,38 @@
+// Figure 2 - number-filter build process for i >= 35: the digit-wise regex
+// derivation (steps 1.1-1.3) and the resulting minimized DFA.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "numrange/builder.hpp"
+#include "numrange/range_spec.hpp"
+
+int main() {
+  using namespace jrf;
+  bench::heading("Figure 2: building the i >= 35 number filter");
+
+  const auto spec =
+      numrange::range_spec::at_least("35", numrange::numeric_kind::integer);
+  numrange::build_options options;
+  options.exponent_escape = false;  // the figure shows the plain automaton
+  options.allow_leading_zeros = false;
+  const auto derivation = numrange::derive(spec, options);
+
+  std::printf("step-by-step regular expression derivation:\n");
+  for (const auto& step : derivation.steps)
+    std::printf("  %-28s %s\n", step.description.c_str(), step.pattern.c_str());
+
+  bench::rule();
+  std::printf("minimized DFA (paper Figure 2 shows 4 live states + accept):\n");
+  std::printf("states=%d (incl. dead state), classes=%d\n",
+              derivation.automaton.state_count(),
+              derivation.automaton.class_count());
+  std::printf("%s\n", derivation.automaton.describe().c_str());
+  std::printf("graphviz:\n%s\n", derivation.automaton.to_dot().c_str());
+
+  bench::rule();
+  std::printf("full production automaton for the same bound (exponent escape\n"
+              "and leading-zero tolerance enabled, as deployed in filters):\n");
+  const auto full = numrange::build_token_dfa(spec);
+  std::printf("states=%d classes=%d\n", full.state_count(), full.class_count());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared driver for the Pareto-front benches (Tables V-VII): run the full
+// design-space exploration for one RiotBench query and print the paper's
+// published front next to ours.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "dse/explore.hpp"
+#include "query/eval.hpp"
+
+namespace jrf::bench {
+
+inline void run_pareto_bench(const std::string& title, const query::query& q,
+                             const std::string& stream,
+                             const std::vector<paper_pareto_row>& paper_rows) {
+  heading(title);
+
+  const auto labels = query::label_stream(q, stream);
+  std::printf("query: %s\n", q.to_string().c_str());
+  std::printf("records=%zu selectivity=%.3f (paper Table VIII reference in "
+              "bench_table8)\n",
+              labels.size(), query::selectivity(labels));
+  rule();
+  print_paper_front(paper_rows);
+  rule();
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = dse::explore(q, stream, labels);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("our front (exhaustive over %zu design points, %.1fs; LUTs "
+              "exact-mapped):\n",
+              result.points.size(), seconds);
+  std::printf("  %-5s %-5s %-7s %s\n", "FPR", "LUTs", "filter%",
+              "raw-filter configuration");
+  for (const std::size_t index : result.pareto) {
+    const auto& p = result.points[index];
+    std::printf("  %5.3f %5d %6.1f%% %s\n", p.fpr, p.luts,
+                100.0 * (1.0 - p.accept_rate), p.notation.c_str());
+  }
+  rule();
+  std::printf("cost-model calibration: base=%d LUTs, structure tracker + "
+              "first group=%d, per further group=%d\n",
+              result.base_luts, result.tracker_first_luts,
+              result.tracker_rest_luts);
+}
+
+}  // namespace jrf::bench

@@ -1,0 +1,58 @@
+// Section IV-B - the system experiment: 44 MB of inflated JSON pushed by
+// DMA through 7 parallel raw-filter pipelines at 200 MHz. The paper
+// measured 1.33 GB/s against a 1.4 GB/s theoretical peak and the 1.25 GB/s
+// 10 GbE line rate.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/smartcity.hpp"
+#include "data/stream.hpp"
+#include "query/compile.hpp"
+#include "query/riotbench.hpp"
+#include "system/system.hpp"
+
+int main() {
+  using namespace jrf;
+  bench::heading("System throughput (paper Section IV-B)");
+
+  data::smartcity_generator gen;
+  const std::string stream =
+      data::inflate(gen.stream(4000), 44u << 20);  // the paper's 44 MB
+  std::printf("workload: %.1f MB inflated SmartCity JSON (%s records)\n",
+              static_cast<double>(stream.size()) / (1u << 20), "~180k");
+
+  const auto rf = query::compile_default(query::riotbench::qs0());
+  std::printf("filter: %s\n", rf->to_string().c_str());
+  bench::rule();
+
+  std::printf("%-6s | %-12s | %-12s | %-10s | %s\n", "lanes", "rate GB/s",
+              "theoretical", "stalls", "verdict vs 10GbE (1.25 GB/s)");
+  bench::rule();
+  for (const int lanes : {1, 2, 4, 7, 8}) {
+    system::system_options options;
+    options.lanes = lanes;
+    system::filter_system sys(rf, options);
+    const auto report = sys.run(stream);
+    std::printf("%-6d | %12.3f | %12.2f | %9.2f%% | %s\n", lanes,
+                report.gbytes_per_second, report.theoretical_gbps,
+                100.0 * static_cast<double>(report.stall_cycles) /
+                    static_cast<double>(report.cycles),
+                report.gbytes_per_second >= report.line_rate_10gbe
+                    ? "line rate sustained"
+                    : "below line rate");
+  }
+  bench::rule();
+  std::printf("paper reference: 7 lanes, 200 MHz -> 1.33 GB/s measured,\n"
+              "1.4 GB/s theoretical; our cycle-quantized model charges DMA\n"
+              "descriptor setup and lane imbalance for the same gap.\n");
+
+  system::filter_system sys(rf);
+  const auto report = sys.run(stream);
+  std::printf("\n7-lane detail: %s\n", report.to_string().c_str());
+  std::printf("records forwarded to CPU: %llu of %llu (%.1f%% filtered out)\n",
+              static_cast<unsigned long long>(report.accepted),
+              static_cast<unsigned long long>(report.records),
+              100.0 * (1.0 - static_cast<double>(report.accepted) /
+                                 static_cast<double>(report.records)));
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Table II - string matching techniques on the Taxi dataset. The headline
+// row is s1("tolls_amount"): every record carries "total_amount", whose
+// letters cover the B = 1 character set, so the approximate matcher fires
+// on all records (paper FPR 1.000) until B = 2 restores exactness.
+#include "bench_common.hpp"
+#include "data/taxi.hpp"
+
+int main() {
+  using namespace jrf;
+  data::taxi_generator gen;
+  const std::string stream = gen.stream(20000);
+
+  const std::vector<bench::string_row> rows{
+      {"tolls_amount", {0, 36}, {0, 27}, {1.0, 12}, {0, 21}, {0, 30}, {0, 42}},
+      {"trip_distance", {0, 39}, {0, 27}, {0, 11}, {0, 24}, {0, 31}, {0, 48}},
+      {"fare_amount", {0, 34}, {0, 24}, {0, 12}, {0, 22}, {0, 30}, {0, 36}},
+      {"trip_time_in_secs",
+       {0, 50},
+       {0, 39},
+       {0, 11},
+       {0, 26},
+       {0, 38},
+       {0, 54}},
+      {"tip_amount", {0, 31}, {0, 25}, {0, 12}, {0, 22}, {0, 26}, {0, 32}},
+  };
+  bench::run_string_table("Table II: string matching on Taxi (20000 records)",
+                          stream, rows);
+  std::printf(
+      "note: tolls_amount appears only in tolled trips (~14%%), so negative\n"
+      "records exist; the B=1 FPR of 1.0 is the total_amount anagram trap.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table IV - B-gram decomposition of the "temperature" search string,
+// with the duplicate grams that drop out of the comparator bank.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/primitive.hpp"
+
+int main() {
+  using namespace jrf;
+  bench::heading("Table IV: substrings of \"temperature\" per block length");
+  std::printf("%-3s | %-3s | distinct B-grams (duplicates dropped)\n", "B",
+              "cnt");
+  bench::rule();
+  const std::string needle = "temperature";
+  for (int b = 1; b <= static_cast<int>(needle.size()); ++b) {
+    const core::string_spec spec{core::string_technique::substring, b, needle};
+    const auto grams = spec.substrings();
+    std::printf("%-3d | %-3zu | ", b, grams.size());
+    for (std::size_t i = 0; i < grams.size(); ++i)
+      std::printf("%s'%s'", i ? ", " : "", grams[i].c_str());
+    std::printf("   (threshold %d)\n", spec.threshold());
+  }
+  bench::rule();
+  std::printf(
+      "paper row B=1: 't','e','m','p','r','a','u' (duplicates removed); the\n"
+      "fire condition is a run of N-B+1 consecutive comparator hits.\n");
+  return 0;
+}

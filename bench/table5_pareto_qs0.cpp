@@ -1,0 +1,30 @@
+// Table V - Pareto-optimal raw-filter configurations for QS0 (SmartCity).
+#include "data/smartcity.hpp"
+#include "pareto_common.hpp"
+#include "query/riotbench.hpp"
+
+int main() {
+  using namespace jrf;
+  data::smartcity_generator gen;
+  const std::string stream = gen.stream(12000);
+
+  const std::vector<bench::paper_pareto_row> paper{
+      {"v(12<=i<=49)", 0.853, 18},
+      {"{ s1(airquality_raw) & v(12<=i<=49) }", 0.770, 47},
+      {"{ s1(humidity) & v(20.3<=f<=69.1) }", 0.562, 95},
+      {"{ s1(humidity) & v } & { s1(airquality_raw) & v }", 0.349, 123},
+      {"{ s1(temperature) & v } & { s1(humidity) & v } & v(12<=i<=49)", 0.266,
+       151},
+      {"{ temp } & { humidity } & { airquality_raw }", 0.208, 172},
+      {"{ humidity } & { dust } & v(12<=i<=49)", 0.205, 204},
+      {"{ temp } & { humidity } & { light } & { airquality_raw }", 0.197, 211},
+      {"{ humidity } & { dust } & { airquality_raw }", 0.144, 220},
+      {"{ humidity } & { light } & { dust } & { airquality_raw }", 0.130, 255},
+      {"{ temp } & { humidity } & { dust } & v(12<=i<=49)", 0.064, 262},
+      {"{ temp } & { humidity } & { dust } & { airquality_raw }", 0.011, 274},
+      {"all five structural groups", 0.000, 307},
+  };
+  bench::run_pareto_bench("Table V: Pareto points for QS0",
+                          query::riotbench::qs0(), stream, paper);
+  return 0;
+}

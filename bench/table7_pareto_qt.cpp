@@ -1,0 +1,24 @@
+// Table VII - Pareto-optimal raw-filter configurations for QT (Taxi).
+// Bare value filters are useless here (datetimes and amounts put numbers in
+// every range: paper FPR 1.000 / 0.998); the tolls_amount attribute carries
+// the selectivity, and B = 2 is needed to dodge the total_amount anagram.
+#include "data/taxi.hpp"
+#include "pareto_common.hpp"
+#include "query/riotbench.hpp"
+
+int main() {
+  using namespace jrf;
+  data::taxi_generator gen;
+  const std::string stream = gen.stream(12000);
+
+  const std::vector<bench::paper_pareto_row> paper{
+      {"v(2.5<=f<=18.0)", 1.000, 37},
+      {"v(140<=i<=3155)", 0.998, 62},
+      {"{ s1(tolls_amount) & v(2.5<=f<=18.0) }", 0.722, 65},
+      {"{ s2(tolls_amount) & v(2.5<=f<=18.0) }", 0.021, 81},
+      {"{ s2(tip_amount) & v } & { s2(tolls_amount) & v }", 0.000, 159},
+  };
+  bench::run_pareto_bench("Table VII: Pareto points for QT",
+                          query::riotbench::qt(), stream, paper);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table VIII - the RiotBench evaluation queries and their selectivities.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/smartcity.hpp"
+#include "data/taxi.hpp"
+#include "query/eval.hpp"
+#include "query/riotbench.hpp"
+
+int main() {
+  using namespace jrf;
+  bench::heading("Table VIII: RiotBench queries and selectivity");
+
+  data::smartcity_generator smartcity;
+  data::taxi_generator taxi;
+  const std::string smartcity_stream = smartcity.stream(20000);
+  const std::string taxi_stream = taxi.stream(20000);
+
+  struct entry {
+    query::query q;
+    const std::string* stream;
+    double paper_selectivity;
+  };
+  const std::vector<entry> entries{
+      {query::riotbench::qs0(), &smartcity_stream, 63.9},
+      {query::riotbench::qs1(), &smartcity_stream, 5.4},
+      {query::riotbench::qt(), &taxi_stream, 5.7},
+  };
+
+  std::printf("%-5s | %-9s | %-9s | filter expression\n", "query",
+              "paper sel%", "our sel%");
+  bench::rule();
+  for (const entry& e : entries) {
+    const auto labels = query::label_stream(e.q, *e.stream);
+    std::printf("%-5s | %8.1f%% | %8.1f%% | %s\n", e.q.name.c_str(),
+                e.paper_selectivity, 100.0 * query::selectivity(labels),
+                e.q.root->to_string().c_str());
+  }
+  bench::rule();
+  std::printf("20000 synthetic records per dataset; selectivity calibration\n"
+              "is asserted in tests/data_test.cpp (Calibration suite).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Design-space exploration walkthrough (paper Section III-D): given a
+// query and a calibration stream, enumerate every raw-filter
+// configuration, print the FPR/LUT Pareto front, and let the deployment
+// pick its operating point - e.g. "cheapest configuration under FPR 5%".
+#include <cstdio>
+
+#include "data/taxi.hpp"
+#include "dse/explore.hpp"
+#include "query/eval.hpp"
+#include "query/riotbench.hpp"
+
+int main() {
+  using namespace jrf;
+
+  const query::query q = query::riotbench::qt();
+  std::printf("exploring: %s\n\n", q.to_string().c_str());
+
+  data::taxi_generator gen;
+  const std::string calibration = gen.stream(6000);
+  const auto labels = query::label_stream(q, calibration);
+
+  const auto result = dse::explore(q, calibration, labels);
+  std::printf("%zu design points evaluated; Pareto front:\n",
+              result.points.size());
+  for (const std::size_t index : result.pareto) {
+    const auto& p = result.points[index];
+    std::printf("  FPR %5.3f @ %4d LUTs: %s\n", p.fpr, p.luts,
+                p.notation.c_str());
+  }
+
+  // Operating-point selection: cheapest point under an FPR budget.
+  const double fpr_budget = 0.05;
+  const dse::design_point* chosen = nullptr;
+  for (const std::size_t index : result.pareto) {
+    const auto& p = result.points[index];
+    if (p.fpr <= fpr_budget && (chosen == nullptr || p.luts < chosen->luts))
+      chosen = &p;
+  }
+  if (chosen == nullptr) {
+    std::printf("\nno configuration meets FPR <= %.2f\n", fpr_budget);
+    return 1;
+  }
+  std::printf("\nchosen for deployment (FPR budget %.2f):\n  %s\n", fpr_budget,
+              chosen->notation.c_str());
+  std::printf("  -> %d LUTs, FPR %.3f, forwards %.1f%% of the stream\n",
+              chosen->luts, chosen->fpr, 100.0 * chosen->accept_rate);
+  return 0;
+}

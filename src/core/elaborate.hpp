@@ -1,0 +1,48 @@
+// Hardware elaboration of composed raw filters and LUT cost estimation.
+//
+// elaborate_filter() turns a filter expression into the gate-level netlist
+// of one raw-filter pipeline: the byte enters, every primitive inspects it,
+// structural groups sample their member latches at scope/pair boundaries,
+// record-level latches feed the AND/OR tree, and the accept line is valid
+// on the (unmasked) record-separator byte. The circuit is the exact
+// hardware twin of core::raw_filter; the RTL equivalence tests drive both
+// with identical streams and require identical decisions.
+//
+// The cost helpers elaborate into a scratch network and run the LUT mapper,
+// yielding the "LUTs" columns of the paper's tables.
+#pragma once
+
+#include <string>
+
+#include "core/expr.hpp"
+#include "core/raw_filter.hpp"
+#include "lut/mapper.hpp"
+#include "netlist/network.hpp"
+
+namespace jrf::core {
+
+struct filter_circuit {
+  netlist::bus byte;                 // primary input, 8 bits LSB first
+  netlist::node_id record_boundary;  // unmasked separator on this byte
+  netlist::node_id accept;           // decision, valid when record_boundary
+};
+
+/// Elaborate a composed filter. Outputs "accept" and "record_boundary" are
+/// marked on the network.
+filter_circuit elaborate_filter(netlist::network& net, const expr_ptr& expr,
+                                const filter_options& options = {},
+                                const std::string& prefix = "rf");
+
+/// LUT/FF cost of the full composed filter (elaborate + map).
+lut::report filter_cost(const expr_ptr& expr,
+                        const filter_options& options = {},
+                        const lut::mapping_options& map = {});
+
+/// LUT/FF cost of a single primitive with its record-level match latch
+/// (the unit reported in the paper's Tables I-III). The record reset is a
+/// plain separator compare; no structure tracker is charged.
+lut::report primitive_cost(const primitive_spec& spec,
+                           const filter_options& options = {},
+                           const lut::mapping_options& map = {});
+
+}  // namespace jrf::core

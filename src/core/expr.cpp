@@ -1,0 +1,125 @@
+#include "core/expr.hpp"
+
+#include "util/error.hpp"
+
+namespace jrf::core {
+
+namespace {
+
+std::string group_text(const filter_expr& e) {
+  const char* sep = e.group == group_kind::scope ? " & " : " : ";
+  std::string out = "{ ";
+  for (std::size_t i = 0; i < e.members.size(); ++i) {
+    if (i) out += sep;
+    out += core::to_string(e.members[i]);
+  }
+  out += " }";
+  return out;
+}
+
+std::string nary_text(const filter_expr& e, const char* op) {
+  std::string out;
+  for (std::size_t i = 0; i < e.children.size(); ++i) {
+    if (i) out += op;
+    const filter_expr& child = *e.children[i];
+    const bool parens = child.kind == expr_kind::conjunction ||
+                        child.kind == expr_kind::disjunction;
+    if (parens) out += "(";
+    out += child.to_string();
+    if (parens) out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string filter_expr::to_string() const {
+  switch (kind) {
+    case expr_kind::primitive:
+      return core::to_string(prim);
+    case expr_kind::group:
+      return group_text(*this);
+    case expr_kind::conjunction:
+      return nary_text(*this, " & ");
+    case expr_kind::disjunction:
+      return nary_text(*this, " | ");
+  }
+  throw error("filter_expr: invalid kind");
+}
+
+std::vector<primitive_spec> filter_expr::primitives() const {
+  std::vector<primitive_spec> out;
+  switch (kind) {
+    case expr_kind::primitive:
+      out.push_back(prim);
+      break;
+    case expr_kind::group:
+      out.insert(out.end(), members.begin(), members.end());
+      break;
+    case expr_kind::conjunction:
+    case expr_kind::disjunction:
+      for (const expr_ptr& child : children) {
+        auto sub = child->primitives();
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      break;
+  }
+  return out;
+}
+
+int filter_expr::primitive_count() const {
+  return static_cast<int>(primitives().size());
+}
+
+expr_ptr leaf(primitive_spec spec) {
+  auto e = std::make_shared<filter_expr>();
+  e->kind = expr_kind::primitive;
+  e->prim = std::move(spec);
+  return e;
+}
+
+expr_ptr string_leaf(std::string text, int block) {
+  return leaf(string_spec{string_technique::substring, block, std::move(text)});
+}
+
+expr_ptr dfa_string_leaf(std::string text) {
+  return leaf(string_spec{string_technique::dfa, 0, std::move(text)});
+}
+
+expr_ptr value_leaf(numrange::range_spec range) {
+  return leaf(value_spec{std::move(range), {}});
+}
+
+expr_ptr make_group(group_kind kind, std::vector<primitive_spec> members) {
+  if (members.empty()) throw error("structural group: no members");
+  auto e = std::make_shared<filter_expr>();
+  e->kind = expr_kind::group;
+  e->group = kind;
+  e->members = std::move(members);
+  return e;
+}
+
+namespace {
+
+expr_ptr nary(expr_kind kind, std::vector<expr_ptr> children) {
+  if (children.empty()) throw error("composition node: no children");
+  for (const expr_ptr& child : children)
+    if (!child) throw error("composition node: null child");
+  if (children.size() == 1) return children.front();
+  auto e = std::make_shared<filter_expr>();
+  e->kind = kind;
+  e->children = std::move(children);
+  return e;
+}
+
+}  // namespace
+
+expr_ptr conj(std::vector<expr_ptr> children) {
+  return nary(expr_kind::conjunction, std::move(children));
+}
+
+expr_ptr disj(std::vector<expr_ptr> children) {
+  return nary(expr_kind::disjunction, std::move(children));
+}
+
+}  // namespace jrf::core

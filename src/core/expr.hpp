@@ -1,0 +1,87 @@
+// Raw-filter composition (paper Sections III-C and III-D).
+//
+// A composed raw filter is a boolean tree over primitives. Leaves fire
+// per byte; sticky record-level latches remember whether each leaf fired
+// anywhere in the current record, and the tree is sampled at the record
+// boundary. Two structural grouping forms tighten the combination:
+//
+//   scope group {RF1 & RF2}  - members must fire inside the same still-open
+//                              scope instance (same nesting-level context,
+//                              e.g. one SenML measurement object),
+//   pair group  {RF1 : RF2}  - members must fire before the same unescaped
+//                              comma (key-value co-occurrence).
+//
+// Groups contain primitives only; AND/OR nodes combine groups, primitives
+// and other AND/OR nodes. This mirrors the paper's composition rules: any
+// and-clause member may be omitted (fewer resources, more false positives),
+// or-clause members never (that would create false negatives).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/primitive.hpp"
+
+namespace jrf::core {
+
+enum class expr_kind {
+  primitive,    // bare leaf, structure-agnostic
+  group,        // structural group over primitive members
+  conjunction,  // AND of children
+  disjunction,  // OR of children
+};
+
+enum class group_kind {
+  scope,  // same nesting-level scope instance
+  pair,   // same key-value pair (before the same unescaped separator)
+};
+
+struct filter_expr;
+using expr_ptr = std::shared_ptr<const filter_expr>;
+
+struct filter_expr {
+  expr_kind kind = expr_kind::primitive;
+
+  // kind == primitive
+  primitive_spec prim;
+
+  // kind == group
+  group_kind group = group_kind::scope;
+  std::vector<primitive_spec> members;
+
+  // kind == conjunction / disjunction
+  std::vector<expr_ptr> children;
+
+  /// Paper notation: "{ s1("humidity") & v(20.3 <= f <= 69.1) } & v(...)".
+  std::string to_string() const;
+
+  /// Leaves in evaluation order (groups contribute their members).
+  std::vector<primitive_spec> primitives() const;
+
+  /// Number of leaves.
+  int primitive_count() const;
+};
+
+/// Leaf from a primitive spec.
+expr_ptr leaf(primitive_spec spec);
+
+/// Structure-agnostic string leaf, paper notation sB(text).
+expr_ptr string_leaf(std::string text, int block);
+
+/// DFA string-matcher leaf (technique (i)).
+expr_ptr dfa_string_leaf(std::string text);
+
+/// Value-range leaf.
+expr_ptr value_leaf(numrange::range_spec range);
+
+/// Structural group over >= 1 primitives.
+expr_ptr make_group(group_kind kind, std::vector<primitive_spec> members);
+
+/// AND node; single-child input collapses to the child.
+expr_ptr conj(std::vector<expr_ptr> children);
+
+/// OR node; single-child input collapses to the child.
+expr_ptr disj(std::vector<expr_ptr> children);
+
+}  // namespace jrf::core

@@ -1,0 +1,246 @@
+#include "core/primitive.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace jrf::core {
+
+using netlist::bus;
+using netlist::network;
+using netlist::node_id;
+
+std::string string_spec::to_string() const {
+  if (technique == string_technique::dfa) return "dfa(\"" + text + "\")";
+  return "s" + std::to_string(block) + "(\"" + text + "\")";
+}
+
+std::vector<std::string> string_spec::substrings() const {
+  std::vector<std::string> out;
+  if (block <= 0 || static_cast<std::size_t>(block) > text.size()) return out;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(block) <= text.size(); ++i) {
+    std::string gram = text.substr(i, static_cast<std::size_t>(block));
+    if (std::ranges::find(out, gram) == out.end()) out.push_back(std::move(gram));
+  }
+  return out;
+}
+
+int string_spec::threshold() const {
+  return static_cast<int>(text.size()) - block + 1;
+}
+
+std::string to_string(const primitive_spec& spec) {
+  return std::visit([](const auto& s) { return s.to_string(); }, spec);
+}
+
+namespace {
+
+void validate_search_string(const string_spec& spec) {
+  if (spec.text.empty()) throw error("string primitive: empty search string");
+  if (spec.technique == string_technique::substring &&
+      (spec.block < 1 || static_cast<std::size_t>(spec.block) > spec.text.size()))
+    throw error("string primitive: block length out of range for " + spec.to_string());
+  for (char c : spec.text)
+    if (static_cast<unsigned char>(c) < 0x20)
+      throw error("string primitive: control characters not supported");
+}
+
+int counter_width(int threshold) {
+  int bits = 1;
+  while ((1 << bits) <= threshold) ++bits;
+  return bits;
+}
+
+/// (iii) B-gram matcher; (ii) exact compare falls out as B = N.
+class substring_engine final : public primitive_engine {
+ public:
+  explicit substring_engine(string_spec spec)
+      : spec_(std::move(spec)),
+        grams_(spec_.substrings()),
+        threshold_(spec_.threshold()),
+        width_(counter_width(threshold_)),
+        mask_((1u << width_) - 1),
+        buffer_(static_cast<std::size_t>(spec_.block), 0) {
+    validate_search_string(spec_);
+  }
+
+  void reset() override {
+    std::ranges::fill(buffer_, 0);
+    counter_ = 0;
+  }
+
+  bool step(unsigned char byte) override {
+    // buffer_[0] is the newest byte after the shift.
+    for (std::size_t i = buffer_.size(); i-- > 1;) buffer_[i] = buffer_[i - 1];
+    buffer_[0] = byte;
+    bool hit = false;
+    for (const std::string& gram : grams_) {
+      bool all = true;
+      for (std::size_t j = 0; j < gram.size(); ++j) {
+        // buffer_[k] is k cycles old; gram byte j arrived B-1-j cycles ago.
+        if (buffer_[gram.size() - 1 - j] != static_cast<unsigned char>(gram[j])) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        hit = true;
+        break;
+      }
+    }
+    counter_ = hit ? ((counter_ + 1) & mask_) : 0;
+    return counter_ == static_cast<unsigned>(threshold_);
+  }
+
+  elaborated_primitive elaborate(network& net, const bus& byte,
+                                 node_id record_reset,
+                                 const std::string& prefix) const override {
+    const int b = spec_.block;
+    // Window: window[0] = current input byte, window[k] = byte k cycles ago.
+    std::vector<bus> window{byte};
+    if (b > 1) {
+      const auto stages =
+          netlist::shift_bytes(net, byte, b - 1, record_reset, prefix + ".buf");
+      for (const auto& stage : stages) window.push_back(stage);
+    }
+    std::vector<node_id> hits;
+    hits.reserve(grams_.size());
+    for (const std::string& gram : grams_) {
+      std::vector<node_id> bytes_equal;
+      for (std::size_t j = 0; j < gram.size(); ++j)
+        bytes_equal.push_back(netlist::eq_const(
+            net, window[gram.size() - 1 - j],
+            static_cast<unsigned char>(gram[j])));
+      hits.push_back(net.and_all(bytes_equal));
+    }
+    const node_id any_hit = net.or_all(hits);
+
+    const bus counter = netlist::dff_bus(net, prefix + ".cnt", width_);
+    const bus plus_one = netlist::increment(net, counter);
+    bus counted;
+    for (std::size_t i = 0; i < counter.size(); ++i) {
+      counted.push_back(net.and_gate(any_hit, plus_one[i]));
+      net.connect_dff(counter[i], counted[i], record_reset);
+    }
+    // The fire pulse compares the pre-reset count: the separator byte is
+    // never part of a gram, so `counted` is zero on boundary bytes anyway.
+    return {netlist::eq_const(net, counted,
+                              static_cast<std::uint64_t>(threshold_))};
+  }
+
+ private:
+  string_spec spec_;
+  std::vector<std::string> grams_;
+  int threshold_;
+  int width_;
+  unsigned mask_;
+  std::vector<unsigned char> buffer_;
+  unsigned counter_ = 0;
+};
+
+/// (i) DFA over .*str — pulses at the last byte of every occurrence
+/// (overlapping occurrences included, KMP-style).
+class dfa_string_engine final : public primitive_engine {
+ public:
+  explicit dfa_string_engine(string_spec spec)
+      : spec_(std::move(spec)),
+        dfa_(regex::compile(regex::concat(
+            {regex::star(regex::chars(regex::class_set::all())),
+             regex::literal(spec_.text)}))),
+        state_(dfa_.start()) {
+    validate_search_string(spec_);
+  }
+
+  void reset() override { state_ = dfa_.start(); }
+
+  bool step(unsigned char byte) override {
+    state_ = dfa_.step(state_, byte);
+    return dfa_.accepting(state_);
+  }
+
+  elaborated_primitive elaborate(network& net, const bus& byte,
+                                 node_id record_reset,
+                                 const std::string& prefix) const override {
+    // Chain-shaped .*needle automata encode compactly in binary (the state
+    // is essentially a match-length counter); number-range DFAs use the
+    // default one-hot encoding instead (bench_ablation_encoding).
+    const auto circuit = netlist::elaborate_dfa(net, dfa_, byte,
+                                                net.constant(true), record_reset,
+                                                prefix + ".dfa",
+                                                netlist::dfa_encoding::binary);
+    // The fire pulse is combinational for the current byte: acceptance of
+    // the *next* state. Recompute next-state acceptance from the transition
+    // structure: accept iff some (state, class) pair leads to an accepting
+    // state.
+    std::vector<node_id> terms;
+    for (int s = 0; s < dfa_.state_count(); ++s) {
+      for (int cls = 0; cls < dfa_.class_count(); ++cls) {
+        if (!dfa_.accepting(dfa_.transition(s, cls))) continue;
+        const node_id on_class = netlist::in_class(net, byte, dfa_.class_symbols(cls));
+        terms.push_back(net.and_gate(circuit.active[static_cast<std::size_t>(s)], on_class));
+      }
+    }
+    return {net.or_all(terms)};
+  }
+
+ private:
+  string_spec spec_;
+  regex::dfa dfa_;
+  int state_;
+};
+
+/// Number-range filter: token DFA sampled at every non-token byte.
+class value_engine final : public primitive_engine {
+ public:
+  explicit value_engine(value_spec spec)
+      : spec_(std::move(spec)),
+        dfa_(numrange::build_token_dfa(spec_.range, spec_.options)),
+        state_(dfa_.start()) {}
+
+  void reset() override { state_ = dfa_.start(); }
+
+  bool step(unsigned char byte) override {
+    if (numrange::is_token_byte(byte)) {
+      state_ = dfa_.step(state_, byte);
+      return false;
+    }
+    const bool fire = dfa_.accepting(state_);
+    state_ = dfa_.start();
+    return fire;
+  }
+
+  elaborated_primitive elaborate(network& net, const bus& byte,
+                                 node_id record_reset,
+                                 const std::string& prefix) const override {
+    regex::class_set token_class;
+    for (unsigned c = 0; c < 256; ++c)
+      if (numrange::is_token_byte(static_cast<unsigned char>(c)))
+        token_class.add(static_cast<unsigned char>(c));
+    const node_id is_token = netlist::in_class(net, byte, token_class);
+    const node_id reset = net.or_gate(record_reset, net.not_gate(is_token));
+    // advance is constantly true: whenever the DFA would not advance the
+    // reset line is high anyway, so the hold path would be dead logic.
+    const auto circuit = netlist::elaborate_dfa(net, dfa_, byte,
+                                                net.constant(true), reset,
+                                                prefix + ".val");
+    return {net.and_gate(net.not_gate(is_token), circuit.accepting)};
+  }
+
+ private:
+  value_spec spec_;
+  regex::dfa dfa_;
+  int state_;
+};
+
+}  // namespace
+
+std::unique_ptr<primitive_engine> make_engine(const primitive_spec& spec) {
+  if (const auto* s = std::get_if<string_spec>(&spec)) {
+    if (s->technique == string_technique::dfa)
+      return std::make_unique<dfa_string_engine>(*s);
+    return std::make_unique<substring_engine>(*s);
+  }
+  return std::make_unique<value_engine>(std::get<value_spec>(spec));
+}
+
+}  // namespace jrf::core

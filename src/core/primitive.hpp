@@ -1,0 +1,99 @@
+// Raw-filter primitives (paper Section III-A and III-B).
+//
+// A primitive inspects the record byte stream one byte per cycle and emits a
+// one-cycle fire pulse when its pattern is seen. Three string-matching
+// techniques are provided:
+//   (i)   dfa       - a DFA accepting .*str.* (one state per prefix length)
+//   (ii)  B = N     - exact compare of the last N buffered bytes
+//   (iii) B < N     - approximate B-gram matcher: compare the last B bytes
+//                     against every B-byte substring, count consecutive
+//                     hits, fire at count == N-B+1 (Figure 1)
+// Technique (ii) is the B = N special case of (iii), as noted in the paper.
+//
+// The value primitive runs the number-range token DFA (Section III-B) and
+// samples it at every non-token byte.
+//
+// Each primitive exists twice: a behavioural engine (fast, used for dataset
+// evaluation and design-space exploration) and a netlist elaboration (used
+// for LUT estimation and cycle-accurate RTL simulation). Equivalence of the
+// two is part of the test suite.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "netlist/builders.hpp"
+#include "netlist/network.hpp"
+#include "numrange/builder.hpp"
+#include "numrange/range_spec.hpp"
+#include "regex/dfa.hpp"
+
+namespace jrf::core {
+
+enum class string_technique {
+  dfa,        // (i)
+  substring,  // (iii); block == text size gives (ii)
+};
+
+/// Description of a string-search primitive.
+struct string_spec {
+  string_technique technique = string_technique::substring;
+  int block = 1;  // B; ignored for technique::dfa
+  std::string text;
+
+  /// Paper notation: s1("temperature"), s11("temperature") for B = N,
+  /// dfa("temperature") for technique (i).
+  std::string to_string() const;
+
+  /// All distinct B-grams of the search string (paper Table IV).
+  std::vector<std::string> substrings() const;
+
+  /// Fire threshold N - B + 1.
+  int threshold() const;
+};
+
+/// Description of a number-range primitive.
+struct value_spec {
+  numrange::range_spec range;
+  numrange::build_options options;
+
+  std::string to_string() const { return range.to_string(); }
+};
+
+using primitive_spec = std::variant<string_spec, value_spec>;
+
+std::string to_string(const primitive_spec& spec);
+
+/// Result of elaborating a primitive into gates.
+struct elaborated_primitive {
+  netlist::node_id fire = netlist::no_node;  // combinational pulse
+};
+
+/// Behavioural engine interface. step() consumes one byte and returns the
+/// fire pulse for that byte; the engine matches the elaborated hardware
+/// cycle for cycle (including counter wrap behaviour).
+class primitive_engine {
+ public:
+  virtual ~primitive_engine() = default;
+
+  /// Return to the power-on state (record boundary).
+  virtual void reset() = 0;
+
+  /// Consume one byte; true = fire pulse on this byte.
+  virtual bool step(unsigned char byte) = 0;
+
+  /// Elaborate into the network. `byte` is the stream input; `record_reset`
+  /// is a combinational line that is high on record-boundary bytes. The
+  /// fire output is combinational for the byte currently applied.
+  virtual elaborated_primitive elaborate(netlist::network& net,
+                                         const netlist::bus& byte,
+                                         netlist::node_id record_reset,
+                                         const std::string& prefix) const = 0;
+};
+
+/// Instantiate the engine for a spec.
+std::unique_ptr<primitive_engine> make_engine(const primitive_spec& spec);
+
+}  // namespace jrf::core

@@ -1,0 +1,93 @@
+#include "data/smartcity.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace jrf::data {
+
+namespace {
+
+std::string fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+void append_measurement(std::string& out, const std::string& value,
+                        const char* unit, const char* name, bool first) {
+  if (!first) out += ',';
+  out += R"({"v":")";
+  out += value;
+  out += R"(","u":")";
+  out += unit;
+  out += R"(","n":")";
+  out += name;
+  out += R"("})";
+}
+
+}  // namespace
+
+smartcity_generator::smartcity_generator(std::uint64_t seed,
+                                         smartcity_options options)
+    : options_(options), rng_(seed) {}
+
+std::string smartcity_generator::record() {
+  const std::uint64_t timestamp =
+      options_.base_timestamp_ms + 1000 * sequence_++;
+  std::string out = R"({"e":[)";
+
+  if (rng_.chance(options_.maintenance_rate)) {
+    // Maintenance heartbeat: no sensor measurements (negative record for
+    // every search string and every query attribute).
+    append_measurement(out, fixed(rng_.uniform(3.2, 4.2), 2), "volt",
+                       "battery", true);
+    out += R"(,{"sv":"ok","n":"status"})";
+  } else {
+    const double temperature =
+        rng_.normal(options_.temperature_mean, options_.temperature_sd);
+    append_measurement(out, fixed(temperature, 1), "far", "temperature", true);
+
+    const double humidity =
+        rng_.normal(options_.humidity_mean, options_.humidity_sd);
+    append_measurement(out, fixed(humidity, 1), "per", "humidity", false);
+
+    // Bimodal light: dim indoor band below the QS1 range, a bright band
+    // inside it, and occasional glare above it.
+    const double mode = rng_.uniform();
+    long light = 0;
+    if (mode < options_.light_glare_rate) {
+      light = std::lround(std::exp(rng_.uniform(std::log(26283.0), std::log(65000.0))));
+    } else if (mode < options_.light_glare_rate + options_.light_bright_rate) {
+      light = std::lround(std::exp(rng_.uniform(std::log(1345.0), std::log(26282.0))));
+    } else {
+      light = rng_.range_i64(1010, 1344);
+    }
+    append_measurement(out, std::to_string(light), "per", "light", false);
+
+    const double dust =
+        std::exp(rng_.normal(options_.dust_log_mean, options_.dust_log_sd));
+    append_measurement(out, fixed(dust, 2), "per", "dust", false);
+
+    const long airquality = std::lround(
+        rng_.normal(options_.airquality_mean, options_.airquality_sd));
+    append_measurement(out, std::to_string(std::max(airquality, 0l)), "per",
+                       "airquality_raw", false);
+  }
+
+  out += R"(],"bt":)";
+  out += std::to_string(timestamp);
+  out += '}';
+  return out;
+}
+
+std::string smartcity_generator::stream(std::size_t count) {
+  std::string out;
+  out.reserve(count * 256);
+  for (std::size_t i = 0; i < count; ++i) {
+    out += record();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace jrf::data

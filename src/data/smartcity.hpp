@@ -1,0 +1,70 @@
+// Synthetic RiotBench SmartCity (SenML) dataset.
+//
+// The original capture (CityPulse road/pollution sensors replayed by
+// RiotBench) is not redistributable here; this generator reproduces the
+// schema of the paper's Listing 1 and the distribution properties its
+// evaluation depends on (DESIGN.md section 2):
+//
+//   * five measurements per record - temperature, humidity, light, dust,
+//     airquality_raw - as {"v":"<value>","u":"<unit>","n":"<name>"} objects
+//     in an "e" array, values quoted, plus a "bt" epoch-millis timestamp;
+//   * per-attribute in-range probabilities calibrated so the Table VIII
+//     selectivities emerge: QS0 ~= 63.9 %, QS1 ~= 5.4 %;
+//   * light is bimodal ("mostly > 1000" per Section IV-A) and is the only
+//     attribute whose QS1 range [1345, 26282] is rare - it carries QS1's
+//     selectivity exactly as in the paper;
+//   * integer syntax for light and airquality_raw (the paper's integer
+//     automata), one/two decimals for the float attributes;
+//   * a small share of "maintenance" records without sensor measurements,
+//     so the string-search evaluation (Table I) has negative records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/prng.hpp"
+
+namespace jrf::data {
+
+struct smartcity_options {
+  double maintenance_rate = 0.03;  // records with no sensor measurements
+
+  // temperature ~ N(mean, sd), one decimal, unit "far" (Listing 1)
+  double temperature_mean = 21.0;
+  double temperature_sd = 7.5;
+  // humidity ~ N(mean, sd), one decimal
+  double humidity_mean = 45.0;
+  double humidity_sd = 15.5;
+  // light: dim / bright / glare mixture (integers)
+  double light_bright_rate = 0.09;  // log-uniform [1345, 26282]
+  double light_glare_rate = 0.03;   // log-uniform (26282, 65000]
+  // dust ~ LogNormal(log_mean, log_sd), two decimals
+  double dust_log_mean = 6.4;  // median ~ 600
+  double dust_log_sd = 1.05;
+  // airquality_raw ~ N(mean, sd), integer
+  double airquality_mean = 29.0;
+  double airquality_sd = 11.0;
+
+  std::uint64_t base_timestamp_ms = 1422748800000;  // Listing 1 epoch
+};
+
+class smartcity_generator {
+ public:
+  explicit smartcity_generator(std::uint64_t seed = 0x5C17,
+                               smartcity_options options = {});
+
+  /// One JSON record, no trailing newline.
+  std::string record();
+
+  /// NDJSON stream of `count` records (each '\n'-terminated).
+  std::string stream(std::size_t count);
+
+  const smartcity_options& options() const noexcept { return options_; }
+
+ private:
+  smartcity_options options_;
+  util::prng rng_;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace jrf::data

@@ -1,0 +1,32 @@
+#include "data/stream.hpp"
+
+#include "json/ndjson.hpp"
+#include "util/error.hpp"
+
+namespace jrf::data {
+
+std::string inflate(std::string_view stream, std::size_t target_bytes) {
+  if (stream.empty()) throw error("inflate: empty stream");
+  std::string out;
+  out.reserve(target_bytes + stream.size());
+  while (out.size() < target_bytes) out += stream;
+  return out;
+}
+
+std::vector<bool> contains_labels(std::string_view stream,
+                                  std::string_view needle) {
+  std::vector<bool> labels;
+  json::for_each_record(stream, [&](std::string_view record) {
+    labels.push_back(record.find(needle) != std::string_view::npos);
+  });
+  return labels;
+}
+
+double mean_record_bytes(std::string_view stream) {
+  const auto records = json::split_records(stream);
+  if (records.empty()) return 0.0;
+  return static_cast<double>(stream.size()) /
+         static_cast<double>(records.size());
+}
+
+}  // namespace jrf::data

@@ -1,0 +1,23 @@
+// Stream assembly helpers shared by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jrf::data {
+
+/// Repeat an NDJSON stream until it reaches at least `target_bytes`
+/// (whole records only) - the paper's "44 MB of inflated JSON data".
+std::string inflate(std::string_view stream, std::size_t target_bytes);
+
+/// Substring-presence ground truth for the string-search evaluation
+/// (Tables I-III): labels[i] is true when record i contains `needle`.
+std::vector<bool> contains_labels(std::string_view stream,
+                                  std::string_view needle);
+
+/// Mean record length in bytes (separator included).
+double mean_record_bytes(std::string_view stream);
+
+}  // namespace jrf::data

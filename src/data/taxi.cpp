@@ -1,0 +1,116 @@
+#include "data/taxi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace jrf::data {
+
+namespace {
+
+std::string fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+void append_field(std::string& out, const char* key, const std::string& value,
+                  bool quote) {
+  if (out.back() != '{') out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  if (quote) out += '"';
+  out += value;
+  if (quote) out += '"';
+}
+
+std::string datetime(std::uint64_t minutes_since_epoch) {
+  // Fixed-origin synthetic clock inside the FOIL capture window.
+  const std::uint64_t minute = minutes_since_epoch % 60;
+  const std::uint64_t hour = (minutes_since_epoch / 60) % 24;
+  const std::uint64_t day = 1 + (minutes_since_epoch / (60 * 24)) % 28;
+  const std::uint64_t month = 1 + (minutes_since_epoch / (60 * 24 * 28)) % 12;
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "2013-%02llu-%02llu %02llu:%02llu:00",
+                static_cast<unsigned long long>(month),
+                static_cast<unsigned long long>(day),
+                static_cast<unsigned long long>(hour),
+                static_cast<unsigned long long>(minute));
+  return buffer;
+}
+
+}  // namespace
+
+taxi_generator::taxi_generator(std::uint64_t seed, taxi_options options)
+    : options_(options), rng_(seed) {}
+
+std::string taxi_generator::record() {
+  const taxi_options& o = options_;
+
+  const double distance =
+      std::exp(rng_.normal(o.distance_log_mean, o.distance_log_sd));
+  const double speed =
+      std::clamp(rng_.normal(o.speed_mean, o.speed_sd), 4.0, 30.0);
+  const long trip_time = std::lround(distance / speed * 3600.0);
+  const double minutes = static_cast<double>(trip_time) / 60.0;
+  const double fare = o.fare_base + o.fare_per_mile * distance +
+                      o.fare_per_minute * minutes + rng_.uniform(-0.5, 0.5);
+
+  const bool card = rng_.chance(o.card_rate);
+  const double tip =
+      card ? fare * rng_.uniform(o.tip_fraction_lo, o.tip_fraction_hi) : 0.0;
+
+  const double toll_rate = std::min(o.toll_base_rate + o.toll_per_mile * distance,
+                                    o.toll_rate_cap);
+  const bool tolled = rng_.chance(toll_rate);
+  const double tolls =
+      tolled ? std::exp(rng_.uniform(std::log(2.0), std::log(25.0))) : 0.0;
+
+  static const std::vector<double> kSurcharges{0.0, 0.5, 1.0};
+  const double surcharge = rng_.pick(kSurcharges);
+  const double mta_tax = 0.5;
+  const double total = fare + tip + tolls + surcharge + mta_tax;
+
+  const std::uint64_t start = 700000 + 3 * sequence_++;
+
+  std::string out = "{";
+  append_field(out, "medallion", rng_.ascii(32, "0123456789ABCDEF"), true);
+  append_field(out, "hack_license", rng_.ascii(32, "0123456789ABCDEF"), true);
+  append_field(out, "pickup_datetime", datetime(start), true);
+  append_field(out, "dropoff_datetime",
+               datetime(start + static_cast<std::uint64_t>(minutes) + 1), true);
+  append_field(out, "trip_time_in_secs", std::to_string(trip_time), false);
+  append_field(out, "trip_distance", fixed(distance, 2), false);
+  append_field(out, "pickup_longitude", fixed(rng_.uniform(-74.02, -73.93), 6),
+               false);
+  append_field(out, "pickup_latitude", fixed(rng_.uniform(40.70, 40.82), 6),
+               false);
+  append_field(out, "dropoff_longitude", fixed(rng_.uniform(-74.02, -73.93), 6),
+               false);
+  append_field(out, "dropoff_latitude", fixed(rng_.uniform(40.70, 40.82), 6),
+               false);
+  append_field(out, "payment_type", card ? "CRD" : "CSH", true);
+  append_field(out, "fare_amount", fixed(fare, 2), false);
+  append_field(out, "surcharge", fixed(surcharge, 1), false);
+  append_field(out, "mta_tax", fixed(mta_tax, 1), false);
+  append_field(out, "tip_amount", fixed(tip, 2), false);
+  // The tolls_amount key exists only when a toll was paid; every record
+  // keeps total_amount (the s1 anagram trap, Table II).
+  if (tolled) append_field(out, "tolls_amount", fixed(tolls, 2), false);
+  append_field(out, "total_amount", fixed(total, 2), false);
+  out += '}';
+  return out;
+}
+
+std::string taxi_generator::stream(std::size_t count) {
+  std::string out;
+  out.reserve(count * 480);
+  for (std::size_t i = 0; i < count; ++i) {
+    out += record();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace jrf::data

@@ -1,0 +1,69 @@
+// Synthetic RiotBench Taxi dataset (NYC FOIL-style trip records).
+//
+// Flat JSON records with the trip attributes the paper's QT query filters
+// (Table VIII) plus the surrounding fields that drive its observed
+// false-positive behaviour (DESIGN.md section 2):
+//
+//   * "total_amount" is always present - its letters are a subset of
+//     "tolls_amount"'s character set, which is what drives the paper's
+//     s1("tolls_amount") FPR of 1.000 (Table II) while B = 2 fixes it;
+//   * "tolls_amount" is present only when a toll was paid (~14 % of trips),
+//     so string negatives exist and the tolls predicate carries most of
+//     QT's 5.7 % selectivity;
+//   * trip_time_in_secs / fare_amount are derived from trip_distance
+//     (Section IV-A: "highly dependent"), so filtering one of the
+//     correlated attributes is nearly as good as filtering all;
+//   * datetime strings and hex identifiers contribute numeric tokens
+//     ("2013", "18", hex fragments with digits) that saturate bare value
+//     filters - the paper's v(2.5 <= f <= 18.0) FPR 1.000 and
+//     v(140 <= i <= 3155) FPR 0.998.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/prng.hpp"
+
+namespace jrf::data {
+
+struct taxi_options {
+  // trip_distance ~ LogNormal(log_mean, log_sd), miles, two decimals
+  double distance_log_mean = 0.788;  // median ~ 2.2 mi
+  double distance_log_sd = 0.8;
+  // speed ~ N(mean, sd) mph, clamped to [4, 30]
+  double speed_mean = 12.0;
+  double speed_sd = 3.0;
+  // fare = base + per_mile * distance + per_minute * minutes
+  double fare_base = 2.5;
+  double fare_per_mile = 2.5;
+  double fare_per_minute = 0.4;
+  // payment & tip
+  double card_rate = 0.6;  // card trips tip, cash trips do not
+  double tip_fraction_lo = 0.10;
+  double tip_fraction_hi = 0.25;
+  // tolls: presence grows with distance, amount log-uniform [2, 25]
+  double toll_base_rate = 0.05;
+  double toll_per_mile = 0.03;
+  double toll_rate_cap = 0.50;
+};
+
+class taxi_generator {
+ public:
+  explicit taxi_generator(std::uint64_t seed = 0x7A21,
+                          taxi_options options = {});
+
+  /// One JSON record, no trailing newline.
+  std::string record();
+
+  /// NDJSON stream of `count` records.
+  std::string stream(std::size_t count);
+
+  const taxi_options& options() const noexcept { return options_; }
+
+ private:
+  taxi_options options_;
+  util::prng rng_;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace jrf::data

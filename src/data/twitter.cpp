@@ -1,0 +1,133 @@
+#include "data/twitter.hpp"
+
+#include <array>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+namespace jrf::data {
+
+namespace {
+
+struct weighted_word {
+  const char* word;
+  double weight;
+};
+
+// Filler vocabulary plus the engineered collision/needle groups documented
+// in the header. Weights are relative occurrence frequencies.
+constexpr std::array<weighted_word, 92> kPool{{
+    // Plain filler (no relevant character runs).
+    {"the", 9.0},      {"and", 6.0},     {"you", 5.5},     {"for", 4.0},
+    {"that", 3.5},     {"this", 3.0},    {"with", 2.6},    {"just", 2.6},
+    {"have", 2.4},     {"like", 2.4},    {"today", 2.0},   {"going", 1.8},
+    {"good", 2.0},     {"love", 1.9},    {"time", 1.8},    {"what", 1.6},
+    {"when", 1.4},     {"your", 1.5},    {"about", 1.3},   {"happy", 1.2},
+    {"miss", 1.1},     {"home", 1.2},    {"work", 1.5},    {"night", 1.3},
+    {"day", 1.6},      {"out", 1.6},     {"now", 1.6},     {"new", 1.4},
+    {"one", 1.4},      {"was", 1.8},     {"not", 1.8},     {"but", 1.8},
+    {"all", 1.5},      {"get", 1.5},     {"got", 1.3},     {"see", 1.2},
+    {"can", 1.4},      {"will", 1.3},    {"really", 1.2},  {"think", 1.1},
+    {"know", 1.2},     {"back", 1.1},    {"still", 1.0},   {"from", 1.2},
+    {"some", 1.0},     {"here", 1.0},    {"there", 1.0},   {"been", 0.9},
+    {"feel", 0.8},     {"wish", 0.7},    {"morning", 0.7}, {"tomorrow", 0.7},
+    {"weekend", 0.6},  {"school", 0.6},  {"watching", 0.6},{"listening", 0.5},
+    // {u,s,e,r} 4-run drivers: s1("user") collisions ("sure", "ress",
+    // "rese", "uess", "erse" letter runs are pervasive in English).
+    {"sure", 3.5},     {"course", 1.4},  {"pressure", 0.7},{"ensure", 0.4},
+    {"nurse", 0.3},    {"yourself", 1.5},{"measure", 0.5}, {"ourselves", 0.25},
+    {"treasure", 0.2}, {"closure", 0.15},{"leisure", 0.15},{"uses", 0.5},
+    {"interesting", 1.0},{"interested", 0.6},{"stressed", 0.8},{"dress", 0.4},
+    {"press", 0.2},    {"deserve", 0.5}, {"present", 0.6}, {"reset", 0.2},
+    {"research", 0.3}, {"issue", 0.5},   {"issues", 0.5},  {"guess", 1.2},
+    // {l,a,n,g} 4-run drivers: s1("lang") collisions.
+    {"finally", 0.55}, {"signal", 0.2},  {"analysis", 0.15},
+    // {l,o,c,a,t,i,n} 8-run drivers: s1("location") collisions.
+    {"national", 0.09},{"rational", 0.045},
+    // True needle occurrences (positives for substring ground truth).
+    {"user", 0.06},    {"users", 0.05},  {"language", 0.07},
+    {"slang", 0.035},  {"location", 0.05},{"locations", 0.025},
+    {"created", 0.05},
+}};
+
+constexpr std::array<const char*, 7> kDays{"Mon", "Tue", "Wed", "Thu",
+                                           "Fri", "Sat", "Sun"};
+constexpr std::array<const char*, 12> kMonths{"Jan", "Feb", "Mar", "Apr",
+                                              "May", "Jun", "Jul", "Aug",
+                                              "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+twitter_generator::twitter_generator(std::uint64_t seed,
+                                     twitter_options options)
+    : options_(options), rng_(seed) {}
+
+std::string twitter_generator::tweet_text() {
+  static const std::vector<double> weights = [] {
+    std::vector<double> w;
+    w.reserve(kPool.size());
+    for (const auto& entry : kPool) w.push_back(entry.weight);
+    return w;
+  }();
+
+  std::string text;
+  if (rng_.chance(options_.mention_rate)) {
+    text += '@';
+    text += rng_.ascii(3 + rng_.below(9), "abcdefghijklmnopqrstuvwxyz0123456789_");
+    text += ' ';
+  }
+  const int words =
+      options_.min_words +
+      static_cast<int>(rng_.below(
+          static_cast<std::uint64_t>(options_.max_words - options_.min_words + 1)));
+  for (int i = 0; i < words; ++i) {
+    if (i) text += ' ';
+    text += kPool[rng_.weighted(weights)].word;
+  }
+  if (rng_.chance(options_.hashtag_rate)) {
+    text += " #";
+    text += kPool[rng_.weighted(weights)].word;
+  }
+  if (rng_.chance(options_.url_rate)) {
+    text += " http://t.co/";
+    text += rng_.ascii(8, "abcdefghijklmnopqrstuvwxyz0123456789");
+  }
+  return text;
+}
+
+std::string twitter_generator::record() {
+  const std::uint64_t id = 1467810000 + 17 * sequence_++;
+  char date[40];
+  std::snprintf(date, sizeof date, "%s %s %02d %02d:%02d:%02d PDT 2009",
+                kDays[rng_.below(kDays.size())],
+                kMonths[rng_.below(kMonths.size())],
+                static_cast<int>(1 + rng_.below(28)),
+                static_cast<int>(rng_.below(24)),
+                static_cast<int>(rng_.below(60)),
+                static_cast<int>(rng_.below(60)));
+
+  std::string out = "\"";
+  out += rng_.chance(0.5) ? "0" : "4";  // sentiment polarity
+  out += "\",\"";
+  out += std::to_string(id);
+  out += "\",\"";
+  out += date;
+  out += "\",\"NO_QUERY\",\"";
+  out += rng_.ascii(4 + rng_.below(10), "abcdefghijklmnopqrstuvwxyz0123456789_");
+  out += "\",\"";
+  out += tweet_text();
+  out += '"';
+  return out;
+}
+
+std::string twitter_generator::stream(std::size_t count) {
+  std::string out;
+  out.reserve(count * 150);
+  for (std::size_t i = 0; i < count; ++i) {
+    out += record();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace jrf::data

@@ -1,0 +1,58 @@
+// Synthetic Twitter corpus (Sentiment140-style CSV records).
+//
+// The paper evaluates string matchers on a "more diverse" Twitter dataset
+// [Go 2009] precisely because free English text produces B = 1 character-run
+// collisions that repetitive IoT records cannot. Records here are CSV lines
+// ("<polarity>","<id>","<date>","<query>","<handle>","<text>") whose text is
+// sampled from a weighted word pool engineered to reproduce the collision
+// structure behind Table III:
+//
+//   s1("user")     - {u,s,e,r} runs from "sure", "course", "pressure", ...
+//                    in nearly every tweet            (paper FPR 1.000)
+//   s1("lang")     - {l,a,n,g} runs from "finally", "signal", "analysis"
+//                    in roughly a fifth of tweets     (paper FPR 0.181)
+//   s1("location") - 8-runs from "national", "rational"  (paper FPR 0.049)
+//   s1("created_at"), s1("favourites_count") - no natural 10+/16+ runs
+//                                              (paper FPR 0.001)
+//
+// True occurrences of the needles ("user", "language", "location", ...)
+// appear at low rates so substring-presence ground truth has positives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/prng.hpp"
+
+namespace jrf::data {
+
+struct twitter_options {
+  int min_words = 6;
+  int max_words = 22;
+  double mention_rate = 0.6;  // tweets starting with "@handle"
+  double hashtag_rate = 0.25;
+  double url_rate = 0.15;
+};
+
+class twitter_generator {
+ public:
+  explicit twitter_generator(std::uint64_t seed = 0x7411,
+                             twitter_options options = {});
+
+  /// One CSV record, no trailing newline.
+  std::string record();
+
+  /// Newline-separated stream of `count` records.
+  std::string stream(std::size_t count);
+
+  const twitter_options& options() const noexcept { return options_; }
+
+ private:
+  std::string tweet_text();
+
+  twitter_options options_;
+  util::prng rng_;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace jrf::data

@@ -1,0 +1,145 @@
+#include "dse/evolve.hpp"
+
+#include <algorithm>
+
+#include "dse/space.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace jrf::dse {
+
+namespace {
+
+struct individual {
+  selection genes;
+  design_point point;
+  int rank = 0;
+  double crowding = 0.0;
+};
+
+bool dominates(const design_point& a, const design_point& b) {
+  const bool no_worse = a.fpr <= b.fpr && a.luts <= b.luts;
+  const bool better = a.fpr < b.fpr || a.luts < b.luts;
+  return no_worse && better;
+}
+
+/// Fast-enough non-dominated sorting for small populations.
+void rank_population(std::vector<individual>& pop) {
+  for (auto& ind : pop) ind.rank = 0;
+  for (auto& ind : pop)
+    for (const auto& other : pop)
+      if (dominates(other.point, ind.point)) ++ind.rank;
+
+  // Crowding distance per rank over both objectives.
+  for (auto& ind : pop) ind.crowding = 0.0;
+  const auto by_objective = [&](auto objective) {
+    std::vector<std::size_t> order(pop.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::ranges::sort(order, [&](std::size_t a, std::size_t b) {
+      return objective(pop[a].point) < objective(pop[b].point);
+    });
+    pop[order.front()].crowding += 1e9;
+    pop[order.back()].crowding += 1e9;
+    const double span = objective(pop[order.back()].point) -
+                        objective(pop[order.front()].point);
+    if (span <= 0) return;
+    for (std::size_t i = 1; i + 1 < order.size(); ++i)
+      pop[order[i]].crowding += (objective(pop[order[i + 1]].point) -
+                                 objective(pop[order[i - 1]].point)) /
+                                span;
+  };
+  by_objective([](const design_point& p) { return p.fpr; });
+  by_objective([](const design_point& p) { return static_cast<double>(p.luts); });
+}
+
+bool crowded_less(const individual& a, const individual& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.crowding > b.crowding;
+}
+
+}  // namespace
+
+evolve_result evolve(const query::query& q, std::string_view stream,
+                     const std::vector<bool>& labels,
+                     const evolve_options& options) {
+  const design_space space(q, stream, labels, options.space);
+  util::prng rng(options.seed);
+
+  const auto random_selection = [&] {
+    selection sel(space.predicate_count());
+    do {
+      for (std::size_t p = 0; p < sel.size(); ++p)
+        sel[p] = rng.below(space.menu()[p].size());
+    } while (!space.viable(sel));
+    return sel;
+  };
+
+  evolve_result result;
+  std::vector<individual> pop;
+  pop.reserve(static_cast<std::size_t>(options.population));
+  for (int i = 0; i < options.population; ++i) {
+    individual ind;
+    ind.genes = random_selection();
+    ind.point = space.evaluate(ind.genes);
+    ++result.evaluations;
+    pop.push_back(std::move(ind));
+  }
+
+  for (int gen = 0; gen < options.generations; ++gen) {
+    rank_population(pop);
+
+    // Binary-tournament parents, uniform crossover, per-gene mutation.
+    std::vector<individual> offspring;
+    offspring.reserve(pop.size());
+    while (offspring.size() < pop.size()) {
+      const auto tournament = [&]() -> const individual& {
+        const individual& a = pop[rng.below(pop.size())];
+        const individual& b = pop[rng.below(pop.size())];
+        return crowded_less(a, b) ? a : b;
+      };
+      const individual& ma = tournament();
+      const individual& pa = tournament();
+      individual child;
+      child.genes.resize(space.predicate_count());
+      for (std::size_t g = 0; g < child.genes.size(); ++g)
+        child.genes[g] = rng.chance(0.5) ? ma.genes[g] : pa.genes[g];
+      for (std::size_t g = 0; g < child.genes.size(); ++g)
+        if (rng.chance(options.mutation_rate))
+          child.genes[g] = rng.below(space.menu()[g].size());
+      if (!space.viable(child.genes)) child.genes = random_selection();
+      child.point = space.evaluate(child.genes);
+      ++result.evaluations;
+      offspring.push_back(std::move(child));
+    }
+
+    // Elitist environmental selection over parents + offspring.
+    pop.insert(pop.end(), std::make_move_iterator(offspring.begin()),
+               std::make_move_iterator(offspring.end()));
+    rank_population(pop);
+    std::ranges::sort(pop, crowded_less);
+    pop.resize(static_cast<std::size_t>(options.population));
+  }
+
+  // Final front: non-dominated members, deduplicated, LUT-ascending, with
+  // paper-style notation attached.
+  rank_population(pop);
+  std::vector<design_point> front;
+  for (auto& ind : pop) {
+    if (ind.rank != 0) continue;
+    ind.point.notation = space.notation(ind.genes);
+    front.push_back(ind.point);
+  }
+  std::ranges::sort(front, [](const design_point& a, const design_point& b) {
+    if (a.luts != b.luts) return a.luts < b.luts;
+    return a.fpr < b.fpr;
+  });
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const design_point& a, const design_point& b) {
+                            return a.notation == b.notation;
+                          }),
+              front.end());
+  result.front = std::move(front);
+  return result;
+}
+
+}  // namespace jrf::dse

@@ -1,0 +1,37 @@
+// Evolutionary raw-filter search (paper Section V, future work).
+//
+// The paper notes that brute-force Pareto search "is too time-consuming for
+// an automatic generation of RFs" and suggests meta-heuristics. This is an
+// NSGA-II-style multi-objective search over the same per-attribute choice
+// space as dse::explore, minimizing (FPR, estimated LUTs). Its front is
+// compared against the exhaustive front in bench_ext_evolutionary.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "dse/explore.hpp"
+
+namespace jrf::dse {
+
+struct evolve_options {
+  int population = 48;
+  int generations = 30;
+  double mutation_rate = 0.25;  // per-gene probability
+  std::uint64_t seed = 0x9A51;
+  explore_options space;  // blocks, filter, mapping, sampling
+};
+
+struct evolve_result {
+  std::vector<design_point> front;  // final non-dominated set, LUT-ascending
+  std::size_t evaluations = 0;      // fitness evaluations performed
+};
+
+/// Run the search. Uses the same signal-table memoization as explore(), so
+/// each fitness evaluation is a few bitvector ANDs.
+evolve_result evolve(const query::query& q, std::string_view stream,
+                     const std::vector<bool>& labels,
+                     const evolve_options& options = {});
+
+}  // namespace jrf::dse

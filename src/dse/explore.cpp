@@ -1,0 +1,80 @@
+#include "dse/explore.hpp"
+
+#include <algorithm>
+
+#include "core/elaborate.hpp"
+#include "dse/space.hpp"
+#include "util/error.hpp"
+
+namespace jrf::dse {
+
+std::vector<std::size_t> pareto_front(std::span<const design_point> points) {
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::ranges::sort(order, [&](std::size_t a, std::size_t b) {
+    if (points[a].luts != points[b].luts) return points[a].luts < points[b].luts;
+    return points[a].fpr < points[b].fpr;
+  });
+  std::vector<std::size_t> front;
+  double best_fpr = 2.0;
+  for (const std::size_t index : order) {
+    if (points[index].fpr < best_fpr) {
+      front.push_back(index);
+      best_fpr = points[index].fpr;
+    }
+  }
+  return front;
+}
+
+int exact_point_cost(const query::query& q, const design_point& point,
+                     const core::filter_options& filter,
+                     const lut::mapping_options& mapping) {
+  const core::expr_ptr expr = query::compile(q, point.choices);
+  return core::filter_cost(expr, filter, mapping).luts;
+}
+
+exploration explore(const query::query& q, std::string_view stream,
+                    const std::vector<bool>& labels,
+                    const explore_options& options) {
+  const design_space space(q, stream, labels, options);
+
+  exploration out;
+  out.base_luts = space.base_luts();
+  out.tracker_first_luts = space.tracker_first_luts();
+  out.tracker_rest_luts = space.tracker_rest_luts();
+  out.points.reserve(space.size() - 1);
+
+  selection sel(space.predicate_count(), 0);
+  for (;;) {
+    if (space.viable(sel)) out.points.push_back(space.evaluate(sel));
+
+    std::size_t p = 0;
+    while (p < space.predicate_count() &&
+           ++sel[p] == space.menu()[p].size()) {
+      sel[p] = 0;
+      ++p;
+    }
+    if (p == space.predicate_count()) break;
+  }
+
+  out.pareto = pareto_front(out.points);
+
+  if (options.exact_pareto) {
+    for (const std::size_t index : out.pareto) {
+      design_point& point = out.points[index];
+      point.luts = exact_point_cost(q, point, options.filter, options.mapping);
+      point.exact_luts = true;
+    }
+    // Exact numbers may reorder the front; recompute over updated values.
+    out.pareto = pareto_front(out.points);
+  }
+
+  // Notation only for the front - full-space strings would cost megabytes.
+  for (const std::size_t index : out.pareto) {
+    design_point& point = out.points[index];
+    point.notation = query::compile(q, point.choices)->to_string();
+  }
+  return out;
+}
+
+}  // namespace jrf::dse

@@ -1,0 +1,86 @@
+// Design-space exploration (paper Section III-D and Figure 3).
+//
+// For a flat-conjunction query, every predicate independently picks one of:
+//   omit | value-only | string-only(B) | flat AND(B) | structural group(B)
+// with B ranging over explore_options::blocks (the paper's {1, 2, N}).
+// The cross product is the design space; every point is evaluated for
+//   FPR  - exactly, via the memoized atom bitvectors of dse::signals, and
+//   LUTs - with a calibrated additive cost model (per-primitive mapped
+//          costs plus measured filter/base/group/tracker overheads), with
+//          the Pareto front re-measured exactly by full elaboration.
+//
+// The additive model exists because mapping ~10^5 elaborated netlists is
+// wasteful when inter-primitive logic sharing is structurally limited (each
+// primitive owns its registers); the Pareto re-measurement bounds the error
+// on every number that reaches a report (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/raw_filter.hpp"
+#include "lut/mapper.hpp"
+#include "query/compile.hpp"
+#include "query/ir.hpp"
+
+namespace jrf::dse {
+
+struct explore_options {
+  /// Block lengths for the string side; query::block_full denotes B = N.
+  std::vector<int> blocks = {1, 2, query::block_full};
+
+  core::filter_options filter;
+  lut::mapping_options mapping;
+
+  /// Safety valve against combinatorial explosion.
+  std::size_t max_points = 2'000'000;
+
+  /// Extension (paper Section V, future work): evaluate FPR on a random
+  /// record sample instead of the complete dataset. 1.0 = full dataset.
+  double sample_fraction = 1.0;
+  std::uint64_t sample_seed = 1;
+
+  /// Re-measure the Pareto front by exact elaboration + mapping.
+  bool exact_pareto = true;
+};
+
+struct design_point {
+  std::vector<query::attribute_choice> choices;
+  double fpr = 0.0;
+  double accept_rate = 0.0;  // fraction of all records passed downstream
+  int luts = 0;
+  bool exact_luts = false;  // true after Pareto re-measurement
+  int attributes = 0;       // predicates represented (non-omitted)
+  std::string notation;     // paper-style RF configuration string
+};
+
+struct exploration {
+  std::vector<design_point> points;
+  std::vector<std::size_t> pareto;  // indices, LUT-ascending
+
+  // Calibrated cost-model constants (reported in EXPERIMENTS.md).
+  int base_luts = 0;           // record-boundary detection overhead
+  int tracker_first_luts = 0;  // structure tracker + first group logic
+  int tracker_rest_luts = 0;   // each additional group's logic
+};
+
+/// Explore the full space. `labels` are ground-truth verdicts per record
+/// (query::label_stream). Throws jrf::error for non-conjunctive queries or
+/// when the space exceeds max_points.
+exploration explore(const query::query& q, std::string_view stream,
+                    const std::vector<bool>& labels,
+                    const explore_options& options = {});
+
+/// Indices of the non-dominated points (minimize FPR and LUTs), sorted by
+/// ascending LUTs; among equal (fpr, luts) the first point wins.
+std::vector<std::size_t> pareto_front(std::span<const design_point> points);
+
+/// Exact LUT cost of one design point (full elaboration + mapping).
+int exact_point_cost(const query::query& q, const design_point& point,
+                     const core::filter_options& filter,
+                     const lut::mapping_options& mapping);
+
+}  // namespace jrf::dse

@@ -1,0 +1,175 @@
+#include "dse/signals.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace jrf::dse {
+
+std::string atom::to_string() const {
+  if (!grouped) return core::to_string(members.front());
+  const char* sep = group == core::group_kind::scope ? " & " : " : ";
+  std::string out = "{ ";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i) out += sep;
+    out += core::to_string(members[i]);
+  }
+  return out + " }";
+}
+
+atom atom::bare(core::primitive_spec spec) {
+  atom a;
+  a.members.push_back(std::move(spec));
+  return a;
+}
+
+atom atom::make_group(core::group_kind kind,
+                      std::vector<core::primitive_spec> members) {
+  if (members.empty()) throw error("dse atom: empty group");
+  atom a;
+  a.grouped = true;
+  a.group = kind;
+  a.members = std::move(members);
+  return a;
+}
+
+signal_table::signal_table(std::span<const atom> atoms, std::string_view stream,
+                           core::filter_options options)
+    : atoms_(atoms.size()) {
+  // Deduplicate primitive engines across atoms by notation.
+  std::map<std::string, std::size_t> engine_index;
+  std::vector<std::unique_ptr<core::primitive_engine>> engines;
+  std::vector<std::vector<std::size_t>> member_engines(atoms.size());
+  for (std::size_t a = 0; a < atoms.size(); ++a) {
+    for (const core::primitive_spec& spec : atoms[a].members) {
+      const std::string key = core::to_string(spec);
+      auto [it, inserted] = engine_index.try_emplace(key, engines.size());
+      if (inserted) engines.push_back(core::make_engine(spec));
+      member_engines[a].push_back(it->second);
+    }
+  }
+
+  std::vector<core::group_tracker> trackers;
+  trackers.reserve(atoms.size());
+  for (const atom& a : atoms)
+    trackers.emplace_back(a.grouped ? a.group : core::group_kind::scope,
+                          static_cast<int>(a.members.size()));
+
+  core::structure_tracker structure(options.depth_bits);
+  std::vector<char> fires(engines.size(), 0);
+  std::vector<char> latch(atoms.size(), 0);
+  std::vector<char> scratch;
+
+  // First pass counts records to size the bitvectors; we instead collect
+  // per-record rows and pack at the end (streams fit comfortably).
+  std::vector<std::vector<char>> rows;
+
+  const auto flush_record = [&](bool pending) {
+    if (pending) rows.emplace_back(latch.begin(), latch.end());
+    std::ranges::fill(latch, 0);
+    for (auto& engine : engines) engine->reset();
+    for (auto& tracker : trackers) tracker.reset();
+    structure.reset();
+  };
+
+  bool pending = false;
+  for (const char c : stream) {
+    const auto byte = static_cast<unsigned char>(c);
+    const core::structure_state st = structure.step(byte);
+    const bool boundary = byte == options.separator && !st.masked;
+
+    for (std::size_t e = 0; e < engines.size(); ++e)
+      fires[e] = engines[e]->step(byte) ? 1 : 0;
+
+    for (std::size_t a = 0; a < atoms.size(); ++a) {
+      if (atoms[a].grouped) {
+        scratch.clear();
+        for (const std::size_t e : member_engines[a])
+          scratch.push_back(fires[e]);
+        const bool fire = trackers[a].step(st, boundary, scratch);
+        latch[a] = static_cast<char>(latch[a] | fire);
+      } else {
+        latch[a] =
+            static_cast<char>(latch[a] | fires[member_engines[a].front()]);
+      }
+    }
+
+    if (boundary) {
+      flush_record(pending);
+      pending = false;
+    } else {
+      pending = true;
+    }
+  }
+  if (pending) {
+    // Trailing record without separator: synthesize the boundary byte so
+    // token-final primitives behave exactly as raw_filter::filter_stream.
+    const auto byte = options.separator;
+    const core::structure_state st = structure.step(byte);
+    for (std::size_t e = 0; e < engines.size(); ++e)
+      fires[e] = engines[e]->step(byte) ? 1 : 0;
+    for (std::size_t a = 0; a < atoms.size(); ++a) {
+      if (atoms[a].grouped) {
+        scratch.clear();
+        for (const std::size_t e : member_engines[a])
+          scratch.push_back(fires[e]);
+        const bool fire = trackers[a].step(st, true, scratch);
+        latch[a] = static_cast<char>(latch[a] | fire);
+      } else {
+        latch[a] =
+            static_cast<char>(latch[a] | fires[member_engines[a].front()]);
+      }
+    }
+    flush_record(true);
+  }
+
+  records_ = rows.size();
+  words_per_atom_ = (records_ + 63) / 64;
+  bits_.assign(atoms_ * words_per_atom_, 0);
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (std::size_t a = 0; a < atoms_; ++a)
+      if (rows[r][a])
+        bits_[a * words_per_atom_ + r / 64] |= std::uint64_t{1} << (r % 64);
+}
+
+bool signal_table::fired(std::size_t record, std::size_t atom) const {
+  return (bits_[atom * words_per_atom_ + record / 64] >> (record % 64)) & 1;
+}
+
+std::span<const std::uint64_t> signal_table::lane(std::size_t atom) const {
+  return {bits_.data() + atom * words_per_atom_, words_per_atom_};
+}
+
+std::vector<std::uint64_t> signal_table::pack(const std::vector<bool>& bits) {
+  std::vector<std::uint64_t> out((bits.size() + 63) / 64, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits[i]) out[i / 64] |= std::uint64_t{1} << (i % 64);
+  return out;
+}
+
+double conjunction_fpr(const signal_table& table,
+                       std::span<const std::size_t> lanes,
+                       std::span<const std::uint64_t> packed_labels) {
+  if (packed_labels.size() != table.word_count())
+    throw error("conjunction_fpr: label width mismatch");
+  const std::size_t records = table.record_count();
+  std::size_t false_positives = 0;
+  std::size_t negatives = 0;
+  for (std::size_t w = 0; w < table.word_count(); ++w) {
+    std::uint64_t accept = ~std::uint64_t{0};
+    for (const std::size_t lane : lanes) accept &= table.lane(lane)[w];
+    std::uint64_t valid = ~std::uint64_t{0};
+    if (w == table.word_count() - 1 && records % 64 != 0)
+      valid = (std::uint64_t{1} << (records % 64)) - 1;
+    const std::uint64_t negative = ~packed_labels[w] & valid;
+    negatives += static_cast<std::size_t>(std::popcount(negative));
+    false_positives +=
+        static_cast<std::size_t>(std::popcount(accept & negative));
+  }
+  if (negatives == 0) return 0.0;
+  return static_cast<double>(false_positives) / static_cast<double>(negatives);
+}
+
+}  // namespace jrf::dse

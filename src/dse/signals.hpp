@@ -1,0 +1,71 @@
+// Per-record signal memoization for design-space exploration.
+//
+// Evaluating all ~11^A raw-filter configurations of a query by streaming
+// the dataset through each would be quadratic in practice. Instead, every
+// *atom* - a bare primitive or a structural group - is evaluated exactly
+// once per record in a single shared pass (primitive engines deduplicated
+// across atoms), and each configuration's record decision then reduces to
+// bitwise AND/OR over the memoized atom bitvectors. This is exact, not an
+// approximation: record-level accept is a boolean function of atom latches
+// by construction (see core::raw_filter).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/expr.hpp"
+#include "core/raw_filter.hpp"
+
+namespace jrf::dse {
+
+/// One memoized term: a bare primitive (members.size() == 1, grouped ==
+/// false) or a structural group over its members.
+struct atom {
+  bool grouped = false;
+  core::group_kind group = core::group_kind::scope;
+  std::vector<core::primitive_spec> members;
+
+  std::string to_string() const;
+
+  static atom bare(core::primitive_spec spec);
+  static atom make_group(core::group_kind kind,
+                         std::vector<core::primitive_spec> members);
+};
+
+/// Packed per-record fire bits, one lane per atom.
+class signal_table {
+ public:
+  /// Runs the shared evaluation pass over the stream.
+  signal_table(std::span<const atom> atoms, std::string_view stream,
+               core::filter_options options = {});
+
+  std::size_t record_count() const noexcept { return records_; }
+  std::size_t atom_count() const noexcept { return atoms_; }
+  std::size_t word_count() const noexcept { return words_per_atom_; }
+
+  bool fired(std::size_t record, std::size_t atom) const;
+
+  /// Bitvector lane of one atom, size word_count(); bit i = record i fired.
+  std::span<const std::uint64_t> lane(std::size_t atom) const;
+
+  /// Packed ground-truth labels aligned with the lanes (for FPR popcounts).
+  static std::vector<std::uint64_t> pack(const std::vector<bool>& bits);
+
+ private:
+  std::size_t records_ = 0;
+  std::size_t atoms_ = 0;
+  std::size_t words_per_atom_ = 0;
+  std::vector<std::uint64_t> bits_;  // [atom][word]
+};
+
+/// False-positive rate of a conjunction of atoms, evaluated on packed
+/// lanes: FPR = |accept & ~labels| / |~labels|. `lanes` lists the atom
+/// indices that are ANDed together.
+double conjunction_fpr(const signal_table& table,
+                       std::span<const std::size_t> lanes,
+                       std::span<const std::uint64_t> packed_labels);
+
+}  // namespace jrf::dse

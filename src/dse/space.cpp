@@ -1,0 +1,216 @@
+#include "dse/space.hpp"
+
+#include <bit>
+#include <map>
+
+#include "core/elaborate.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace jrf::dse {
+
+namespace {
+
+using query::attribute_choice;
+using query::attribute_mode;
+
+}  // namespace
+
+design_space::design_space(const query::query& q, std::string_view stream,
+                           const std::vector<bool>& labels,
+                           const explore_options& options)
+    : query_(q), options_(options) {
+  if (!q.is_flat_conjunction())
+    throw error("dse: only flat-conjunction queries are explorable");
+  const auto predicates = q.predicates();
+  if (predicates.empty()) throw error("dse: query has no predicates");
+
+  const core::group_kind group = query::default_group_kind(q.model);
+
+  std::map<std::string, std::size_t> atom_index;
+  const auto lane_of = [&](atom a) {
+    const std::string key = a.to_string();
+    auto [it, inserted] = atom_index.try_emplace(key, atoms_.size());
+    if (inserted) atoms_.push_back(std::move(a));
+    return it->second;
+  };
+
+  // ---- Calibrated additive LUT model.
+  std::map<std::string, int> primitive_luts;
+  const auto pc = [&](const core::primitive_spec& spec) {
+    const std::string key = core::to_string(spec);
+    const auto it = primitive_luts.find(key);
+    if (it != primitive_luts.end()) return it->second;
+    const int cost =
+        core::primitive_cost(spec, options_.filter, options_.mapping).luts;
+    primitive_luts.emplace(key, cost);
+    return cost;
+  };
+
+  const attribute_choice ref_choice{attribute_mode::grouped,
+                                    core::string_technique::substring, 1};
+  const core::primitive_spec ref_s =
+      query::string_primitive(predicates[0], ref_choice);
+  const core::primitive_spec ref_v =
+      query::value_primitive(predicates[0], ref_choice);
+
+  const int cost_bare =
+      core::filter_cost(core::leaf(ref_s), options_.filter, options_.mapping)
+          .luts;
+  base_luts_ = std::max(0, cost_bare - pc(ref_s));
+
+  const int cost_g1 =
+      core::filter_cost(core::make_group(group, {ref_s, ref_v}),
+                        options_.filter, options_.mapping)
+          .luts;
+  tracker_first_ = std::max(0, cost_g1 - (pc(ref_s) + pc(ref_v) + base_luts_));
+
+  const std::size_t second = predicates.size() > 1 ? 1 : 0;
+  const core::primitive_spec ref_s2 =
+      query::string_primitive(predicates[second], ref_choice);
+  const core::primitive_spec ref_v2 =
+      query::value_primitive(predicates[second], ref_choice);
+  const int cost_g2 =
+      core::filter_cost(core::conj({core::make_group(group, {ref_s, ref_v}),
+                                    core::make_group(group, {ref_s2, ref_v2})}),
+                        options_.filter, options_.mapping)
+          .luts;
+  tracker_rest_ = std::max(0, cost_g2 - cost_g1 - (pc(ref_s2) + pc(ref_v2)));
+
+  // ---- Per-predicate option menus.
+  menu_.resize(predicates.size());
+  for (std::size_t p = 0; p < predicates.size(); ++p) {
+    const query::predicate& pred = predicates[p];
+    auto& opts = menu_[p];
+
+    opts.push_back({attribute_choice{attribute_mode::omit,
+                                     core::string_technique::substring, 1},
+                    {},
+                    0,
+                    false});
+
+    // For string-equality predicates the value side is itself a string
+    // matcher whose cost and signals depend on B.
+    const bool value_depends_on_block =
+        pred.k == query::predicate::kind::string_equals;
+    const auto add_value_only = [&](int block) {
+      attribute_choice c{attribute_mode::value_only,
+                         core::string_technique::substring, block};
+      const auto prim = query::value_primitive(pred, c);
+      opts.push_back({c, {lane_of(atom::bare(prim))}, pc(prim), false});
+    };
+    if (value_depends_on_block) {
+      for (const int b : options_.blocks) add_value_only(b);
+    } else {
+      add_value_only(1);
+    }
+
+    for (const int b : options_.blocks) {
+      attribute_choice cs{attribute_mode::string_only,
+                          core::string_technique::substring, b};
+      const auto s = query::string_primitive(pred, cs);
+      opts.push_back({cs, {lane_of(atom::bare(s))}, pc(s), false});
+
+      attribute_choice cf{attribute_mode::flat_and,
+                          core::string_technique::substring, b};
+      const auto fs = query::string_primitive(pred, cf);
+      const auto fv = query::value_primitive(pred, cf);
+      opts.push_back({cf,
+                      {lane_of(atom::bare(fs)), lane_of(atom::bare(fv))},
+                      pc(fs) + pc(fv),
+                      false});
+
+      attribute_choice cg{attribute_mode::grouped,
+                          core::string_technique::substring, b};
+      const auto gs = query::string_primitive(pred, cg);
+      const auto gv = query::value_primitive(pred, cg);
+      opts.push_back({cg,
+                      {lane_of(atom::make_group(group, {gs, gv}))},
+                      pc(gs) + pc(gv),
+                      true});
+    }
+  }
+
+  total_ = 1;
+  for (const auto& opts : menu_) {
+    total_ *= opts.size();
+    if (total_ > options_.max_points)
+      throw error("dse: design space exceeds max_points");
+  }
+
+  // ---- Shared signal pass and packed labels / sample mask.
+  table_ = std::make_unique<signal_table>(atoms_, stream, options_.filter);
+  if (table_->record_count() != labels.size())
+    throw error("dse: label count does not match stream records");
+  labels_ = signal_table::pack(labels);
+
+  mask_.assign(table_->word_count(), ~std::uint64_t{0});
+  if (table_->record_count() % 64 != 0 && !mask_.empty())
+    mask_.back() = (std::uint64_t{1} << (table_->record_count() % 64)) - 1;
+  if (options_.sample_fraction < 1.0) {
+    util::prng rng(options_.sample_seed);
+    for (std::size_t r = 0; r < table_->record_count(); ++r)
+      if (!(rng.uniform() < options_.sample_fraction))
+        mask_[r / 64] &= ~(std::uint64_t{1} << (r % 64));
+  }
+}
+
+bool design_space::viable(const selection& sel) const {
+  for (std::size_t p = 0; p < menu_.size(); ++p)
+    if (menu_[p][sel[p]].choice.mode != attribute_mode::omit) return true;
+  return false;
+}
+
+design_point design_space::evaluate(const selection& sel) const {
+  if (sel.size() != menu_.size())
+    throw error("dse: selection arity mismatch");
+  if (!viable(sel)) throw error("dse: all predicates omitted");
+
+  design_point point;
+  point.choices.resize(menu_.size());
+  int luts = base_luts_;
+  int groups = 0;
+  std::vector<std::size_t> lanes;
+  for (std::size_t p = 0; p < menu_.size(); ++p) {
+    const option_entry& o = menu_[p][sel[p]];
+    point.choices[p] = o.choice;
+    lanes.insert(lanes.end(), o.lanes.begin(), o.lanes.end());
+    luts += o.marginal_luts;
+    if (o.choice.mode != attribute_mode::omit) ++point.attributes;
+    if (o.grouped) ++groups;
+  }
+  if (groups > 0) luts += tracker_first_ + (groups - 1) * tracker_rest_;
+  point.luts = luts;
+
+  std::size_t false_positives = 0;
+  std::size_t negatives = 0;
+  std::size_t accepted = 0;
+  std::size_t considered = 0;
+  for (std::size_t w = 0; w < table_->word_count(); ++w) {
+    std::uint64_t accept = mask_[w];
+    for (const std::size_t lane : lanes) accept &= table_->lane(lane)[w];
+    const std::uint64_t negative = ~labels_[w] & mask_[w];
+    considered += static_cast<std::size_t>(std::popcount(mask_[w]));
+    accepted += static_cast<std::size_t>(std::popcount(accept));
+    negatives += static_cast<std::size_t>(std::popcount(negative));
+    false_positives +=
+        static_cast<std::size_t>(std::popcount(accept & negative));
+  }
+  point.fpr = negatives == 0 ? 0.0
+                             : static_cast<double>(false_positives) /
+                                   static_cast<double>(negatives);
+  point.accept_rate = considered == 0
+                          ? 0.0
+                          : static_cast<double>(accepted) /
+                                static_cast<double>(considered);
+  return point;
+}
+
+std::string design_space::notation(const selection& sel) const {
+  std::vector<query::attribute_choice> choices(menu_.size());
+  for (std::size_t p = 0; p < menu_.size(); ++p)
+    choices[p] = menu_[p][sel[p]].choice;
+  return query::compile(query_, choices)->to_string();
+}
+
+}  // namespace jrf::dse

@@ -1,0 +1,72 @@
+// Shared design-space machinery for exhaustive (explore) and evolutionary
+// (evolve) search: the per-predicate option menus, the memoized signal
+// table, the calibrated additive LUT model, and single-point evaluation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dse/explore.hpp"
+#include "dse/signals.hpp"
+
+namespace jrf::dse {
+
+struct option_entry {
+  query::attribute_choice choice;
+  std::vector<std::size_t> lanes;  // atom lanes ANDed for this option
+  int marginal_luts = 0;
+  bool grouped = false;
+};
+
+/// A selection picks one option index per predicate.
+using selection = std::vector<std::size_t>;
+
+class design_space {
+ public:
+  design_space(const query::query& q, std::string_view stream,
+               const std::vector<bool>& labels, const explore_options& options);
+
+  const std::vector<std::vector<option_entry>>& menu() const noexcept {
+    return menu_;
+  }
+  std::size_t predicate_count() const noexcept { return menu_.size(); }
+
+  /// Number of selections in the cross product (including the all-omit one,
+  /// which evaluate() rejects).
+  std::size_t size() const noexcept { return total_; }
+
+  /// Evaluate one selection; throws jrf::error if everything is omitted.
+  design_point evaluate(const selection& sel) const;
+
+  /// True when at least one predicate is represented.
+  bool viable(const selection& sel) const;
+
+  /// Paper-style configuration string for a selection.
+  std::string notation(const selection& sel) const;
+
+  int base_luts() const noexcept { return base_luts_; }
+  int tracker_first_luts() const noexcept { return tracker_first_; }
+  int tracker_rest_luts() const noexcept { return tracker_rest_; }
+
+  const query::query& query_ref() const noexcept { return query_; }
+  const explore_options& options() const noexcept { return options_; }
+
+ private:
+  query::query query_;
+  explore_options options_;
+  std::vector<atom> atoms_;
+  std::vector<std::vector<option_entry>> menu_;
+  std::size_t total_ = 1;
+  int base_luts_ = 0;
+  int tracker_first_ = 0;
+  int tracker_rest_ = 0;
+  // Construction order matters: atoms_ and menu_ are built first, then the
+  // table runs the shared pass (unique_ptr defers construction).
+  std::unique_ptr<signal_table> table_;
+  std::vector<std::uint64_t> labels_;
+  std::vector<std::uint64_t> mask_;
+};
+
+}  // namespace jrf::dse

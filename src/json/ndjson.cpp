@@ -1,0 +1,34 @@
+#include "json/ndjson.hpp"
+
+namespace jrf::json {
+
+std::vector<std::string_view> split_records(std::string_view stream) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= stream.size(); ++i) {
+    if (i == stream.size() || stream[i] == '\n') {
+      if (i > start) out.push_back(stream.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+void for_each_record(std::string_view stream,
+                     const std::function<void(std::string_view)>& fn) {
+  for (std::string_view record : split_records(stream)) fn(record);
+}
+
+std::string join_records(const std::vector<std::string>& records) {
+  std::size_t total = 0;
+  for (const auto& r : records) total += r.size() + 1;
+  std::string out;
+  out.reserve(total);
+  for (const auto& r : records) {
+    out += r;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace jrf::json

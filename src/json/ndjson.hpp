@@ -1,0 +1,27 @@
+// Newline-delimited JSON record framing.
+//
+// The hardware raw filters operate on a byte stream of concatenated records
+// separated by '\n' (the format RiotBench replays). This helper provides the
+// same framing for software-side ground truth and test drivers.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jrf::json {
+
+/// Split an NDJSON stream into record views (no copies). A trailing record
+/// without a final newline is included. Empty lines are skipped.
+std::vector<std::string_view> split_records(std::string_view stream);
+
+/// Invoke `fn` for each record in the stream.
+void for_each_record(std::string_view stream,
+                     const std::function<void(std::string_view)>& fn);
+
+/// Join records into a stream with '\n' separators (including a trailing
+/// newline, matching the generator output format).
+std::string join_records(const std::vector<std::string>& records);
+
+}  // namespace jrf::json

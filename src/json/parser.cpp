@@ -1,0 +1,222 @@
+#include "json/parser.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace jrf::json {
+namespace {
+
+class cursor {
+ public:
+  explicit cursor(std::string_view text) : text_(text) {}
+
+  std::size_t offset() const noexcept { return pos_; }
+  bool done() const noexcept { return pos_ >= text_.size(); }
+
+  char peek() const {
+    if (done()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() noexcept {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) noexcept {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw parse_error("json: " + message, pos_);
+  }
+
+  std::string_view rest() const noexcept { return text_.substr(pos_); }
+  void advance(std::size_t n) noexcept { pos_ += n; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+constexpr int max_depth = 256;
+
+value parse_value(cursor& in, int depth);
+
+std::string parse_string_body(cursor& in) {
+  std::string out;
+  for (;;) {
+    const char c = in.take();
+    if (c == '"') return out;
+    if (static_cast<unsigned char>(c) < 0x20) in.fail("control character in string");
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    const char esc = in.take();
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = in.take();
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else in.fail("invalid \\u escape");
+        }
+        // Encode as UTF-8 (surrogate pairs outside BMP are passed through as
+        // two separate code points; the raw filters never inspect them).
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default: in.fail("invalid escape character");
+    }
+  }
+}
+
+value parse_number(cursor& in) {
+  const std::string_view rest = in.rest();
+  std::size_t n = 0;
+  auto digits = [&]() {
+    std::size_t count = 0;
+    while (n < rest.size() && rest[n] >= '0' && rest[n] <= '9') {
+      ++n;
+      ++count;
+    }
+    return count;
+  };
+  if (n < rest.size() && rest[n] == '-') ++n;
+  const std::size_t int_start = n;
+  if (digits() == 0) in.fail("invalid number");
+  if (rest[int_start] == '0' && n - int_start > 1)
+    in.fail("leading zeros not allowed");
+  if (n < rest.size() && rest[n] == '.') {
+    ++n;
+    if (digits() == 0) in.fail("digits required after decimal point");
+  }
+  if (n < rest.size() && (rest[n] == 'e' || rest[n] == 'E')) {
+    ++n;
+    if (n < rest.size() && (rest[n] == '+' || rest[n] == '-')) ++n;
+    if (digits() == 0) in.fail("digits required in exponent");
+  }
+  value out = value::number_from_text(rest.substr(0, n));
+  in.advance(n);
+  return out;
+}
+
+value parse_value(cursor& in, int depth) {
+  if (depth > max_depth) in.fail("nesting too deep");
+  in.skip_ws();
+  const char c = in.peek();
+  switch (c) {
+    case '{': {
+      in.take();
+      member_list members;
+      in.skip_ws();
+      if (in.peek() == '}') {
+        in.take();
+        return value(std::move(members));
+      }
+      for (;;) {
+        in.skip_ws();
+        in.expect('"');
+        std::string key = parse_string_body(in);
+        in.skip_ws();
+        in.expect(':');
+        members.emplace_back(std::move(key), parse_value(in, depth + 1));
+        in.skip_ws();
+        const char sep = in.take();
+        if (sep == '}') return value(std::move(members));
+        if (sep != ',') in.fail("expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      in.take();
+      std::vector<value> elements;
+      in.skip_ws();
+      if (in.peek() == ']') {
+        in.take();
+        return value(std::move(elements));
+      }
+      for (;;) {
+        elements.push_back(parse_value(in, depth + 1));
+        in.skip_ws();
+        const char sep = in.take();
+        if (sep == ']') return value(std::move(elements));
+        if (sep != ',') in.fail("expected ',' or ']' in array");
+      }
+    }
+    case '"':
+      in.take();
+      return value(parse_string_body(in));
+    case 't':
+      if (!in.consume_literal("true")) in.fail("invalid literal");
+      return value(true);
+    case 'f':
+      if (!in.consume_literal("false")) in.fail("invalid literal");
+      return value(false);
+    case 'n':
+      if (!in.consume_literal("null")) in.fail("invalid literal");
+      return value();
+    default:
+      if (c == '-' || (c >= '0' && c <= '9')) return parse_number(in);
+      in.fail("unexpected character");
+  }
+}
+
+}  // namespace
+
+value parse(std::string_view text) {
+  std::size_t consumed = 0;
+  value out = parse_prefix(text, consumed);
+  cursor in(text.substr(consumed));
+  in.skip_ws();
+  if (!in.done()) throw parse_error("json: trailing garbage", consumed + in.offset());
+  return out;
+}
+
+value parse_prefix(std::string_view text, std::size_t& consumed) {
+  cursor in(text);
+  value out = parse_value(in, 0);
+  consumed = in.offset();
+  return out;
+}
+
+}  // namespace jrf::json

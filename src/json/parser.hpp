@@ -1,0 +1,19 @@
+// Recursive-descent JSON parser (RFC 8259 subset: UTF-8 passthrough,
+// \uXXXX escapes decoded, numbers kept exact via util::decimal).
+#pragma once
+
+#include <string_view>
+
+#include "json/value.hpp"
+
+namespace jrf::json {
+
+/// Parse a complete JSON document. Throws jrf::parse_error on malformed
+/// input or trailing garbage.
+value parse(std::string_view text);
+
+/// Parse the first JSON value in `text`; on success sets `consumed` to the
+/// number of bytes read (including leading whitespace).
+value parse_prefix(std::string_view text, std::size_t& consumed);
+
+}  // namespace jrf::json

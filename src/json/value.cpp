@@ -1,0 +1,72 @@
+#include "json/value.hpp"
+
+#include "util/error.hpp"
+
+namespace jrf::json {
+
+value value::number_from_text(std::string_view literal) {
+  return value(util::decimal::parse(literal));
+}
+
+bool value::as_bool() const {
+  if (kind_ != kind::boolean) throw error("json value is not a boolean");
+  return bool_;
+}
+
+const util::decimal& value::as_number() const {
+  if (kind_ != kind::number) throw error("json value is not a number");
+  return number_;
+}
+
+const std::string& value::as_string() const {
+  if (kind_ != kind::string) throw error("json value is not a string");
+  return string_;
+}
+
+const std::vector<value>& value::as_array() const {
+  if (kind_ != kind::array) throw error("json value is not an array");
+  return array_;
+}
+
+const member_list& value::as_object() const {
+  if (kind_ != kind::object) throw error("json value is not an object");
+  return object_;
+}
+
+std::vector<value>& value::as_array() {
+  if (kind_ != kind::array) throw error("json value is not an array");
+  return array_;
+}
+
+member_list& value::as_object() {
+  if (kind_ != kind::object) throw error("json value is not an object");
+  return object_;
+}
+
+const value* value::find(std::string_view key) const {
+  if (kind_ != kind::object) return nullptr;
+  for (const auto& [name, member] : object_)
+    if (name == key) return &member;
+  return nullptr;
+}
+
+std::optional<util::decimal> value::numeric() const {
+  if (kind_ == kind::number) return number_;
+  if (kind_ == kind::string) return util::decimal::try_parse(string_);
+  return std::nullopt;
+}
+
+bool value::operator==(const value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case kind::null: return true;
+    case kind::boolean: return bool_ == other.bool_;
+    case kind::number: return number_ == other.number_;
+    case kind::string: return string_ == other.string_;
+    case kind::array: return array_ == other.array_;
+    case kind::object: return object_ == other.object_;
+  }
+  return false;
+}
+
+}  // namespace jrf::json

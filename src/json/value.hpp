@@ -1,0 +1,79 @@
+// JSON document model.
+//
+// The library filters *raw* JSON byte streams; this DOM exists as the ground
+// truth: exact query evaluation runs on parsed documents to label records,
+// against which raw-filter false-positive rates are measured. Object member
+// order is preserved because the raw filters are order-sensitive and the
+// generators must be able to round-trip documents byte-compatibly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/decimal.hpp"
+
+namespace jrf::json {
+
+enum class kind { null, boolean, number, string, array, object };
+
+class value;
+
+/// Object member list; order preserved, duplicate keys allowed (the JSON
+/// grammar allows them and raw byte streams may contain them).
+using member_list = std::vector<std::pair<std::string, value>>;
+
+class value {
+ public:
+  value() noexcept : kind_(kind::null) {}
+  explicit value(bool b) noexcept : kind_(kind::boolean), bool_(b) {}
+  explicit value(util::decimal number)
+      : kind_(kind::number), number_(std::move(number)) {}
+  explicit value(std::string text)
+      : kind_(kind::string), string_(std::move(text)) {}
+  explicit value(std::vector<value> elements)
+      : kind_(kind::array), array_(std::move(elements)) {}
+  explicit value(member_list members)
+      : kind_(kind::object), object_(std::move(members)) {}
+
+  static value number_from_text(std::string_view literal);
+
+  kind type() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == kind::null; }
+  bool is_number() const noexcept { return kind_ == kind::number; }
+  bool is_string() const noexcept { return kind_ == kind::string; }
+  bool is_array() const noexcept { return kind_ == kind::array; }
+  bool is_object() const noexcept { return kind_ == kind::object; }
+
+  bool as_bool() const;
+  const util::decimal& as_number() const;
+  const std::string& as_string() const;
+  const std::vector<value>& as_array() const;
+  const member_list& as_object() const;
+
+  std::vector<value>& as_array();
+  member_list& as_object();
+
+  /// First member with the given key, or nullptr.
+  const value* find(std::string_view key) const;
+
+  /// Numeric view of the value: numbers directly; strings that parse as a
+  /// decimal (IoT payloads such as SenML quote their numeric readings).
+  std::optional<util::decimal> numeric() const;
+
+  bool operator==(const value& other) const;
+
+ private:
+  kind kind_;
+  bool bool_ = false;
+  util::decimal number_;
+  std::string string_;
+  std::vector<value> array_;
+  member_list object_;
+};
+
+}  // namespace jrf::json

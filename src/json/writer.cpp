@@ -1,0 +1,84 @@
+#include "json/writer.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace jrf::json {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf.data();
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void write_to(const value& v, std::string& out) {
+  switch (v.type()) {
+    case kind::null:
+      out += "null";
+      break;
+    case kind::boolean:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case kind::number:
+      out += v.as_number().to_string();
+      break;
+    case kind::string:
+      out.push_back('"');
+      out += escape(v.as_string());
+      out.push_back('"');
+      break;
+    case kind::array: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& element : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        write_to(element, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case kind::object: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.push_back('"');
+        out += escape(key);
+        out += "\":";
+        write_to(member, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string write(const value& v) {
+  std::string out;
+  write_to(v, out);
+  return out;
+}
+
+}  // namespace jrf::json

@@ -1,0 +1,21 @@
+// JSON serializer. Compact output (no whitespace) matches the wire format
+// of the stream-processing workloads the paper filters.
+#pragma once
+
+#include <string>
+
+#include "json/value.hpp"
+
+namespace jrf::json {
+
+/// Serialize compactly; numbers are emitted with their exact decimal text.
+std::string write(const value& v);
+
+/// Append the serialization to an existing buffer (avoids reallocation in
+/// generators emitting millions of records).
+void write_to(const value& v, std::string& out);
+
+/// Escape a string body per JSON rules (no surrounding quotes).
+std::string escape(std::string_view text);
+
+}  // namespace jrf::json

@@ -1,0 +1,198 @@
+#include "lut/mapper.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace jrf::lut {
+
+using netlist::gate_kind;
+using netlist::network;
+using netlist::node_id;
+
+namespace {
+
+bool is_source(const network& net, node_id id) {
+  const gate_kind kind = net.at(id).kind;
+  return kind == gate_kind::input || kind == gate_kind::dff ||
+         kind == gate_kind::constant;
+}
+
+/// Inverters are free on LUT fabric; treat them as wires.
+node_id strip_not(const network& net, node_id id) {
+  while (net.at(id).kind == gate_kind::not_gate) id = net.at(id).fanin[0];
+  return id;
+}
+
+struct cut {
+  std::vector<node_id> leaves;  // sorted, constants excluded
+  double area_flow = 0.0;
+};
+
+class mapper {
+ public:
+  mapper(const network& net, const mapping_options& options)
+      : net_(net), options_(options) {}
+
+  report run() {
+    compute_fanout();
+    enumerate();
+    return cover();
+  }
+
+ private:
+  const network& net_;
+  const mapping_options& options_;
+  std::vector<std::uint32_t> fanout_;
+  std::vector<std::vector<cut>> cuts_;
+  std::vector<double> best_flow_;
+  std::vector<int> best_cut_;
+  std::vector<node_id> order_;
+
+  void compute_fanout() {
+    fanout_.assign(net_.size(), 0);
+    for (node_id id = 0; id < net_.size(); ++id) {
+      const auto& g = net_.at(id);
+      if (g.kind == gate_kind::constant || g.kind == gate_kind::input) continue;
+      for (node_id f : g.fanin) {
+        if (f == netlist::no_node) continue;
+        ++fanout_[strip_not(net_, f)];
+      }
+    }
+    for (const auto& [name, node] : net_.outputs()) ++fanout_[strip_not(net_, node)];
+  }
+
+  static void merge_leaves(std::vector<node_id>& out, const std::vector<node_id>& add) {
+    for (node_id leaf : add) {
+      const auto it = std::lower_bound(out.begin(), out.end(), leaf);
+      if (it == out.end() || *it != leaf) out.insert(it, leaf);
+    }
+  }
+
+  void enumerate() {
+    cuts_.assign(net_.size(), {});
+    best_flow_.assign(net_.size(), 0.0);
+    best_cut_.assign(net_.size(), -1);
+    order_ = net_.topo_order();
+
+    // Sources get a trivial self-cut with zero flow.
+    for (node_id id = 0; id < net_.size(); ++id) {
+      if (is_source(net_, id) && net_.at(id).kind != gate_kind::constant)
+        cuts_[id].push_back({{id}, 0.0});
+    }
+
+    for (node_id id : order_) {
+      const auto& g = net_.at(id);
+      if (g.kind == gate_kind::not_gate) continue;  // transparent
+
+      // Cross-merge fanin cuts.
+      static const std::vector<cut> constant_cuts{cut{{}, 0.0}};
+      std::vector<cut> merged{cut{{}, 0.0}};
+      for (node_id raw : g.fanin) {
+        const node_id f = strip_not(net_, raw);
+        std::vector<cut> next;
+        const std::vector<cut>& fanin_cuts =
+            net_.at(f).kind == gate_kind::constant ? constant_cuts : cuts_[f];
+        for (const auto& partial : merged) {
+          for (const auto& fc : fanin_cuts) {
+            cut combined = partial;
+            merge_leaves(combined.leaves, fc.leaves);
+            if (static_cast<int>(combined.leaves.size()) > options_.k) continue;
+            next.push_back(std::move(combined));
+          }
+        }
+        merged = std::move(next);
+        if (merged.empty()) break;
+      }
+
+      // Score, dedupe, prune.
+      std::map<std::vector<node_id>, double> unique;
+      for (auto& c : merged) {
+        double flow = 1.0;
+        for (node_id leaf : c.leaves) flow += best_flow_[leaf];
+        flow /= std::max<std::uint32_t>(fanout_[id], 1);
+        const auto it = unique.find(c.leaves);
+        if (it == unique.end() || flow < it->second) unique[c.leaves] = flow;
+      }
+      std::vector<cut> kept;
+      kept.reserve(unique.size() + 1);
+      for (auto& [leaves, flow] : unique) kept.push_back({leaves, flow});
+      std::sort(kept.begin(), kept.end(), [](const cut& a, const cut& b) {
+        if (a.area_flow != b.area_flow) return a.area_flow < b.area_flow;
+        return a.leaves.size() < b.leaves.size();
+      });
+      if (static_cast<int>(kept.size()) > options_.cuts_per_node)
+        kept.resize(static_cast<std::size_t>(options_.cuts_per_node));
+
+      if (!kept.empty()) {
+        best_flow_[id] = kept.front().area_flow;
+        best_cut_[id] = 0;
+      }
+      // Trivial cut for upstream merging (never first unless no other).
+      kept.push_back({{id}, best_flow_[id] + 1.0});
+      cuts_[id] = std::move(kept);
+    }
+  }
+
+  report cover() {
+    report out;
+    out.ffs = static_cast<int>(net_.registers().size());
+
+    std::vector<char> mapped(net_.size(), 0);
+    std::vector<int> depth(net_.size(), 0);
+    std::vector<node_id> roots;
+    for (const auto& [name, node] : net_.outputs()) roots.push_back(strip_not(net_, node));
+    for (node_id reg : net_.registers()) {
+      // Both the data input and the (free) synchronous-reset line terminate
+      // mapped cones; the reset pin itself costs no LUT.
+      for (node_id pin : net_.at(reg).fanin)
+        if (pin != netlist::no_node) roots.push_back(strip_not(net_, pin));
+    }
+
+    // Depth-first cover using each node's best cut.
+    std::vector<node_id> stack = roots;
+    while (!stack.empty()) {
+      const node_id id = stack.back();
+      if (is_source(net_, id) || mapped[id]) {
+        stack.pop_back();
+        continue;
+      }
+      if (best_cut_[id] < 0 || cuts_[id].empty())
+        throw error("lut: node without a feasible cut");
+      const cut& chosen = cuts_[id][static_cast<std::size_t>(best_cut_[id])];
+      bool ready = true;
+      for (node_id leaf : chosen.leaves) {
+        if (!is_source(net_, leaf) && !mapped[leaf]) {
+          stack.push_back(leaf);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      stack.pop_back();
+      mapped[id] = 1;
+      ++out.luts;
+      int worst = 0;
+      for (node_id leaf : chosen.leaves) worst = std::max(worst, depth[leaf]);
+      depth[id] = worst + 1;
+    }
+
+    for (node_id root : roots) out.depth = std::max(out.depth, depth[root]);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string report::to_string() const {
+  return std::to_string(luts) + " LUTs, " + std::to_string(ffs) + " FFs, depth " +
+         std::to_string(depth);
+}
+
+report map_network(const network& net, const mapping_options& options) {
+  if (options.k < 2) throw error("lut: k must be at least 2");
+  return mapper(net, options).run();
+}
+
+}  // namespace jrf::lut

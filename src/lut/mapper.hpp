@@ -1,0 +1,38 @@
+// K-input LUT technology mapping for resource estimation.
+//
+// The paper reports raw-filter cost in Xilinx 7-series LUTs (ZC706 =
+// Zynq-7000, 6-input LUTs). This mapper estimates the same quantity from an
+// elaborated netlist: structural priority-cut enumeration with area-flow
+// cost, followed by a cover from the outputs. Inverters are considered free
+// (absorbed into LUT truth tables, as on real fabric).
+//
+// The estimate is intentionally conservative: Vivado additionally exploits
+// F7/F8 multiplexers, LUT6_2 dual outputs, and boolean resynthesis, so our
+// counts sit slightly above the paper's. All comparisons in the benchmark
+// harness are shape-level (relative ordering of techniques and block
+// lengths), which this model preserves; see EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace jrf::lut {
+
+struct mapping_options {
+  int k = 6;              // LUT input count (6 for 7-series)
+  int cuts_per_node = 8;  // priority cuts kept per node
+};
+
+struct report {
+  int luts = 0;
+  int ffs = 0;
+  int depth = 0;  // LUT levels on the longest combinational path
+
+  std::string to_string() const;
+};
+
+/// Map the combinational logic of a network; registers are counted as FFs.
+report map_network(const netlist::network& net, const mapping_options& options = {});
+
+}  // namespace jrf::lut

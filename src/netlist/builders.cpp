@@ -1,0 +1,268 @@
+#include "netlist/builders.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace jrf::netlist {
+
+bus input_bus(network& net, const std::string& name, int width) {
+  bus out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) out.push_back(net.input(name + "[" + std::to_string(i) + "]"));
+  return out;
+}
+
+bus dff_bus(network& net, const std::string& name, int width) {
+  bus out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) out.push_back(net.dff(name + "[" + std::to_string(i) + "]"));
+  return out;
+}
+
+node_id eq_const(network& net, const bus& x, std::uint64_t value) {
+  std::vector<node_id> literals;
+  literals.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool bit = (value >> i) & 1;
+    literals.push_back(bit ? x[i] : net.not_gate(x[i]));
+  }
+  if (x.size() < 64 && (value >> x.size()) != 0) return net.constant(false);
+  return net.and_all(literals);
+}
+
+node_id ge_const(network& net, const bus& x, std::uint64_t value) {
+  if (x.size() < 64 && (value >> x.size()) != 0) return net.constant(false);
+  // From MSB down: value bit 1 requires the x bit and equality below;
+  // value bit 0 is satisfied by the x bit or equality below.
+  node_id acc = net.constant(true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool bit = (value >> i) & 1;
+    acc = bit ? net.and_gate(x[i], acc) : net.or_gate(x[i], acc);
+  }
+  return acc;
+}
+
+node_id le_const(network& net, const bus& x, std::uint64_t value) {
+  if (x.size() < 64 && (value >> x.size()) != 0) return net.constant(true);
+  node_id acc = net.constant(true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool bit = (value >> i) & 1;
+    acc = bit ? net.or_gate(net.not_gate(x[i]), acc)
+              : net.and_gate(net.not_gate(x[i]), acc);
+  }
+  return acc;
+}
+
+node_id ge_bus(network& net, const bus& a, const bus& b) {
+  if (a.size() != b.size()) throw error("ge_bus: width mismatch");
+  // a[0..i] >= b[0..i] iff a_i > b_i, or a_i == b_i and the tail decides.
+  node_id acc = net.constant(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const node_id gt = net.and_gate(a[i], net.not_gate(b[i]));
+    const node_id eq = net.not_gate(net.xor_gate(a[i], b[i]));
+    acc = net.or_gate(gt, net.and_gate(eq, acc));
+  }
+  return acc;
+}
+
+node_id in_class(network& net, const bus& byte, const regex::class_set& cls) {
+  if (byte.size() != 8) throw error("in_class expects an 8-bit bus");
+  std::vector<node_id> ranges;
+  unsigned c = 0;
+  while (c < 256) {
+    if (!cls.contains(static_cast<unsigned char>(c))) {
+      ++c;
+      continue;
+    }
+    unsigned end = c;
+    while (end + 1 < 256 && cls.contains(static_cast<unsigned char>(end + 1))) ++end;
+    if (end == c) {
+      ranges.push_back(eq_const(net, byte, c));
+    } else if (c == 0 && end == 255) {
+      ranges.push_back(net.constant(true));
+    } else if (c == 0) {
+      ranges.push_back(le_const(net, byte, end));
+    } else if (end == 255) {
+      ranges.push_back(ge_const(net, byte, c));
+    } else {
+      ranges.push_back(net.and_gate(ge_const(net, byte, c), le_const(net, byte, end)));
+    }
+    c = end + 1;
+  }
+  return net.or_all(ranges);
+}
+
+bus increment(network& net, const bus& x) {
+  bus out;
+  out.reserve(x.size());
+  node_id carry = net.constant(true);
+  for (node_id bit : x) {
+    out.push_back(net.xor_gate(bit, carry));
+    carry = net.and_gate(bit, carry);
+  }
+  return out;
+}
+
+bus decrement(network& net, const bus& x) {
+  bus out;
+  out.reserve(x.size());
+  node_id borrow = net.constant(true);
+  for (node_id bit : x) {
+    out.push_back(net.xor_gate(bit, borrow));
+    borrow = net.and_gate(net.not_gate(bit), borrow);
+  }
+  return out;
+}
+
+bus mux_bus(network& net, node_id sel, const bus& when_true, const bus& when_false) {
+  if (when_true.size() != when_false.size()) throw error("mux_bus: width mismatch");
+  bus out;
+  out.reserve(when_true.size());
+  for (std::size_t i = 0; i < when_true.size(); ++i)
+    out.push_back(net.mux(sel, when_true[i], when_false[i]));
+  return out;
+}
+
+bus match_counter(network& net, node_id advance, int width, const std::string& name) {
+  bus counter = dff_bus(net, name, width);
+  const bus plus_one = increment(net, counter);
+  for (std::size_t i = 0; i < counter.size(); ++i) {
+    // advance ? counter+1 : 0
+    net.connect_dff(counter[i], net.and_gate(advance, plus_one[i]));
+  }
+  return counter;
+}
+
+std::vector<bus> shift_bytes(network& net, const bus& byte, int depth,
+                             node_id reset, const std::string& name) {
+  std::vector<bus> stages;
+  stages.reserve(static_cast<std::size_t>(depth));
+  const bus* previous = &byte;
+  for (int stage = 0; stage < depth; ++stage) {
+    bus regs = dff_bus(net, name + ".s" + std::to_string(stage),
+                       static_cast<int>(byte.size()));
+    for (std::size_t i = 0; i < regs.size(); ++i)
+      net.connect_dff(regs[i], (*previous)[i], reset);
+    stages.push_back(std::move(regs));
+    previous = &stages.back();
+  }
+  return stages;
+}
+
+dfa_circuit elaborate_dfa_binary(network& net, const regex::dfa& d,
+                                 const bus& byte, node_id advance,
+                                 node_id reset, const std::string& prefix) {
+  const int num_states = d.state_count();
+  // Encode the start state as 0 so that reset clears the register bus.
+  std::vector<std::uint32_t> code(static_cast<std::size_t>(num_states));
+  {
+    std::uint32_t next_code = 1;
+    for (int s = 0; s < num_states; ++s)
+      code[static_cast<std::size_t>(s)] = (s == d.start()) ? 0 : next_code++;
+  }
+  int bits = 1;
+  while ((1u << bits) < static_cast<std::uint32_t>(num_states)) ++bits;
+
+  dfa_circuit out;
+  out.state = dff_bus(net, prefix + ".state", bits);
+
+  // Shared one-hot decode of the current state.
+  out.active.resize(static_cast<std::size_t>(num_states));
+  for (int s = 0; s < num_states; ++s)
+    out.active[static_cast<std::size_t>(s)] =
+        eq_const(net, out.state, code[static_cast<std::size_t>(s)]);
+
+  // Shared class detectors.
+  std::vector<node_id> class_line(static_cast<std::size_t>(d.class_count()));
+  for (int cls = 0; cls < d.class_count(); ++cls)
+    class_line[static_cast<std::size_t>(cls)] = in_class(net, byte, d.class_symbols(cls));
+
+  // Sum-of-products next-state logic per encoded bit.
+  for (int bit = 0; bit < bits; ++bit) {
+    std::vector<node_id> terms;
+    for (int s = 0; s < num_states; ++s) {
+      for (int cls = 0; cls < d.class_count(); ++cls) {
+        const int target = d.transition(s, cls);
+        if ((code[static_cast<std::size_t>(target)] >> bit & 1u) == 0) continue;
+        terms.push_back(net.and_gate(out.active[static_cast<std::size_t>(s)],
+                                     class_line[static_cast<std::size_t>(cls)]));
+      }
+    }
+    const node_id stepped = net.or_all(terms);
+    const node_id held =
+        net.mux(advance, stepped, out.state[static_cast<std::size_t>(bit)]);
+    net.connect_dff(out.state[static_cast<std::size_t>(bit)], held, reset);
+  }
+
+  std::vector<node_id> accept_terms;
+  for (int s = 0; s < num_states; ++s)
+    if (d.accepting(s)) accept_terms.push_back(out.active[static_cast<std::size_t>(s)]);
+  out.accepting = net.or_all(accept_terms);
+  return out;
+}
+
+dfa_circuit elaborate_dfa_one_hot(network& net, const regex::dfa& d,
+                                  const bus& byte, node_id advance,
+                                  node_id reset, const std::string& prefix) {
+  const int num_states = d.state_count();
+
+  // One register per state. The start state's register stores the
+  // complement of its activity so the all-zero reset state activates it.
+  std::vector<node_id> regs(static_cast<std::size_t>(num_states));
+  dfa_circuit out;
+  out.active.resize(static_cast<std::size_t>(num_states));
+  for (int s = 0; s < num_states; ++s) {
+    regs[static_cast<std::size_t>(s)] =
+        net.dff(prefix + ".oh" + std::to_string(s));
+    out.active[static_cast<std::size_t>(s)] =
+        (s == d.start()) ? net.not_gate(regs[static_cast<std::size_t>(s)])
+                         : regs[static_cast<std::size_t>(s)];
+  }
+
+  // Shared class detectors.
+  std::vector<node_id> class_line(static_cast<std::size_t>(d.class_count()));
+  for (int cls = 0; cls < d.class_count(); ++cls)
+    class_line[static_cast<std::size_t>(cls)] = in_class(net, byte, d.class_symbols(cls));
+
+  // Incoming-edge sum per state.
+  for (int s = 0; s < num_states; ++s) {
+    std::vector<node_id> terms;
+    for (int p = 0; p < num_states; ++p) {
+      for (int cls = 0; cls < d.class_count(); ++cls) {
+        if (d.transition(p, cls) != s) continue;
+        terms.push_back(net.and_gate(out.active[static_cast<std::size_t>(p)],
+                                     class_line[static_cast<std::size_t>(cls)]));
+      }
+    }
+    const node_id stepped = net.or_all(terms);
+    const node_id held =
+        net.mux(advance, stepped, out.active[static_cast<std::size_t>(s)]);
+    // Reset re-activates the start state and deactivates every other one.
+    // The start register stores the complement of its activity, so the
+    // flip-flop's reset value (0) means "active" there and "inactive"
+    // everywhere else - one free SR pin covers the whole one-hot vector.
+    if (s == d.start()) {
+      net.connect_dff(regs[static_cast<std::size_t>(s)], net.not_gate(held),
+                      reset);
+    } else {
+      net.connect_dff(regs[static_cast<std::size_t>(s)], held, reset);
+    }
+  }
+
+  std::vector<node_id> accept_terms;
+  for (int s = 0; s < num_states; ++s)
+    if (d.accepting(s)) accept_terms.push_back(out.active[static_cast<std::size_t>(s)]);
+  out.accepting = net.or_all(accept_terms);
+  return out;
+}
+
+dfa_circuit elaborate_dfa(network& net, const regex::dfa& d, const bus& byte,
+                          node_id advance, node_id reset,
+                          const std::string& prefix, dfa_encoding encoding) {
+  return encoding == dfa_encoding::one_hot
+             ? elaborate_dfa_one_hot(net, d, byte, advance, reset, prefix)
+             : elaborate_dfa_binary(net, d, byte, advance, reset, prefix);
+}
+
+}  // namespace jrf::netlist

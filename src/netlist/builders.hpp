@@ -1,0 +1,81 @@
+// Reusable combinational/sequential building blocks for primitive
+// elaboration: constant comparators, character-class detectors, match
+// counters, and binary-encoded DFA state machines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/network.hpp"
+#include "regex/class_set.hpp"
+#include "regex/dfa.hpp"
+
+namespace jrf::netlist {
+
+/// Fresh primary inputs, LSB first.
+bus input_bus(network& net, const std::string& name, int width);
+
+/// Fresh registers, LSB first (data attached by the caller).
+bus dff_bus(network& net, const std::string& name, int width);
+
+/// Bits of an unsigned constant as (possibly constant) nodes.
+node_id eq_const(network& net, const bus& x, std::uint64_t value);
+
+/// Unsigned comparisons against a constant.
+node_id ge_const(network& net, const bus& x, std::uint64_t value);
+node_id le_const(network& net, const bus& x, std::uint64_t value);
+
+/// Unsigned a >= b for two equal-width buses (ripple comparator).
+node_id ge_bus(network& net, const bus& a, const bus& b);
+
+/// One-bit detector: byte bus (8 bits) lies in the character class.
+/// Decomposes the class into contiguous ranges (equality for singletons,
+/// ge/le pairs otherwise) and OR-reduces.
+node_id in_class(network& net, const bus& byte, const regex::class_set& cls);
+
+/// x + 1 modulo 2^width.
+bus increment(network& net, const bus& x);
+
+/// x - 1 modulo 2^width.
+bus decrement(network& net, const bus& x);
+
+/// Per-bit 2:1 multiplexer over equal-width buses.
+bus mux_bus(network& net, node_id sel, const bus& when_true, const bus& when_false);
+
+/// Consecutive-match counter (paper Figure 1): a register bus that
+/// increments while `advance` is high and resets to zero otherwise.
+/// Width must be large enough for the caller's threshold compare; the
+/// counter wraps (the match latch downstream makes wrap harmless).
+bus match_counter(network& net, node_id advance, int width, const std::string& name);
+
+/// A byte-wide shift register chain: stage[0] is the most recent byte.
+/// Returns `depth` buses of `byte.size()` bits each. Stages clear on
+/// `reset` so no stale bytes leak across record boundaries.
+std::vector<bus> shift_bytes(network& net, const bus& byte, int depth,
+                             node_id reset, const std::string& name);
+
+/// Synchronous DFA state machine.
+///
+/// state' = start          when reset
+///          delta(state,b) when advance
+///          state          otherwise
+///
+/// Two state encodings are supported (the encoding ablation of DESIGN.md):
+///   one_hot - one register per state; FPGA synthesis favours it for small
+///             automata because next-state logic stays shallow (default),
+///   binary  - ceil(log2(n)) registers; the start state is encoded as 0 so
+///             reset costs one AND per state bit.
+enum class dfa_encoding { one_hot, binary };
+
+struct dfa_circuit {
+  bus state;                     // registers (connected); empty for one-hot
+  std::vector<node_id> active;   // per DFA state: high when current
+  node_id accepting;             // current state is an accepting state
+};
+
+dfa_circuit elaborate_dfa(network& net, const regex::dfa& d, const bus& byte,
+                          node_id advance, node_id reset,
+                          const std::string& prefix,
+                          dfa_encoding encoding = dfa_encoding::one_hot);
+
+}  // namespace jrf::netlist

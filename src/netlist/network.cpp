@@ -1,0 +1,256 @@
+#include "netlist/network.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/error.hpp"
+
+namespace jrf::netlist {
+
+node_id network::add(gate g) {
+  gates_.push_back(std::move(g));
+  return static_cast<node_id>(gates_.size() - 1);
+}
+
+node_id network::constant(bool value) {
+  node_id& cache = value ? const_true_ : const_false_;
+  if (cache == no_node) cache = add({gate_kind::constant, value, {}, value ? "1" : "0"});
+  return cache;
+}
+
+node_id network::input(std::string name) {
+  const node_id id = add({gate_kind::input, false, {}, std::move(name)});
+  inputs_.push_back(id);
+  return id;
+}
+
+node_id network::dff(std::string name) {
+  const node_id id = add({gate_kind::dff, false, {no_node}, std::move(name)});
+  registers_.push_back(id);
+  return id;
+}
+
+void network::connect_dff(node_id reg, node_id data, node_id sync_reset) {
+  if (gates_[reg].kind != gate_kind::dff) throw error("connect_dff on non-register");
+  gates_[reg].fanin[0] = data;
+  if (sync_reset != no_node) {
+    gates_[reg].fanin.resize(2, no_node);
+    gates_[reg].fanin[1] = sync_reset;
+  }
+}
+
+bool network::is_const(node_id id, bool value) const {
+  const gate& g = gates_[id];
+  return g.kind == gate_kind::constant && g.value == value;
+}
+
+bool network::is_complement(node_id a, node_id b) const {
+  const gate& ga = gates_[a];
+  const gate& gb = gates_[b];
+  return (ga.kind == gate_kind::not_gate && ga.fanin[0] == b) ||
+         (gb.kind == gate_kind::not_gate && gb.fanin[0] == a);
+}
+
+node_id network::hashed(gate_kind kind, std::vector<node_id> fanin) {
+  // Canonical fanin order for commutative gates.
+  if (kind == gate_kind::and_gate || kind == gate_kind::or_gate ||
+      kind == gate_kind::xor_gate) {
+    std::ranges::sort(fanin);
+  }
+  std::string key;
+  key.reserve(1 + fanin.size() * 5);
+  key.push_back(static_cast<char>(kind));
+  for (node_id f : fanin) key.append(reinterpret_cast<const char*>(&f), sizeof f);
+  const auto it = structural_.find(key);
+  if (it != structural_.end()) return it->second;
+  const node_id id = add({kind, false, std::move(fanin), {}});
+  structural_.emplace(std::move(key), id);
+  return id;
+}
+
+node_id network::not_gate(node_id a) {
+  const gate& g = gates_[a];
+  if (g.kind == gate_kind::constant) return constant(!g.value);
+  if (g.kind == gate_kind::not_gate) return g.fanin[0];
+  return hashed(gate_kind::not_gate, {a});
+}
+
+node_id network::and_gate(node_id a, node_id b) {
+  if (is_const(a, false) || is_const(b, false)) return constant(false);
+  if (is_const(a, true)) return b;
+  if (is_const(b, true)) return a;
+  if (a == b) return a;
+  if (is_complement(a, b)) return constant(false);
+  return hashed(gate_kind::and_gate, {a, b});
+}
+
+node_id network::or_gate(node_id a, node_id b) {
+  if (is_const(a, true) || is_const(b, true)) return constant(true);
+  if (is_const(a, false)) return b;
+  if (is_const(b, false)) return a;
+  if (a == b) return a;
+  if (is_complement(a, b)) return constant(true);
+  return hashed(gate_kind::or_gate, {a, b});
+}
+
+node_id network::xor_gate(node_id a, node_id b) {
+  if (is_const(a, false)) return b;
+  if (is_const(b, false)) return a;
+  if (is_const(a, true)) return not_gate(b);
+  if (is_const(b, true)) return not_gate(a);
+  if (a == b) return constant(false);
+  if (is_complement(a, b)) return constant(true);
+  return hashed(gate_kind::xor_gate, {a, b});
+}
+
+node_id network::mux(node_id sel, node_id when_true, node_id when_false) {
+  const gate& s = gates_[sel];
+  if (s.kind == gate_kind::constant) return s.value ? when_true : when_false;
+  if (when_true == when_false) return when_true;
+  if (is_const(when_true, true) && is_const(when_false, false)) return sel;
+  if (is_const(when_true, false) && is_const(when_false, true)) return not_gate(sel);
+  if (is_const(when_true, false)) return and_gate(not_gate(sel), when_false);
+  if (is_const(when_true, true)) return or_gate(sel, when_false);
+  if (is_const(when_false, false)) return and_gate(sel, when_true);
+  if (is_const(when_false, true)) return or_gate(not_gate(sel), when_true);
+  return hashed(gate_kind::mux, {sel, when_true, when_false});
+}
+
+namespace {
+
+// Reduce in chunks of six so the resulting 2-input gate tree decomposes
+// into LUT6-sized cones (mirrors how synthesis restructures wide gates for
+// the target LUT width).
+node_id reduce(network& net, std::span<const node_id> terms,
+               node_id (network::*op)(node_id, node_id), bool identity) {
+  if (terms.empty()) return net.constant(identity);
+  std::vector<node_id> level(terms.begin(), terms.end());
+  while (level.size() > 1) {
+    std::vector<node_id> next;
+    next.reserve(level.size() / 6 + 1);
+    for (std::size_t chunk = 0; chunk < level.size(); chunk += 6) {
+      const std::size_t end = std::min(chunk + 6, level.size());
+      std::vector<node_id> group(level.begin() + static_cast<long>(chunk),
+                                 level.begin() + static_cast<long>(end));
+      while (group.size() > 1) {
+        std::vector<node_id> folded;
+        folded.reserve((group.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < group.size(); i += 2)
+          folded.push_back((net.*op)(group[i], group[i + 1]));
+        if (group.size() % 2 != 0) folded.push_back(group.back());
+        group = std::move(folded);
+      }
+      next.push_back(group.front());
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+}  // namespace
+
+node_id network::and_all(std::span<const node_id> terms) {
+  return reduce(*this, terms, &network::and_gate, true);
+}
+
+node_id network::or_all(std::span<const node_id> terms) {
+  return reduce(*this, terms, &network::or_gate, false);
+}
+
+void network::mark_output(node_id node, std::string name) {
+  outputs_.emplace_back(std::move(name), node);
+}
+
+std::vector<node_id> network::topo_order() const {
+  // Kahn's algorithm over combinational edges only.
+  std::vector<std::uint32_t> pending(gates_.size(), 0);
+  for (node_id id = 0; id < gates_.size(); ++id) {
+    const gate& g = gates_[id];
+    if (g.kind == gate_kind::constant || g.kind == gate_kind::input ||
+        g.kind == gate_kind::dff)
+      continue;
+    pending[id] = static_cast<std::uint32_t>(g.fanin.size());
+  }
+  std::vector<std::vector<node_id>> fanout(gates_.size());
+  for (node_id id = 0; id < gates_.size(); ++id) {
+    const gate& g = gates_[id];
+    if (g.kind == gate_kind::constant || g.kind == gate_kind::input ||
+        g.kind == gate_kind::dff)
+      continue;
+    for (node_id f : g.fanin) fanout[f].push_back(id);
+  }
+  std::vector<node_id> order;
+  order.reserve(gates_.size());
+  std::vector<node_id> ready;
+  for (node_id id = 0; id < gates_.size(); ++id) {
+    const gate& g = gates_[id];
+    if (g.kind == gate_kind::constant || g.kind == gate_kind::input ||
+        g.kind == gate_kind::dff)
+      for (node_id user : fanout[id])
+        if (--pending[user] == 0) ready.push_back(user);
+  }
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    const node_id id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    ++scheduled;
+    for (node_id user : fanout[id])
+      if (--pending[user] == 0) ready.push_back(user);
+  }
+  for (node_id id = 0; id < gates_.size(); ++id)
+    if (pending[id] != 0 && !gates_[id].fanin.empty() &&
+        gates_[id].kind != gate_kind::dff)
+      throw error("netlist: combinational cycle detected");
+  (void)scheduled;
+  return order;
+}
+
+std::string network::stats() const {
+  std::array<std::size_t, 8> counts{};
+  for (const gate& g : gates_) ++counts[static_cast<std::size_t>(g.kind)];
+  std::string out;
+  const char* names[] = {"const", "input", "dff", "not", "and", "or", "xor", "mux"};
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (!out.empty()) out += " ";
+    out += names[i];
+    out += "=" + std::to_string(counts[i]);
+  }
+  return out;
+}
+
+void evaluate(const network& net, std::vector<bool>& values) {
+  values.resize(net.size());
+  // Constants are sources and never appear in the topological order.
+  for (node_id id = 0; id < net.size(); ++id)
+    if (net.at(id).kind == gate_kind::constant) values[id] = net.at(id).value;
+  for (node_id id : net.topo_order()) {
+    const gate& g = net.at(id);
+    switch (g.kind) {
+      case gate_kind::not_gate:
+        values[id] = !values[g.fanin[0]];
+        break;
+      case gate_kind::and_gate:
+        values[id] = values[g.fanin[0]] && values[g.fanin[1]];
+        break;
+      case gate_kind::or_gate:
+        values[id] = values[g.fanin[0]] || values[g.fanin[1]];
+        break;
+      case gate_kind::xor_gate:
+        values[id] = values[g.fanin[0]] != values[g.fanin[1]];
+        break;
+      case gate_kind::mux:
+        values[id] = values[g.fanin[0]] ? values[g.fanin[1]] : values[g.fanin[2]];
+        break;
+      case gate_kind::constant:
+        values[id] = g.value;
+        break;
+      case gate_kind::input:
+      case gate_kind::dff:
+        break;  // provided by the caller
+    }
+  }
+}
+
+}  // namespace jrf::netlist

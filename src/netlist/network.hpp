@@ -1,0 +1,109 @@
+// Gate-level boolean network with registers.
+//
+// Raw-filter primitives elaborate into this representation; the LUT mapper
+// (src/lut) estimates FPGA resource usage from it, and the RTL simulator
+// (src/rtl) executes it cycle by cycle, giving a software stand-in for the
+// paper's Zynq-7000 programmable logic.
+//
+// Factory methods perform structural hashing and local constant folding, so
+// elaborators can emit gates naively and still produce a clean netlist.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jrf::netlist {
+
+using node_id = std::uint32_t;
+inline constexpr node_id no_node = std::numeric_limits<node_id>::max();
+
+enum class gate_kind : std::uint8_t {
+  constant,  // fixed 0/1
+  input,     // primary input
+  dff,       // D flip-flop; fanin[0] = next-state data (set via connect_dff)
+  not_gate,
+  and_gate,
+  or_gate,
+  xor_gate,
+  mux,  // fanin = {sel, when_true, when_false}
+};
+
+struct gate {
+  gate_kind kind;
+  bool value = false;  // constants only
+  std::vector<node_id> fanin;
+  std::string name;  // inputs, dffs, outputs (diagnostics)
+};
+
+/// A multi-bit signal, least-significant bit first.
+using bus = std::vector<node_id>;
+
+class network {
+ public:
+  node_id constant(bool value);
+  node_id input(std::string name);
+
+  /// Create a register. Its next-state data is attached later with
+  /// connect_dff (registers participate in cycles).
+  node_id dff(std::string name);
+
+  /// Attach the register's next-state data and optionally a synchronous
+  /// reset. The reset models the FPGA flip-flop's SR pin: when high at the
+  /// clock edge the register clears, overriding the data input, at no LUT
+  /// cost (fabric FFs provide the pin for free).
+  void connect_dff(node_id reg, node_id data, node_id sync_reset = no_node);
+
+  node_id not_gate(node_id a);
+  node_id and_gate(node_id a, node_id b);
+  node_id or_gate(node_id a, node_id b);
+  node_id xor_gate(node_id a, node_id b);
+  node_id mux(node_id sel, node_id when_true, node_id when_false);
+
+  /// Balanced reductions; empty input yields the identity constant.
+  node_id and_all(std::span<const node_id> terms);
+  node_id or_all(std::span<const node_id> terms);
+
+  void mark_output(node_id node, std::string name);
+
+  std::size_t size() const noexcept { return gates_.size(); }
+  const gate& at(node_id id) const { return gates_[id]; }
+  const std::vector<std::pair<std::string, node_id>>& outputs() const noexcept {
+    return outputs_;
+  }
+  const std::vector<node_id>& registers() const noexcept { return registers_; }
+  const std::vector<node_id>& inputs() const noexcept { return inputs_; }
+
+  /// Topological order of combinational gates (inputs/registers/constants
+  /// are sources; register data inputs are sinks). Throws jrf::error on a
+  /// combinational cycle.
+  std::vector<node_id> topo_order() const;
+
+  /// Gate statistics by kind (diagnostics).
+  std::string stats() const;
+
+ private:
+  std::vector<gate> gates_;
+  std::vector<std::pair<std::string, node_id>> outputs_;
+  std::vector<node_id> registers_;
+  std::vector<node_id> inputs_;
+  std::unordered_map<std::string, node_id> structural_;
+  node_id const_false_ = no_node;
+  node_id const_true_ = no_node;
+
+  node_id add(gate g);
+  node_id hashed(gate_kind kind, std::vector<node_id> fanin);
+  bool is_const(node_id id, bool value) const;
+  bool is_complement(node_id a, node_id b) const;
+};
+
+/// Evaluate the combinational logic for given input and register values.
+/// `values` must be indexable by node_id; inputs/registers pre-filled by the
+/// caller. On return every node has its value; registers keep their old
+/// value (use rtl::simulator for clocked execution).
+void evaluate(const network& net, std::vector<bool>& values);
+
+}  // namespace jrf::netlist

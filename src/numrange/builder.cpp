@@ -1,0 +1,342 @@
+#include "numrange/builder.hpp"
+
+#include <cassert>
+
+#include "regex/nfa.hpp"
+#include "util/error.hpp"
+
+namespace jrf::numrange {
+
+using regex::alt;
+using regex::chars;
+using regex::class_set;
+using regex::concat;
+using regex::literal;
+using regex::literal_char;
+using regex::node_ptr;
+using regex::opt;
+using regex::plus;
+using regex::repeat;
+using regex::star;
+using util::decimal;
+
+namespace {
+
+node_ptr digit() { return chars(class_set::digits()); }
+
+node_ptr digit_span(std::size_t count) { return repeat(digit(), count); }
+
+/// [lo-hi] as a digit class; empty when lo > hi.
+node_ptr digit_between(char lo, char hi) {
+  if (lo > hi) return regex::never();
+  return chars(class_set::range(static_cast<unsigned char>(lo),
+                                static_cast<unsigned char>(hi)));
+}
+
+/// Optional run of redundant leading zeros.
+node_ptr leading_zeros(bool allow) {
+  return allow ? star(literal_char('0')) : regex::empty();
+}
+
+/// Integer part consisting only of zeros ("0", "000").
+node_ptr zeros_int(bool allow_leading_zeros) {
+  return allow_leading_zeros ? plus(literal_char('0')) : literal("0");
+}
+
+/// Any fraction or none: (\.[0-9]*)?
+node_ptr frac_any() { return opt(concat({literal_char('.'), star(digit())})); }
+
+/// Fraction constrained to zero: (\.0*)?
+node_ptr frac_zero() { return opt(concat({literal_char('.'), star(literal_char('0'))})); }
+
+/// Suffix after the integer part for "fraction >= 0.Af" (Af normalized, no
+/// trailing zeros). Af empty means any fraction qualifies.
+node_ptr frac_geq(const std::string& af, numeric_kind kind) {
+  if (kind == numeric_kind::integer) return regex::empty();
+  if (af.empty()) return frac_any();
+  std::vector<node_ptr> alts;
+  for (std::size_t i = 0; i < af.size(); ++i) {
+    if (af[i] == '9') continue;
+    alts.push_back(concat({literal(af.substr(0, i)),
+                           digit_between(static_cast<char>(af[i] + 1), '9'),
+                           star(digit())}));
+  }
+  // Equal through every digit of Af; any extension keeps the value >=.
+  alts.push_back(concat({literal(af), star(digit())}));
+  return concat({literal_char('.'), alt(std::move(alts))});
+}
+
+/// Suffix after the integer part for "fraction <= 0.Bf". Bf empty means the
+/// fraction must be zero (or absent).
+node_ptr frac_leq(const std::string& bf, numeric_kind kind) {
+  if (kind == numeric_kind::integer) return regex::empty();
+  if (bf.empty()) return frac_zero();
+  std::vector<node_ptr> alts;
+  for (std::size_t i = 0; i < bf.size(); ++i) {
+    if (bf[i] == '0') continue;
+    alts.push_back(concat({literal(bf.substr(0, i)),
+                           digit_between('0', static_cast<char>(bf[i] - 1)),
+                           star(digit())}));
+  }
+  // Proper prefixes of Bf: ending early means the remaining bound digits are
+  // implicitly zero-extended on our side, so the value is <=.
+  for (std::size_t i = 1; i < bf.size(); ++i) alts.push_back(literal(bf.substr(0, i)));
+  // Equal through all of Bf; only zero extensions keep the value <=.
+  alts.push_back(concat({literal(bf), star(literal_char('0'))}));
+  return opt(concat({literal_char('.'), opt(alt(std::move(alts)))}));
+}
+
+node_ptr frac_tail_any(numeric_kind kind) {
+  return kind == numeric_kind::integer ? regex::empty() : frac_any();
+}
+
+}  // namespace
+
+node_ptr magnitude_any(numeric_kind kind, bool allow_leading_zeros) {
+  (void)allow_leading_zeros;  // plain digit+ already covers leading zeros
+  if (kind == numeric_kind::integer) return plus(digit());
+  return concat({plus(digit()), frac_any()});
+}
+
+node_ptr magnitude_geq(const decimal& bound, numeric_kind kind,
+                       bool allow_leading_zeros) {
+  assert(!bound.negative());
+  if (bound.is_zero()) return magnitude_any(kind, allow_leading_zeros);
+
+  const std::string a = bound.int_digits();   // may be empty (bound < 1)
+  const std::string af = bound.frac_digits();
+  const std::size_t d = a.size();
+  const node_ptr lz = leading_zeros(allow_leading_zeros);
+  std::vector<node_ptr> branches;
+
+  // Numbers whose integer part has more significant digits than the bound's
+  // are always greater (paper Figure 2, Step 1.3: "numbers with > 2 digits").
+  branches.push_back(concat({lz, digit_between('1', '9'), digit_span(d),
+                             star(digit()), frac_tail_any(kind)}));
+
+  // Equal digit count, greater at some position (Steps 1.1, 1.2). When the
+  // bound has no fraction, the exact-equality case folds into the last digit
+  // position ([5-9] instead of [6-9] plus a separate "35" branch), matching
+  // the paper's derivation.
+  const bool fold_exact = af.empty() && d > 0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const bool last = fold_exact && i + 1 == d;
+    const char from = last ? a[i] : static_cast<char>(a[i] + 1);
+    if (from > '9') continue;
+    branches.push_back(concat({lz, literal(a.substr(0, i)),
+                               digit_between(from, '9'),
+                               digit_span(d - 1 - i), frac_tail_any(kind)}));
+  }
+
+  if (d > 0) {
+    // Integer parts equal: decided by the fraction.
+    if (!fold_exact) branches.push_back(concat({lz, literal(a), frac_geq(af, kind)}));
+  } else {
+    // Bound < 1: a zero integer part still qualifies via its fraction.
+    branches.push_back(concat({zeros_int(allow_leading_zeros), frac_geq(af, kind)}));
+  }
+  return alt(std::move(branches));
+}
+
+node_ptr magnitude_leq(const decimal& bound, numeric_kind kind,
+                       bool allow_leading_zeros) {
+  assert(!bound.negative());
+  if (bound.is_zero()) {
+    if (kind == numeric_kind::integer) return zeros_int(allow_leading_zeros);
+    return concat({zeros_int(allow_leading_zeros), frac_zero()});
+  }
+
+  const std::string b = bound.int_digits();
+  const std::string bf = bound.frac_digits();
+  const std::size_t e = b.size();
+  const node_ptr lz = leading_zeros(allow_leading_zeros);
+  std::vector<node_ptr> branches;
+
+  if (e == 0) {
+    // Bound < 1: only zero integer parts can qualify.
+    branches.push_back(concat({zeros_int(allow_leading_zeros), frac_leq(bf, kind)}));
+    return alt(std::move(branches));
+  }
+
+  // Zero integer part: always below a bound >= 1, any fraction.
+  branches.push_back(concat({zeros_int(allow_leading_zeros), frac_tail_any(kind)}));
+
+  // Fewer significant digits than the bound.
+  if (e >= 2) {
+    std::vector<node_ptr> shorter{lz, digit_between('1', '9')};
+    for (std::size_t i = 0; i + 2 < e; ++i) shorter.push_back(opt(digit()));
+    shorter.push_back(frac_tail_any(kind));
+    branches.push_back(concat(std::move(shorter)));
+  }
+
+  // Equal digit count, less at some position. For integer filters the
+  // exact-equality case folds into the last digit position (there is no
+  // fraction to check).
+  const bool fold_exact = kind == numeric_kind::integer && bf.empty();
+  for (std::size_t i = 0; i < e; ++i) {
+    const bool last = fold_exact && i + 1 == e;
+    const char to = last ? b[i] : static_cast<char>(b[i] - 1);
+    if (to < '0') continue;
+    branches.push_back(concat({lz, literal(b.substr(0, i)),
+                               digit_between('0', to),
+                               digit_span(e - 1 - i), frac_tail_any(kind)}));
+  }
+
+  // Integer parts equal: decided by the fraction.
+  if (!fold_exact) branches.push_back(concat({lz, literal(b), frac_leq(bf, kind)}));
+  return alt(std::move(branches));
+}
+
+node_ptr exponent_escape_regex() {
+  // JSON numbers never carry a leading '+'; supporting it would cost a DFA
+  // state for no coverage, so only '-' is tolerated (as in the paper).
+  class_set sign;
+  sign.add('-');
+  class_set digit_or_dot = class_set::digits();
+  digit_or_dot.add('.');
+  class_set exponent;
+  exponent.add('e');
+  exponent.add('E');
+  class_set token_tail = class_set::digits();
+  token_tail.add('.');
+  token_tail.add('+');
+  token_tail.add('-');
+  token_tail.add('e');
+  token_tail.add('E');
+  return concat({opt(chars(sign)), star(chars(digit_or_dot)), digit(),
+                 star(chars(digit_or_dot)), chars(exponent),
+                 star(chars(token_tail))});
+}
+
+bool is_token_byte(unsigned char byte) noexcept {
+  return (byte >= '0' && byte <= '9') || byte == '.' || byte == '+' ||
+         byte == '-' || byte == 'e' || byte == 'E';
+}
+
+namespace {
+
+/// Effective bounds for the given range, rounded to integers when the filter
+/// kind is integer (12.3 <= i is equivalent to 13 <= i).
+struct effective_bounds {
+  std::optional<decimal> lo;
+  std::optional<decimal> hi;
+};
+
+effective_bounds effective(const range_spec& spec) {
+  effective_bounds out{spec.lo, spec.hi};
+  if (spec.kind == numeric_kind::integer) {
+    if (out.lo) *out.lo = ceil_to_integer(*out.lo);
+    if (out.hi) *out.hi = floor_to_integer(*out.hi);
+  }
+  return out;
+}
+
+/// Magnitude DFA for [a, b] where either side may be absent; `never` when
+/// the interval is empty.
+regex::dfa magnitude_dfa(const std::optional<decimal>& a,
+                         const std::optional<decimal>& b, numeric_kind kind,
+                         bool allow_leading_zeros) {
+  if (a && b && *b < *a) return regex::compile(regex::never());
+  if (a && !a->is_zero()) {
+    const regex::dfa geq =
+        regex::compile(magnitude_geq(*a, kind, allow_leading_zeros));
+    if (!b) return geq;
+    const regex::dfa leq =
+        regex::compile(magnitude_leq(*b, kind, allow_leading_zeros));
+    return regex::dfa::product(geq, leq, [](bool x, bool y) { return x && y; })
+        .minimized();
+  }
+  if (b) return regex::compile(magnitude_leq(*b, kind, allow_leading_zeros));
+  return regex::compile(magnitude_any(kind, allow_leading_zeros));
+}
+
+}  // namespace
+
+regex::dfa build_token_dfa(const range_spec& spec, const build_options& options) {
+  if (!spec.lo && !spec.hi)
+    throw error("numrange: at least one bound is required");
+  const auto [lo, hi] = effective(spec);
+  const decimal zero;
+  std::vector<regex::nfa> branches;
+
+  // Positive branch: values m with m in [max(0, lo), hi]. No '+' prefix:
+  // JSON numbers never carry one.
+  if (!hi || !(*hi < zero)) {
+    const std::optional<decimal> a =
+        (lo && *lo > zero) ? lo : std::optional<decimal>{};
+    const regex::dfa mag = magnitude_dfa(a, hi, spec.kind, options.allow_leading_zeros);
+    branches.push_back(regex::to_nfa(mag));
+  }
+
+  // Negative branch: values -m with m in [max(0, -hi), -lo].
+  if (!lo || lo->negative()) {
+    const std::optional<decimal> a =
+        (hi && hi->negative()) ? std::optional<decimal>{hi->negated()}
+                               : std::optional<decimal>{};
+    const std::optional<decimal> b =
+        lo ? std::optional<decimal>{lo->negated()} : std::optional<decimal>{};
+    const regex::dfa mag = magnitude_dfa(a, b, spec.kind, options.allow_leading_zeros);
+    branches.push_back(regex::nfa_concat(regex::build_nfa(literal("-")),
+                                         regex::to_nfa(mag)));
+  } else if (spec.contains(zero)) {
+    // "-0" denotes zero; accept it whenever zero is in range.
+    const node_ptr zero_mag =
+        spec.kind == numeric_kind::integer
+            ? zeros_int(options.allow_leading_zeros)
+            : concat({zeros_int(options.allow_leading_zeros), frac_zero()});
+    branches.push_back(regex::build_nfa(concat({literal("-"), zero_mag})));
+  }
+
+  if (options.exponent_escape)
+    branches.push_back(regex::build_nfa(exponent_escape_regex()));
+
+  return regex::dfa::determinize(regex::nfa_union(branches)).minimized();
+}
+
+derivation derive(const range_spec& spec, const build_options& options) {
+  derivation out;
+  const auto [lo, hi] = effective(spec);
+  const bool leading = options.allow_leading_zeros;
+
+  auto record = [&out](std::string description, const node_ptr& pattern) {
+    out.steps.push_back({std::move(description), pattern->to_string()});
+  };
+
+  // Step 1: digit-wise regex derivation, narrated per bound the way
+  // Figure 2 walks i >= 35.
+  if (lo && !lo->negative() && !lo->is_zero()) {
+    const std::string digits = lo->int_digits();
+    const bool fold_exact = lo->frac_digits().empty() && !digits.empty();
+    std::vector<node_ptr> so_far;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+      const bool last = fold_exact && i + 1 == digits.size();
+      const char from = last ? digits[i] : static_cast<char>(digits[i] + 1);
+      if (from <= '9') {
+        so_far.push_back(concat({literal(digits.substr(0, i)),
+                                 digit_between(from, '9'),
+                                 digit_span(digits.size() - 1 - i)}));
+      }
+      record("Step 1." + std::to_string(i + 1) + ": check digit " +
+                 std::to_string(i + 1) + " of lower bound " + lo->to_string(),
+             alt(std::vector<node_ptr>(so_far)));
+    }
+    record("Step 1." + std::to_string(digits.size() + 1) +
+               ": numbers with > " + std::to_string(digits.size()) + " digits",
+           magnitude_geq(*lo, spec.kind, leading));
+  }
+  if (hi) record("lower/upper bound magnitude regex (<= " + hi->to_string() + ")",
+                 magnitude_leq(*hi, spec.kind, leading));
+  if (options.exponent_escape)
+    record("exponent escape (accept any number followed by e/E)",
+           exponent_escape_regex());
+
+  // Step 2: convert to DFA and minimize.
+  out.automaton = build_token_dfa(spec, options);
+  out.steps.push_back(
+      {"Step 2: convert regular expression to DFA and minimize",
+       "DFA with " + std::to_string(out.automaton.state_count()) + " states ("
+           + std::to_string(out.automaton.class_count()) + " symbol classes)"});
+  return out;
+}
+
+}  // namespace jrf::numrange

@@ -1,0 +1,69 @@
+// Number-range filter construction (paper Section III-B, Figure 2).
+//
+// Step 1 derives regular expressions from the value comparison by digit-wise
+// case analysis (first digit, second digit, ..., longer numbers); Step 2
+// converts them to a DFA and minimizes. Two-sided ranges are built as the
+// DFA product of the >= and <= automata ("the comparison against a range can
+// still be performed with only one automaton", Section III-B).
+//
+// Exponent escape-hatch (paper): exponent-formatted numbers cannot be range
+// checked by a DFA, so any token with at least one digit followed by 'e'/'E'
+// is accepted. This can create false positives but never false negatives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numrange/range_spec.hpp"
+#include "regex/ast.hpp"
+#include "regex/dfa.hpp"
+
+namespace jrf::numrange {
+
+struct build_options {
+  /// Accept any `digits (e|E) ...` token regardless of range (paper rule).
+  bool exponent_escape = true;
+  /// Tolerate redundant leading zeros ("007"). JSON numbers never carry
+  /// them, but quoted values in raw streams may; accepting them can only
+  /// add false positives, never false negatives.
+  bool allow_leading_zeros = true;
+};
+
+/// Magnitude regex: non-negative decimal strings with value >= bound.
+regex::node_ptr magnitude_geq(const util::decimal& bound, numeric_kind kind,
+                              bool allow_leading_zeros);
+
+/// Magnitude regex: non-negative decimal strings with value <= bound.
+regex::node_ptr magnitude_leq(const util::decimal& bound, numeric_kind kind,
+                              bool allow_leading_zeros);
+
+/// Magnitude regex accepting every well-formed non-negative number.
+regex::node_ptr magnitude_any(numeric_kind kind, bool allow_leading_zeros);
+
+/// The exponent escape branch: sign? digits-with-dots containing at least
+/// one digit, then e/E, then anything from the token alphabet.
+regex::node_ptr exponent_escape_regex();
+
+/// Step 1 + Step 2: complete minimized token DFA (sign branches, magnitude
+/// range, exponent escape). The DFA is anchored: it decides whole tokens.
+regex::dfa build_token_dfa(const range_spec& spec, const build_options& options = {});
+
+/// One narrative step of the Figure 2 derivation.
+struct derivation_step {
+  std::string description;
+  std::string pattern;
+};
+
+/// Full derivation trace (for the Figure 2 reproduction and EXPERIMENTS.md).
+struct derivation {
+  std::vector<derivation_step> steps;
+  regex::dfa automaton;
+};
+
+derivation derive(const range_spec& spec, const build_options& options = {});
+
+/// Bytes that may be part of a numeric token; anything else terminates the
+/// token and causes the filter to sample the DFA state (paper Section III-B).
+bool is_token_byte(unsigned char byte) noexcept;
+
+}  // namespace jrf::numrange

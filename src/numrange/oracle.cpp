@@ -1,0 +1,60 @@
+#include "numrange/oracle.hpp"
+
+#include "util/decimal.hpp"
+
+namespace jrf::numrange {
+
+using util::decimal;
+
+bool token_matches(std::string_view token, const range_spec& spec,
+                   const build_options& options) {
+  const std::size_t epos = token.find_first_of("eE");
+  if (epos != std::string_view::npos) {
+    if (!options.exponent_escape) return false;
+    std::string_view prefix = token.substr(0, epos);
+    // Only '-' is a valid leading sign; JSON numbers never carry '+'.
+    if (!prefix.empty() && prefix.front() == '-') prefix.remove_prefix(1);
+    bool has_digit = false;
+    for (char c : prefix) {
+      if (c >= '0' && c <= '9')
+        has_digit = true;
+      else if (c != '.')
+        return false;
+    }
+    return has_digit;
+  }
+
+  std::string_view rest = token;
+  bool negative = false;
+  if (!rest.empty() && rest.front() == '-') {
+    negative = true;
+    rest.remove_prefix(1);
+  }
+  if (rest.empty()) return false;
+
+  const std::size_t dot = rest.find('.');
+  const std::string_view int_part = dot == std::string_view::npos ? rest : rest.substr(0, dot);
+  const std::string_view frac_part =
+      dot == std::string_view::npos ? std::string_view{} : rest.substr(dot + 1);
+  if (int_part.empty()) return false;
+  for (char c : int_part)
+    if (c < '0' || c > '9') return false;
+  for (char c : frac_part)
+    if (c < '0' || c > '9') return false;
+  if (dot != std::string_view::npos && spec.kind == numeric_kind::integer) return false;
+  if (!options.allow_leading_zeros && int_part.size() > 1 && int_part.front() == '0')
+    return false;
+
+  std::string text;
+  if (negative) text.push_back('-');
+  text += int_part;
+  if (dot != std::string_view::npos) {
+    text.push_back('.');
+    text += frac_part;
+  }
+  const auto value = decimal::try_parse(text);
+  if (!value) return false;
+  return spec.contains(*value);
+}
+
+}  // namespace jrf::numrange

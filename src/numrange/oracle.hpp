@@ -1,0 +1,24 @@
+// Reference semantics for number-range token acceptance.
+//
+// An arithmetic (non-automaton) definition of which tokens a range filter
+// must accept. Used as the test oracle for the regex/DFA construction and
+// by the exact query evaluator.
+#pragma once
+
+#include <string_view>
+
+#include "numrange/builder.hpp"
+#include "numrange/range_spec.hpp"
+
+namespace jrf::numrange {
+
+/// True when the range filter is required to accept this token:
+/// - tokens with >= 1 digit before the first 'e'/'E' (and only digits, dots,
+///   and a leading sign before it) are accepted when the exponent escape is
+///   on, regardless of value;
+/// - plain decimals ([+-]? digits [. digits?]?) are accepted iff their exact
+///   value lies in [lo, hi]; integer-kind filters reject fractional syntax.
+bool token_matches(std::string_view token, const range_spec& spec,
+                   const build_options& options = {});
+
+}  // namespace jrf::numrange

@@ -1,0 +1,44 @@
+// Specification of a number-range raw filter (paper Section III-B).
+//
+// A range filter scans the byte stream for numeric tokens whose value lies
+// in [lo, hi]. Bounds are exact decimals; either side may be absent
+// (one-sided comparisons such as the paper's running example i >= 35).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/decimal.hpp"
+
+namespace jrf::numrange {
+
+/// The paper distinguishes integer filters v(12 <= i <= 49) from float
+/// filters v(0.7 <= f <= 35.1); integer automata carry no fraction states
+/// and are correspondingly cheaper.
+enum class numeric_kind { integer, real };
+
+struct range_spec {
+  numeric_kind kind = numeric_kind::real;
+  std::optional<util::decimal> lo;
+  std::optional<util::decimal> hi;
+
+  /// Paper notation: "v(12 <= i <= 49)", "v(f >= 0.7)", ...
+  std::string to_string() const;
+
+  /// Convenience factories; bounds parsed as exact decimals.
+  static range_spec integer_range(std::string_view lo, std::string_view hi);
+  static range_spec real_range(std::string_view lo, std::string_view hi);
+  static range_spec at_least(std::string_view lo, numeric_kind kind);
+  static range_spec at_most(std::string_view hi, numeric_kind kind);
+
+  /// True when the given exact value satisfies the range.
+  bool contains(const util::decimal& value) const;
+};
+
+/// Smallest integer >= x (as exact decimal).
+util::decimal ceil_to_integer(const util::decimal& x);
+
+/// Largest integer <= x (as exact decimal).
+util::decimal floor_to_integer(const util::decimal& x);
+
+}  // namespace jrf::numrange

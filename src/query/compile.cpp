@@ -1,0 +1,102 @@
+#include "query/compile.hpp"
+
+#include "util/error.hpp"
+
+namespace jrf::query {
+
+std::string attribute_choice::label() const {
+  switch (mode) {
+    case attribute_mode::omit:
+      return "-";
+    case attribute_mode::string_only:
+      break;
+    case attribute_mode::value_only:
+      return "v";
+    case attribute_mode::flat_and:
+    case attribute_mode::grouped:
+      break;
+  }
+  std::string prefix = mode == attribute_mode::string_only ? "s"
+                       : mode == attribute_mode::flat_and  ? "f"
+                                                           : "g";
+  if (technique == core::string_technique::dfa) return prefix + "D";
+  return prefix + (block == block_full ? "N" : std::to_string(block));
+}
+
+core::group_kind default_group_kind(data_model model) {
+  return model == data_model::senml ? core::group_kind::scope
+                                    : core::group_kind::pair;
+}
+
+core::primitive_spec string_primitive(const predicate& p,
+                                      const attribute_choice& choice) {
+  const int n = static_cast<int>(p.attribute.size());
+  const int block = choice.block == block_full
+                        ? n
+                        : std::min(choice.block, n);
+  return core::string_spec{choice.technique, block, p.attribute};
+}
+
+core::primitive_spec value_primitive(const predicate& p,
+                                     const attribute_choice& choice) {
+  if (p.k == predicate::kind::range)
+    return core::value_spec{p.range, {}};
+  // String-equality predicates filter on the expected text itself.
+  const int n = static_cast<int>(p.text.size());
+  const int block = choice.block == block_full
+                        ? n
+                        : std::min(choice.block, n);
+  return core::string_spec{choice.technique, block, p.text};
+}
+
+core::expr_ptr compile(const query& q, std::span<const attribute_choice> choices,
+                       const compile_options& options) {
+  if (!q.is_flat_conjunction())
+    throw error("rf compile: only flat-conjunction queries are supported; "
+                "compile disjunction branches separately");
+  const auto predicates = q.predicates();
+  if (choices.size() != predicates.size())
+    throw error("rf compile: choice count does not match predicate count");
+
+  const core::group_kind group =
+      options.group.value_or(default_group_kind(q.model));
+
+  std::vector<core::expr_ptr> terms;
+  for (std::size_t i = 0; i < predicates.size(); ++i) {
+    const predicate& p = predicates[i];
+    const attribute_choice& c = choices[i];
+    switch (c.mode) {
+      case attribute_mode::omit:
+        break;
+      case attribute_mode::string_only:
+        terms.push_back(core::leaf(string_primitive(p, c)));
+        break;
+      case attribute_mode::value_only:
+        terms.push_back(core::leaf(value_primitive(p, c)));
+        break;
+      case attribute_mode::flat_and:
+        terms.push_back(core::leaf(string_primitive(p, c)));
+        terms.push_back(core::leaf(value_primitive(p, c)));
+        break;
+      case attribute_mode::grouped:
+        terms.push_back(core::make_group(
+            group, {string_primitive(p, c), value_primitive(p, c)}));
+        break;
+    }
+  }
+  if (terms.empty())
+    throw error("rf compile: at least one predicate must remain "
+                "(an empty raw filter would accept nothing)");
+  return core::conj(std::move(terms));
+}
+
+core::expr_ptr compile_default(const query& q, int block,
+                               const compile_options& options) {
+  const std::vector<attribute_choice> choices(
+      q.predicates().size(),
+      attribute_choice{attribute_mode::grouped,
+                       core::string_technique::substring, block});
+  return compile(q, choices, options);
+}
+
+}  // namespace jrf::query

@@ -1,0 +1,75 @@
+// Query -> raw-filter compilation (paper Section III-D, steps i-iii).
+//
+// Every predicate of the query maps to one attribute choice: which
+// primitives represent it (string matcher on the attribute name, value
+// matcher on the range, or both) and how they combine (flat AND vs a
+// structural group). The set of valid choice vectors is the design space
+// that src/dse enumerates; this header defines the choice vocabulary and
+// the compiler that turns (query, choices) into a core::filter_expr.
+//
+// Omission rules (paper): a predicate under a conjunction may be omitted
+// entirely (raw filters only need to over-approximate), but every branch
+// of a disjunction must keep at least its value or string side - dropping
+// one would create false negatives.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/expr.hpp"
+#include "query/ir.hpp"
+
+namespace jrf::query {
+
+enum class attribute_mode {
+  omit,         // predicate not represented at all (AND context only)
+  string_only,  // sB(attr) / dfa(attr)
+  value_only,   // v(range)
+  flat_and,     // sB(attr) & v(range), structure-agnostic
+  grouped,      // { sB(attr) & v(range) } in the model's group kind
+};
+
+/// Full-length block (technique (ii)): resolved to the needle size.
+inline constexpr int block_full = 0;
+
+struct attribute_choice {
+  attribute_mode mode = attribute_mode::grouped;
+  core::string_technique technique = core::string_technique::substring;
+  int block = 1;  // B; block_full means B = N
+
+  /// Short label used in design-space listings, e.g. "g1" (grouped, B=1),
+  /// "f2" (flat, B=2), "s" (string only), "v", "-".
+  std::string label() const;
+};
+
+struct compile_options {
+  /// Group kind for `grouped` choices; defaults from the data model
+  /// (senml -> scope, flat -> pair).
+  std::optional<core::group_kind> group;
+};
+
+/// Compile a flat-conjunction query with one choice per predicate.
+/// Throws jrf::error when all choices are `omit` or the choice span does
+/// not match the predicate count.
+core::expr_ptr compile(const query& q, std::span<const attribute_choice> choices,
+                       const compile_options& options = {});
+
+/// Compile with every predicate grouped at the given block length - the
+/// most selective configuration, the design flow's starting point.
+core::expr_ptr compile_default(const query& q, int block = 1,
+                               const compile_options& options = {});
+
+/// The string primitive an attribute choice selects for a predicate.
+core::primitive_spec string_primitive(const predicate& p,
+                                      const attribute_choice& choice);
+
+/// The value primitive for a range predicate (string-equality predicates
+/// yield a string matcher for the expected text instead).
+core::primitive_spec value_primitive(const predicate& p,
+                                     const attribute_choice& choice);
+
+/// Group kind implied by the data model.
+core::group_kind default_group_kind(data_model model);
+
+}  // namespace jrf::query

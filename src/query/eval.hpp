@@ -1,0 +1,46 @@
+// Exact query evaluation over parsed JSON: the ground truth against which
+// raw-filter false-positive rates are measured (the role of the CPU-side
+// parser in the paper's pipeline).
+//
+// Semantics per data model:
+//   flat  - predicate(attr, range) holds when any object member anywhere in
+//           the document has key == attr and a numeric value (number or
+//           numeric string) inside the range; string_equals compares string
+//           values. An unbounded range tests key existence.
+//   senml - predicate(attr, range) holds when any object has "n" == attr
+//           and a member "v" whose numeric value lies in the range
+//           (Listing 2: $.e[?(@.n=="temperature" & @.v >= l & @.v <= u)]).
+//
+// Note the deliberate asymmetry documented in DESIGN.md: ground truth
+// compares numerically regardless of the predicate's automaton kind;
+// integer-kind raw filters assume the attribute is integral in the data
+// (the same assumption the paper makes when it picks v(12 <= i <= 49)).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "json/value.hpp"
+#include "query/ir.hpp"
+
+namespace jrf::query {
+
+/// Evaluate one predicate against a parsed document.
+bool eval_predicate(const predicate& p, const json::value& doc, data_model model);
+
+/// Evaluate the full query tree against a parsed document.
+bool eval(const query& q, const json::value& doc);
+
+/// Parse a raw record and evaluate; malformed records evaluate to false
+/// (the CPU parser would reject them, so a raw filter dropping them is
+/// never a false negative).
+bool eval_record(const query& q, std::string_view record);
+
+/// Ground-truth labels for every record of an NDJSON stream.
+std::vector<bool> label_stream(const query& q, std::string_view stream);
+
+/// Fraction of records matching the query (the paper's Table VIII
+/// "Selectivity (%)" is 100 times this).
+double selectivity(const std::vector<bool>& labels);
+
+}  // namespace jrf::query

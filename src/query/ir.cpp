@@ -1,0 +1,128 @@
+#include "query/ir.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace jrf::query {
+
+namespace {
+
+bool looks_integer(std::string_view text) {
+  return text.find('.') == std::string_view::npos &&
+         text.find('e') == std::string_view::npos &&
+         text.find('E') == std::string_view::npos;
+}
+
+}  // namespace
+
+std::string predicate::to_string() const {
+  if (k == kind::string_equals)
+    return "(\"" + attribute + "\" == \"" + text + "\")";
+  const auto& r = range;
+  if (r.lo && r.hi)
+    return "(" + r.lo->to_string() + " <= \"" + attribute + "\" <= " +
+           r.hi->to_string() + ")";
+  if (r.lo) return "(\"" + attribute + "\" >= " + r.lo->to_string() + ")";
+  return "(\"" + attribute + "\" <= " + r.hi->to_string() + ")";
+}
+
+predicate predicate::between(std::string attribute, std::string_view lo,
+                             std::string_view hi) {
+  predicate p;
+  p.k = kind::range;
+  p.attribute = std::move(attribute);
+  // The paper derives the automaton kind from the bound syntax: integer
+  // bounds yield the cheaper integer automata (v(12 <= i <= 49)).
+  p.range = looks_integer(lo) && looks_integer(hi)
+                ? numrange::range_spec::integer_range(lo, hi)
+                : numrange::range_spec::real_range(lo, hi);
+  return p;
+}
+
+predicate predicate::equals(std::string attribute, std::string text) {
+  predicate p;
+  p.k = kind::string_equals;
+  p.attribute = std::move(attribute);
+  p.text = std::move(text);
+  return p;
+}
+
+std::string query_node::to_string() const {
+  switch (k) {
+    case kind::predicate:
+      return pred.to_string();
+    case kind::conjunction:
+    case kind::disjunction: {
+      const char* op = k == kind::conjunction ? " AND " : " OR ";
+      std::string out;
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) out += op;
+        const bool parens = children[i]->k != kind::predicate;
+        if (parens) out += "(";
+        out += children[i]->to_string();
+        if (parens) out += ")";
+      }
+      return out;
+    }
+  }
+  throw error("query node: invalid kind");
+}
+
+std::vector<predicate> query_node::predicates() const {
+  std::vector<predicate> out;
+  if (k == kind::predicate) {
+    out.push_back(pred);
+    return out;
+  }
+  for (const query_node_ptr& child : children) {
+    auto sub = child->predicates();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+query_node_ptr pred_node(predicate p) {
+  auto n = std::make_shared<query_node>();
+  n->k = query_node::kind::predicate;
+  n->pred = std::move(p);
+  return n;
+}
+
+namespace {
+
+query_node_ptr nary(query_node::kind k, std::vector<query_node_ptr> children) {
+  if (children.empty()) throw error("query node: no children");
+  for (const query_node_ptr& child : children)
+    if (!child) throw error("query node: null child");
+  if (children.size() == 1) return children.front();
+  auto n = std::make_shared<query_node>();
+  n->k = k;
+  n->children = std::move(children);
+  return n;
+}
+
+}  // namespace
+
+query_node_ptr all_of(std::vector<query_node_ptr> children) {
+  return nary(query_node::kind::conjunction, std::move(children));
+}
+
+query_node_ptr any_of(std::vector<query_node_ptr> children) {
+  return nary(query_node::kind::disjunction, std::move(children));
+}
+
+std::string query::to_string() const {
+  return (name.empty() ? "" : name + " := ") + root->to_string();
+}
+
+bool query::is_flat_conjunction() const {
+  if (!root) return false;
+  if (root->k == query_node::kind::predicate) return true;
+  if (root->k != query_node::kind::conjunction) return false;
+  return std::ranges::all_of(root->children, [](const query_node_ptr& c) {
+    return c->k == query_node::kind::predicate;
+  });
+}
+
+}  // namespace jrf::query

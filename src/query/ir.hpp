@@ -1,0 +1,79 @@
+// Query intermediate representation.
+//
+// A query is a boolean tree over attribute predicates (Table VIII of the
+// paper uses pure conjunctions; disjunctions are supported because the
+// composition rules of Section III-D treat them differently: or-clause
+// members may never be dropped from a raw filter).
+//
+// Two data models bind attributes to JSON structure:
+//   senml - the attribute name is the value of an "n" member and the value
+//           the "v" member of the same measurement object (Listing 1),
+//   flat  - the attribute name is an object key and the value its mapped
+//           value (Taxi/Twitter-style records).
+// The model decides both the exact ground-truth evaluation and which
+// structural group kind the compiler emits (scope vs pair).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "numrange/range_spec.hpp"
+
+namespace jrf::query {
+
+enum class data_model { senml, flat };
+
+/// One attribute predicate.
+struct predicate {
+  enum class kind { range, string_equals };
+
+  kind k = kind::range;
+  std::string attribute;
+  numrange::range_spec range;  // kind::range
+  std::string text;            // kind::string_equals
+
+  /// Table VIII notation, e.g. (0.7 <= "temperature" <= 35.1).
+  std::string to_string() const;
+
+  static predicate between(std::string attribute, std::string_view lo,
+                           std::string_view hi);
+  static predicate equals(std::string attribute, std::string text);
+};
+
+struct query_node;
+using query_node_ptr = std::shared_ptr<const query_node>;
+
+struct query_node {
+  enum class kind { predicate, conjunction, disjunction };
+
+  kind k = kind::predicate;
+  predicate pred;                        // kind::predicate
+  std::vector<query_node_ptr> children;  // conjunction/disjunction
+
+  std::string to_string() const;
+
+  /// All predicates, left to right.
+  std::vector<predicate> predicates() const;
+};
+
+query_node_ptr pred_node(predicate p);
+query_node_ptr all_of(std::vector<query_node_ptr> children);
+query_node_ptr any_of(std::vector<query_node_ptr> children);
+
+struct query {
+  std::string name;
+  data_model model = data_model::flat;
+  query_node_ptr root;
+
+  std::string to_string() const;
+  std::vector<predicate> predicates() const { return root->predicates(); }
+
+  /// True when the root is a plain conjunction of predicates (the design
+  /// space of Section III-D enumerates per-attribute choices only for this
+  /// common shape).
+  bool is_flat_conjunction() const;
+};
+
+}  // namespace jrf::query

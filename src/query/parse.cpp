@@ -1,0 +1,314 @@
+#include "query/parse.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace jrf::query {
+
+namespace {
+
+/// Shared cursor with offset-carrying errors.
+class cursor {
+ public:
+  explicit cursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool try_consume(std::string_view token) {
+    skip_ws();
+    if (text_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  void expect(std::string_view token) {
+    if (!try_consume(token))
+      fail("expected '" + std::string(token) + "'");
+  }
+
+  /// Keyword match: token followed by a non-identifier character.
+  bool try_keyword(std::string_view word) {
+    skip_ws();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    const std::size_t after = pos_ + word.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_'))
+      return false;
+    pos_ = after;
+    return true;
+  }
+
+  std::string identifier() {
+    skip_ws();
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_'))
+      out += text_[pos_++];
+    if (out.empty()) fail("expected an identifier");
+    return out;
+  }
+
+  std::string quoted_string() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected '\"'");
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') out += text_[pos_++];
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  std::string decimal_literal() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      digits = digits || std::isdigit(static_cast<unsigned char>(text_[pos_]));
+      ++pos_;
+    }
+    if (!digits) fail("expected a decimal literal");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw parse_error("query: " + what, pos_);
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------- Table VIII expressions
+
+// Grammar:
+//   expr     := term (OR term)*
+//   term     := factor (AND factor)*
+//   factor   := '(' expr ')' | comparison
+//   comparison := literal '<=' name '<=' literal
+//              | name ('<=' | '>=' | '==') (literal | string)
+//   name     := '"' chars '"'
+// A parenthesized unit could be either a grouped expression or a
+// comparison; we try the comparison first (it starts with a literal or a
+// quoted name, never with '(').
+class expression_parser {
+ public:
+  explicit expression_parser(std::string_view text) : c_(text) {}
+
+  query_node_ptr parse() {
+    query_node_ptr root = parse_or();
+    if (!c_.at_end()) c_.fail("trailing input after expression");
+    return root;
+  }
+
+ private:
+  query_node_ptr parse_or() {
+    std::vector<query_node_ptr> terms{parse_and()};
+    while (c_.try_keyword("OR")) terms.push_back(parse_and());
+    return any_of(std::move(terms));
+  }
+
+  query_node_ptr parse_and() {
+    std::vector<query_node_ptr> factors{parse_factor()};
+    while (c_.try_keyword("AND")) factors.push_back(parse_factor());
+    return all_of(std::move(factors));
+  }
+
+  query_node_ptr parse_factor() {
+    if (c_.peek() == '(') {
+      c_.expect("(");
+      if (c_.peek() == '(') {
+        // Nested parenthesis: grouped sub-expression.
+        query_node_ptr inner = parse_or();
+        c_.expect(")");
+        return inner;
+      }
+      query_node_ptr inner = parse_comparison_or_expr();
+      c_.expect(")");
+      return inner;
+    }
+    return pred_node(parse_comparison());
+  }
+
+  query_node_ptr parse_comparison_or_expr() {
+    query_node_ptr first = pred_node(parse_comparison());
+    // "(p AND q)" - continue combining inside the parentheses.
+    if (c_.try_keyword("AND")) {
+      std::vector<query_node_ptr> factors{first, pred_node(parse_comparison())};
+      while (c_.try_keyword("AND")) factors.push_back(pred_node(parse_comparison()));
+      query_node_ptr node = all_of(std::move(factors));
+      if (c_.try_keyword("OR")) {
+        std::vector<query_node_ptr> terms{node};
+        do terms.push_back(parse_and());
+        while (c_.try_keyword("OR"));
+        return any_of(std::move(terms));
+      }
+      return node;
+    }
+    if (c_.try_keyword("OR")) {
+      std::vector<query_node_ptr> terms{first};
+      do terms.push_back(parse_and());
+      while (c_.try_keyword("OR"));
+      return any_of(std::move(terms));
+    }
+    return first;
+  }
+
+  predicate parse_comparison() {
+    if (c_.peek() == '"') {
+      const std::string attribute = c_.quoted_string();
+      if (c_.try_consume("==")) {
+        if (c_.peek() == '"')
+          return predicate::equals(attribute, c_.quoted_string());
+        const std::string value = c_.decimal_literal();
+        return predicate::between(attribute, value, value);
+      }
+      if (c_.try_consume("<=")) {
+        predicate p;
+        p.k = predicate::kind::range;
+        p.attribute = attribute;
+        const std::string hi = c_.decimal_literal();
+        p.range = make_range({}, hi);
+        return p;
+      }
+      if (c_.try_consume(">=")) {
+        predicate p;
+        p.k = predicate::kind::range;
+        p.attribute = attribute;
+        const std::string lo = c_.decimal_literal();
+        p.range = make_range(lo, {});
+        return p;
+      }
+      c_.fail("expected '<=', '>=' or '==' after attribute");
+    }
+    // lo <= "attr" <= hi
+    const std::string lo = c_.decimal_literal();
+    c_.expect("<=");
+    const std::string attribute = c_.quoted_string();
+    c_.expect("<=");
+    const std::string hi = c_.decimal_literal();
+    return predicate::between(attribute, lo, hi);
+  }
+
+  static bool looks_integer(std::string_view text) {
+    return text.find('.') == std::string_view::npos;
+  }
+
+  static numrange::range_spec make_range(std::string lo, std::string hi) {
+    const bool integer = (lo.empty() || looks_integer(lo)) &&
+                         (hi.empty() || looks_integer(hi)) &&
+                         !(lo.empty() && hi.empty());
+    const auto kind = integer ? numrange::numeric_kind::integer
+                              : numrange::numeric_kind::real;
+    if (!lo.empty() && !hi.empty())
+      return integer ? numrange::range_spec::integer_range(lo, hi)
+                     : numrange::range_spec::real_range(lo, hi);
+    if (!lo.empty()) return numrange::range_spec::at_least(lo, kind);
+    return numrange::range_spec::at_most(hi, kind);
+  }
+
+  cursor c_;
+};
+
+}  // namespace
+
+query parse_filter_expression(std::string_view text, data_model model,
+                              std::string name) {
+  expression_parser parser(text);
+  query q;
+  q.name = std::move(name);
+  q.model = model;
+  q.root = parser.parse();
+  return q;
+}
+
+query parse_jsonpath(std::string_view text, std::string name) {
+  cursor c(text);
+  c.expect("$");
+  c.expect(".");
+  // Array member name ("e" in Listing 2); structural only, the SenML
+  // evaluator searches measurement objects wherever they nest.
+  (void)c.identifier();
+  c.expect("[");
+  c.expect("?");
+  c.expect("(");
+
+  std::string attribute;
+  std::string lo;
+  std::string hi;
+  bool have_n = false;
+  do {
+    c.expect("@");
+    c.expect(".");
+    const std::string field = c.identifier();
+    if (field == "n") {
+      c.expect("==");
+      attribute = c.quoted_string();
+      have_n = true;
+    } else if (field == "v") {
+      if (c.try_consume(">=")) {
+        lo = c.decimal_literal();
+      } else if (c.try_consume("<=")) {
+        hi = c.decimal_literal();
+      } else if (c.try_consume("==")) {
+        lo = c.decimal_literal();
+        hi = lo;
+      } else {
+        c.fail("expected '>=', '<=' or '==' after @.v");
+      }
+    } else {
+      c.fail("expected '@.n' or '@.v' clause");
+    }
+  } while (c.try_consume("&"));
+  c.expect(")");
+  c.expect("]");
+  if (!c.at_end()) c.fail("trailing input after JSONPath");
+  if (!have_n) c.fail("filter needs an '@.n == \"...\"' clause");
+
+  query q;
+  q.name = std::move(name);
+  q.model = data_model::senml;
+  predicate p;
+  p.k = predicate::kind::range;
+  p.attribute = attribute;
+  if (!lo.empty() && !hi.empty()) {
+    p = predicate::between(attribute, lo, hi);
+  } else if (!lo.empty() || !hi.empty()) {
+    const bool integer = (lo.empty() ? hi : lo).find('.') == std::string::npos;
+    const auto kind = integer ? numrange::numeric_kind::integer
+                              : numrange::numeric_kind::real;
+    p.range = lo.empty() ? numrange::range_spec::at_most(hi, kind)
+                         : numrange::range_spec::at_least(lo, kind);
+  }
+  // No @.v clause leaves the range unbounded: an existence test.
+  q.root = pred_node(std::move(p));
+  return q;
+}
+
+}  // namespace jrf::query

@@ -1,0 +1,33 @@
+// Query text front-ends.
+//
+// Two surface syntaxes feed the same IR:
+//
+//   Table VIII style (flat model by default):
+//     (0.7 <= "temperature" <= 35.1) AND (12 <= "airquality_raw" <= 49)
+//     ("payment_type" == "CSH") OR ("tip_amount" >= 5)
+//
+//   JSONPath style, the paper's Listing 2 (SenML model):
+//     $.e[?(@.n=="temperature" & @.v >= 0.7 & @.v <= 35.1)]
+//
+// Both throw jrf::parse_error with a byte offset on malformed input.
+#pragma once
+
+#include <string_view>
+
+#include "query/ir.hpp"
+
+namespace jrf::query {
+
+/// Parse a Table VIII-style filter expression. AND binds tighter than OR;
+/// parentheses group; comparisons are <=, >=, == over decimal literals and
+/// double-quoted attribute names.
+query parse_filter_expression(std::string_view text,
+                              data_model model = data_model::flat,
+                              std::string name = {});
+
+/// Parse the JSONPath subset of Listing 2. The path must select an array
+/// ($.<member>[...]) with one [?(...)] filter whose clauses test @.n
+/// equality and @.v bounds; the result is a SenML-model query.
+query parse_jsonpath(std::string_view text, std::string name = {});
+
+}  // namespace jrf::query

@@ -1,0 +1,36 @@
+#include "query/riotbench.hpp"
+
+#include "query/parse.hpp"
+
+namespace jrf::query::riotbench {
+
+query qs0() {
+  return parse_filter_expression(
+      R"((0.7 <= "temperature" <= 35.1) AND (20.3 <= "humidity" <= 69.1))"
+      R"( AND (0 <= "light" <= 5153) AND (83.36 <= "dust" <= 3322.67))"
+      R"( AND (12 <= "airquality_raw" <= 49))",
+      data_model::senml, "QS0");
+}
+
+query qs1() {
+  return parse_filter_expression(
+      R"((-12.5 <= "temperature" <= 43.1) AND (10.7 <= "humidity" <= 95.2))"
+      R"( AND (1345 <= "light" <= 26282) AND (186.61 <= "dust" <= 5188.21))"
+      R"( AND (17 <= "airquality_raw" <= 363))",
+      data_model::senml, "QS1");
+}
+
+query qt() {
+  return parse_filter_expression(
+      R"((140 <= "trip_time_in_secs" <= 3155) AND (0.65 <= "tip_amount" <= 38.55))"
+      R"( AND (6.00 <= "fare_amount" <= 201.00) AND (2.50 <= "tolls_amount" <= 18.00))"
+      R"( AND (1.37 <= "trip_distance" <= 29.86))",
+      data_model::flat, "QT");
+}
+
+query q0() {
+  return parse_jsonpath(
+      R"($.e[?(@.n=="temperature" & @.v >= 0.7 & @.v <= 35.1)])", "Q0");
+}
+
+}  // namespace jrf::query::riotbench

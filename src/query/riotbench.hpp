@@ -1,0 +1,31 @@
+// The three RiotBench evaluation queries of the paper (Table VIII),
+// plus the Listing 2 running-example query.
+#pragma once
+
+#include "query/ir.hpp"
+
+namespace jrf::query::riotbench {
+
+/// QS0 - SmartCity, selectivity 63.9 % in the paper:
+/// (0.7 <= temperature <= 35.1) AND (20.3 <= humidity <= 69.1) AND
+/// (0 <= light <= 5153) AND (83.36 <= dust <= 3322.67) AND
+/// (12 <= airquality_raw <= 49), SenML model.
+query qs0();
+
+/// QS1 - SmartCity, selectivity 5.4 %:
+/// (-12.5 <= temperature <= 43.1) AND (10.7 <= humidity <= 95.2) AND
+/// (1345 <= light <= 26282) AND (186.61 <= dust <= 5188.21) AND
+/// (17 <= airquality_raw <= 363), SenML model.
+query qs1();
+
+/// QT - Taxi, selectivity 5.7 %:
+/// (140 <= trip_time_in_secs <= 3155) AND (0.65 <= tip_amount <= 38.55) AND
+/// (6.00 <= fare_amount <= 201.00) AND (2.50 <= tolls_amount <= 18.00) AND
+/// (1.37 <= trip_distance <= 29.86), flat model.
+query qt();
+
+/// Q0 - the running example of Listing 2:
+/// $.e[?(@.n=="temperature" & @.v >= 0.7 & @.v <= 35.1)], SenML model.
+query q0();
+
+}  // namespace jrf::query::riotbench

@@ -1,0 +1,151 @@
+#include "regex/ast.hpp"
+
+namespace jrf::regex {
+namespace {
+
+node_ptr make(op kind, class_set set, std::vector<node_ptr> children) {
+  return std::make_shared<node>(kind, set, std::move(children));
+}
+
+bool needs_group(const node& n) {
+  return n.kind() == op::concat || n.kind() == op::alt;
+}
+
+std::string child_string(const node_ptr& child) {
+  std::string s = child->to_string();
+  if (needs_group(*child)) return "(" + s + ")";
+  return s;
+}
+
+}  // namespace
+
+node_ptr empty() { return make(op::empty, {}, {}); }
+node_ptr never() { return make(op::never, {}, {}); }
+
+node_ptr chars(const class_set& set) {
+  if (set.empty()) return never();
+  return make(op::chars, set, {});
+}
+
+node_ptr literal_char(unsigned char c) { return chars(class_set::single(c)); }
+
+node_ptr literal(std::string_view text) {
+  std::vector<node_ptr> parts;
+  parts.reserve(text.size());
+  for (char c : text) parts.push_back(literal_char(static_cast<unsigned char>(c)));
+  return concat(std::move(parts));
+}
+
+node_ptr concat(std::vector<node_ptr> children) {
+  std::vector<node_ptr> flat;
+  for (auto& child : children) {
+    if (child->kind() == op::never) return never();
+    if (child->kind() == op::empty) continue;
+    if (child->kind() == op::concat) {
+      for (const auto& grandchild : child->children()) flat.push_back(grandchild);
+    } else {
+      flat.push_back(std::move(child));
+    }
+  }
+  if (flat.empty()) return empty();
+  if (flat.size() == 1) return flat.front();
+  return make(op::concat, {}, std::move(flat));
+}
+
+node_ptr alt(std::vector<node_ptr> children) {
+  std::vector<node_ptr> flat;
+  for (auto& child : children) {
+    if (child->kind() == op::never) continue;
+    if (child->kind() == op::alt) {
+      for (const auto& grandchild : child->children()) flat.push_back(grandchild);
+    } else {
+      flat.push_back(std::move(child));
+    }
+  }
+  if (flat.empty()) return never();
+  if (flat.size() == 1) return flat.front();
+  // Merge sibling single-char alternatives into one class.
+  class_set merged;
+  std::vector<node_ptr> rest;
+  for (auto& child : flat) {
+    if (child->kind() == op::chars) {
+      merged |= child->chars();
+    } else {
+      rest.push_back(std::move(child));
+    }
+  }
+  if (!merged.empty()) rest.insert(rest.begin(), chars(merged));
+  if (rest.size() == 1) return rest.front();
+  return make(op::alt, {}, std::move(rest));
+}
+
+node_ptr star(node_ptr child) {
+  if (child->kind() == op::never || child->kind() == op::empty) return empty();
+  if (child->kind() == op::star) return child;
+  return make(op::star, {}, {std::move(child)});
+}
+
+node_ptr plus(node_ptr child) {
+  if (child->kind() == op::never) return never();
+  if (child->kind() == op::empty) return empty();
+  return make(op::plus, {}, {std::move(child)});
+}
+
+node_ptr opt(node_ptr child) {
+  if (child->kind() == op::never || child->kind() == op::empty) return empty();
+  if (child->kind() == op::opt || child->kind() == op::star) return child;
+  return make(op::opt, {}, {std::move(child)});
+}
+
+node_ptr repeat(node_ptr child, std::size_t count) {
+  if (count == 0) return empty();
+  std::vector<node_ptr> copies(count, child);
+  return concat(std::move(copies));
+}
+
+node_ptr at_least(node_ptr child, std::size_t min) {
+  if (min == 0) return star(std::move(child));
+  std::vector<node_ptr> parts(min - 1, child);
+  parts.push_back(plus(child));
+  return concat(std::move(parts));
+}
+
+std::string node::to_string() const {
+  switch (kind_) {
+    case op::empty: return "";
+    case op::never: return "[]";
+    case op::chars: {
+      if (chars_.count() == 1) {
+        for (unsigned c = 0; c < 256; ++c) {
+          if (!chars_.contains(static_cast<unsigned char>(c))) continue;
+          // Escape regex metacharacters so the rendering reparses identically.
+          const char ch = static_cast<char>(c);
+          if (std::string_view(".*+?()[]{}|\\^$").find(ch) != std::string_view::npos)
+            return std::string("\\") + ch;
+          if (c >= 0x20 && c < 0x7F) return std::string(1, ch);
+          break;  // fall through to class rendering for non-printables
+        }
+      }
+      return chars_.to_string();
+    }
+    case op::concat: {
+      std::string out;
+      for (const auto& child : children_) out += child_string(child);
+      return out;
+    }
+    case op::alt: {
+      std::string out;
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i != 0) out += "|";
+        out += child_string(children_[i]);
+      }
+      return out;
+    }
+    case op::star: return child_string(children_.front()) + "*";
+    case op::plus: return child_string(children_.front()) + "+";
+    case op::opt: return child_string(children_.front()) + "?";
+  }
+  return "?";
+}
+
+}  // namespace jrf::regex

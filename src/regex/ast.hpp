@@ -1,0 +1,68 @@
+// Regular-expression syntax trees.
+//
+// The number-range filter derivation (paper Section III-B, Figure 2, Step 1)
+// produces these trees programmatically; the parser produces them from text.
+// Both feed the same NFA -> DFA -> minimization pipeline (Step 2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "regex/class_set.hpp"
+
+namespace jrf::regex {
+
+enum class op {
+  empty,    // matches the empty string only (epsilon)
+  never,    // matches nothing
+  chars,    // one byte from a class_set
+  concat,   // children in sequence
+  alt,      // any one child
+  star,     // zero or more of child
+  plus,     // one or more of child
+  opt,      // zero or one of child
+};
+
+class node;
+using node_ptr = std::shared_ptr<const node>;
+
+/// Immutable regex tree node. Constructed through the factory functions
+/// below, which perform light simplification (flattening, identity removal).
+class node {
+ public:
+  node(op kind, class_set chars, std::vector<node_ptr> children)
+      : kind_(kind), chars_(chars), children_(std::move(children)) {}
+
+  op kind() const noexcept { return kind_; }
+  const class_set& chars() const noexcept { return chars_; }
+  const std::vector<node_ptr>& children() const noexcept { return children_; }
+
+  /// Regex text rendering (diagnostics and EXPERIMENTS reporting).
+  std::string to_string() const;
+
+ private:
+  op kind_;
+  class_set chars_;
+  std::vector<node_ptr> children_;
+};
+
+node_ptr empty();
+node_ptr never();
+node_ptr chars(const class_set& set);
+node_ptr literal_char(unsigned char c);
+node_ptr literal(std::string_view text);
+node_ptr concat(std::vector<node_ptr> children);
+node_ptr alt(std::vector<node_ptr> children);
+node_ptr star(node_ptr child);
+node_ptr plus(node_ptr child);
+node_ptr opt(node_ptr child);
+
+/// child{count}: exact repetition (expanded structurally).
+node_ptr repeat(node_ptr child, std::size_t count);
+
+/// child{min,}: at least `min` repetitions.
+node_ptr at_least(node_ptr child, std::size_t min);
+
+}  // namespace jrf::regex

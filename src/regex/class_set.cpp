@@ -1,0 +1,51 @@
+#include "regex/class_set.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace jrf::regex {
+namespace {
+
+// Render a byte for use inside a character class so that the regex parser
+// reads it back unchanged.
+std::string class_member(unsigned char c) {
+  switch (c) {
+    case '\n': return "\\n";
+    case '\t': return "\\t";
+    case '\r': return "\\r";
+    case '\\': case ']': case '[': case '^': case '-':
+      return std::string("\\") + static_cast<char>(c);
+  }
+  if (c >= 0x20 && c < 0x7F) return std::string(1, static_cast<char>(c));
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "\\x%02X", c);
+  return buf;
+}
+
+}  // namespace
+
+std::string class_set::to_string() const {
+  if (count() == 1) {
+    for (unsigned c = 0; c < 256; ++c)
+      if (bits_.test(c)) return "'" + class_member(static_cast<unsigned char>(c)) + "'";
+  }
+  std::string out = "[";
+  unsigned c = 0;
+  while (c < 256) {
+    if (!bits_.test(c)) {
+      ++c;
+      continue;
+    }
+    unsigned run_end = c;
+    while (run_end + 1 < 256 && bits_.test(run_end + 1)) ++run_end;
+    out += class_member(static_cast<unsigned char>(c));
+    if (run_end > c + 1) out += "-";
+    if (run_end > c) out += class_member(static_cast<unsigned char>(run_end));
+    c = run_end + 1;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace jrf::regex

@@ -1,0 +1,77 @@
+// Character classes over the byte alphabet [0, 256).
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+
+namespace jrf::regex {
+
+/// A set of byte values; the label alphabet of NFA/DFA edges.
+class class_set {
+ public:
+  class_set() = default;
+
+  static class_set single(unsigned char c) {
+    class_set s;
+    s.add(c);
+    return s;
+  }
+
+  static class_set range(unsigned char lo, unsigned char hi) {
+    class_set s;
+    s.add_range(lo, hi);
+    return s;
+  }
+
+  static class_set all() {
+    class_set s;
+    s.bits_.set();
+    return s;
+  }
+
+  static class_set digits() { return range('0', '9'); }
+
+  void add(unsigned char c) { bits_.set(c); }
+
+  void add_range(unsigned char lo, unsigned char hi) {
+    for (unsigned c = lo; c <= hi; ++c) bits_.set(c);
+  }
+
+  bool contains(unsigned char c) const { return bits_.test(c); }
+  bool empty() const { return bits_.none(); }
+  std::size_t count() const { return bits_.count(); }
+
+  class_set complemented() const {
+    class_set s;
+    s.bits_ = ~bits_;
+    return s;
+  }
+
+  class_set operator|(const class_set& other) const {
+    class_set s;
+    s.bits_ = bits_ | other.bits_;
+    return s;
+  }
+
+  class_set operator&(const class_set& other) const {
+    class_set s;
+    s.bits_ = bits_ & other.bits_;
+    return s;
+  }
+
+  class_set& operator|=(const class_set& other) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+
+  bool operator==(const class_set& other) const { return bits_ == other.bits_; }
+
+  /// Compact display form, e.g. [0-9+\-.] or 'a' for singletons.
+  std::string to_string() const;
+
+ private:
+  std::bitset<256> bits_;
+};
+
+}  // namespace jrf::regex

@@ -1,0 +1,189 @@
+#include "regex/nfa.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace jrf::regex {
+namespace {
+
+class builder {
+ public:
+  nfa take() && { return std::move(out_); }
+
+  // Returns {entry, exit} state ids for the fragment.
+  std::pair<int, int> build(const node& n) {
+    switch (n.kind()) {
+      case op::empty: {
+        const int s = fresh();
+        return {s, s};
+      }
+      case op::never: {
+        const int a = fresh();
+        const int b = fresh();  // unreachable exit
+        return {a, b};
+      }
+      case op::chars: {
+        const int a = fresh();
+        const int b = fresh();
+        out_.states[static_cast<std::size_t>(a)].edges.push_back({n.chars(), b});
+        return {a, b};
+      }
+      case op::concat: {
+        std::pair<int, int> all{-1, -1};
+        for (const auto& child : n.children()) {
+          const auto frag = build(*child);
+          if (all.first < 0) {
+            all = frag;
+          } else {
+            eps(all.second, frag.first);
+            all.second = frag.second;
+          }
+        }
+        return all;
+      }
+      case op::alt: {
+        const int a = fresh();
+        const int b = fresh();
+        for (const auto& child : n.children()) {
+          const auto frag = build(*child);
+          eps(a, frag.first);
+          eps(frag.second, b);
+        }
+        return {a, b};
+      }
+      case op::star: {
+        const int a = fresh();
+        const int b = fresh();
+        const auto frag = build(*n.children().front());
+        eps(a, b);
+        eps(a, frag.first);
+        eps(frag.second, frag.first);
+        eps(frag.second, b);
+        return {a, b};
+      }
+      case op::plus: {
+        const auto frag = build(*n.children().front());
+        const int b = fresh();
+        eps(frag.second, frag.first);
+        eps(frag.second, b);
+        return {frag.first, b};
+      }
+      case op::opt: {
+        const int a = fresh();
+        const int b = fresh();
+        const auto frag = build(*n.children().front());
+        eps(a, frag.first);
+        eps(a, b);
+        eps(frag.second, b);
+        return {a, b};
+      }
+    }
+    throw error("regex: unknown ast node");
+  }
+
+ private:
+  nfa out_;
+
+  int fresh() {
+    out_.states.emplace_back();
+    return static_cast<int>(out_.states.size() - 1);
+  }
+
+  void eps(int from, int to) {
+    out_.states[static_cast<std::size_t>(from)].eps.push_back(to);
+  }
+};
+
+void closure(const nfa& m, std::vector<int>& set, std::vector<char>& mark) {
+  std::vector<int> work = set;
+  while (!work.empty()) {
+    const int s = work.back();
+    work.pop_back();
+    for (int t : m.states[static_cast<std::size_t>(s)].eps) {
+      if (!mark[static_cast<std::size_t>(t)]) {
+        mark[static_cast<std::size_t>(t)] = 1;
+        set.push_back(t);
+        work.push_back(t);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+nfa build_nfa(const node_ptr& root) {
+  builder b;
+  const auto frag = b.build(*root);
+  nfa out = std::move(b).take();
+  out.start = frag.first;
+  out.accept = frag.second;
+  return out;
+}
+
+namespace {
+
+// Append `part`'s states to `out`, returning the index offset.
+int append_states(nfa& out, const nfa& part) {
+  const int offset = static_cast<int>(out.states.size());
+  for (const auto& s : part.states) {
+    nfa::state copy;
+    for (const auto& e : s.edges) copy.edges.push_back({e.on, e.target + offset});
+    for (int t : s.eps) copy.eps.push_back(t + offset);
+    out.states.push_back(std::move(copy));
+  }
+  return offset;
+}
+
+}  // namespace
+
+nfa nfa_concat(const nfa& a, const nfa& b) {
+  nfa out;
+  const int oa = append_states(out, a);
+  const int ob = append_states(out, b);
+  out.states[static_cast<std::size_t>(a.accept + oa)].eps.push_back(b.start + ob);
+  out.start = a.start + oa;
+  out.accept = b.accept + ob;
+  return out;
+}
+
+nfa nfa_union(const std::vector<nfa>& parts) {
+  nfa out;
+  out.states.emplace_back();  // start
+  out.states.emplace_back();  // accept
+  out.start = 0;
+  out.accept = 1;
+  for (const auto& part : parts) {
+    const int offset = append_states(out, part);
+    out.states[0].eps.push_back(part.start + offset);
+    out.states[static_cast<std::size_t>(part.accept + offset)].eps.push_back(1);
+  }
+  return out;
+}
+
+bool nfa::run(std::string_view text) const {
+  std::vector<char> mark(states.size(), 0);
+  std::vector<int> current{start};
+  mark[static_cast<std::size_t>(start)] = 1;
+  closure(*this, current, mark);
+  for (char raw : text) {
+    const auto byte = static_cast<unsigned char>(raw);
+    std::vector<int> next;
+    std::vector<char> next_mark(states.size(), 0);
+    for (int s : current) {
+      for (const auto& e : states[static_cast<std::size_t>(s)].edges) {
+        if (e.on.contains(byte) && !next_mark[static_cast<std::size_t>(e.target)]) {
+          next_mark[static_cast<std::size_t>(e.target)] = 1;
+          next.push_back(e.target);
+        }
+      }
+    }
+    closure(*this, next, next_mark);
+    current = std::move(next);
+    mark = std::move(next_mark);
+    if (current.empty()) return false;
+  }
+  return std::ranges::find(current, accept) != current.end();
+}
+
+}  // namespace jrf::regex

@@ -1,0 +1,41 @@
+// Thompson NFA construction.
+#pragma once
+
+#include <vector>
+
+#include "regex/ast.hpp"
+
+namespace jrf::regex {
+
+/// Nondeterministic finite automaton with epsilon transitions and
+/// class-labelled edges; single start and single accept state (Thompson
+/// invariant).
+struct nfa {
+  struct edge {
+    class_set on;
+    int target = 0;
+  };
+
+  struct state {
+    std::vector<edge> edges;
+    std::vector<int> eps;
+  };
+
+  std::vector<state> states;
+  int start = 0;
+  int accept = 0;
+
+  std::size_t size() const noexcept { return states.size(); }
+
+  /// Whole-string membership (reference semantics for tests; O(n*m)).
+  bool run(std::string_view text) const;
+};
+
+nfa build_nfa(const node_ptr& root);
+
+/// Thompson-style glue on already-built fragments (used when a fragment is
+/// only available as an automaton, e.g. the product of two range DFAs).
+nfa nfa_concat(const nfa& a, const nfa& b);
+nfa nfa_union(const std::vector<nfa>& parts);
+
+}  // namespace jrf::regex

@@ -1,0 +1,213 @@
+#include "regex/parser.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace jrf::regex {
+namespace {
+
+class parser {
+ public:
+  explicit parser(std::string_view pattern) : text_(pattern) {}
+
+  node_ptr run() {
+    node_ptr result = parse_alt();
+    if (!done()) fail("unexpected ')'");
+    return result;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char take() {
+    if (done()) fail("unexpected end of pattern");
+    return text_[pos_++];
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw parse_error("regex: " + message, pos_);
+  }
+
+  node_ptr parse_alt() {
+    std::vector<node_ptr> branches;
+    branches.push_back(parse_concat());
+    while (!done() && peek() == '|') {
+      ++pos_;
+      branches.push_back(parse_concat());
+    }
+    return alt(std::move(branches));
+  }
+
+  node_ptr parse_concat() {
+    std::vector<node_ptr> parts;
+    while (!done() && peek() != '|' && peek() != ')') parts.push_back(parse_repeat());
+    return concat(std::move(parts));
+  }
+
+  node_ptr parse_repeat() {
+    node_ptr atom = parse_atom();
+    while (!done()) {
+      const char c = peek();
+      if (c == '*') {
+        ++pos_;
+        atom = star(std::move(atom));
+      } else if (c == '+') {
+        ++pos_;
+        atom = plus(std::move(atom));
+      } else if (c == '?') {
+        ++pos_;
+        atom = opt(std::move(atom));
+      } else if (c == '{') {
+        ++pos_;
+        atom = parse_bounds(std::move(atom));
+      } else {
+        break;
+      }
+    }
+    return atom;
+  }
+
+  node_ptr parse_bounds(node_ptr atom) {
+    const std::size_t min = parse_count();
+    if (done()) fail("unterminated {}");
+    if (peek() == '}') {
+      ++pos_;
+      return repeat(std::move(atom), min);
+    }
+    if (take() != ',') fail("expected ',' in {}");
+    if (!done() && peek() == '}') {
+      ++pos_;
+      return at_least(std::move(atom), min);
+    }
+    const std::size_t max = parse_count();
+    if (take() != '}') fail("expected '}'");
+    if (max < min) fail("repetition bounds out of order");
+    std::vector<node_ptr> parts;
+    parts.push_back(repeat(atom, min));
+    for (std::size_t i = min; i < max; ++i) parts.push_back(opt(atom));
+    return concat(std::move(parts));
+  }
+
+  std::size_t parse_count() {
+    if (done() || peek() < '0' || peek() > '9') fail("expected repetition count");
+    std::size_t n = 0;
+    while (!done() && peek() >= '0' && peek() <= '9') {
+      n = n * 10 + static_cast<std::size_t>(take() - '0');
+      if (n > 4096) fail("repetition count too large");
+    }
+    return n;
+  }
+
+  node_ptr parse_atom() {
+    const char c = take();
+    switch (c) {
+      case '(': {
+        node_ptr inner = parse_alt();
+        if (done() || take() != ')') fail("expected ')'");
+        return inner;
+      }
+      case '[': return chars(parse_class());
+      case '.': return chars(class_set::all());
+      case '\\': return chars(parse_escape());
+      case '*':
+      case '+':
+      case '?': fail("quantifier with nothing to repeat");
+      default: return literal_char(static_cast<unsigned char>(c));
+    }
+  }
+
+  class_set parse_escape() {
+    const char c = take();
+    switch (c) {
+      case 'd': return class_set::digits();
+      case 'w': {
+        class_set s = class_set::digits();
+        s.add_range('a', 'z');
+        s.add_range('A', 'Z');
+        s.add('_');
+        return s;
+      }
+      case 's': {
+        class_set s;
+        s.add(' ');
+        s.add('\t');
+        s.add('\n');
+        s.add('\r');
+        return s;
+      }
+      case 'n': return class_set::single('\n');
+      case 't': return class_set::single('\t');
+      case 'r': return class_set::single('\r');
+      case 'x': {
+        unsigned code = 0;
+        for (int i = 0; i < 2; ++i) {
+          const char h = take();
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else fail("invalid \\x escape");
+        }
+        return class_set::single(static_cast<unsigned char>(code));
+      }
+      default: return class_set::single(static_cast<unsigned char>(c));
+    }
+  }
+
+  class_set parse_class() {
+    class_set out;
+    bool negate = false;
+    if (!done() && peek() == '^') {
+      negate = true;
+      ++pos_;
+    }
+    bool first = true;
+    while (true) {
+      if (done()) fail("unterminated character class");
+      char c = peek();
+      if (c == ']' && !first) {
+        ++pos_;
+        break;
+      }
+      first = false;
+      ++pos_;
+      class_set element;
+      if (c == '\\') {
+        element = parse_escape();
+      } else {
+        element = class_set::single(static_cast<unsigned char>(c));
+      }
+      // Range form a-b (only for single-byte endpoints, escaped or plain).
+      if (element.count() == 1 && !done() && peek() == '-' && pos_ + 1 < text_.size() &&
+          text_[pos_ + 1] != ']') {
+        unsigned char lo = 0;
+        for (unsigned b = 0; b < 256; ++b)
+          if (element.contains(static_cast<unsigned char>(b))) lo = static_cast<unsigned char>(b);
+        ++pos_;  // consume '-'
+        char hi = take();
+        if (hi == '\\') {
+          const class_set esc = parse_escape();
+          if (esc.count() != 1) fail("invalid range endpoint");
+          for (unsigned b = 0; b < 256; ++b)
+            if (esc.contains(static_cast<unsigned char>(b))) hi = static_cast<char>(b);
+        }
+        if (lo > static_cast<unsigned char>(hi)) fail("character range out of order");
+        out.add_range(lo, static_cast<unsigned char>(hi));
+      } else {
+        out |= element;
+      }
+    }
+    return negate ? out.complemented() : out;
+  }
+};
+
+}  // namespace
+
+node_ptr parse(std::string_view pattern) { return parser(pattern).run(); }
+
+}  // namespace jrf::regex

@@ -1,0 +1,16 @@
+// Text regex parser for a pragmatic dialect:
+//   literals, '.', escapes (\d \n \t \\ \. ...), [a-z0-9_], [^...],
+//   grouping (), alternation |, and postfix * + ? {n} {n,} {n,m}.
+// Anchors are implicit: the library always matches whole tokens.
+#pragma once
+
+#include <string_view>
+
+#include "regex/ast.hpp"
+
+namespace jrf::regex {
+
+/// Throws jrf::parse_error on malformed patterns.
+node_ptr parse(std::string_view pattern);
+
+}  // namespace jrf::regex

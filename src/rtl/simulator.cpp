@@ -1,0 +1,86 @@
+#include "rtl/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace jrf::rtl {
+
+using netlist::gate_kind;
+
+simulator::simulator(const netlist::network& net)
+    : net_(net), order_(net.topo_order()), values_(net.size(), 0) {
+  // Constants are sources: set once, never touched again.
+  for (netlist::node_id id = 0; id < net_.size(); ++id)
+    if (net_.at(id).kind == gate_kind::constant)
+      values_[id] = net_.at(id).value ? 1 : 0;
+}
+
+void simulator::reset() {
+  for (netlist::node_id reg : net_.registers()) values_[reg] = 0;
+  cycle_ = 0;
+}
+
+void simulator::set_input(netlist::node_id input, bool value) {
+  if (net_.at(input).kind != gate_kind::input)
+    throw error("rtl: set_input on non-input node");
+  values_[input] = value ? 1 : 0;
+}
+
+void simulator::set_bus(const netlist::bus& bus, std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    set_input(bus[i], (value >> i) & 1);
+}
+
+void simulator::settle() {
+  for (netlist::node_id id : order_) {
+    const auto& g = net_.at(id);
+    switch (g.kind) {
+      case gate_kind::not_gate:
+        values_[id] = values_[g.fanin[0]] ^ 1;
+        break;
+      case gate_kind::and_gate:
+        values_[id] = values_[g.fanin[0]] & values_[g.fanin[1]];
+        break;
+      case gate_kind::or_gate:
+        values_[id] = values_[g.fanin[0]] | values_[g.fanin[1]];
+        break;
+      case gate_kind::xor_gate:
+        values_[id] = values_[g.fanin[0]] ^ values_[g.fanin[1]];
+        break;
+      case gate_kind::mux:
+        values_[id] = values_[g.fanin[0]] ? values_[g.fanin[1]] : values_[g.fanin[2]];
+        break;
+      case gate_kind::constant:
+        values_[id] = g.value ? 1 : 0;
+        break;
+      case gate_kind::input:
+      case gate_kind::dff:
+        break;
+    }
+  }
+}
+
+void simulator::step() {
+  settle();
+  // Commit phase: all registers latch their data simultaneously.
+  std::vector<std::pair<netlist::node_id, char>> next;
+  next.reserve(net_.registers().size());
+  for (netlist::node_id reg : net_.registers()) {
+    const auto& fanin = net_.at(reg).fanin;
+    const netlist::node_id data = fanin[0];
+    if (data == netlist::no_node) throw error("rtl: unconnected register " + net_.at(reg).name);
+    const bool cleared = fanin.size() > 1 && fanin[1] != netlist::no_node &&
+                         values_[fanin[1]];
+    next.emplace_back(reg, cleared ? char{0} : values_[data]);
+  }
+  for (const auto& [reg, value] : next) values_[reg] = value;
+  ++cycle_;
+}
+
+std::uint64_t simulator::bus_value(const netlist::bus& bus) const {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    if (values_[bus[i]]) out |= 1ull << i;
+  return out;
+}
+
+}  // namespace jrf::rtl

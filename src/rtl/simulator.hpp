@@ -1,0 +1,52 @@
+// Cycle-accurate two-phase simulation of an elaborated netlist.
+//
+// This is the software stand-in for running the synthesized raw filters on
+// the Zynq-7000 programmable logic: each clock cycle evaluates the
+// combinational network and then commits all register next-state values
+// simultaneously, exactly as the flip-flops would on the rising edge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace jrf::rtl {
+
+class simulator {
+ public:
+  explicit simulator(const netlist::network& net);
+
+  /// Reset all registers to 0.
+  void reset();
+
+  /// Drive a primary input for subsequent cycles.
+  void set_input(netlist::node_id input, bool value);
+
+  /// Drive an input bus with an unsigned value (LSB first).
+  void set_bus(const netlist::bus& bus, std::uint64_t value);
+
+  /// Evaluate combinational logic with the current inputs (no clock edge).
+  void settle();
+
+  /// settle() + commit registers (one rising clock edge).
+  void step();
+
+  /// Value of any node after the last settle()/step().
+  bool value(netlist::node_id node) const { return values_[node]; }
+
+  std::uint64_t bus_value(const netlist::bus& bus) const;
+
+  std::uint64_t cycle() const noexcept { return cycle_; }
+
+  const netlist::network& net() const noexcept { return net_; }
+
+ private:
+  const netlist::network& net_;
+  std::vector<netlist::node_id> order_;
+  std::vector<char> values_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace jrf::rtl

@@ -1,0 +1,62 @@
+#include "rtl/vcd.hpp"
+
+#include "util/error.hpp"
+
+namespace jrf::rtl {
+
+vcd_writer::vcd_writer(std::ostream& out, std::string module_name)
+    : out_(out), module_(std::move(module_name)) {}
+
+std::string vcd_writer::make_id(std::size_t index) {
+  // Printable identifier characters per the VCD grammar: '!' .. '~'.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void vcd_writer::add_signal(const std::string& name, netlist::node_id node) {
+  add_bus(name, netlist::bus{node});
+}
+
+void vcd_writer::add_bus(const std::string& name, const netlist::bus& bus) {
+  if (started_) throw error("vcd: add after begin()");
+  signals_.push_back({name, bus, make_id(signals_.size()), ~0ull});
+}
+
+void vcd_writer::begin() {
+  out_ << "$timescale 5ns $end\n";  // 200 MHz clock
+  out_ << "$scope module " << module_ << " $end\n";
+  for (const auto& s : signals_) {
+    out_ << "$var wire " << s.bits.size() << " " << s.id << " " << s.name;
+    if (s.bits.size() > 1) out_ << " [" << s.bits.size() - 1 << ":0]";
+    out_ << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  started_ = true;
+}
+
+void vcd_writer::sample(const simulator& sim, std::uint64_t time) {
+  if (!started_) throw error("vcd: sample before begin()");
+  bool time_written = false;
+  for (auto& s : signals_) {
+    const std::uint64_t value = sim.bus_value(s.bits);
+    if (value == s.last) continue;
+    if (!time_written) {
+      out_ << "#" << time << "\n";
+      time_written = true;
+    }
+    if (s.bits.size() == 1) {
+      out_ << (value ? '1' : '0') << s.id << "\n";
+    } else {
+      out_ << "b";
+      for (std::size_t i = s.bits.size(); i-- > 0;) out_ << ((value >> i) & 1);
+      out_ << " " << s.id << "\n";
+    }
+    s.last = value;
+  }
+}
+
+}  // namespace jrf::rtl

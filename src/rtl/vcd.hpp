@@ -1,0 +1,49 @@
+// Value-change-dump writer for waveform inspection of simulated filters
+// (viewable in GTKWave; used by the rtl_trace example to reproduce the
+// spirit of the paper's Figure 1).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "rtl/simulator.hpp"
+
+namespace jrf::rtl {
+
+class vcd_writer {
+ public:
+  /// Signals are sampled from the simulator after each step().
+  vcd_writer(std::ostream& out, std::string module_name);
+
+  /// Register a single-bit signal.
+  void add_signal(const std::string& name, netlist::node_id node);
+
+  /// Register a multi-bit bus (LSB first).
+  void add_bus(const std::string& name, const netlist::bus& bus);
+
+  /// Write the header; call once after registering all signals.
+  void begin();
+
+  /// Emit value changes for the current simulator state at the given time.
+  void sample(const simulator& sim, std::uint64_t time);
+
+ private:
+  struct signal {
+    std::string name;
+    netlist::bus bits;
+    std::string id;       // VCD short identifier
+    std::uint64_t last = ~0ull;
+  };
+
+  std::ostream& out_;
+  std::string module_;
+  std::vector<signal> signals_;
+  bool started_ = false;
+
+  static std::string make_id(std::size_t index);
+};
+
+}  // namespace jrf::rtl

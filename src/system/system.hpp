@@ -1,0 +1,74 @@
+// System-architecture model (paper Section IV-B, Figure 4).
+//
+// The paper's prototype couples a Zynq-7000 processor system with
+// programmable logic holding 7 parallel raw-filter pipelines, each
+// consuming one byte per cycle at 200 MHz (1.4 GB/s theoretical); 44 MB of
+// inflated JSON moved through DMA achieved 1.33 GB/s, enough for a 10 GbE
+// line rate of 1.25 GB/s.
+//
+// This module reproduces that bandwidth accounting with a cycle-quantized
+// simulation: a DMA engine streams bursts from memory, a dispatcher deals
+// whole records round-robin to the lanes, each lane filters one byte per
+// cycle (using the behavioural engines, which the RTL suite proves
+// cycle-equivalent to the netlist), and match flags are written back. The
+// model charges DMA burst-setup overhead and lane-imbalance stalls - the
+// two effects that separate the measured 1.33 GB/s from the 1.4 GB/s
+// theoretical peak.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/expr.hpp"
+#include "core/raw_filter.hpp"
+
+namespace jrf::system {
+
+struct system_options {
+  int lanes = 7;                    // parallel RF pipelines (paper: 7)
+  double clock_mhz = 200.0;         // PL clock (paper: 200 MHz)
+  std::size_t dma_burst_bytes = 4096;  // bytes moved per DMA descriptor
+  int dma_setup_cycles = 12;        // descriptor setup / bus arbitration
+  std::size_t lane_fifo_bytes = 8192;  // per-lane input FIFO
+  core::filter_options filter;
+};
+
+struct throughput_report {
+  std::uint64_t bytes = 0;
+  std::uint64_t records = 0;
+  std::uint64_t accepted = 0;       // records forwarded to the CPU
+  std::uint64_t cycles = 0;         // total simulated PL cycles
+  std::uint64_t stall_cycles = 0;   // DMA setup + lane imbalance
+  double seconds = 0.0;             // cycles / clock
+  double gbytes_per_second = 0.0;   // end-to-end achieved rate
+  double theoretical_gbps = 0.0;    // lanes * clock (bytes/cycle = 1)
+  double line_rate_10gbe = 1.25;    // GB/s reference the paper compares to
+
+  std::string to_string() const;
+};
+
+/// Streams `stream` through the modelled system once and reports the
+/// achieved bandwidth. All lanes run the same compiled filter expression
+/// (the paper's deployment: one query, replicated pipelines).
+class filter_system {
+ public:
+  filter_system(core::expr_ptr expr, system_options options = {});
+
+  throughput_report run(std::string_view stream);
+
+  /// Per-record decisions of the last run (lane-merged, stream order).
+  const std::vector<bool>& decisions() const noexcept { return decisions_; }
+
+  const system_options& options() const noexcept { return options_; }
+
+ private:
+  system_options options_;
+  core::expr_ptr expr_;
+  std::vector<std::unique_ptr<core::raw_filter>> lanes_;
+  std::vector<bool> decisions_;
+};
+
+}  // namespace jrf::system

@@ -1,0 +1,75 @@
+// Arbitrary-precision decimal numbers with exact comparison.
+//
+// Number-range raw filters are specified with decimal bounds such as
+// `83.36 <= f <= 3322.67`. Representing bounds as doubles would make the
+// derived automata depend on binary rounding; this type keeps the exact
+// decimal digit strings, which is also precisely what the digit-wise DFA
+// construction consumes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace jrf::util {
+
+/// Immutable exact decimal value: sign * 0.digits * 10^(digits before point).
+/// Stored normalized: no leading integer zeros, no trailing fraction zeros,
+/// zero is canonical (non-negative, empty digit string).
+class decimal {
+ public:
+  /// Zero.
+  decimal() = default;
+
+  /// Exact conversion from an integer.
+  explicit decimal(std::int64_t value);
+
+  /// Parse a decimal literal: [+-]? digits [. digits]? ([eE][+-]?digits)?
+  /// Throws jrf::parse_error on malformed input.
+  static decimal parse(std::string_view text);
+
+  /// Like parse() but returns nullopt instead of throwing.
+  static std::optional<decimal> try_parse(std::string_view text) noexcept;
+
+  bool negative() const noexcept { return negative_; }
+  bool is_zero() const noexcept { return digits_.empty(); }
+  bool is_integer() const noexcept { return scale_ == 0; }
+
+  /// Digits of the integer part, no leading zeros; empty string for |x| < 1.
+  std::string int_digits() const;
+
+  /// Digits of the fractional part, trailing zeros stripped.
+  std::string frac_digits() const;
+
+  decimal negated() const;
+  decimal abs() const;
+
+  /// Truncation toward zero.
+  decimal truncated() const;
+
+  std::strong_ordering operator<=>(const decimal& other) const noexcept;
+  bool operator==(const decimal& other) const noexcept;
+
+  /// Canonical text, e.g. "-12.5", "0.7", "3322.67", "0".
+  std::string to_string() const;
+
+  /// Best-effort double conversion (used only for reporting, never for
+  /// filter construction).
+  double to_double() const;
+
+ private:
+  bool negative_ = false;
+  std::string digits_;  // integer and fraction digits concatenated
+  int scale_ = 0;       // how many of digits_ are fractional
+
+  void normalize();
+  static std::strong_ordering compare_magnitude(const decimal& a,
+                                                const decimal& b) noexcept;
+};
+
+/// True when lo <= x <= hi.
+bool in_range(const decimal& x, const decimal& lo, const decimal& hi) noexcept;
+
+}  // namespace jrf::util

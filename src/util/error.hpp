@@ -1,0 +1,29 @@
+// Error type shared by all jrf modules.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jrf {
+
+/// Base exception for all library errors (parse failures, invalid
+/// configurations, internal invariant violations surfaced to callers).
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when input text (JSON, regex, query, filter notation) is malformed.
+class parse_error : public error {
+ public:
+  parse_error(const std::string& what, std::size_t offset)
+      : error(what + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+}  // namespace jrf

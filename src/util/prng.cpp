@@ -1,0 +1,97 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace jrf::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+prng::prng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t prng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t prng::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Debiased via rejection from the top of the range.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t prng::range_i64(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double prng::uniform() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double prng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+double prng::normal() noexcept {
+  // Box-Muller; avoid log(0) by nudging u1 away from zero.
+  const double u1 = uniform() + 0x1.0p-60;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double prng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+bool prng::chance(double p) noexcept { return uniform() < p; }
+
+std::size_t prng::weighted(std::span<const double> weights) noexcept {
+  double total = 0;
+  for (double w : weights) total += w;
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::string prng::ascii(std::size_t length, std::string_view alphabet) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i)
+    out.push_back(alphabet[below(alphabet.size())]);
+  return out;
+}
+
+}  // namespace jrf::util

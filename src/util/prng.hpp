@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for dataset synthesis and
+// property tests. xoshiro256** seeded via splitmix64: fast, reproducible
+// across platforms (unlike std::mt19937 distributions, whose results are
+// implementation-defined for floating point).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace jrf::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class prng {
+ public:
+  explicit prng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range_i64(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic; no cached spare).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept;
+
+  /// Pick an index according to non-negative weights. Requires a non-empty
+  /// span with a positive total weight.
+  std::size_t weighted(std::span<const double> weights) noexcept;
+
+  /// Pick one element of a non-empty vector uniformly.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[below(items.size())];
+  }
+
+  /// Random ASCII string of the given length from the given alphabet.
+  std::string ascii(std::size_t length, std::string_view alphabet);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace jrf::util

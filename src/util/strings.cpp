@@ -1,0 +1,49 @@
+#include "util/strings.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace jrf::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string printable_byte(unsigned char byte) {
+  switch (byte) {
+    case '\n': return "\\n";
+    case '\t': return "\\t";
+    case '\r': return "\\r";
+    case '\\': return "\\\\";
+  }
+  if (byte >= 0x20 && byte < 0x7F) return std::string(1, static_cast<char>(byte));
+  std::array<char, 8> buf{};
+  std::snprintf(buf.data(), buf.size(), "\\x%02X", byte);
+  return buf.data();
+}
+
+std::string printable(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) out += printable_byte(static_cast<unsigned char>(c));
+  return out;
+}
+
+}  // namespace jrf::util

@@ -1,0 +1,22 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jrf::util {
+
+/// Split on a separator character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Join with a separator string.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Printable rendering of a byte for diagnostics: 'a', '\n', '\x07', ...
+std::string printable_byte(unsigned char byte);
+
+/// Render a string with non-printable bytes escaped.
+std::string printable(std::string_view text);
+
+}  // namespace jrf::util

@@ -1,0 +1,301 @@
+// Unit tests for the raw-filter primitives (paper Section III-A/III-B).
+#include "core/primitive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "numrange/range_spec.hpp"
+#include "util/error.hpp"
+
+namespace jrf::core {
+namespace {
+
+std::vector<int> fire_positions(primitive_engine& engine, std::string_view text) {
+  engine.reset();
+  std::vector<int> out;
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (engine.step(static_cast<unsigned char>(text[i])))
+      out.push_back(static_cast<int>(i));
+  return out;
+}
+
+bool fires_anywhere(const primitive_spec& spec, std::string_view text) {
+  const auto engine = make_engine(spec);
+  return !fire_positions(*engine, text).empty();
+}
+
+string_spec substr(std::string text, int block) {
+  return {string_technique::substring, block, std::move(text)};
+}
+
+string_spec dfa_spec(std::string text) {
+  return {string_technique::dfa, 0, std::move(text)};
+}
+
+// ---------------------------------------------------------------- substrings
+
+TEST(StringSpec, Table4SubstringsB1) {
+  // Paper Table IV: B = 1 gives the distinct characters.
+  const auto grams = substr("temperature", 1).substrings();
+  const std::vector<std::string> expected{"t", "e", "m", "p", "r", "a", "u"};
+  EXPECT_EQ(grams, expected);
+}
+
+TEST(StringSpec, Table4SubstringsB2) {
+  const auto grams = substr("temperature", 2).substrings();
+  const std::vector<std::string> expected{"te", "em", "mp", "pe", "er",
+                                          "ra", "at", "tu", "ur", "re"};
+  EXPECT_EQ(grams, expected);
+}
+
+TEST(StringSpec, Table4SubstringsB3) {
+  const auto grams = substr("temperature", 3).substrings();
+  const std::vector<std::string> expected{"tem", "emp", "mpe", "per", "era",
+                                          "rat", "atu", "tur", "ure"};
+  EXPECT_EQ(grams, expected);
+}
+
+TEST(StringSpec, FullLengthSingleSubstring) {
+  const auto grams = substr("temperature", 11).substrings();
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "temperature");
+}
+
+TEST(StringSpec, ThresholdIsNMinusBPlus1) {
+  EXPECT_EQ(substr("temperature", 1).threshold(), 11);
+  EXPECT_EQ(substr("temperature", 2).threshold(), 10);
+  EXPECT_EQ(substr("temperature", 11).threshold(), 1);
+}
+
+TEST(StringSpec, Notation) {
+  EXPECT_EQ(substr("light", 1).to_string(), "s1(\"light\")");
+  EXPECT_EQ(substr("light", 5).to_string(), "s5(\"light\")");
+  EXPECT_EQ(dfa_spec("light").to_string(), "dfa(\"light\")");
+}
+
+// ------------------------------------------------------------ exact matching
+
+class StringMatchExact : public ::testing::TestWithParam<primitive_spec> {};
+
+TEST_P(StringMatchExact, FindsTheNeedle) {
+  EXPECT_TRUE(fires_anywhere(GetParam(), R"({"n":"temperature","v":"3"})"));
+}
+
+TEST_P(StringMatchExact, FiresAtLastByteOfOccurrence) {
+  const auto engine = make_engine(GetParam());
+  const std::string text = "xxtemperaturexx";
+  const auto positions = fire_positions(*engine, text);
+  ASSERT_FALSE(positions.empty());
+  // First fire at the final 'e' (index 2 + 11 - 1 = 12).
+  EXPECT_EQ(positions.front(), 12);
+}
+
+TEST_P(StringMatchExact, NoFireOnUnrelatedText) {
+  EXPECT_FALSE(fires_anywhere(GetParam(), R"({"n":"humidity","v":"12"})"));
+}
+
+TEST_P(StringMatchExact, FindsBackToBackOccurrences) {
+  const auto engine = make_engine(GetParam());
+  EXPECT_EQ(fire_positions(*engine, "temperaturetemperature").size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Techniques, StringMatchExact,
+    ::testing::Values(primitive_spec{dfa_spec("temperature")},
+                      primitive_spec{substr("temperature", 11)}),
+    [](const auto& info) {
+      return std::get<string_spec>(info.param).technique == string_technique::dfa
+                 ? "dfa"
+                 : "full";
+    });
+
+TEST(DfaStringMatch, OverlappingOccurrences) {
+  // "aba" in "ababa" occurs at positions 2 and 4 (overlap at the shared 'a').
+  const auto engine = make_engine(primitive_spec{dfa_spec("aba")});
+  const auto positions = fire_positions(*engine, "ababa");
+  EXPECT_EQ(positions, (std::vector<int>{2, 4}));
+}
+
+TEST(FullStringMatch, StatePersistsAcrossBuffer) {
+  // The needle split across step calls is still found: the shift buffer is
+  // continuous over the stream.
+  const auto engine = make_engine(primitive_spec{substr("abcd", 4)});
+  engine->reset();
+  bool fired = false;
+  for (const char c : std::string("xabcdx"))
+    fired = engine->step(static_cast<unsigned char>(c)) || fired;
+  EXPECT_TRUE(fired);
+}
+
+// ----------------------------------------------------- approximate B < N run
+
+TEST(SubstringMatch, B1IsCharacterRunFilter) {
+  // B = 1 counts consecutive bytes from the character set; any permutation
+  // of the needle's characters of the right length fires (the paper's
+  // "tolls_amount" vs "total_amount" anagram effect).
+  EXPECT_TRUE(fires_anywhere(primitive_spec{substr("tolls_amount", 1)},
+                             R"("total_amount":12)"));
+  // B = 2 requires genuine bigrams and is immune to this collision.
+  EXPECT_FALSE(fires_anywhere(primitive_spec{substr("tolls_amount", 2)},
+                              R"("total_amount":12)"));
+  // Both find the true needle.
+  EXPECT_TRUE(fires_anywhere(primitive_spec{substr("tolls_amount", 1)},
+                             R"("tolls_amount":12)"));
+  EXPECT_TRUE(fires_anywhere(primitive_spec{substr("tolls_amount", 2)},
+                             R"("tolls_amount":12)"));
+}
+
+TEST(SubstringMatch, B2AcceptsGramPermutations) {
+  // False positives are possible when foreign text happens to chain N-B+1
+  // valid bigrams; "rere" contains "re", "er", "re" = 3 hits < threshold
+  // for "temperature" (10), so no fire.
+  EXPECT_FALSE(fires_anywhere(primitive_spec{substr("temperature", 2)}, "rerere"));
+  // ...but a full-length chain of valid bigrams fires even if it is not the
+  // needle: "temperatemp" chains grams of "temperature"? It does not - the
+  // bigram "at" then "te" breaks the chain. Use a genuine chain instead:
+  // "tematureture" style collisions are construction-dependent; verify the
+  // guarantee direction only: the needle always fires.
+  EXPECT_TRUE(fires_anywhere(primitive_spec{substr("temperature", 2)},
+                             "xxtemperaturexx"));
+}
+
+TEST(SubstringMatch, CounterResetsOnMiss) {
+  const auto engine = make_engine(primitive_spec{substr("abc", 1)});
+  engine->reset();
+  // a, b, miss, c: counter reaches 2, resets, then 1 -> never fires.
+  EXPECT_FALSE(engine->step('a'));
+  EXPECT_FALSE(engine->step('b'));
+  EXPECT_FALSE(engine->step('x'));
+  EXPECT_FALSE(engine->step('c'));
+  // a, c, b fires: B = 1 ignores order.
+  engine->reset();
+  EXPECT_FALSE(engine->step('a'));
+  EXPECT_FALSE(engine->step('c'));
+  EXPECT_TRUE(engine->step('b'));
+}
+
+TEST(SubstringMatch, DominatesExactMatcher) {
+  // Wherever the full-length matcher fires, every B-gram matcher fires too
+  // (possibly among extra false positives) - the paper's no-false-negative
+  // guarantee at primitive level.
+  const std::vector<std::string> corpus{
+      R"({"n":"temperature","v":"35.2"})",
+      "temperature",
+      "xxtemperaturexx",
+      "the temperature today",
+      "temperatemperature",
+  };
+  for (const std::string& text : corpus) {
+    for (int b = 1; b <= 11; ++b) {
+      SCOPED_TRACE("B=" + std::to_string(b) + " text=" + text);
+      EXPECT_TRUE(fires_anywhere(primitive_spec{substr("temperature", b)}, text));
+    }
+  }
+}
+
+TEST(SubstringMatch, SingleCharacterNeedle) {
+  const auto engine = make_engine(primitive_spec{substr("x", 1)});
+  const auto positions = fire_positions(*engine, "axbx");
+  EXPECT_EQ(positions, (std::vector<int>{1, 3}));
+}
+
+TEST(SubstringMatch, RejectsInvalidBlock) {
+  EXPECT_THROW(make_engine(primitive_spec{substr("abc", 0)}), error);
+  EXPECT_THROW(make_engine(primitive_spec{substr("abc", 4)}), error);
+  EXPECT_THROW(make_engine(primitive_spec{substr("", 1)}), error);
+}
+
+// ------------------------------------------------------------- value filter
+
+value_spec int_range(std::string_view lo, std::string_view hi) {
+  return {numrange::range_spec::integer_range(lo, hi), {}};
+}
+
+value_spec real_range(std::string_view lo, std::string_view hi) {
+  return {numrange::range_spec::real_range(lo, hi), {}};
+}
+
+TEST(ValueFilter, FiresOnTokenTerminator) {
+  const auto engine = make_engine(primitive_spec{int_range("12", "49")});
+  // "12," - the fire pulse arrives at the ',' that ends the token.
+  const auto positions = fire_positions(*engine, "12,");
+  EXPECT_EQ(positions, (std::vector<int>{2}));
+}
+
+TEST(ValueFilter, RejectsOutOfRange) {
+  const auto engine = make_engine(primitive_spec{int_range("12", "49")});
+  EXPECT_TRUE(fire_positions(*engine, "50,").empty());
+  EXPECT_TRUE(fire_positions(*engine, "11,").empty());
+  EXPECT_TRUE(fire_positions(*engine, "713,").empty());
+}
+
+TEST(ValueFilter, BoundsInclusive) {
+  const auto engine = make_engine(primitive_spec{int_range("12", "49")});
+  EXPECT_FALSE(fire_positions(*engine, "12,").empty());
+  EXPECT_FALSE(fire_positions(*engine, "49,").empty());
+}
+
+TEST(ValueFilter, QuotedNumbersStillMatch) {
+  // SenML stores numbers as strings; the quote is a non-token byte, so the
+  // token is sampled at the closing quote exactly like at a comma.
+  const auto engine = make_engine(primitive_spec{real_range("0.7", "35.1")});
+  EXPECT_FALSE(fire_positions(*engine, R"("v":"12")").empty());
+  EXPECT_TRUE(fire_positions(*engine, R"("v":"35.2")").empty());
+}
+
+TEST(ValueFilter, RunningExampleListing1) {
+  // Paper running example: [0.7, 35.1] over the Listing 1 values.
+  const auto engine = make_engine(primitive_spec{real_range("0.7", "35.1")});
+  EXPECT_TRUE(fire_positions(*engine, "35.2,").empty());   // temperature
+  EXPECT_FALSE(fire_positions(*engine, "12,").empty());    // humidity
+  EXPECT_TRUE(fire_positions(*engine, "713,").empty());    // light
+  EXPECT_TRUE(fire_positions(*engine, "305.01,").empty()); // dust
+  EXPECT_FALSE(fire_positions(*engine, "20,").empty());    // airquality
+}
+
+TEST(ValueFilter, ExponentEscapeHatch) {
+  // Any digits-then-e token is accepted regardless of range (paper rule:
+  // false positives allowed, false negatives never).
+  const auto engine = make_engine(primitive_spec{int_range("12", "49")});
+  EXPECT_FALSE(fire_positions(*engine, "9e3,").empty());
+  EXPECT_FALSE(fire_positions(*engine, "1E-2,").empty());
+  // A lone 'e' with no digits is not a number token worth accepting.
+  EXPECT_TRUE(fire_positions(*engine, "e3,").empty());
+}
+
+TEST(ValueFilter, TokenEndsAtEveryNonTokenByte) {
+  const auto engine = make_engine(primitive_spec{int_range("12", "49")});
+  // Letters split tokens: "a12a" yields token "12".
+  EXPECT_FALSE(fire_positions(*engine, "a12a").empty());
+  // Digits absorbed into a longer out-of-range token do not fire: "120".
+  EXPECT_TRUE(fire_positions(*engine, "a120a").empty());
+}
+
+TEST(ValueFilter, IntegerKindRejectsFractionSyntax) {
+  const auto engine = make_engine(primitive_spec{int_range("12", "49")});
+  EXPECT_TRUE(fire_positions(*engine, "12.5,").empty());
+}
+
+TEST(ValueFilter, RealKindAcceptsIntegerSyntax) {
+  const auto engine = make_engine(primitive_spec{real_range("0.7", "35.1")});
+  EXPECT_FALSE(fire_positions(*engine, "12,").empty());
+}
+
+TEST(ValueFilter, NegativeBounds) {
+  const auto engine = make_engine(
+      primitive_spec{value_spec{numrange::range_spec::real_range("-12.5", "43.1"), {}}});
+  EXPECT_FALSE(fire_positions(*engine, "-3.2,").empty());
+  EXPECT_TRUE(fire_positions(*engine, "-13,").empty());
+  EXPECT_FALSE(fire_positions(*engine, "0,").empty());
+}
+
+TEST(ValueFilter, BackToBackTokens) {
+  const auto engine = make_engine(primitive_spec{int_range("12", "49")});
+  const auto positions = fire_positions(*engine, "12,50,13,");
+  EXPECT_EQ(positions, (std::vector<int>{2, 8}));
+}
+
+}  // namespace
+}  // namespace jrf::core

@@ -1,0 +1,239 @@
+// Tests for composed raw filters: composition tree, structural groups,
+// record framing (paper Sections III-C, III-D and the Listing 1/2 running
+// example).
+#include "core/raw_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/expr.hpp"
+#include "numrange/range_spec.hpp"
+#include "util/error.hpp"
+
+namespace jrf::core {
+namespace {
+
+// Paper Listing 1 (SmartCity SenML record, abridged to the shown fields).
+const std::string kListing1 =
+    R"({"e":[)"
+    R"({"v":"35.2","u":"far","n":"temperature"},)"
+    R"({"v":"12","u":"per","n":"humidity"},)"
+    R"({"v":"713","u":"per","n":"light"},)"
+    R"({"v":"305.01","u":"per","n":"dust"},)"
+    R"({"v":"20","u":"per","n":"airquality_raw"})"
+    R"(],"bt":1422748800000})";
+
+primitive_spec s1_temperature() {
+  return string_spec{string_technique::substring, 1, "temperature"};
+}
+
+primitive_spec v_07_351() {
+  return value_spec{numrange::range_spec::real_range("0.7", "35.1"), {}};
+}
+
+TEST(FilterExpr, NotationMatchesPaper) {
+  const expr_ptr e = conj(
+      {make_group(group_kind::scope, {s1_temperature(), v_07_351()}),
+       value_leaf(numrange::range_spec::integer_range("12", "49"))});
+  EXPECT_EQ(e->to_string(),
+            "{ s1(\"temperature\") & v(0.7 <= f <= 35.1) } & v(12 <= i <= 49)");
+}
+
+TEST(FilterExpr, SingleChildCollapses) {
+  const expr_ptr l = string_leaf("light", 1);
+  EXPECT_EQ(conj({l}), l);
+  EXPECT_EQ(disj({l}), l);
+}
+
+TEST(FilterExpr, PrimitiveCountWalksGroups) {
+  const expr_ptr e = conj(
+      {make_group(group_kind::scope, {s1_temperature(), v_07_351()}),
+       string_leaf("humidity", 2)});
+  EXPECT_EQ(e->primitive_count(), 3);
+}
+
+TEST(FilterExpr, EmptyCompositionThrows) {
+  EXPECT_THROW(conj({}), error);
+  EXPECT_THROW(disj({}), error);
+  EXPECT_THROW(make_group(group_kind::scope, {}), error);
+}
+
+// ------------------------------------------------- the paper's running example
+
+TEST(RawFilter, FlatAndProducesTheIntroFalsePositive) {
+  // Section I: the record contains "temperature" and numbers (12, 20) in
+  // [0.7, 35.1], but the temperature value itself is 35.2 - a flat AND
+  // accepts (false positive).
+  raw_filter flat(conj({leaf(s1_temperature()), leaf(v_07_351())}));
+  EXPECT_TRUE(flat.accepts(kListing1));
+}
+
+TEST(RawFilter, StructuralGroupRemovesTheIntroFalsePositive) {
+  // Section III-C: requiring both primitives to fire in the same
+  // measurement object rejects the record.
+  raw_filter grouped(make_group(group_kind::scope,
+                                {s1_temperature(), v_07_351()}));
+  EXPECT_FALSE(grouped.accepts(kListing1));
+}
+
+TEST(RawFilter, StructuralGroupAcceptsTrueMatch) {
+  const std::string match =
+      R"({"e":[{"v":"21.5","u":"far","n":"temperature"}],"bt":1})";
+  raw_filter grouped(make_group(group_kind::scope,
+                                {s1_temperature(), v_07_351()}));
+  EXPECT_TRUE(grouped.accepts(match));
+}
+
+TEST(RawFilter, GroupNoFalseNegativeWhenValueEndsAtObjectClose) {
+  // The value token ends exactly at the measurement's closing brace; the
+  // group must still credit it to that scope (unquoted SenML variant).
+  const std::string match = R"({"e":[{"n":"temperature","v":21.5}],"bt":1})";
+  raw_filter grouped(make_group(group_kind::scope,
+                                {s1_temperature(), v_07_351()}));
+  EXPECT_TRUE(grouped.accepts(match));
+}
+
+// ----------------------------------------------------------- group semantics
+
+TEST(RawFilter, ScopeGroupSeparatesSiblingObjects) {
+  // "temperature" in object 1, in-range value only in object 2.
+  const std::string record =
+      R"({"e":[{"n":"temperature","v":"99"},{"n":"humidity","v":"12"}]})";
+  raw_filter grouped(make_group(group_kind::scope,
+                                {s1_temperature(), v_07_351()}));
+  EXPECT_FALSE(grouped.accepts(record));
+}
+
+TEST(RawFilter, ScopeGroupAllowsNestedSubObjects) {
+  // A nested object between the two member fires must not clear the
+  // latches of the enclosing measurement scope.
+  const std::string record =
+      R"({"e":[{"n":"temperature","meta":{"q":1422},"v":"21.5"}]})";
+  raw_filter grouped(make_group(group_kind::scope,
+                                {s1_temperature(), v_07_351()}));
+  EXPECT_TRUE(grouped.accepts(record));
+}
+
+TEST(RawFilter, PairGroupRequiresSamePair) {
+  const primitive_spec key = string_spec{string_technique::substring, 2, "fare_amount"};
+  const primitive_spec val =
+      value_spec{numrange::range_spec::real_range("6.00", "201.00"), {}};
+  raw_filter pair(make_group(group_kind::pair, {key, val}));
+  // Key and value in the same pair.
+  EXPECT_TRUE(pair.accepts(R"({"fare_amount":12.5,"tip_amount":900})"));
+  // Value in range belongs to a different pair.
+  EXPECT_FALSE(pair.accepts(R"({"fare_amount":999,"tip_amount":12.5})"));
+}
+
+TEST(RawFilter, PairGroupValueAtClosingBrace) {
+  const primitive_spec key = string_spec{string_technique::substring, 2, "fare_amount"};
+  const primitive_spec val =
+      value_spec{numrange::range_spec::real_range("6.00", "201.00"), {}};
+  raw_filter pair(make_group(group_kind::pair, {key, val}));
+  EXPECT_TRUE(pair.accepts(R"({"fare_amount":12.5})"));
+}
+
+TEST(RawFilter, SingleMemberGroupActsAsLeaf) {
+  raw_filter grouped(make_group(group_kind::scope, {s1_temperature()}));
+  raw_filter bare(leaf(s1_temperature()));
+  for (const std::string record :
+       {kListing1, std::string(R"({"n":"humidity"})"), std::string("{}")}) {
+    EXPECT_EQ(grouped.accepts(record), bare.accepts(record)) << record;
+  }
+}
+
+// --------------------------------------------------------------- composition
+
+TEST(RawFilter, DisjunctionNeverDropsBelowMembers) {
+  raw_filter either(disj({string_leaf("light", 1), string_leaf("dust", 1)}));
+  EXPECT_TRUE(either.accepts(R"({"n":"light"})"));
+  EXPECT_TRUE(either.accepts(R"({"n":"dust"})"));
+  EXPECT_FALSE(either.accepts(R"({"n":"humidity"})"));
+}
+
+TEST(RawFilter, ConjunctionOverRecordLatches) {
+  raw_filter both(conj({string_leaf("light", 1), string_leaf("dust", 1)}));
+  EXPECT_TRUE(both.accepts(R"({"a":"light","b":"dust"})"));
+  EXPECT_FALSE(both.accepts(R"({"a":"light"})"));
+}
+
+TEST(RawFilter, NestedAndOrTree) {
+  // (light | dust) & humidity
+  raw_filter f(conj({disj({string_leaf("light", 1), string_leaf("dust", 1)}),
+                     string_leaf("humidity", 1)}));
+  EXPECT_TRUE(f.accepts(R"({"a":"dust","b":"humidity"})"));
+  EXPECT_FALSE(f.accepts(R"({"a":"dust"})"));
+  EXPECT_FALSE(f.accepts(R"({"b":"humidity"})"));
+}
+
+// ------------------------------------------------------------ record framing
+
+TEST(RawFilter, StreamDecisionsPerRecord) {
+  raw_filter f(string_leaf("light", 1));
+  const std::string stream =
+      R"({"n":"light"})" "\n" R"({"n":"dust"})" "\n" R"({"n":"light"})" "\n";
+  const auto decisions = f.filter_stream(stream);
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_TRUE(decisions[0]);
+  EXPECT_FALSE(decisions[1]);
+  EXPECT_TRUE(decisions[2]);
+}
+
+TEST(RawFilter, TrailingRecordWithoutNewlineIsFlushed) {
+  raw_filter f(string_leaf("light", 1));
+  const auto decisions = f.filter_stream(R"({"n":"light"})");
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0]);
+}
+
+TEST(RawFilter, NoStateLeaksAcrossRecords) {
+  // "temperature" split across two records must not fire.
+  raw_filter f(string_leaf("temperature", 11));
+  const auto decisions = f.filter_stream("temper\nature\n");
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_FALSE(decisions[0]);
+  EXPECT_FALSE(decisions[1]);
+}
+
+TEST(RawFilter, MatchEndingExactlyAtSeparator) {
+  // A numeric token terminated by the record separator still counts for
+  // the record it belongs to.
+  raw_filter f(value_leaf(numrange::range_spec::integer_range("12", "49")));
+  const auto decisions = f.filter_stream("12\n50\n");
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_TRUE(decisions[0]);
+  EXPECT_FALSE(decisions[1]);
+}
+
+TEST(RawFilter, EmptyLinesAreNotRecords) {
+  raw_filter f(string_leaf("light", 1));
+  const auto decisions = f.filter_stream("\n\n{\"n\":\"light\"}\n\n");
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0]);
+}
+
+TEST(RawFilter, NullExpressionThrows) {
+  EXPECT_THROW(raw_filter(nullptr), error);
+}
+
+// --------------------------------------------------------- FPR bookkeeping
+
+TEST(FalsePositiveRate, CountsOverNegatives) {
+  // decisions: accept,accept,accept,reject; labels: pos,neg,neg,neg
+  const std::vector<bool> decisions{true, true, true, false};
+  const std::vector<bool> labels{true, false, false, false};
+  EXPECT_DOUBLE_EQ(false_positive_rate(decisions, labels), 2.0 / 3.0);
+}
+
+TEST(FalsePositiveRate, NoNegativesYieldsZero) {
+  EXPECT_DOUBLE_EQ(false_positive_rate({true}, {true}), 0.0);
+}
+
+TEST(FalsePositiveRate, SizeMismatchThrows) {
+  EXPECT_THROW(false_positive_rate({true}, {true, false}), error);
+}
+
+}  // namespace
+}  // namespace jrf::core

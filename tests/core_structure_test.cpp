@@ -1,0 +1,126 @@
+// Unit tests for the structural-awareness tracker (paper Section III-C).
+#include "core/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace jrf::core {
+namespace {
+
+std::vector<structure_state> trace(std::string_view text, int depth_bits = 5) {
+  structure_tracker tracker(depth_bits);
+  std::vector<structure_state> out;
+  out.reserve(text.size());
+  for (const char c : text) out.push_back(tracker.step(static_cast<unsigned char>(c)));
+  return out;
+}
+
+TEST(StructureTracker, DepthFollowsBrackets) {
+  const auto t = trace(R"({"e":[{"v":1}]})");
+  //                       0123456789...
+  EXPECT_EQ(t[0].depth, 1);   // {
+  EXPECT_EQ(t[5].depth, 2);   // [
+  EXPECT_EQ(t[6].depth, 3);   // {
+  EXPECT_EQ(t[12].depth, 2);  // }
+  EXPECT_EQ(t[13].depth, 1);  // ]
+  EXPECT_EQ(t[14].depth, 0);  // }
+}
+
+TEST(StructureTracker, DepthBeforeIsInteriorAtClose) {
+  const auto t = trace("{}");
+  EXPECT_EQ(t[1].depth_before, 1);
+  EXPECT_EQ(t[1].depth, 0);
+  EXPECT_TRUE(t[1].scope_close);
+}
+
+TEST(StructureTracker, ReturnsToZeroOnValidJson) {
+  for (const std::string text :
+       {R"({"a":1})", R"([1,[2,[3]]])", R"({"a":{"b":{"c":[]}}})"}) {
+    const auto t = trace(text);
+    EXPECT_EQ(t.back().depth, 0) << text;
+  }
+}
+
+TEST(StructureTracker, BracketsInsideStringsAreMasked) {
+  const auto t = trace(R"({"a":"}{]["})");
+  for (std::size_t i = 6; i <= 10; ++i) {
+    EXPECT_TRUE(t[i].masked) << i;
+    EXPECT_FALSE(t[i].scope_open) << i;
+    EXPECT_FALSE(t[i].scope_close) << i;
+  }
+  EXPECT_EQ(t.back().depth, 0);
+}
+
+TEST(StructureTracker, EscapedQuoteDoesNotCloseString) {
+  // "a\"}" is one string containing a quote and a brace.
+  const auto t = trace(R"({"k":"a\"}"})");
+  EXPECT_EQ(t.back().depth, 0);
+  // The brace inside the literal (index 9) is masked.
+  EXPECT_TRUE(t[9].masked);
+  EXPECT_FALSE(t[9].scope_close);
+}
+
+TEST(StructureTracker, DoubleBackslashEndsEscape) {
+  // "a\\" is a complete string; the following '}' is structural.
+  const auto t = trace(R"({"k":"a\\"})");
+  EXPECT_EQ(t.back().depth, 0);
+  EXPECT_TRUE(t.back().scope_close);
+}
+
+TEST(StructureTracker, PairBoundaryOnCommaAndClose) {
+  const auto t = trace(R"({"a":1,"b":2})");
+  EXPECT_TRUE(t[6].pair_boundary);   // ,
+  EXPECT_TRUE(t.back().pair_boundary);  // }
+  EXPECT_FALSE(t[1].pair_boundary);
+}
+
+TEST(StructureTracker, CommaInsideStringIsNotBoundary) {
+  const auto t = trace(R"({"a":"x,y"})");
+  EXPECT_FALSE(t[8].masked ? t[8].pair_boundary : true);
+  EXPECT_TRUE(t[8].masked);
+}
+
+TEST(StructureTracker, SaturatesAtDepthLimit) {
+  structure_tracker tracker(2);  // max depth 3
+  for (int i = 0; i < 10; ++i) tracker.step('[');
+  EXPECT_EQ(tracker.depth(), 3);
+  for (int i = 0; i < 10; ++i) tracker.step(']');
+  EXPECT_EQ(tracker.depth(), 0);  // clamps at zero, never negative
+}
+
+TEST(StructureTracker, ResetClearsStringState) {
+  structure_tracker tracker;
+  tracker.step('"');
+  EXPECT_TRUE(tracker.in_string());
+  tracker.reset();
+  EXPECT_FALSE(tracker.in_string());
+  EXPECT_EQ(tracker.depth(), 0);
+}
+
+TEST(StructureTracker, RejectsBadDepthBits) {
+  EXPECT_THROW(structure_tracker(0), error);
+  EXPECT_THROW(structure_tracker(17), error);
+}
+
+TEST(StructureTracker, Listing1MeasurementObjectsAtSameDepth) {
+  // The paper's running example: every measurement object of the SenML
+  // array lives at depth 3 (record object -> "e" array -> measurement).
+  const std::string record =
+      R"({"e":[{"v":"35.2","u":"far","n":"temperature"},)"
+      R"({"v":"12","u":"per","n":"humidity"}],"bt":1422748800000})";
+  structure_tracker tracker;
+  std::vector<int> open_depths;
+  for (const char c : record) {
+    const auto st = tracker.step(static_cast<unsigned char>(c));
+    if (st.scope_open && tracker.depth() == 3) open_depths.push_back(st.depth);
+  }
+  EXPECT_EQ(open_depths.size(), 2u);  // two measurement objects
+  EXPECT_EQ(tracker.depth(), 0);
+}
+
+}  // namespace
+}  // namespace jrf::core

@@ -1,0 +1,215 @@
+// Tests for design-space exploration: signal memoization correctness,
+// Pareto-front properties, sampling, and the evolutionary search.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/raw_filter.hpp"
+#include "data/smartcity.hpp"
+#include "dse/evolve.hpp"
+#include "dse/explore.hpp"
+#include "dse/signals.hpp"
+#include "query/eval.hpp"
+#include "query/parse.hpp"
+#include "query/riotbench.hpp"
+#include "util/error.hpp"
+
+namespace jrf::dse {
+namespace {
+
+std::string small_stream() {
+  static const std::string stream = data::smartcity_generator().stream(800);
+  return stream;
+}
+
+// ------------------------------------------------------------ signal table
+
+TEST(SignalTable, BareAtomMatchesRawFilter) {
+  const auto spec = core::string_spec{core::string_technique::substring, 1,
+                                      "temperature"};
+  const std::vector<atom> atoms{atom::bare(spec)};
+  const signal_table table(atoms, small_stream());
+
+  core::raw_filter reference(core::leaf(spec));
+  const auto expected = reference.filter_stream(small_stream());
+  ASSERT_EQ(table.record_count(), expected.size());
+  for (std::size_t r = 0; r < expected.size(); ++r)
+    EXPECT_EQ(table.fired(r, 0), expected[r]) << r;
+}
+
+TEST(SignalTable, GroupAtomMatchesRawFilter) {
+  const auto s = core::string_spec{core::string_technique::substring, 1,
+                                   "temperature"};
+  const auto v =
+      core::value_spec{numrange::range_spec::real_range("0.7", "35.1"), {}};
+  const std::vector<atom> atoms{
+      atom::make_group(core::group_kind::scope, {s, v})};
+  const signal_table table(atoms, small_stream());
+
+  core::raw_filter reference(
+      core::make_group(core::group_kind::scope, {s, v}));
+  const auto expected = reference.filter_stream(small_stream());
+  ASSERT_EQ(table.record_count(), expected.size());
+  for (std::size_t r = 0; r < expected.size(); ++r)
+    EXPECT_EQ(table.fired(r, 0), expected[r]) << r;
+}
+
+TEST(SignalTable, ConjunctionFprMatchesComposedFilter) {
+  const auto s = core::string_spec{core::string_technique::substring, 1,
+                                   "humidity"};
+  const auto v =
+      core::value_spec{numrange::range_spec::real_range("20.3", "69.1"), {}};
+  const std::vector<atom> atoms{atom::bare(s), atom::bare(v)};
+  const signal_table table(atoms, small_stream());
+
+  const auto q = query::riotbench::qs0();
+  const auto labels = query::label_stream(q, small_stream());
+  const auto packed = signal_table::pack(labels);
+
+  core::raw_filter composed(core::conj({core::leaf(s), core::leaf(v)}));
+  const double expected = core::false_positive_rate(
+      composed.filter_stream(small_stream()), labels);
+  const std::vector<std::size_t> lanes{0, 1};
+  EXPECT_DOUBLE_EQ(conjunction_fpr(table, lanes, packed), expected);
+}
+
+// ------------------------------------------------------------- exploration
+
+class ExploreFixture : public ::testing::Test {
+ protected:
+  static const exploration& result() {
+    static const exploration r = [] {
+      const auto q = query::riotbench::qs0();
+      const auto labels = query::label_stream(q, small_stream());
+      explore_options options;
+      options.exact_pareto = false;
+      return explore(q, small_stream(), labels, options);
+    }();
+    return r;
+  }
+};
+
+TEST_F(ExploreFixture, EnumeratesFullCrossProduct) {
+  // 5 predicates x (omit + value + 3x(string/flat/grouped)) = 11^5 - 1.
+  EXPECT_EQ(result().points.size(), 161050u);
+}
+
+TEST_F(ExploreFixture, FrontIsNonDominated) {
+  for (const std::size_t a : result().pareto)
+    for (const std::size_t b : result().pareto) {
+      if (a == b) continue;
+      const auto& pa = result().points[a];
+      const auto& pb = result().points[b];
+      const bool dominates = pa.fpr <= pb.fpr && pa.luts <= pb.luts &&
+                             (pa.fpr < pb.fpr || pa.luts < pb.luts);
+      EXPECT_FALSE(dominates) << a << " dominates " << b;
+    }
+}
+
+TEST_F(ExploreFixture, FrontCoversEveryPoint) {
+  // Every point is weakly dominated by some front point.
+  for (std::size_t i = 0; i < result().points.size(); i += 997) {
+    const auto& p = result().points[i];
+    bool covered = false;
+    for (const std::size_t f : result().pareto) {
+      const auto& q = result().points[f];
+      if (q.fpr <= p.fpr && q.luts <= p.luts) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << i;
+  }
+}
+
+TEST_F(ExploreFixture, FrontSortedAndMonotone) {
+  const auto& front = result().pareto;
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LT(result().points[front[i - 1]].luts,
+              result().points[front[i]].luts);
+    EXPECT_GT(result().points[front[i - 1]].fpr,
+              result().points[front[i]].fpr);
+  }
+}
+
+TEST_F(ExploreFixture, AttributesCountedPerPoint) {
+  for (std::size_t i = 0; i < result().points.size(); i += 1777) {
+    const auto& p = result().points[i];
+    int attrs = 0;
+    for (const auto& c : p.choices)
+      if (c.mode != query::attribute_mode::omit) ++attrs;
+    EXPECT_EQ(p.attributes, attrs);
+    EXPECT_GE(p.attributes, 1);
+  }
+}
+
+TEST(Explore, RejectsDisjunctiveQueries) {
+  const auto q = query::parse_filter_expression(
+      R"(("a" >= 1) OR ("b" >= 2))");
+  const std::vector<bool> labels;
+  EXPECT_THROW(explore(q, "", labels), error);
+}
+
+TEST(Explore, RejectsLabelMismatch) {
+  const auto q = query::riotbench::qs0();
+  const std::vector<bool> labels(3, false);  // stream has more records
+  EXPECT_THROW(explore(q, small_stream(), labels), error);
+}
+
+TEST(Explore, SamplingApproximatesFullFpr) {
+  const auto q = query::riotbench::qs0();
+  const auto labels = query::label_stream(q, small_stream());
+  explore_options full_options;
+  full_options.exact_pareto = false;
+  const auto full = explore(q, small_stream(), labels, full_options);
+
+  explore_options sampled_options = full_options;
+  sampled_options.sample_fraction = 0.5;
+  const auto sampled = explore(q, small_stream(), labels, sampled_options);
+  ASSERT_EQ(sampled.points.size(), full.points.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < full.points.size(); i += 509)
+    worst = std::max(worst,
+                     std::abs(full.points[i].fpr - sampled.points[i].fpr));
+  EXPECT_LT(worst, 0.25);  // half the records still tracks the trend
+}
+
+// -------------------------------------------------------------- evolution
+
+TEST(Evolve, FrontIsNonDominatedAndViable) {
+  const auto q = query::riotbench::qs0();
+  const auto labels = query::label_stream(q, small_stream());
+  evolve_options options;
+  options.generations = 8;
+  options.population = 24;
+  options.space.exact_pareto = false;
+  const auto result = evolve(q, small_stream(), labels, options);
+
+  ASSERT_FALSE(result.front.empty());
+  EXPECT_GT(result.evaluations, 0u);
+  for (const auto& a : result.front) {
+    EXPECT_GE(a.attributes, 1);
+    for (const auto& b : result.front) {
+      const bool dominates = b.fpr <= a.fpr && b.luts <= a.luts &&
+                             (b.fpr < a.fpr || b.luts < a.luts);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(Evolve, DeterministicForSeed) {
+  const auto q = query::riotbench::qs0();
+  const auto labels = query::label_stream(q, small_stream());
+  evolve_options options;
+  options.generations = 4;
+  options.population = 16;
+  options.space.exact_pareto = false;
+  const auto a = evolve(q, small_stream(), labels, options);
+  const auto b = evolve(q, small_stream(), labels, options);
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i)
+    EXPECT_EQ(a.front[i].notation, b.front[i].notation);
+}
+
+}  // namespace
+}  // namespace jrf::dse

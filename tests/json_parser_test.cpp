@@ -1,0 +1,137 @@
+#include "json/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "json/writer.hpp"
+#include "util/error.hpp"
+
+namespace jrf::json {
+namespace {
+
+TEST(JsonParser, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_EQ(parse("42").as_number().to_string(), "42");
+  EXPECT_EQ(parse("-3.5").as_number().to_string(), "-3.5");
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParser, NumbersKeptExact) {
+  EXPECT_EQ(parse("1422748800000").as_number().to_string(), "1422748800000");
+  EXPECT_EQ(parse("2.1e3").as_number().to_string(), "2100");
+  EXPECT_EQ(parse("100e-1").as_number().to_string(), "10");
+  EXPECT_EQ(parse("0.30000000000000004").as_number().to_string(),
+            "0.30000000000000004");
+}
+
+TEST(JsonParser, Arrays) {
+  const value v = parse("[1, 2, 3]");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 3u);
+  EXPECT_EQ(v.as_array()[2].as_number().to_string(), "3");
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_TRUE(parse("[ ]").as_array().empty());
+}
+
+TEST(JsonParser, Objects) {
+  const value v = parse(R"({"a": 1, "b": "two"})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.as_object().size(), 2u);
+  EXPECT_EQ(v.find("a")->as_number().to_string(), "1");
+  EXPECT_EQ(v.find("b")->as_string(), "two");
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_TRUE(parse("{}").as_object().empty());
+}
+
+TEST(JsonParser, MemberOrderPreserved) {
+  const value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = v.as_object();
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParser, DuplicateKeysAllowed) {
+  const value v = parse(R"({"k": 1, "k": 2})");
+  EXPECT_EQ(v.as_object().size(), 2u);
+  EXPECT_EQ(v.find("k")->as_number().to_string(), "1");
+}
+
+TEST(JsonParser, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse(R"("a\\b")").as_string(), "a\\b");
+  EXPECT_EQ(parse(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(parse(R"("a\tb")").as_string(), "a\tb");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xC3\xA9");
+  EXPECT_EQ(parse(R"("€")").as_string(), "\xE2\x82\xAC");
+}
+
+TEST(JsonParser, NestedStructures) {
+  const value v = parse(R"({"e":[{"v":"35.2","u":"far","n":"temperature"}],"bt":1422748800000})");
+  const value* e = v.find("e");
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->is_array());
+  const value& m = e->as_array()[0];
+  EXPECT_EQ(m.find("n")->as_string(), "temperature");
+  EXPECT_EQ(m.find("v")->as_string(), "35.2");
+  EXPECT_EQ(v.find("bt")->as_number().to_string(), "1422748800000");
+}
+
+TEST(JsonParser, NumericViewOfQuotedValues) {
+  const value v = parse(R"({"v":"35.2"})");
+  const auto n = v.find("v")->numeric();
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->to_string(), "35.2");
+  EXPECT_FALSE(parse(R"({"v":"far"})").find("v")->numeric().has_value());
+  EXPECT_FALSE(parse("[null]").as_array()[0].numeric().has_value());
+}
+
+TEST(JsonParser, RejectsMalformed) {
+  for (const char* text :
+       {"", "{", "}", "[", "[1,", "{\"a\"}", "{\"a\":}", "{a:1}", "tru",
+        "01", "1.", "1e", "\"unterminated", "[1 2]", "{\"a\":1,}",
+        "\"bad\\escape\"", "nan", "+1"}) {
+    EXPECT_THROW(parse(text), jrf::parse_error) << text;
+  }
+}
+
+TEST(JsonParser, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse("1 2"), jrf::parse_error);
+  EXPECT_THROW(parse("{} x"), jrf::parse_error);
+  EXPECT_NO_THROW(parse("  {}  "));
+}
+
+TEST(JsonParser, RejectsControlCharactersInStrings) {
+  EXPECT_THROW(parse("\"a\nb\""), jrf::parse_error);
+}
+
+TEST(JsonParser, RejectsDeepNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_THROW(parse(deep), jrf::parse_error);
+}
+
+TEST(JsonParser, ParsePrefixReportsConsumed) {
+  std::size_t consumed = 0;
+  const value v = parse_prefix("{\"a\":1}rest", consumed);
+  EXPECT_EQ(consumed, 7u);
+  EXPECT_TRUE(v.is_object());
+}
+
+TEST(JsonParser, RoundTripThroughWriter) {
+  const char* docs[] = {
+      R"({"e":[{"v":"35.2","u":"far","n":"temperature"},{"v":"12","u":"per","n":"humidity"}],"bt":1422748800000})",
+      R"([1,2.5,"x",null,true,false,{"nested":[{}]}])",
+      R"({"s":"quote \" backslash \\ newline \n"})",
+  };
+  for (const char* doc : docs) {
+    const value v = parse(doc);
+    const value again = parse(write(v));
+    EXPECT_TRUE(v == again) << doc;
+  }
+}
+
+}  // namespace
+}  // namespace jrf::json

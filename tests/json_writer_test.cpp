@@ -1,0 +1,55 @@
+#include "json/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "json/parser.hpp"
+
+namespace jrf::json {
+namespace {
+
+TEST(JsonWriter, Scalars) {
+  EXPECT_EQ(write(value()), "null");
+  EXPECT_EQ(write(value(true)), "true");
+  EXPECT_EQ(write(value(false)), "false");
+  EXPECT_EQ(write(value(util::decimal::parse("35.2"))), "35.2");
+  EXPECT_EQ(write(value(std::string("hi"))), "\"hi\"");
+}
+
+TEST(JsonWriter, CompactContainers) {
+  EXPECT_EQ(write(parse("[1, 2, 3]")), "[1,2,3]");
+  EXPECT_EQ(write(parse(R"({ "a" : 1 , "b" : [ ] })")), R"({"a":1,"b":[]})");
+  EXPECT_EQ(write(parse("[]")), "[]");
+  EXPECT_EQ(write(parse("{}")), "{}");
+}
+
+TEST(JsonWriter, EscapesSpecials) {
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("a\nb"), "a\\nb");
+  EXPECT_EQ(escape("tab\there"), "tab\\there");
+  EXPECT_EQ(escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, PreservesMemberOrder) {
+  EXPECT_EQ(write(parse(R"({"z":1,"a":2})")), R"({"z":1,"a":2})");
+}
+
+TEST(JsonWriter, ListingOneRoundTrip) {
+  // The paper's running example (Listing 1), compacted.
+  const std::string doc =
+      R"({"e":[{"v":"35.2","u":"far","n":"temperature"},)"
+      R"({"v":"12","u":"per","n":"humidity"},)"
+      R"({"v":"713","u":"per","n":"light"},)"
+      R"({"v":"305.01","u":"per","n":"dust"},)"
+      R"({"v":"20","u":"per","n":"airquality_raw"}],"bt":1422748800000})";
+  EXPECT_EQ(write(parse(doc)), doc);
+}
+
+TEST(JsonWriter, WriteToAppends) {
+  std::string out = "prefix:";
+  write_to(parse("[1]"), out);
+  EXPECT_EQ(out, "prefix:[1]");
+}
+
+}  // namespace
+}  // namespace jrf::json

@@ -1,0 +1,164 @@
+#include "lut/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builders.hpp"
+#include "util/error.hpp"
+
+namespace jrf::lut {
+namespace {
+
+using netlist::bus;
+using netlist::input_bus;
+using netlist::network;
+using netlist::node_id;
+
+TEST(LutMapper, EmptyNetwork) {
+  network net;
+  const report r = map_network(net);
+  EXPECT_EQ(r.luts, 0);
+  EXPECT_EQ(r.ffs, 0);
+  EXPECT_EQ(r.depth, 0);
+}
+
+TEST(LutMapper, SingleGateIsOneLut) {
+  network net;
+  const node_id a = net.input("a");
+  const node_id b = net.input("b");
+  net.mark_output(net.and_gate(a, b), "y");
+  const report r = map_network(net);
+  EXPECT_EQ(r.luts, 1);
+  EXPECT_EQ(r.depth, 1);
+}
+
+TEST(LutMapper, SixInputFunctionFitsOneLut6) {
+  network net;
+  std::vector<node_id> inputs;
+  for (int i = 0; i < 6; ++i) inputs.push_back(net.input("i" + std::to_string(i)));
+  net.mark_output(net.and_all(inputs), "y");
+  const report r = map_network(net);
+  EXPECT_EQ(r.luts, 1);
+  EXPECT_EQ(r.depth, 1);
+}
+
+TEST(LutMapper, EightInputAndNeedsTwoLuts) {
+  network net;
+  std::vector<node_id> inputs;
+  for (int i = 0; i < 8; ++i) inputs.push_back(net.input("i" + std::to_string(i)));
+  net.mark_output(net.and_all(inputs), "y");
+  const report r = map_network(net);
+  EXPECT_EQ(r.luts, 2);
+  EXPECT_EQ(r.depth, 2);
+}
+
+TEST(LutMapper, TwelveInputAndNeedsThreeLuts) {
+  network net;
+  std::vector<node_id> inputs;
+  for (int i = 0; i < 12; ++i) inputs.push_back(net.input("i" + std::to_string(i)));
+  net.mark_output(net.and_all(inputs), "y");
+  const report r = map_network(net);
+  // 12 inputs: two LUT6 feeding one combiner (3) is optimal with K=6.
+  EXPECT_EQ(r.luts, 3);
+  EXPECT_EQ(r.depth, 2);
+}
+
+TEST(LutMapper, InverterIsFree) {
+  network net;
+  const node_id a = net.input("a");
+  net.mark_output(net.not_gate(a), "y");
+  const report r = map_network(net);
+  EXPECT_EQ(r.luts, 0);
+}
+
+TEST(LutMapper, InvertersInsideConesAreAbsorbed) {
+  network net;
+  const node_id a = net.input("a");
+  const node_id b = net.input("b");
+  const node_id c = net.input("c");
+  const node_id y =
+      net.or_gate(net.and_gate(net.not_gate(a), b), net.not_gate(c));
+  net.mark_output(y, "y");
+  const report r = map_network(net);
+  EXPECT_EQ(r.luts, 1);  // 3-input function despite the NOT gates
+}
+
+TEST(LutMapper, SharedLogicCountedOnce) {
+  network net;
+  std::vector<node_id> inputs;
+  for (int i = 0; i < 6; ++i) inputs.push_back(net.input("i" + std::to_string(i)));
+  const node_id shared = net.and_all(inputs);
+  const node_id p = net.input("p");
+  const node_id q = net.input("q");
+  net.mark_output(net.and_gate(shared, p), "y1");
+  net.mark_output(net.or_gate(shared, q), "y2");
+  const report r = map_network(net);
+  EXPECT_EQ(r.luts, 3);  // shared LUT6 + two 2-input combiners
+}
+
+TEST(LutMapper, RegistersCountedAsFfs) {
+  network net;
+  const node_id a = net.input("a");
+  const bus regs = netlist::dff_bus(net, "r", 4);
+  for (std::size_t i = 0; i < regs.size(); ++i)
+    net.connect_dff(regs[i], net.xor_gate(regs[i], a));
+  const report r = map_network(net);
+  EXPECT_EQ(r.ffs, 4);
+  EXPECT_GE(r.luts, 1);
+}
+
+TEST(LutMapper, EqualityComparatorCost) {
+  // An 8-bit equality against a constant is a single 8-input AND of
+  // literals: 2 LUT6s is the known-optimal structural cover.
+  network net;
+  const bus x = input_bus(net, "x", 8);
+  net.mark_output(netlist::eq_const(net, x, 0x5A), "y");
+  const report r = map_network(net);
+  EXPECT_EQ(r.luts, 2);
+}
+
+TEST(LutMapper, Lut4MappingIsLarger) {
+  // The same logic mapped for a LUT4 device must not get cheaper.
+  network net;
+  const bus x = input_bus(net, "x", 8);
+  net.mark_output(netlist::eq_const(net, x, 0x5A), "y");
+  mapping_options lut6;
+  mapping_options lut4;
+  lut4.k = 4;
+  EXPECT_GE(map_network(net, lut4).luts, map_network(net, lut6).luts);
+}
+
+TEST(LutMapper, RejectsSillyK) {
+  network net;
+  mapping_options options;
+  options.k = 1;
+  EXPECT_THROW(map_network(net, options), jrf::error);
+}
+
+TEST(LutMapper, ConstantOutputCostsNothing) {
+  network net;
+  net.mark_output(net.constant(true), "y");
+  const report r = map_network(net);
+  EXPECT_EQ(r.luts, 0);
+}
+
+TEST(LutMapper, ReportToString) {
+  report r;
+  r.luts = 13;
+  r.ffs = 5;
+  r.depth = 2;
+  EXPECT_EQ(r.to_string(), "13 LUTs, 5 FFs, depth 2");
+}
+
+TEST(LutMapper, WideOrTreeScalesSubLinearly) {
+  // 36 inputs OR-reduced: 6 LUT6 + 1 combiner at K=6.
+  network net;
+  std::vector<node_id> inputs;
+  for (int i = 0; i < 36; ++i) inputs.push_back(net.input("i" + std::to_string(i)));
+  net.mark_output(net.or_all(inputs), "y");
+  const report r = map_network(net);
+  EXPECT_LE(r.luts, 7);
+  EXPECT_GE(r.luts, 6);
+}
+
+}  // namespace
+}  // namespace jrf::lut

@@ -1,0 +1,277 @@
+#include "netlist/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numrange/builder.hpp"
+#include "numrange/range_spec.hpp"
+#include "rtl/simulator.hpp"
+#include "util/prng.hpp"
+
+namespace jrf::netlist {
+namespace {
+
+TEST(Builders, EqConstExhaustive) {
+  network net;
+  const bus x = input_bus(net, "x", 8);
+  const node_id is_42 = eq_const(net, x, 42);
+  net.mark_output(is_42, "y");
+  rtl::simulator sim(net);
+  for (unsigned v = 0; v < 256; ++v) {
+    sim.set_bus(x, v);
+    sim.settle();
+    EXPECT_EQ(sim.value(is_42), v == 42) << v;
+  }
+}
+
+TEST(Builders, EqConstOutOfRangeIsFalse) {
+  network net;
+  const bus x = input_bus(net, "x", 4);
+  EXPECT_EQ(eq_const(net, x, 16), net.constant(false));
+}
+
+TEST(Builders, ComparatorsExhaustive) {
+  for (const unsigned bound : {0u, 1u, 42u, 127u, 128u, 200u, 255u}) {
+    network net;
+    const bus x = input_bus(net, "x", 8);
+    const node_id ge = ge_const(net, x, bound);
+    const node_id le = le_const(net, x, bound);
+    rtl::simulator sim(net);
+    for (unsigned v = 0; v < 256; ++v) {
+      sim.set_bus(x, v);
+      sim.settle();
+      EXPECT_EQ(sim.value(ge), v >= bound) << v << " >= " << bound;
+      EXPECT_EQ(sim.value(le), v <= bound) << v << " <= " << bound;
+    }
+  }
+}
+
+TEST(Builders, InClassExhaustive) {
+  regex::class_set cls;
+  cls.add_range('a', 'z');
+  cls.add('_');
+  cls.add_range('0', '9');
+  cls.add(0xFF);
+  network net;
+  const bus x = input_bus(net, "x", 8);
+  const node_id hit = in_class(net, x, cls);
+  net.mark_output(hit, "y");
+  rtl::simulator sim(net);
+  for (unsigned v = 0; v < 256; ++v) {
+    sim.set_bus(x, v);
+    sim.settle();
+    EXPECT_EQ(sim.value(hit), cls.contains(static_cast<unsigned char>(v))) << v;
+  }
+}
+
+TEST(Builders, InClassFullAndEmpty) {
+  network net;
+  const bus x = input_bus(net, "x", 8);
+  EXPECT_EQ(in_class(net, x, regex::class_set::all()), net.constant(true));
+  EXPECT_EQ(in_class(net, x, regex::class_set{}), net.constant(false));
+}
+
+TEST(Builders, IncrementWraps) {
+  network net;
+  const bus x = input_bus(net, "x", 4);
+  const bus y = increment(net, x);
+  rtl::simulator sim(net);
+  for (unsigned v = 0; v < 16; ++v) {
+    sim.set_bus(x, v);
+    sim.settle();
+    EXPECT_EQ(sim.bus_value(y), (v + 1) % 16) << v;
+  }
+}
+
+TEST(Builders, MatchCounterCountsAndResets) {
+  network net;
+  const node_id advance = net.input("advance");
+  const bus counter = match_counter(net, advance, 4, "cnt");
+  rtl::simulator sim(net);
+  sim.reset();
+  sim.set_input(advance, true);
+  for (unsigned i = 1; i <= 5; ++i) {
+    sim.step();
+    EXPECT_EQ(sim.bus_value(counter), i);
+  }
+  sim.set_input(advance, false);
+  sim.step();
+  EXPECT_EQ(sim.bus_value(counter), 0u);
+  sim.set_input(advance, true);
+  sim.step();
+  EXPECT_EQ(sim.bus_value(counter), 1u);
+}
+
+TEST(Builders, MatchCounterWrapsAtWidth) {
+  network net;
+  const node_id advance = net.input("advance");
+  const bus counter = match_counter(net, advance, 3, "cnt");
+  rtl::simulator sim(net);
+  sim.reset();
+  sim.set_input(advance, true);
+  for (int i = 0; i < 8; ++i) sim.step();
+  EXPECT_EQ(sim.bus_value(counter), 0u);  // 8 mod 2^3
+}
+
+TEST(Builders, ShiftBytesDelaysStream) {
+  network net;
+  const bus byte = input_bus(net, "b", 8);
+  const auto stages = shift_bytes(net, byte, 3, net.constant(false), "sh");
+  rtl::simulator sim(net);
+  sim.reset();
+  const unsigned stream[] = {0x11, 0x22, 0x33, 0x44, 0x55};
+  for (unsigned i = 0; i < 5; ++i) {
+    sim.set_bus(byte, stream[i]);
+    sim.step();
+    // After the step, stage[k] holds the byte from k cycles ago.
+    EXPECT_EQ(sim.bus_value(stages[0]), stream[i]);
+    if (i >= 1) {
+      EXPECT_EQ(sim.bus_value(stages[1]), stream[i - 1]);
+    }
+    if (i >= 2) {
+      EXPECT_EQ(sim.bus_value(stages[2]), stream[i - 2]);
+    }
+  }
+}
+
+TEST(Builders, DfaCircuitMatchesSoftwareDfa) {
+  // The Figure 2 automaton (i >= 35) stepped in hardware against software.
+  const auto spec = numrange::range_spec::at_least("35", numrange::numeric_kind::integer);
+  numrange::build_options options;
+  options.exponent_escape = false;
+  const regex::dfa d = numrange::build_token_dfa(spec, options);
+
+  network net;
+  const bus byte = input_bus(net, "byte", 8);
+  const node_id advance = net.input("advance");
+  const node_id reset = net.input("reset");
+  const auto circuit = elaborate_dfa(net, d, byte, advance, reset, "dfa");
+  net.mark_output(circuit.accepting, "accepting");
+
+  rtl::simulator sim(net);
+  util::prng r(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string token = r.ascii(r.below(6), "0123456789");
+    sim.reset();
+    sim.set_input(reset, false);
+    sim.set_input(advance, true);
+    int state = d.start();
+    for (char c : token) {
+      sim.set_bus(byte, static_cast<unsigned char>(c));
+      sim.step();
+      state = d.step(state, static_cast<unsigned char>(c));
+    }
+    sim.settle();
+    EXPECT_EQ(sim.value(circuit.accepting), d.accepting(state)) << token;
+    EXPECT_EQ(sim.value(circuit.accepting), d.run(token)) << token;
+  }
+}
+
+TEST(Builders, DfaCircuitResetReturnsToStart) {
+  const auto spec = numrange::range_spec::integer_range("12", "49");
+  const regex::dfa d = numrange::build_token_dfa(spec);
+
+  network net;
+  const bus byte = input_bus(net, "byte", 8);
+  const node_id advance = net.input("advance");
+  const node_id reset = net.input("reset");
+  const auto circuit =
+      elaborate_dfa(net, d, byte, advance, reset, "dfa", dfa_encoding::binary);
+
+  rtl::simulator sim(net);
+  sim.reset();
+  sim.set_input(advance, true);
+  sim.set_input(reset, false);
+  for (char c : std::string("99")) {  // drive into a non-start state
+    sim.set_bus(byte, static_cast<unsigned char>(c));
+    sim.step();
+  }
+  EXPECT_NE(sim.bus_value(circuit.state), 0u);
+  sim.set_input(reset, true);
+  sim.step();
+  EXPECT_EQ(sim.bus_value(circuit.state), 0u);  // start state encoded as 0
+}
+
+TEST(Builders, DfaCircuitHoldsWithoutAdvance) {
+  const auto spec = numrange::range_spec::integer_range("12", "49");
+  const regex::dfa d = numrange::build_token_dfa(spec);
+
+  network net;
+  const bus byte = input_bus(net, "byte", 8);
+  const node_id advance = net.input("advance");
+  const node_id reset = net.input("reset");
+  const auto circuit =
+      elaborate_dfa(net, d, byte, advance, reset, "dfa", dfa_encoding::binary);
+
+  rtl::simulator sim(net);
+  sim.reset();
+  sim.set_input(reset, false);
+  sim.set_input(advance, true);
+  sim.set_bus(byte, '1');
+  sim.step();
+  const auto state_after_1 = sim.bus_value(circuit.state);
+  sim.set_input(advance, false);
+  sim.set_bus(byte, '9');
+  sim.step();
+  EXPECT_EQ(sim.bus_value(circuit.state), state_after_1);
+}
+
+TEST(Builders, OneHotAndBinaryEncodingsAgree) {
+  const auto spec = numrange::range_spec::real_range("0.7", "35.1");
+  const regex::dfa d = numrange::build_token_dfa(spec);
+
+  network net;
+  const bus byte = input_bus(net, "byte", 8);
+  const node_id advance = net.input("advance");
+  const node_id reset = net.input("reset");
+  const auto onehot = elaborate_dfa(net, d, byte, advance, reset, "oh",
+                                    dfa_encoding::one_hot);
+  const auto binary = elaborate_dfa(net, d, byte, advance, reset, "bin",
+                                    dfa_encoding::binary);
+
+  rtl::simulator sim(net);
+  util::prng r(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    sim.reset();
+    sim.set_input(advance, true);
+    sim.set_input(reset, false);
+    const std::string token = r.ascii(r.below(8), "0123456789.-+eE");
+    for (char c : token) {
+      sim.set_bus(byte, static_cast<unsigned char>(c));
+      sim.step();
+      sim.settle();
+      ASSERT_EQ(sim.value(onehot.accepting), sim.value(binary.accepting))
+          << token;
+      for (int st = 0; st < d.state_count(); ++st)
+        ASSERT_EQ(sim.value(onehot.active[static_cast<std::size_t>(st)]),
+                  sim.value(binary.active[static_cast<std::size_t>(st)]))
+            << token << " state " << st;
+    }
+    // Reset from an arbitrary state returns both to start.
+    sim.set_input(reset, true);
+    sim.step();
+    sim.settle();
+    ASSERT_TRUE(sim.value(onehot.active[static_cast<std::size_t>(d.start())]));
+    ASSERT_TRUE(sim.value(binary.active[static_cast<std::size_t>(d.start())]));
+  }
+}
+
+TEST(Builders, ShiftBytesClearsOnReset) {
+  network net;
+  const bus byte = input_bus(net, "b", 8);
+  const node_id reset = net.input("rst");
+  const auto stages = shift_bytes(net, byte, 2, reset, "sh");
+  rtl::simulator sim(net);
+  sim.reset();
+  sim.set_input(reset, false);
+  sim.set_bus(byte, 0xAB);
+  sim.step();
+  sim.step();
+  EXPECT_EQ(sim.bus_value(stages[1]), 0xABu);
+  sim.set_input(reset, true);
+  sim.step();
+  EXPECT_EQ(sim.bus_value(stages[0]), 0u);
+  EXPECT_EQ(sim.bus_value(stages[1]), 0u);
+}
+
+}  // namespace
+}  // namespace jrf::netlist

@@ -1,0 +1,142 @@
+#include "netlist/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace jrf::netlist {
+namespace {
+
+TEST(Network, ConstantsAreShared) {
+  network net;
+  EXPECT_EQ(net.constant(true), net.constant(true));
+  EXPECT_EQ(net.constant(false), net.constant(false));
+  EXPECT_NE(net.constant(true), net.constant(false));
+}
+
+TEST(Network, StructuralHashingDedupes) {
+  network net;
+  const node_id a = net.input("a");
+  const node_id b = net.input("b");
+  EXPECT_EQ(net.and_gate(a, b), net.and_gate(a, b));
+  EXPECT_EQ(net.and_gate(a, b), net.and_gate(b, a));  // commutative canonical
+  EXPECT_EQ(net.or_gate(a, b), net.or_gate(b, a));
+  EXPECT_EQ(net.xor_gate(a, b), net.xor_gate(b, a));
+  EXPECT_NE(net.and_gate(a, b), net.or_gate(a, b));
+}
+
+TEST(Network, ConstantFolding) {
+  network net;
+  const node_id a = net.input("a");
+  const node_id t = net.constant(true);
+  const node_id f = net.constant(false);
+  EXPECT_EQ(net.and_gate(a, f), f);
+  EXPECT_EQ(net.and_gate(a, t), a);
+  EXPECT_EQ(net.or_gate(a, t), t);
+  EXPECT_EQ(net.or_gate(a, f), a);
+  EXPECT_EQ(net.xor_gate(a, f), a);
+  EXPECT_EQ(net.xor_gate(a, t), net.not_gate(a));
+  EXPECT_EQ(net.and_gate(a, a), a);
+  EXPECT_EQ(net.xor_gate(a, a), f);
+  EXPECT_EQ(net.not_gate(net.not_gate(a)), a);
+  EXPECT_EQ(net.and_gate(a, net.not_gate(a)), f);
+  EXPECT_EQ(net.or_gate(a, net.not_gate(a)), t);
+}
+
+TEST(Network, MuxFolding) {
+  network net;
+  const node_id s = net.input("s");
+  const node_id a = net.input("a");
+  const node_id b = net.input("b");
+  EXPECT_EQ(net.mux(net.constant(true), a, b), a);
+  EXPECT_EQ(net.mux(net.constant(false), a, b), b);
+  EXPECT_EQ(net.mux(s, a, a), a);
+  EXPECT_EQ(net.mux(s, net.constant(true), net.constant(false)), s);
+  EXPECT_EQ(net.mux(s, net.constant(false), net.constant(true)), net.not_gate(s));
+}
+
+TEST(Network, EvaluateCombinational) {
+  network net;
+  const node_id a = net.input("a");
+  const node_id b = net.input("b");
+  const node_id c = net.input("c");
+  const node_id y = net.or_gate(net.and_gate(a, b), net.not_gate(c));
+  net.mark_output(y, "y");
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<bool> values(net.size());
+    values[a] = bits & 1;
+    values[b] = bits & 2;
+    values[c] = bits & 4;
+    evaluate(net, values);
+    const bool expected = ((bits & 1) && (bits & 2)) || !(bits & 4);
+    EXPECT_EQ(values[y], expected) << bits;
+  }
+}
+
+TEST(Network, AndAllOrAll) {
+  network net;
+  std::vector<node_id> inputs;
+  for (int i = 0; i < 5; ++i) inputs.push_back(net.input("i" + std::to_string(i)));
+  const node_id all = net.and_all(inputs);
+  const node_id any = net.or_all(inputs);
+  for (int bits = 0; bits < 32; ++bits) {
+    std::vector<bool> values(net.size());
+    for (int i = 0; i < 5; ++i) values[inputs[static_cast<std::size_t>(i)]] = (bits >> i) & 1;
+    evaluate(net, values);
+    EXPECT_EQ(values[all], bits == 31);
+    EXPECT_EQ(values[any], bits != 0);
+  }
+}
+
+TEST(Network, EmptyReductions) {
+  network net;
+  EXPECT_EQ(net.and_all({}), net.constant(true));
+  EXPECT_EQ(net.or_all({}), net.constant(false));
+}
+
+TEST(Network, RegistersTrackedAndConnected) {
+  network net;
+  const node_id d = net.dff("r");
+  const node_id a = net.input("a");
+  net.connect_dff(d, net.xor_gate(d, a));
+  ASSERT_EQ(net.registers().size(), 1u);
+  EXPECT_EQ(net.registers()[0], d);
+  EXPECT_THROW(net.connect_dff(a, d), jrf::error);
+}
+
+TEST(Network, TopoOrderRespectsDependencies) {
+  network net;
+  const node_id a = net.input("a");
+  const node_id b = net.input("b");
+  const node_id x = net.and_gate(a, b);
+  const node_id y = net.or_gate(x, a);
+  net.mark_output(y, "y");
+  const auto order = net.topo_order();
+  const auto pos = [&](node_id n) {
+    for (std::size_t i = 0; i < order.size(); ++i)
+      if (order[i] == n) return static_cast<long>(i);
+    return -1l;
+  };
+  EXPECT_LT(pos(x), pos(y));
+}
+
+TEST(Network, SequentialLoopIsNotACombinationalCycle) {
+  network net;
+  const node_id reg = net.dff("r");
+  const node_id inverted = net.not_gate(reg);
+  net.connect_dff(reg, inverted);  // toggle flop
+  EXPECT_NO_THROW(net.topo_order());
+}
+
+TEST(Network, StatsMentionsGateKinds) {
+  network net;
+  const node_id a = net.input("a");
+  const node_id b = net.input("b");
+  net.mark_output(net.and_gate(a, b), "y");
+  const std::string stats = net.stats();
+  EXPECT_NE(stats.find("input=2"), std::string::npos);
+  EXPECT_NE(stats.find("and=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jrf::netlist

@@ -1,0 +1,342 @@
+#include "numrange/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numrange/oracle.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace jrf::numrange {
+namespace {
+
+using util::decimal;
+
+std::string random_token(util::prng& r) {
+  // Biased toward plausible numeric shapes but includes adversarial junk.
+  const std::size_t len = 1 + r.below(8);
+  return r.ascii(len, "0123456789.+-eE");
+}
+
+range_spec random_int_spec(util::prng& r) {
+  std::int64_t a = r.range_i64(-500, 500);
+  std::int64_t b = r.range_i64(-500, 500);
+  if (a > b) std::swap(a, b);
+  return {numeric_kind::integer, decimal(a), decimal(b)};
+}
+
+range_spec random_real_spec(util::prng& r) {
+  auto draw = [&r] {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld.%02llu",
+                  static_cast<long long>(r.range_i64(-300, 300)),
+                  static_cast<unsigned long long>(r.below(100)));
+    return decimal::parse(buf);
+  };
+  decimal a = draw();
+  decimal b = draw();
+  if (b < a) std::swap(a, b);
+  return {numeric_kind::real, a, b};
+}
+
+TEST(NumRange, CeilFloorToInteger) {
+  EXPECT_EQ(ceil_to_integer(decimal::parse("12.3")).to_string(), "13");
+  EXPECT_EQ(ceil_to_integer(decimal::parse("12")).to_string(), "12");
+  EXPECT_EQ(ceil_to_integer(decimal::parse("-12.3")).to_string(), "-12");
+  EXPECT_EQ(ceil_to_integer(decimal::parse("0.5")).to_string(), "1");
+  EXPECT_EQ(ceil_to_integer(decimal::parse("-0.5")).to_string(), "0");
+  EXPECT_EQ(ceil_to_integer(decimal::parse("9.9")).to_string(), "10");
+  EXPECT_EQ(floor_to_integer(decimal::parse("12.3")).to_string(), "12");
+  EXPECT_EQ(floor_to_integer(decimal::parse("-12.3")).to_string(), "-13");
+  EXPECT_EQ(floor_to_integer(decimal::parse("-0.5")).to_string(), "-1");
+  EXPECT_EQ(floor_to_integer(decimal::parse("99.9")).to_string(), "99");
+  EXPECT_EQ(floor_to_integer(decimal::parse("-99.9")).to_string(), "-100");
+}
+
+TEST(NumRange, Figure2LowerBound35) {
+  // Paper Figure 2: i >= 35 without the exponent escape.
+  build_options options;
+  options.exponent_escape = false;
+  options.allow_leading_zeros = false;
+  const auto spec = range_spec::at_least("35", numeric_kind::integer);
+  const auto d = build_token_dfa(spec, options);
+  EXPECT_TRUE(d.run("35"));
+  EXPECT_TRUE(d.run("36"));
+  EXPECT_TRUE(d.run("40"));
+  EXPECT_TRUE(d.run("99"));
+  EXPECT_TRUE(d.run("100"));
+  EXPECT_TRUE(d.run("1422748800000"));
+  EXPECT_FALSE(d.run("34"));
+  EXPECT_FALSE(d.run("0"));
+  EXPECT_FALSE(d.run("9"));
+  EXPECT_FALSE(d.run(""));
+  EXPECT_FALSE(d.run("3"));
+  EXPECT_FALSE(d.run("35.5"));  // integer kind rejects fractional syntax
+  // Figure 2 shows states s0..s3 plus accept; allow the dead state on top.
+  int live = 0;
+  for (int s = 0; s < d.state_count(); ++s)
+    if (!d.dead(s)) ++live;
+  EXPECT_LE(live, 5);
+}
+
+TEST(NumRange, IntegerRangeTwoSided) {
+  const auto spec = range_spec::integer_range("12", "49");
+  const auto d = build_token_dfa(spec);
+  for (int v = -20; v <= 70; ++v) {
+    EXPECT_EQ(d.run(std::to_string(v)), v >= 12 && v <= 49) << v;
+  }
+}
+
+TEST(NumRange, RealRangeRunningExample) {
+  // Q0 from the paper: 0.7 <= f <= 35.1 on the temperature attribute.
+  const auto spec = range_spec::real_range("0.7", "35.1");
+  const auto d = build_token_dfa(spec);
+  EXPECT_TRUE(d.run("0.7"));
+  EXPECT_TRUE(d.run("35.1"));
+  EXPECT_TRUE(d.run("12"));
+  EXPECT_TRUE(d.run("20"));
+  EXPECT_TRUE(d.run("1"));
+  EXPECT_TRUE(d.run("35"));
+  EXPECT_TRUE(d.run("35.09"));
+  EXPECT_FALSE(d.run("35.2"));   // the Listing 1 temperature value
+  EXPECT_FALSE(d.run("0.69"));
+  EXPECT_FALSE(d.run("0.6"));
+  EXPECT_FALSE(d.run("713"));
+  EXPECT_FALSE(d.run("305.01"));
+  EXPECT_FALSE(d.run("-5"));
+  EXPECT_FALSE(d.run("0"));
+}
+
+TEST(NumRange, NegativeLowerBound) {
+  // QS1 temperature: -12.5 <= f <= 43.1.
+  const auto spec = range_spec::real_range("-12.5", "43.1");
+  const auto d = build_token_dfa(spec);
+  EXPECT_TRUE(d.run("-12.5"));
+  EXPECT_TRUE(d.run("-12"));
+  EXPECT_TRUE(d.run("-0.5"));
+  EXPECT_TRUE(d.run("-0"));
+  EXPECT_TRUE(d.run("0"));
+  EXPECT_TRUE(d.run("43.1"));
+  EXPECT_TRUE(d.run("43.09"));
+  EXPECT_FALSE(d.run("-12.51"));
+  EXPECT_FALSE(d.run("-13"));
+  EXPECT_FALSE(d.run("43.2"));
+  EXPECT_FALSE(d.run("44"));
+}
+
+TEST(NumRange, BothBoundsNegative) {
+  const auto spec = range_spec::integer_range("-49", "-12");
+  const auto d = build_token_dfa(spec);
+  for (int v = -70; v <= 20; ++v) {
+    EXPECT_EQ(d.run(std::to_string(v)), v >= -49 && v <= -12) << v;
+  }
+  EXPECT_FALSE(d.run("12"));
+  EXPECT_FALSE(d.run("0"));
+  EXPECT_FALSE(d.run("-0"));
+}
+
+TEST(NumRange, OneSidedUpperBound) {
+  const auto spec = range_spec::at_most("35", numeric_kind::integer);
+  const auto d = build_token_dfa(spec);
+  EXPECT_TRUE(d.run("35"));
+  EXPECT_TRUE(d.run("0"));
+  EXPECT_TRUE(d.run("-1000000"));
+  EXPECT_FALSE(d.run("36"));
+  EXPECT_FALSE(d.run("100"));
+}
+
+TEST(NumRange, ExponentEscapeAcceptsAnyExponentNumber) {
+  const auto spec = range_spec::integer_range("12", "49");
+  const auto d = build_token_dfa(spec);
+  // All exponent-formatted numbers are accepted, even out of range.
+  EXPECT_TRUE(d.run("2.1e3"));
+  EXPECT_TRUE(d.run("1e+1"));
+  EXPECT_TRUE(d.run("100e-1"));
+  EXPECT_TRUE(d.run("9E9"));
+  EXPECT_TRUE(d.run("-1e3"));
+  EXPECT_TRUE(d.run("1e"));
+  // But an 'e' without any digit before it is not a number.
+  EXPECT_FALSE(d.run("e3"));
+  EXPECT_FALSE(d.run("+e3"));
+  EXPECT_FALSE(d.run(".e3"));
+}
+
+TEST(NumRange, ExponentEscapeCanBeDisabled) {
+  build_options options;
+  options.exponent_escape = false;
+  const auto spec = range_spec::integer_range("12", "49");
+  const auto d = build_token_dfa(spec, options);
+  EXPECT_FALSE(d.run("2.1e3"));
+  EXPECT_FALSE(d.run("1e"));
+  EXPECT_TRUE(d.run("13"));
+}
+
+TEST(NumRange, LeadingZeros) {
+  const auto spec = range_spec::integer_range("12", "49");
+  const auto with = build_token_dfa(spec);  // default: allowed
+  EXPECT_TRUE(with.run("012"));
+  EXPECT_TRUE(with.run("0049"));
+  EXPECT_FALSE(with.run("0050"));
+  build_options strict;
+  strict.allow_leading_zeros = false;
+  const auto without = build_token_dfa(spec, strict);
+  EXPECT_FALSE(without.run("012"));
+  EXPECT_TRUE(without.run("12"));
+}
+
+TEST(NumRange, ZeroBounds) {
+  const auto spec = range_spec::integer_range("0", "0");
+  const auto d = build_token_dfa(spec);
+  EXPECT_TRUE(d.run("0"));
+  EXPECT_TRUE(d.run("00"));
+  EXPECT_TRUE(d.run("-0"));
+  EXPECT_FALSE(d.run("1"));
+  EXPECT_FALSE(d.run("-1"));
+}
+
+TEST(NumRange, RealZeroToOne) {
+  const auto spec = range_spec::real_range("0", "1");
+  const auto d = build_token_dfa(spec);
+  EXPECT_TRUE(d.run("0"));
+  EXPECT_TRUE(d.run("0.5"));
+  EXPECT_TRUE(d.run("0.999"));
+  EXPECT_TRUE(d.run("1"));
+  EXPECT_TRUE(d.run("1.0"));
+  EXPECT_TRUE(d.run("1.000"));
+  EXPECT_FALSE(d.run("1.001"));
+  EXPECT_FALSE(d.run("2"));
+  EXPECT_FALSE(d.run("-0.1"));
+}
+
+TEST(NumRange, FractionalBoundsBelowOne) {
+  const auto spec = range_spec::real_range("0.25", "0.75");
+  const auto d = build_token_dfa(spec);
+  EXPECT_TRUE(d.run("0.25"));
+  EXPECT_TRUE(d.run("0.5"));
+  EXPECT_TRUE(d.run("0.75"));
+  EXPECT_TRUE(d.run("0.750"));
+  EXPECT_FALSE(d.run("0.751"));
+  EXPECT_FALSE(d.run("0.2"));
+  EXPECT_FALSE(d.run("0.249"));
+  EXPECT_FALSE(d.run("1"));
+  EXPECT_FALSE(d.run("0"));
+}
+
+TEST(NumRange, EmptyIntervalMatchesNothingPlain) {
+  build_options options;
+  options.exponent_escape = false;
+  range_spec spec{numeric_kind::integer, decimal::parse("0.2"), decimal::parse("0.8")};
+  const auto d = build_token_dfa(spec, options);
+  for (const char* token : {"0", "1", "-1", "0.5"}) EXPECT_FALSE(d.run(token)) << token;
+}
+
+TEST(NumRange, RequiresAtLeastOneBound) {
+  range_spec spec;
+  EXPECT_THROW(build_token_dfa(spec), jrf::error);
+}
+
+TEST(NumRange, QS0DustRange) {
+  // 83.36 <= f <= 3322.67, the widest-format bound in the paper's queries.
+  const auto spec = range_spec::real_range("83.36", "3322.67");
+  const auto d = build_token_dfa(spec);
+  EXPECT_TRUE(d.run("83.36"));
+  EXPECT_TRUE(d.run("305.01"));
+  EXPECT_TRUE(d.run("3322.67"));
+  EXPECT_TRUE(d.run("100"));
+  EXPECT_FALSE(d.run("83.35"));
+  EXPECT_FALSE(d.run("83.3"));
+  EXPECT_FALSE(d.run("3322.68"));
+  EXPECT_FALSE(d.run("3323"));
+  EXPECT_FALSE(d.run("12"));
+}
+
+TEST(NumRange, RandomizedIntegerAgainstOracle) {
+  util::prng r(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto spec = random_int_spec(r);
+    const auto d = build_token_dfa(spec);
+    for (int i = 0; i < 400; ++i) {
+      const std::string token = random_token(r);
+      EXPECT_EQ(d.run(token), token_matches(token, spec))
+          << spec.to_string() << " on '" << token << "'";
+    }
+    // Systematic integer scan around the bounds.
+    for (std::int64_t v = -520; v <= 520; v += 7) {
+      const std::string token = std::to_string(v);
+      EXPECT_EQ(d.run(token), token_matches(token, spec))
+          << spec.to_string() << " on " << token;
+    }
+  }
+}
+
+TEST(NumRange, RandomizedRealAgainstOracle) {
+  util::prng r(202);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto spec = random_real_spec(r);
+    const auto d = build_token_dfa(spec);
+    for (int i = 0; i < 400; ++i) {
+      const std::string token = random_token(r);
+      EXPECT_EQ(d.run(token), token_matches(token, spec))
+          << spec.to_string() << " on '" << token << "'";
+    }
+    for (int i = 0; i < 200; ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld.%02llu",
+                    static_cast<long long>(r.range_i64(-310, 310)),
+                    static_cast<unsigned long long>(r.below(100)));
+      EXPECT_EQ(d.run(buf), token_matches(buf, spec))
+          << spec.to_string() << " on " << buf;
+    }
+  }
+}
+
+TEST(NumRange, RandomizedOptionCombinations) {
+  util::prng r(303);
+  for (bool exponent : {false, true}) {
+    for (bool zeros : {false, true}) {
+      build_options options;
+      options.exponent_escape = exponent;
+      options.allow_leading_zeros = zeros;
+      const auto spec = range_spec::real_range("-5.5", "7.25");
+      const auto d = build_token_dfa(spec, options);
+      for (int i = 0; i < 600; ++i) {
+        const std::string token = random_token(r);
+        EXPECT_EQ(d.run(token), token_matches(token, spec, options))
+            << "exp=" << exponent << " zeros=" << zeros << " '" << token << "'";
+      }
+    }
+  }
+}
+
+TEST(NumRange, DerivationTraceForFigure2) {
+  build_options options;
+  options.exponent_escape = false;
+  options.allow_leading_zeros = false;
+  const auto spec = range_spec::at_least("35", numeric_kind::integer);
+  const auto trace = derive(spec, options);
+  ASSERT_GE(trace.steps.size(), 3u);
+  // Step 1.1 checks the first digit: [4-9]...
+  EXPECT_NE(trace.steps[0].pattern.find("[4-9]"), std::string::npos);
+  // Step 1.2 adds 3[5-9].
+  EXPECT_NE(trace.steps[1].pattern.find("3[5-9]"), std::string::npos);
+  // Final step reports the DFA.
+  EXPECT_NE(trace.steps.back().description.find("Step 2"), std::string::npos);
+  EXPECT_TRUE(trace.automaton.run("35"));
+  EXPECT_FALSE(trace.automaton.run("34"));
+}
+
+TEST(NumRange, SpecToString) {
+  EXPECT_EQ(range_spec::integer_range("12", "49").to_string(), "v(12 <= i <= 49)");
+  EXPECT_EQ(range_spec::real_range("0.7", "35.1").to_string(), "v(0.7 <= f <= 35.1)");
+  EXPECT_EQ(range_spec::at_least("35", numeric_kind::integer).to_string(), "v(i >= 35)");
+  EXPECT_EQ(range_spec::at_most("9.5", numeric_kind::real).to_string(), "v(f <= 9.5)");
+}
+
+TEST(NumRange, TokenByteClassification) {
+  for (char c = '0'; c <= '9'; ++c) EXPECT_TRUE(is_token_byte(static_cast<unsigned char>(c)));
+  for (char c : {'.', '+', '-', 'e', 'E'}) EXPECT_TRUE(is_token_byte(static_cast<unsigned char>(c)));
+  for (char c : {'"', ',', '{', '}', '[', ']', ':', ' ', 'a', 'f'})
+    EXPECT_FALSE(is_token_byte(static_cast<unsigned char>(c))) << c;
+}
+
+}  // namespace
+}  // namespace jrf::numrange

@@ -1,0 +1,195 @@
+#include "regex/dfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "regex/parser.hpp"
+#include "util/prng.hpp"
+
+namespace jrf::regex {
+namespace {
+
+std::string random_digit_string(util::prng& r, std::size_t max_len) {
+  const std::size_t len = r.below(max_len + 1);
+  return r.ascii(len, "0123456789");
+}
+
+TEST(Dfa, AgreesWithNfaOnSimplePatterns) {
+  const char* patterns[] = {"abc",       "a*b",           "(ab|cd)+",
+                            "[0-9]{3}",  "x(y|z)?",       "[a-f]+[0-9]*",
+                            "(a|b)*abb", "\\d+\\.\\d+"};
+  const char* inputs[] = {"",    "a",    "abc",   "ab",   "cd",  "abcd",
+                          "123", "12",   "xyz",   "xy",   "x",   "abb",
+                          "aabb", "12.5", "12.",  "bbb",  "fff0"};
+  for (const char* pattern : patterns) {
+    const nfa m = build_nfa(parse(pattern));
+    const dfa d = dfa::determinize(m);
+    for (const char* input : inputs) {
+      EXPECT_EQ(d.run(input), m.run(input)) << pattern << " on " << input;
+    }
+  }
+}
+
+TEST(Dfa, MinimizationPreservesLanguage) {
+  const char* patterns[] = {"(a|b)*abb", "[0-9]+(\\.[0-9]+)?",
+                            "3[5-9]|[4-9][0-9]|[1-9][0-9][0-9]+",
+                            "(ab)*|(ba)*", "a{2,5}b{0,3}"};
+  util::prng r(7);
+  for (const char* pattern : patterns) {
+    const dfa d = dfa::determinize(build_nfa(parse(pattern)));
+    const dfa m = d.minimized();
+    EXPECT_LE(m.state_count(), d.state_count()) << pattern;
+    for (int i = 0; i < 500; ++i) {
+      const std::string s = r.ascii(r.below(12), "ab0123456789.");
+      EXPECT_EQ(d.run(s), m.run(s)) << pattern << " on " << s;
+    }
+  }
+}
+
+TEST(Dfa, HopcroftMatchesMooreStateCount) {
+  const char* patterns[] = {"(a|b)*abb",
+                            "[0-9]+(\\.[0-9]+)?",
+                            "3[5-9]|[4-9][0-9]|[1-9][0-9][0-9]+",
+                            "(0|1(01*0)*1)*",  // binary multiples of 3
+                            "a(bc)*d|ae*f"};
+  for (const char* pattern : patterns) {
+    const dfa d = dfa::determinize(build_nfa(parse(pattern)));
+    const dfa hopcroft = d.minimized();
+    const dfa moore = d.minimized_moore();
+    EXPECT_EQ(hopcroft.state_count(), moore.state_count()) << pattern;
+  }
+}
+
+TEST(Dfa, MinimizationIsIdempotent) {
+  const dfa d = compile("(a|b)*abb");
+  EXPECT_EQ(d.minimized().state_count(), d.state_count());
+}
+
+TEST(Dfa, KnownMinimalSizes) {
+  // (a|b)*abb is the classic 4-state (plus dead) automaton.
+  const dfa d = compile("(a|b)*abb");
+  int live = 0;
+  for (int s = 0; s < d.state_count(); ++s)
+    if (!d.dead(s)) ++live;
+  EXPECT_EQ(live, 4);
+}
+
+TEST(Dfa, Figure2Example) {
+  // i >= 35 over all digit strings (with >2 digit support, no leading zeros).
+  const dfa d = compile("3[5-9]|[4-9][0-9]|[1-9][0-9][0-9][0-9]*");
+  EXPECT_TRUE(d.run("35"));
+  EXPECT_TRUE(d.run("36"));
+  EXPECT_TRUE(d.run("99"));
+  EXPECT_TRUE(d.run("100"));
+  EXPECT_TRUE(d.run("12345"));
+  EXPECT_FALSE(d.run("34"));
+  EXPECT_FALSE(d.run("3"));
+  EXPECT_FALSE(d.run(""));
+  EXPECT_FALSE(d.run("abc"));
+  // Paper's Figure 2 DFA has 4 live states + accept; ours after minimization
+  // should have at most 5 live states.
+  int live = 0;
+  for (int s = 0; s < d.state_count(); ++s)
+    if (!d.dead(s)) ++live;
+  EXPECT_LE(live, 5);
+}
+
+TEST(Dfa, ProductIntersection) {
+  // strings over {a,b} with even number of a's AND ending in b
+  const dfa even_a = compile("(b*ab*a)*b*");
+  const dfa ends_b = compile("(a|b)*b");
+  const dfa both = dfa::product(even_a, ends_b,
+                                [](bool x, bool y) { return x && y; });
+  EXPECT_TRUE(both.run("aab"));
+  EXPECT_TRUE(both.run("b"));
+  EXPECT_FALSE(both.run("ab"));
+  EXPECT_FALSE(both.run("aa"));
+  util::prng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string s = r.ascii(r.below(10), "ab");
+    EXPECT_EQ(both.run(s), even_a.run(s) && ends_b.run(s)) << s;
+  }
+}
+
+TEST(Dfa, ProductUnion) {
+  const dfa a = compile("[0-9]+");
+  const dfa b = compile("[a-z]+");
+  const dfa either = dfa::product(a, b, [](bool x, bool y) { return x || y; });
+  EXPECT_TRUE(either.run("123"));
+  EXPECT_TRUE(either.run("abc"));
+  EXPECT_FALSE(either.run("a1"));
+  EXPECT_FALSE(either.run(""));
+}
+
+TEST(Dfa, DeadStateDetection) {
+  const dfa d = compile("ab");
+  int dead_states = 0;
+  for (int s = 0; s < d.state_count(); ++s)
+    if (d.dead(s)) ++dead_states;
+  EXPECT_EQ(dead_states, 1);  // minimized: one absorbing reject state
+}
+
+TEST(Dfa, ClassPartitionConsistency) {
+  const dfa d = compile("[0-9]+(\\.[0-9]+)?");
+  // All digits must fall in one class (they behave identically).
+  const int digit_class = d.klass('0');
+  for (char c = '1'; c <= '9'; ++c) EXPECT_EQ(d.klass(static_cast<unsigned char>(c)), digit_class);
+  // '.' must differ from digits.
+  EXPECT_NE(d.klass('.'), digit_class);
+  // class_symbols inverts klass.
+  for (int cls = 0; cls < d.class_count(); ++cls) {
+    const auto symbols = d.class_symbols(cls);
+    for (unsigned b = 0; b < 256; ++b)
+      EXPECT_EQ(symbols.contains(static_cast<unsigned char>(b)), d.klass(static_cast<unsigned char>(b)) == cls);
+  }
+}
+
+TEST(Dfa, RandomizedNfaDfaEquivalence) {
+  util::prng r(23);
+  const char* patterns[] = {"([1-9][0-9]*|0)(\\.[0-9]+)?",
+                            "(a|b|ab)*",
+                            "[0-9]{2,4}x?"};
+  for (const char* pattern : patterns) {
+    const nfa m = build_nfa(parse(pattern));
+    const dfa d = dfa::determinize(m).minimized();
+    for (int i = 0; i < 2000; ++i) {
+      const std::string s = r.ascii(r.below(8), "ab01239.x");
+      EXPECT_EQ(d.run(s), m.run(s)) << pattern << " on " << s;
+    }
+  }
+}
+
+TEST(Dfa, StepMatchesRun) {
+  const dfa d = compile("[0-9]+");
+  int s = d.start();
+  for (char c : std::string("123")) s = d.step(s, static_cast<unsigned char>(c));
+  EXPECT_TRUE(d.accepting(s));
+}
+
+TEST(Dfa, DotExportMentionsAcceptingState) {
+  const dfa d = compile("ab");
+  const std::string dot = d.to_dot();
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Dfa, DigitStringsAgainstReference) {
+  // Cross-check the Figure 2 pattern against an arithmetic oracle.
+  const dfa d = compile("3[5-9]|[4-9][0-9]|[1-9][0-9][0-9][0-9]*");
+  util::prng r(31);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string s = random_digit_string(r, 6);
+    bool expected = false;
+    if (!s.empty() && s[0] != '0') {
+      errno = 0;
+      const unsigned long v = std::stoul(s);
+      expected = v >= 35;
+    }
+    EXPECT_EQ(d.run(s), expected) << s;
+  }
+}
+
+}  // namespace
+}  // namespace jrf::regex

@@ -1,0 +1,85 @@
+#include "regex/nfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "regex/parser.hpp"
+
+namespace jrf::regex {
+namespace {
+
+bool matches(const char* pattern, std::string_view text) {
+  return build_nfa(parse(pattern)).run(text);
+}
+
+TEST(Nfa, Literal) {
+  EXPECT_TRUE(matches("abc", "abc"));
+  EXPECT_FALSE(matches("abc", "ab"));
+  EXPECT_FALSE(matches("abc", "abcd"));
+  EXPECT_FALSE(matches("abc", ""));
+}
+
+TEST(Nfa, EmptyPattern) {
+  EXPECT_TRUE(matches("", ""));
+  EXPECT_FALSE(matches("", "a"));
+}
+
+TEST(Nfa, Alternation) {
+  EXPECT_TRUE(matches("ab|cd", "ab"));
+  EXPECT_TRUE(matches("ab|cd", "cd"));
+  EXPECT_FALSE(matches("ab|cd", "ad"));
+}
+
+TEST(Nfa, Star) {
+  EXPECT_TRUE(matches("a*", ""));
+  EXPECT_TRUE(matches("a*", "aaaa"));
+  EXPECT_FALSE(matches("a*", "ab"));
+  EXPECT_TRUE(matches("(ab)*", "ababab"));
+  EXPECT_FALSE(matches("(ab)*", "aba"));
+}
+
+TEST(Nfa, Plus) {
+  EXPECT_FALSE(matches("a+", ""));
+  EXPECT_TRUE(matches("a+", "a"));
+  EXPECT_TRUE(matches("a+", "aaa"));
+}
+
+TEST(Nfa, Optional) {
+  EXPECT_TRUE(matches("ab?c", "ac"));
+  EXPECT_TRUE(matches("ab?c", "abc"));
+  EXPECT_FALSE(matches("ab?c", "abbc"));
+}
+
+TEST(Nfa, Classes) {
+  EXPECT_TRUE(matches("[0-9]+", "123"));
+  EXPECT_FALSE(matches("[0-9]+", "12a"));
+  EXPECT_TRUE(matches("[^x]", "y"));
+  EXPECT_FALSE(matches("[^x]", "x"));
+}
+
+TEST(Nfa, NumberExample) {
+  // The paper's Figure 2 example: i >= 35 (two-or-more-digit form).
+  const char* pattern = "3[5-9]|[4-9][0-9]|[1-9][0-9][0-9]+";
+  EXPECT_TRUE(matches(pattern, "35"));
+  EXPECT_TRUE(matches(pattern, "99"));
+  EXPECT_TRUE(matches(pattern, "100"));
+  EXPECT_TRUE(matches(pattern, "713"));
+  EXPECT_FALSE(matches(pattern, "34"));
+  EXPECT_FALSE(matches(pattern, "9"));
+  EXPECT_FALSE(matches(pattern, "035"));
+}
+
+TEST(Nfa, NestedQuantifiers) {
+  EXPECT_TRUE(matches("(a|b)*abb", "abababb"));
+  EXPECT_FALSE(matches("(a|b)*abb", "ababab"));
+  EXPECT_TRUE(matches("((a)|(bb))+", "abba"));
+}
+
+TEST(Nfa, ThompsonInvariantSingleAccept) {
+  const nfa m = build_nfa(parse("(a|b)*c"));
+  EXPECT_GE(m.size(), 2u);
+  EXPECT_GE(m.accept, 0);
+  EXPECT_LT(static_cast<std::size_t>(m.accept), m.size());
+}
+
+}  // namespace
+}  // namespace jrf::regex

@@ -1,0 +1,96 @@
+#include "regex/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace jrf::regex {
+namespace {
+
+TEST(RegexParser, Literals) {
+  EXPECT_EQ(parse("abc")->kind(), op::concat);
+  EXPECT_EQ(parse("a")->kind(), op::chars);
+  EXPECT_EQ(parse("")->kind(), op::empty);
+}
+
+TEST(RegexParser, ClassParsing) {
+  const auto n = parse("[a-c]");
+  ASSERT_EQ(n->kind(), op::chars);
+  EXPECT_TRUE(n->chars().contains('a'));
+  EXPECT_TRUE(n->chars().contains('b'));
+  EXPECT_TRUE(n->chars().contains('c'));
+  EXPECT_FALSE(n->chars().contains('d'));
+}
+
+TEST(RegexParser, NegatedClass) {
+  const auto n = parse("[^0-9]");
+  ASSERT_EQ(n->kind(), op::chars);
+  EXPECT_FALSE(n->chars().contains('5'));
+  EXPECT_TRUE(n->chars().contains('a'));
+}
+
+TEST(RegexParser, ClassWithLeadingBracket) {
+  const auto n = parse("[]a]");  // ']' first is a member
+  ASSERT_EQ(n->kind(), op::chars);
+  EXPECT_TRUE(n->chars().contains(']'));
+  EXPECT_TRUE(n->chars().contains('a'));
+}
+
+TEST(RegexParser, EscapeClasses) {
+  EXPECT_TRUE(parse("\\d")->chars().contains('7'));
+  EXPECT_FALSE(parse("\\d")->chars().contains('a'));
+  EXPECT_TRUE(parse("\\w")->chars().contains('_'));
+  EXPECT_TRUE(parse("\\s")->chars().contains(' '));
+  EXPECT_TRUE(parse("\\.")->chars().contains('.'));
+  EXPECT_EQ(parse("\\.")->chars().count(), 1u);
+}
+
+TEST(RegexParser, DotIsAnyByte) {
+  EXPECT_EQ(parse(".")->chars().count(), 256u);
+}
+
+TEST(RegexParser, Quantifiers) {
+  EXPECT_EQ(parse("a*")->kind(), op::star);
+  EXPECT_EQ(parse("a+")->kind(), op::plus);
+  EXPECT_EQ(parse("a?")->kind(), op::opt);
+}
+
+TEST(RegexParser, BoundedRepetition) {
+  // a{3} expands to aaa
+  const auto n = parse("a{3}");
+  ASSERT_EQ(n->kind(), op::concat);
+  EXPECT_EQ(n->children().size(), 3u);
+  // a{2,} = a a+
+  const auto m = parse("a{2,}");
+  ASSERT_EQ(m->kind(), op::concat);
+  EXPECT_EQ(m->children().back()->kind(), op::plus);
+  // a{1,3} = a a? a?
+  const auto k = parse("a{1,3}");
+  ASSERT_EQ(k->kind(), op::concat);
+  EXPECT_EQ(k->children().size(), 3u);
+}
+
+TEST(RegexParser, AlternationAndGrouping) {
+  EXPECT_EQ(parse("a|b")->kind(), op::chars);  // merged into one class
+  EXPECT_EQ(parse("ab|cd")->kind(), op::alt);
+  EXPECT_EQ(parse("(ab)*")->kind(), op::star);
+}
+
+TEST(RegexParser, RejectsMalformed) {
+  for (const char* pattern : {"(", ")", "(a", "[", "[a", "a{", "a{2", "a{3,1}",
+                              "*", "+a|*", "a{99999}"}) {
+    EXPECT_THROW(parse(pattern), jrf::parse_error) << pattern;
+  }
+}
+
+TEST(RegexParser, ToStringRoundTripsSemantics) {
+  for (const char* pattern :
+       {"abc", "[0-9]+", "(a|bc)*d", "x{2,4}", "\\d+\\.\\d*", "[^a]b?"}) {
+    const auto original = parse(pattern);
+    const auto reparsed = parse(original->to_string());
+    EXPECT_EQ(original->to_string(), reparsed->to_string()) << pattern;
+  }
+}
+
+}  // namespace
+}  // namespace jrf::regex

@@ -1,0 +1,141 @@
+#include "rtl/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/builders.hpp"
+#include "rtl/vcd.hpp"
+#include "util/error.hpp"
+
+namespace jrf::rtl {
+namespace {
+
+using netlist::bus;
+using netlist::network;
+using netlist::node_id;
+
+TEST(Simulator, ToggleFlop) {
+  network net;
+  const node_id reg = net.dff("t");
+  net.connect_dff(reg, net.not_gate(reg));
+  simulator sim(net);
+  sim.reset();
+  EXPECT_FALSE(sim.value(reg));
+  sim.step();
+  EXPECT_TRUE(sim.value(reg));
+  sim.step();
+  EXPECT_FALSE(sim.value(reg));
+  EXPECT_EQ(sim.cycle(), 2u);
+}
+
+TEST(Simulator, TwoPhaseCommitIsSimultaneous) {
+  // Swap register: a <= b, b <= a each cycle. A one-phase simulator would
+  // smear one value across both.
+  network net;
+  const node_id a = net.dff("a");
+  const node_id b = net.dff("b");
+  const node_id init = net.input("init");
+  // a <= init ? 1 : b ; b <= init ? 0 : a
+  net.connect_dff(a, net.mux(init, net.constant(true), b));
+  net.connect_dff(b, net.mux(init, net.constant(false), a));
+  simulator sim(net);
+  sim.reset();
+  sim.set_input(init, true);
+  sim.step();
+  sim.set_input(init, false);
+  EXPECT_TRUE(sim.value(a));
+  EXPECT_FALSE(sim.value(b));
+  sim.step();
+  EXPECT_FALSE(sim.value(a));
+  EXPECT_TRUE(sim.value(b));
+  sim.step();
+  EXPECT_TRUE(sim.value(a));
+  EXPECT_FALSE(sim.value(b));
+}
+
+TEST(Simulator, SettleDoesNotAdvanceState) {
+  network net;
+  const node_id reg = net.dff("t");
+  net.connect_dff(reg, net.not_gate(reg));
+  simulator sim(net);
+  sim.reset();
+  sim.settle();
+  sim.settle();
+  EXPECT_FALSE(sim.value(reg));
+  EXPECT_EQ(sim.cycle(), 0u);
+}
+
+TEST(Simulator, SetInputValidation) {
+  network net;
+  const node_id a = net.input("a");
+  const node_id y = net.not_gate(a);
+  net.mark_output(y, "y");
+  simulator sim(net);
+  EXPECT_THROW(sim.set_input(y, true), jrf::error);
+}
+
+TEST(Simulator, UnconnectedRegisterFails) {
+  network net;
+  net.dff("floating");
+  simulator sim(net);
+  EXPECT_THROW(sim.step(), jrf::error);
+}
+
+TEST(Simulator, BusRoundTrip) {
+  network net;
+  const bus x = netlist::input_bus(net, "x", 8);
+  simulator sim(net);
+  for (unsigned v : {0u, 1u, 42u, 255u}) {
+    sim.set_bus(x, v);
+    sim.settle();
+    EXPECT_EQ(sim.bus_value(x), v);
+  }
+}
+
+TEST(Vcd, ProducesWellFormedDump) {
+  network net;
+  const node_id reg = net.dff("t");
+  net.connect_dff(reg, net.not_gate(reg));
+  const bus cnt = netlist::match_counter(net, net.constant(true), 3, "cnt");
+
+  simulator sim(net);
+  sim.reset();
+  std::ostringstream out;
+  vcd_writer vcd(out, "test");
+  vcd.add_signal("toggle", reg);
+  vcd.add_bus("counter", cnt);
+  vcd.begin();
+  for (int i = 0; i < 4; ++i) {
+    sim.step();
+    vcd.sample(sim, static_cast<std::uint64_t>(i) * 5);
+  }
+  const std::string dump = out.str();
+  EXPECT_NE(dump.find("$timescale"), std::string::npos);
+  EXPECT_NE(dump.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(dump.find("$var wire 3"), std::string::npos);
+  EXPECT_NE(dump.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(dump.find("#0"), std::string::npos);
+  // The 3-bit counter reaches b100 by cycle 4.
+  EXPECT_NE(dump.find("b100"), std::string::npos);
+}
+
+TEST(Vcd, RegistrationAfterBeginFails) {
+  network net;
+  const node_id a = net.input("a");
+  std::ostringstream out;
+  vcd_writer vcd(out, "m");
+  vcd.begin();
+  EXPECT_THROW(vcd.add_signal("late", a), jrf::error);
+}
+
+TEST(Vcd, SampleBeforeBeginFails) {
+  network net;
+  simulator sim(net);
+  std::ostringstream out;
+  vcd_writer vcd(out, "m");
+  EXPECT_THROW(vcd.sample(sim, 0), jrf::error);
+}
+
+}  // namespace
+}  // namespace jrf::rtl

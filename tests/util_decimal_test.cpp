@@ -1,0 +1,151 @@
+#include "util/decimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace jrf::util {
+namespace {
+
+TEST(Decimal, DefaultIsZero) {
+  decimal d;
+  EXPECT_TRUE(d.is_zero());
+  EXPECT_FALSE(d.negative());
+  EXPECT_EQ(d.to_string(), "0");
+}
+
+TEST(Decimal, FromInt64) {
+  EXPECT_EQ(decimal(0).to_string(), "0");
+  EXPECT_EQ(decimal(42).to_string(), "42");
+  EXPECT_EQ(decimal(-7).to_string(), "-7");
+  EXPECT_EQ(decimal(INT64_MIN).to_string(), "-9223372036854775808");
+  EXPECT_EQ(decimal(INT64_MAX).to_string(), "9223372036854775807");
+}
+
+TEST(Decimal, ParseRoundTrip) {
+  for (const char* text : {"0", "1", "-1", "35.2", "-12.5", "0.7", "3322.67",
+                           "1422748800000", "0.001", "-0.001"}) {
+    EXPECT_EQ(decimal::parse(text).to_string(), text) << text;
+  }
+}
+
+TEST(Decimal, ParseNormalizes) {
+  EXPECT_EQ(decimal::parse("007").to_string(), "7");
+  EXPECT_EQ(decimal::parse("1.50").to_string(), "1.5");
+  EXPECT_EQ(decimal::parse("000.500").to_string(), "0.5");
+  EXPECT_EQ(decimal::parse("-0").to_string(), "0");
+  EXPECT_EQ(decimal::parse("-0.0").to_string(), "0");
+  EXPECT_EQ(decimal::parse("+3.25").to_string(), "3.25");
+  EXPECT_EQ(decimal::parse(".5").to_string(), "0.5");
+  EXPECT_EQ(decimal::parse("5.").to_string(), "5");
+}
+
+TEST(Decimal, ParseExponent) {
+  EXPECT_EQ(decimal::parse("2.1e3").to_string(), "2100");
+  EXPECT_EQ(decimal::parse("1e+1").to_string(), "10");
+  EXPECT_EQ(decimal::parse("100e-1").to_string(), "10");
+  EXPECT_EQ(decimal::parse("1E2").to_string(), "100");
+  EXPECT_EQ(decimal::parse("-2.5e-2").to_string(), "-0.025");
+}
+
+TEST(Decimal, ParseRejectsGarbage) {
+  for (const char* text : {"", "-", "+", ".", "e5", "1.2.3", "1e", "1e+",
+                           "abc", "1 2", "--1", "1-"}) {
+    EXPECT_FALSE(decimal::try_parse(text).has_value()) << text;
+    EXPECT_THROW(decimal::parse(text), parse_error) << text;
+  }
+}
+
+TEST(Decimal, CompareIntegers) {
+  EXPECT_LT(decimal::parse("2"), decimal::parse("10"));
+  EXPECT_LT(decimal::parse("-10"), decimal::parse("-2"));
+  EXPECT_LT(decimal::parse("-1"), decimal::parse("1"));
+  EXPECT_EQ(decimal::parse("5"), decimal::parse("5.0"));
+}
+
+TEST(Decimal, CompareFractions) {
+  EXPECT_LT(decimal::parse("0.7"), decimal::parse("35.1"));
+  EXPECT_LT(decimal::parse("35.1"), decimal::parse("35.2"));
+  EXPECT_LT(decimal::parse("35.19"), decimal::parse("35.2"));
+  EXPECT_LT(decimal::parse("0.09"), decimal::parse("0.1"));
+  EXPECT_EQ(decimal::parse("0.50"), decimal::parse("0.5"));
+  EXPECT_LT(decimal::parse("-0.5"), decimal::parse("0.25"));
+  EXPECT_LT(decimal::parse("-1.5"), decimal::parse("-1.25"));
+}
+
+TEST(Decimal, CompareMatchesDouble) {
+  prng r(99);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = r.uniform(-1000, 1000);
+    const double b = r.uniform(-1000, 1000);
+    char buf_a[64];
+    char buf_b[64];
+    std::snprintf(buf_a, sizeof buf_a, "%.6f", a);
+    std::snprintf(buf_b, sizeof buf_b, "%.6f", b);
+    const auto da = decimal::parse(buf_a);
+    const auto db = decimal::parse(buf_b);
+    const double ra = std::strtod(buf_a, nullptr);
+    const double rb = std::strtod(buf_b, nullptr);
+    EXPECT_EQ(da < db, ra < rb) << buf_a << " vs " << buf_b;
+    EXPECT_EQ(da == db, ra == rb) << buf_a << " vs " << buf_b;
+  }
+}
+
+TEST(Decimal, IntAndFracDigits) {
+  const auto d = decimal::parse("3322.67");
+  EXPECT_EQ(d.int_digits(), "3322");
+  EXPECT_EQ(d.frac_digits(), "67");
+  const auto small = decimal::parse("0.25");
+  EXPECT_EQ(small.int_digits(), "");
+  EXPECT_EQ(small.frac_digits(), "25");
+  const auto whole = decimal::parse("100");
+  EXPECT_EQ(whole.int_digits(), "100");
+  EXPECT_EQ(whole.frac_digits(), "");
+}
+
+TEST(Decimal, NegatedAndAbs) {
+  EXPECT_EQ(decimal::parse("5").negated().to_string(), "-5");
+  EXPECT_EQ(decimal::parse("-5").negated().to_string(), "5");
+  EXPECT_EQ(decimal().negated().to_string(), "0");
+  EXPECT_EQ(decimal::parse("-12.5").abs().to_string(), "12.5");
+}
+
+TEST(Decimal, Truncated) {
+  EXPECT_EQ(decimal::parse("35.9").truncated().to_string(), "35");
+  EXPECT_EQ(decimal::parse("-35.9").truncated().to_string(), "-35");
+  EXPECT_EQ(decimal::parse("0.9").truncated().to_string(), "0");
+}
+
+TEST(Decimal, InRange) {
+  const auto lo = decimal::parse("0.7");
+  const auto hi = decimal::parse("35.1");
+  EXPECT_TRUE(in_range(decimal::parse("0.7"), lo, hi));
+  EXPECT_TRUE(in_range(decimal::parse("35.1"), lo, hi));
+  EXPECT_TRUE(in_range(decimal::parse("12"), lo, hi));
+  EXPECT_FALSE(in_range(decimal::parse("35.2"), lo, hi));
+  EXPECT_FALSE(in_range(decimal::parse("0.69"), lo, hi));
+  EXPECT_FALSE(in_range(decimal::parse("-1"), lo, hi));
+}
+
+TEST(Decimal, ToDouble) {
+  EXPECT_DOUBLE_EQ(decimal::parse("35.2").to_double(), 35.2);
+  EXPECT_DOUBLE_EQ(decimal::parse("-0.5").to_double(), -0.5);
+}
+
+TEST(Decimal, OrderingIsTotalOnRandomInputs) {
+  prng r(123);
+  std::vector<decimal> values;
+  for (int i = 0; i < 200; ++i)
+    values.push_back(decimal(r.range_i64(-10000, 10000)));
+  for (const auto& a : values)
+    for (const auto& b : values) {
+      const bool lt = a < b;
+      const bool gt = b < a;
+      const bool eq = a == b;
+      EXPECT_EQ(lt + gt + eq, 1);
+    }
+}
+
+}  // namespace
+}  // namespace jrf::util

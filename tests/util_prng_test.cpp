@@ -1,0 +1,146 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace jrf::util {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  prng a(42);
+  prng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  prng a(1);
+  prng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, BelowStaysInBounds) {
+  prng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Prng, BelowZeroBound) {
+  prng r(7);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Prng, BelowOneIsAlwaysZero) {
+  prng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Prng, BelowCoversAllResidues) {
+  prng r(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, RangeInclusiveBounds) {
+  prng r(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.range_i64(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  prng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, UniformMeanIsCentered) {
+  prng r(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Prng, NormalMoments) {
+  prng r(17);
+  double sum = 0;
+  double sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Prng, NormalScaled) {
+  prng r(19);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Prng, ChanceExtremes) {
+  prng r(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Prng, ChanceApproximatesProbability) {
+  prng r(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Prng, WeightedRespectsWeights) {
+  prng r(31);
+  const std::array<double, 3> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[r.weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Prng, AsciiUsesAlphabetOnly) {
+  prng r(37);
+  const std::string s = r.ascii(500, "abc");
+  EXPECT_EQ(s.size(), 500u);
+  for (char c : s) EXPECT_TRUE(c == 'a' || c == 'b' || c == 'c');
+}
+
+TEST(Prng, PickUniform) {
+  prng r(41);
+  const std::vector<int> items{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(r.pick(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace jrf::util

@@ -1,0 +1,52 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jrf::util {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split(",a,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitEmptyInput) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ", "), "x, y, z");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+TEST(Strings, PrintableByte) {
+  EXPECT_EQ(printable_byte('a'), "a");
+  EXPECT_EQ(printable_byte('\n'), "\\n");
+  EXPECT_EQ(printable_byte('\t'), "\\t");
+  EXPECT_EQ(printable_byte(0x01), "\\x01");
+  EXPECT_EQ(printable_byte(0xFF), "\\xFF");
+}
+
+TEST(Strings, PrintableString) {
+  EXPECT_EQ(printable("ab\ncd"), "ab\\ncd");
+  EXPECT_EQ(printable(""), "");
+}
+
+}  // namespace
+}  // namespace jrf::util
