@@ -36,7 +36,7 @@ void omit(const std::string& needle, int block, std::string_view calibration,
   bool improved = true;
   while (improved && static_cast<int>(trimmed.size()) > block) {
     improved = false;
-    for (const std::string candidate :
+    for (const std::string& candidate :
          {trimmed.substr(1), trimmed.substr(0, trimmed.size() - 1)}) {
       if (static_cast<int>(candidate.size()) < block) continue;
       if (subset_fpr(calibration, needle, candidate, block) <=

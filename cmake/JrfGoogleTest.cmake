@@ -1,0 +1,45 @@
+# Resolve GoogleTest: prefer a system install (Debian libgtest-dev, vcpkg,
+# conda, ...) so offline builds work; otherwise probe the network with
+# file(DOWNLOAD) first — FetchContent aborts configure on a failed download,
+# so the probe is what makes "no gtest, no network" degrade to a warning
+# instead of a fatal error.  Sets JRF_GTEST_FOUND and guarantees the
+# GTest::gtest_main target exists when it is ON.
+
+set(JRF_GTEST_FOUND OFF)
+set(JRF_GTEST_URL
+  https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip)
+
+find_package(GTest QUIET)
+if(GTest_FOUND)
+  set(JRF_GTEST_FOUND ON)
+  message(STATUS "jrf: using system GoogleTest")
+else()
+  set(_jrf_gtest_zip ${CMAKE_BINARY_DIR}/_deps/googletest-v1.14.0.zip)
+  if(NOT EXISTS ${_jrf_gtest_zip})
+    file(DOWNLOAD ${JRF_GTEST_URL} ${_jrf_gtest_zip}
+      STATUS _jrf_gtest_status
+      TIMEOUT 60)
+    list(GET _jrf_gtest_status 0 _jrf_gtest_code)
+    if(NOT _jrf_gtest_code EQUAL 0)
+      file(REMOVE ${_jrf_gtest_zip})
+    endif()
+  endif()
+
+  if(EXISTS ${_jrf_gtest_zip})
+    include(FetchContent)
+    FetchContent_Declare(googletest
+      URL ${_jrf_gtest_zip}
+      DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+    if(TARGET gtest_main)
+      if(NOT TARGET GTest::gtest_main)
+        add_library(GTest::gtest_main ALIAS gtest_main)
+      endif()
+      set(JRF_GTEST_FOUND ON)
+      message(STATUS "jrf: using downloaded GoogleTest")
+    endif()
+  endif()
+endif()

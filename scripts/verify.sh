@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 verify: the exact gate every PR is judged against (see ROADMAP.md).
+# Usage: scripts/verify.sh [--fast]   (--fast skips the slow-labelled suites)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DJRF_WERROR=ON
+cmake --build build -j"$(nproc 2>/dev/null || echo 4)"
+
+if [ "${1:-}" = "--fast" ]; then
+  ctest --test-dir build -L tier1 --no-tests=error --output-on-failure \
+    -j"$(nproc 2>/dev/null || echo 4)"
+else
+  ctest --test-dir build --no-tests=error --output-on-failure \
+    -j"$(nproc 2>/dev/null || echo 4)"
+fi

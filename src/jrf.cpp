@@ -1,0 +1,4 @@
+// Compiles the umbrella header as part of the library so it cannot rot
+// unnoticed: a rename or missing include in any public header breaks this
+// TU, and with it the build.
+#include "jrf.hpp"

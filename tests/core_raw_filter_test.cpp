@@ -138,7 +138,7 @@ TEST(RawFilter, PairGroupValueAtClosingBrace) {
 TEST(RawFilter, SingleMemberGroupActsAsLeaf) {
   raw_filter grouped(make_group(group_kind::scope, {s1_temperature()}));
   raw_filter bare(leaf(s1_temperature()));
-  for (const std::string record :
+  for (const std::string& record :
        {kListing1, std::string(R"({"n":"humidity"})"), std::string("{}")}) {
     EXPECT_EQ(grouped.accepts(record), bare.accepts(record)) << record;
   }

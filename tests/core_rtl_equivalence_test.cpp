@@ -117,9 +117,10 @@ TEST_P(RtlEquivalence, DecisionsIdenticalPerByte) {
       const auto sw_step = sw.push(byte);
       ASSERT_EQ(hw_boundary, sw_step.record_boundary)
           << GetParam().name << " boundary mismatch at byte " << i;
-      if (hw_boundary)
+      if (hw_boundary) {
         ASSERT_EQ(hw_accept, sw_step.accept)
             << GetParam().name << " accept mismatch at byte " << i;
+      }
       sim.step();
     }
   }

@@ -1,0 +1,114 @@
+// Determinism tests for the synthetic dataset generators: the paper's
+// evaluation (selectivities, FPRs, throughput) is only reproducible if the
+// same seed always yields the same byte stream, on any machine, regardless
+// of how the stream is chunked.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "data/smartcity.hpp"
+#include "data/taxi.hpp"
+#include "data/twitter.hpp"
+#include "json/ndjson.hpp"
+#include "json/parser.hpp"
+
+namespace jrf::data {
+namespace {
+
+constexpr std::size_t kRecords = 500;
+
+template <typename Generator>
+void expect_same_seed_same_bytes(std::uint64_t seed) {
+  Generator a(seed);
+  Generator b(seed);
+  EXPECT_EQ(a.stream(kRecords), b.stream(kRecords));
+}
+
+template <typename Generator>
+void expect_chunking_irrelevant(std::uint64_t seed) {
+  Generator whole(seed);
+  Generator chunked(seed);
+  const std::string expected = whole.stream(kRecords);
+  std::string actual = chunked.stream(kRecords / 2);
+  actual += chunked.stream(kRecords - kRecords / 2);
+  EXPECT_EQ(actual, expected);
+}
+
+template <typename Generator>
+void expect_record_matches_stream(std::uint64_t seed) {
+  Generator by_record(seed);
+  Generator by_stream(seed);
+  std::string rebuilt;
+  for (std::size_t i = 0; i < 50; ++i) {
+    rebuilt += by_record.record();
+    rebuilt += '\n';
+  }
+  EXPECT_EQ(rebuilt, by_stream.stream(50));
+}
+
+template <typename Generator>
+void expect_different_seeds_differ() {
+  Generator a(1);
+  Generator b(2);
+  EXPECT_NE(a.stream(kRecords), b.stream(kRecords));
+}
+
+TEST(DataDeterminism, SmartcitySameSeedSameBytes) {
+  expect_same_seed_same_bytes<smartcity_generator>(0x5C17);
+  expect_same_seed_same_bytes<smartcity_generator>(42);
+}
+
+TEST(DataDeterminism, TaxiSameSeedSameBytes) {
+  expect_same_seed_same_bytes<taxi_generator>(0x7A21);
+  expect_same_seed_same_bytes<taxi_generator>(42);
+}
+
+TEST(DataDeterminism, TwitterSameSeedSameBytes) {
+  expect_same_seed_same_bytes<twitter_generator>(0x7411);
+  expect_same_seed_same_bytes<twitter_generator>(42);
+}
+
+TEST(DataDeterminism, ChunkingDoesNotChangeTheStream) {
+  expect_chunking_irrelevant<smartcity_generator>(7);
+  expect_chunking_irrelevant<taxi_generator>(7);
+  expect_chunking_irrelevant<twitter_generator>(7);
+}
+
+TEST(DataDeterminism, RecordCallsMatchStreamCalls) {
+  expect_record_matches_stream<smartcity_generator>(11);
+  expect_record_matches_stream<taxi_generator>(11);
+  expect_record_matches_stream<twitter_generator>(11);
+}
+
+TEST(DataDeterminism, DifferentSeedsProduceDifferentStreams) {
+  expect_different_seeds_differ<smartcity_generator>();
+  expect_different_seeds_differ<taxi_generator>();
+  expect_different_seeds_differ<twitter_generator>();
+}
+
+TEST(DataDeterminism, StreamsAreWellFormedNdjson) {
+  // Every record of the JSON generators must parse; the stream must contain
+  // exactly the requested number of '\n'-terminated records.
+  smartcity_generator sc(3);
+  taxi_generator tx(3);
+  for (const std::string& stream : {sc.stream(100), tx.stream(100)}) {
+    ASSERT_FALSE(stream.empty());
+    EXPECT_EQ(stream.back(), '\n');
+    const auto records = json::split_records(stream);
+    ASSERT_EQ(records.size(), 100u);
+    for (std::string_view record : records)
+      EXPECT_NO_THROW(json::parse(record)) << record;
+  }
+}
+
+TEST(DataDeterminism, TwitterStreamIsNewlineFramed) {
+  twitter_generator tw(3);
+  const std::string stream = tw.stream(100);
+  ASSERT_FALSE(stream.empty());
+  EXPECT_EQ(stream.back(), '\n');
+  EXPECT_EQ(json::split_records(stream).size(), 100u);
+}
+
+}  // namespace
+}  // namespace jrf::data

@@ -1,0 +1,160 @@
+// Parser -> value -> writer round-trip tests: escapes, nested arrays, and
+// NDJSON edge cases.  The DOM is the ground truth that raw-filter
+// false-positive rates are measured against, so parse(write(parse(x))) must
+// be a fixed point and generator streams must re-frame byte-compatibly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "json/ndjson.hpp"
+#include "json/parser.hpp"
+#include "json/value.hpp"
+#include "json/writer.hpp"
+#include "util/error.hpp"
+
+namespace jrf::json {
+namespace {
+
+// parse -> write -> parse must reach a fixed point after one write: the
+// first serialization may normalise (drop whitespace, decode \uXXXX), but
+// re-serialising the reparse must be byte-identical.
+void expect_roundtrip(std::string_view text) {
+  const value first = parse(text);
+  const std::string written = write(first);
+  const value second = parse(written);
+  EXPECT_EQ(first, second) << "value changed across round-trip of: " << text;
+  EXPECT_EQ(write(second), written)
+      << "serialization not a fixed point for: " << text;
+}
+
+TEST(JsonRoundtrip, Scalars) {
+  expect_roundtrip("null");
+  expect_roundtrip("true");
+  expect_roundtrip("false");
+  expect_roundtrip("0");
+  expect_roundtrip("-12.5");
+  expect_roundtrip("1e3");
+  expect_roundtrip("\"\"");
+  expect_roundtrip("\"plain\"");
+}
+
+TEST(JsonRoundtrip, SimpleEscapesSurvive) {
+  const value v = parse(R"("a\"b\\c\nd\te\rf\bg\fh")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\te\rf\bg\fh");
+  expect_roundtrip(R"("a\"b\\c\nd\te\rf\bg\fh")");
+}
+
+TEST(JsonRoundtrip, UnicodeEscapesDecodeOnce) {
+  // A decodes to 'A' and é to UTF-8 "é"; the writer re-emits the
+  // decoded bytes raw, and the round-trip must be stable from then on.
+  const value v = parse("\"\\u0041\\u00e9\"");
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9");
+  expect_roundtrip("\"\\u0041\\u00e9\"");
+}
+
+TEST(JsonRoundtrip, ControlCharactersReescape) {
+  // Control characters below 0x20 must come back out as \uXXXX (or the
+  // short escapes); the written form must itself reparse to the same bytes.
+  const value v = parse("\"\\u0001\\u001f\"");
+  EXPECT_EQ(v.as_string(), std::string("\x01\x1f"));
+  const std::string written = write(v);
+  EXPECT_EQ(parse(written).as_string(), v.as_string());
+  EXPECT_EQ(parse(write(parse(written))), v);
+}
+
+TEST(JsonRoundtrip, EscapeHelperMatchesParser) {
+  const std::string raw = "tab\t quote\" slash\\ nl\n";
+  const std::string quoted = "\"" + escape(raw) + "\"";
+  EXPECT_EQ(parse(quoted).as_string(), raw);
+}
+
+TEST(JsonRoundtrip, NestedArrays) {
+  expect_roundtrip("[]");
+  expect_roundtrip("[[]]");
+  expect_roundtrip("[[1,2],[3,[4,[5]]],[]]");
+  expect_roundtrip(R"([{"a":[1,2]},[{"b":null}],[[["deep"]]]])");
+}
+
+TEST(JsonRoundtrip, ObjectsPreserveMemberOrderAndDuplicates) {
+  // Member order is load-bearing (raw filters are order-sensitive) and the
+  // grammar permits duplicate keys; both must survive the round-trip.
+  const value v = parse(R"({"b":1,"a":2,"b":3})");
+  const auto& members = v.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "b");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "b");
+  EXPECT_EQ(write(v), R"({"b":1,"a":2,"b":3})");
+}
+
+TEST(JsonRoundtrip, CompactWriterDropsWhitespaceOnly) {
+  const std::string pretty = R"({
+    "e" : [ { "v" : "23.5" , "u" : "far" } ],
+    "bt" : 1422748800000
+  })";
+  const std::string compact = R"({"e":[{"v":"23.5","u":"far"}],"bt":1422748800000})";
+  EXPECT_EQ(write(parse(pretty)), compact);
+}
+
+TEST(JsonRoundtrip, NumbersKeepExactText) {
+  // util::decimal keeps numbers exact; writing must not reformat them into
+  // a different (e.g. float-rounded) literal that a re-parse reads back
+  // differently.
+  for (std::string_view literal :
+       {"0.1", "-0.0", "26282", "1422748800000", "2.25e-3", "1E+10"}) {
+    const value v = parse(literal);
+    EXPECT_EQ(parse(write(v)).as_number(), v.as_number())
+        << "literal: " << literal;
+  }
+}
+
+TEST(JsonRoundtrip, NdjsonStreamRoundtrip) {
+  // Generator wire format: '\n'-terminated records, possibly with empty
+  // lines injected by upstream framing.  split -> parse -> write -> join
+  // must preserve every record's value.
+  const std::string stream =
+      "{\"a\":1}\n"
+      "\n"
+      "{\"b\":[1,2,3]}\n"
+      "\n\n"
+      "{\"c\":\"line\\nbreak\"}\n";
+  const auto records = split_records(stream);
+  ASSERT_EQ(records.size(), 3u);
+
+  std::vector<std::string> rewritten;
+  for (std::string_view record : records)
+    rewritten.push_back(write(parse(record)));
+  const std::string rejoined = join_records(rewritten);
+
+  const auto reparsed = split_records(rejoined);
+  ASSERT_EQ(reparsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(parse(reparsed[i]), parse(records[i])) << "record " << i;
+}
+
+TEST(JsonRoundtrip, NdjsonTrailingRecordWithoutNewline) {
+  const auto records = split_records("{\"a\":1}\n{\"b\":2}");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(parse(records[1]), parse("{\"b\":2}"));
+}
+
+TEST(JsonRoundtrip, ParsePrefixConsumesExactlyOneRecord) {
+  const std::string two = "  {\"a\":1}{\"b\":2}";
+  std::size_t consumed = 0;
+  const value first = parse_prefix(two, consumed);
+  EXPECT_EQ(write(first), "{\"a\":1}");
+  const value second = parse(std::string_view(two).substr(consumed));
+  EXPECT_EQ(write(second), "{\"b\":2}");
+}
+
+TEST(JsonRoundtrip, MalformedInputThrows) {
+  EXPECT_THROW(parse("{\"a\":1"), jrf::parse_error);
+  EXPECT_THROW(parse("[1,2,]"), jrf::parse_error);
+  EXPECT_THROW(parse("\"unterminated"), jrf::parse_error);
+  EXPECT_THROW(parse("{} trailing"), jrf::parse_error);
+  EXPECT_THROW(parse(""), jrf::parse_error);
+}
+
+}  // namespace
+}  // namespace jrf::json

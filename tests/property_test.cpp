@@ -85,8 +85,12 @@ TEST(FilterDominance, GroupedIsNeverLooserThanQueryAndTighterThanFlat) {
     const auto flat_d = flat_rf.filter_stream(w.stream);
     const auto labels = label_stream(w.q, w.stream);
     for (std::size_t i = 0; i < labels.size(); ++i) {
-      if (labels[i]) EXPECT_TRUE(grouped_d[i]) << w.name << " record " << i;
-      if (grouped_d[i]) EXPECT_TRUE(flat_d[i]) << w.name << " record " << i;
+      if (labels[i]) {
+        EXPECT_TRUE(grouped_d[i]) << w.name << " record " << i;
+      }
+      if (grouped_d[i]) {
+        EXPECT_TRUE(flat_d[i]) << w.name << " record " << i;
+      }
     }
   }
 }
@@ -106,8 +110,11 @@ TEST(FilterDominance, SmallerBlockAcceptsSuperset) {
       core::raw_filter tight_rf(compile(w.q, tight));
       const auto loose_d = loose_rf.filter_stream(w.stream);
       const auto tight_d = tight_rf.filter_stream(w.stream);
-      for (std::size_t i = 0; i < tight_d.size(); ++i)
-        if (tight_d[i]) EXPECT_TRUE(loose_d[i]) << w.name << " record " << i;
+      for (std::size_t i = 0; i < tight_d.size(); ++i) {
+        if (tight_d[i]) {
+          EXPECT_TRUE(loose_d[i]) << w.name << " record " << i;
+        }
+      }
     }
   }
 }
@@ -124,8 +131,11 @@ TEST(FilterDominance, OmittingPredicatesLoosensTheFilter) {
     core::raw_filter fewer_rf(compile(w.q, fewer));
     const auto all_d = all_rf.filter_stream(w.stream);
     const auto fewer_d = fewer_rf.filter_stream(w.stream);
-    for (std::size_t i = 0; i < all_d.size(); ++i)
-      if (all_d[i]) EXPECT_TRUE(fewer_d[i]) << w.name << " record " << i;
+    for (std::size_t i = 0; i < all_d.size(); ++i) {
+      if (all_d[i]) {
+        EXPECT_TRUE(fewer_d[i]) << w.name << " record " << i;
+      }
+    }
   }
 }
 
