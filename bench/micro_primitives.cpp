@@ -8,6 +8,7 @@
 
 #include "core/elaborate.hpp"
 #include "core/expr.hpp"
+#include "core/filter_engine.hpp"
 #include "core/raw_filter.hpp"
 #include "data/smartcity.hpp"
 #include "query/compile.hpp"
@@ -27,6 +28,16 @@ void run_filter(benchmark::State& state, core::expr_ptr expr) {
   core::raw_filter rf(std::move(expr));
   for (auto _ : state) {
     benchmark::DoNotOptimize(rf.filter_stream(stream()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream().size()));
+}
+
+void run_chunked(benchmark::State& state, core::expr_ptr expr) {
+  auto engine =
+      core::make_filter_engine(core::engine_kind::chunked, std::move(expr));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->filter_stream(stream()));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(stream().size()));
@@ -62,6 +73,28 @@ void BM_ComposedQs0(benchmark::State& state) {
   run_filter(state, query::compile_default(query::riotbench::qs0()));
 }
 BENCHMARK(BM_ComposedQs0);
+
+// Chunked filter-engine counterparts: same decisions, batched hot path.
+void BM_ChunkedSubstringB1(benchmark::State& state) {
+  run_chunked(state, core::string_leaf("temperature", 1));
+}
+BENCHMARK(BM_ChunkedSubstringB1);
+
+void BM_ChunkedDfaString(benchmark::State& state) {
+  run_chunked(state, core::dfa_string_leaf("temperature"));
+}
+BENCHMARK(BM_ChunkedDfaString);
+
+void BM_ChunkedValueRange(benchmark::State& state) {
+  run_chunked(state,
+              core::value_leaf(numrange::range_spec::real_range("0.7", "35.1")));
+}
+BENCHMARK(BM_ChunkedValueRange);
+
+void BM_ChunkedComposedQs0(benchmark::State& state) {
+  run_chunked(state, query::compile_default(query::riotbench::qs0()));
+}
+BENCHMARK(BM_ChunkedComposedQs0);
 
 void BM_RtlCycleAccurate(benchmark::State& state) {
   // One full composed filter, executed gate by gate per byte.

@@ -2,17 +2,69 @@
 // DMA through 7 parallel raw-filter pipelines at 200 MHz. The paper
 // measured 1.33 GB/s against a 1.4 GB/s theoretical peak and the 1.25 GB/s
 // 10 GbE line rate.
+//
+// On top of the cycle-quantized model this bench measures host wall-clock
+// throughput of the two software paths (scalar push() vs the chunked
+// filter-engine scan) and of the sharded multi-stream system, and can emit
+// the numbers as machine-readable JSON:
+//
+//   bench_system_throughput [--json PATH]
+//
+// scripts/bench.sh passes --json BENCH_system_throughput.json; the
+// committed baseline tracks the chunked-vs-scalar speedup across PRs.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "data/smartcity.hpp"
 #include "data/stream.hpp"
 #include "query/compile.hpp"
 #include "query/riotbench.hpp"
+#include "system/sharded.hpp"
 #include "system/system.hpp"
 
-int main() {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct wall_result {
+  double seconds = 0.0;
+  double mbytes_per_second = 0.0;
+  jrf::system::throughput_report report;
+};
+
+wall_result timed_run(const jrf::core::expr_ptr& rf,
+                      jrf::core::engine_kind engine,
+                      const std::string& stream) {
+  jrf::system::system_options options;
+  options.engine = engine;
+  jrf::system::filter_system sys(rf, options);
+  const auto start = std::chrono::steady_clock::now();
+  wall_result out;
+  out.report = sys.run(stream);
+  out.seconds = seconds_since(start);
+  out.mbytes_per_second =
+      static_cast<double>(stream.size()) / out.seconds / 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace jrf;
+
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+
   bench::heading("System throughput (paper Section IV-B)");
 
   data::smartcity_generator gen;
@@ -28,11 +80,17 @@ int main() {
   std::printf("%-6s | %-12s | %-12s | %-10s | %s\n", "lanes", "rate GB/s",
               "theoretical", "stalls", "verdict vs 10GbE (1.25 GB/s)");
   bench::rule();
+  struct modeled_row {
+    int lanes;
+    system::throughput_report report;
+  };
+  std::vector<modeled_row> modeled;
   for (const int lanes : {1, 2, 4, 7, 8}) {
     system::system_options options;
     options.lanes = lanes;
     system::filter_system sys(rf, options);
     const auto report = sys.run(stream);
+    modeled.push_back({lanes, report});
     std::printf("%-6d | %12.3f | %12.2f | %9.2f%% | %s\n", lanes,
                 report.gbytes_per_second, report.theoretical_gbps,
                 100.0 * static_cast<double>(report.stall_cycles) /
@@ -46,13 +104,87 @@ int main() {
               "1.4 GB/s theoretical; our cycle-quantized model charges DMA\n"
               "descriptor setup and lane imbalance for the same gap.\n");
 
-  system::filter_system sys(rf);
-  const auto report = sys.run(stream);
+  // -------------------------------------------------------------------
+  // Host wall clock: the software hot path, scalar push() vs chunked scan.
+  // -------------------------------------------------------------------
+  bench::heading("Host wall clock (software hot path, 7 lanes)");
+  const wall_result scalar =
+      timed_run(rf, core::engine_kind::scalar, stream);
+  const wall_result chunked =
+      timed_run(rf, core::engine_kind::chunked, stream);
+  const double speedup =
+      chunked.seconds > 0 ? scalar.seconds / chunked.seconds : 0.0;
+  std::printf("scalar push()   : %8.2f MB/s (%.2fs)\n",
+              scalar.mbytes_per_second, scalar.seconds);
+  std::printf("chunked scan    : %8.2f MB/s (%.2fs)\n",
+              chunked.mbytes_per_second, chunked.seconds);
+  std::printf("speedup         : %8.2fx (decisions identical: %s)\n", speedup,
+              scalar.report.accepted == chunked.report.accepted ? "yes"
+                                                                : "NO!");
+
+  // -------------------------------------------------------------------
+  // Sharded mode: 7 independent streams, one lane each.
+  // -------------------------------------------------------------------
+  bench::heading("Sharded multi-stream (7 shards, chunked)");
+  const auto shards = data::shard_records(stream, 7);
+  std::vector<std::string_view> shard_views{shards.begin(), shards.end()};
+  system::sharded_filter_system sharded(rf, 7);
+  const auto sharded_start = std::chrono::steady_clock::now();
+  const auto sharded_report = sharded.run(shard_views);
+  const double sharded_seconds = seconds_since(sharded_start);
+  const double sharded_mbps =
+      static_cast<double>(sharded_report.bytes) / sharded_seconds / 1e6;
+  std::printf("modeled  : %s\n", sharded_report.to_string().c_str());
+  std::printf("wall     : %.2f MB/s (%.2fs)\n", sharded_mbps, sharded_seconds);
+
+  system::filter_system detail(rf);
+  const auto report = detail.run(stream);
   std::printf("\n7-lane detail: %s\n", report.to_string().c_str());
   std::printf("records forwarded to CPU: %llu of %llu (%.1f%% filtered out)\n",
               static_cast<unsigned long long>(report.accepted),
               static_cast<unsigned long long>(report.records),
               100.0 * (1.0 - static_cast<double>(report.accepted) /
                                  static_cast<double>(report.records)));
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"system_throughput\",\n");
+    std::fprintf(f, "  \"workload\": {\"bytes\": %zu, \"records\": %llu, "
+                 "\"dataset\": \"smartcity-inflated-44MB\", "
+                 "\"query\": \"QS0\"},\n",
+                 stream.size(),
+                 static_cast<unsigned long long>(report.records));
+    std::fprintf(f, "  \"modeled\": [\n");
+    for (std::size_t i = 0; i < modeled.size(); ++i)
+      std::fprintf(f,
+                   "    {\"lanes\": %d, \"gbps\": %.4f, "
+                   "\"theoretical_gbps\": %.4f, \"stall_pct\": %.2f}%s\n",
+                   modeled[i].lanes, modeled[i].report.gbytes_per_second,
+                   modeled[i].report.theoretical_gbps,
+                   100.0 * static_cast<double>(modeled[i].report.stall_cycles) /
+                       static_cast<double>(modeled[i].report.cycles),
+                   i + 1 < modeled.size() ? "," : "");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"wall\": {\"scalar_mbps\": %.2f, \"chunked_mbps\": %.2f, "
+                 "\"speedup\": %.2f},\n",
+                 scalar.mbytes_per_second, chunked.mbytes_per_second, speedup);
+    std::fprintf(f,
+                 "  \"sharded\": {\"shards\": 7, \"wall_mbps\": %.2f, "
+                 "\"records\": %llu, \"accepted\": %llu, "
+                 "\"backpressure_events\": %llu}\n",
+                 sharded_mbps,
+                 static_cast<unsigned long long>(sharded_report.records),
+                 static_cast<unsigned long long>(sharded_report.accepted),
+                 static_cast<unsigned long long>(
+                     sharded_report.backpressure_events));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  }
   return 0;
 }

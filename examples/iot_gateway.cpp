@@ -4,11 +4,15 @@
 // pre-filter the stream at line rate; the CPU parses only what survives.
 #include <cstdio>
 
+#include <string_view>
+#include <vector>
+
 #include "data/smartcity.hpp"
 #include "data/stream.hpp"
 #include "query/compile.hpp"
 #include "query/eval.hpp"
 #include "query/riotbench.hpp"
+#include "system/sharded.hpp"
 #include "system/system.hpp"
 
 int main() {
@@ -50,5 +54,14 @@ int main() {
   std::printf("check     : %zu true matches, %zu dropped by the RF %s\n",
               matches, missed,
               missed == 0 ? "(no false negatives)" : "(BUG!)");
+
+  // Sharded deployment: the same gateway fed by 7 independent sensor
+  // feeds, one filter lane each (query compiled once, lanes cloned),
+  // bounded per-lane FIFOs pushing back on fast producers.
+  const auto feeds = data::shard_records(ingress, 7);
+  std::vector<std::string_view> feed_views{feeds.begin(), feeds.end()};
+  system::sharded_filter_system sharded(rf, 7);
+  const auto sharded_report = sharded.run(feed_views);
+  std::printf("\nsharded   : %s\n", sharded_report.to_string().c_str());
   return missed == 0 ? 0 : 1;
 }

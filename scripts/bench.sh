@@ -1,0 +1,79 @@
+#!/usr/bin/env sh
+# Bench driver (ROADMAP "bench harness wiring + first perf baseline").
+#
+# Runs every bench/ program on the pinned generator seeds and emits one
+# machine-readable BENCH_<name>.json per bench at the repo root:
+#
+#   * bench_system_throughput writes its own rich JSON (--json): modeled
+#     GB/s per lane count, host wall-clock MB/s for the scalar push() path
+#     vs the chunked filter-engine path (the tracked speedup), and the
+#     sharded multi-stream run.
+#   * bench_micro_primitives emits the Google Benchmark JSON report.
+#   * every other bench gets {"bench", "exit", "wall_seconds"} plus its
+#     captured stdout under build/bench-logs/.
+#
+# Usage: scripts/bench.sh [bench_name ...]     (default: all benches)
+# Env:   BUILD=<dir>   build directory (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=${BUILD:-build}
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "bench.sh: $BUILD/bench missing - run scripts/verify.sh first" >&2
+  exit 1
+fi
+
+cmake --build "$BUILD" -j"$(nproc 2>/dev/null || echo 4)" >/dev/null
+
+LOGS="$BUILD/bench-logs"
+mkdir -p "$LOGS"
+
+if [ "$#" -gt 0 ]; then
+  BENCHES="$*"
+else
+  BENCHES=$(cd "$BUILD/bench" && ls bench_* | sort)
+fi
+
+failures=0
+for bench in $BENCHES; do
+  name=${bench#bench_}
+  binary="$BUILD/bench/$bench"
+  if [ ! -x "$binary" ]; then
+    echo "skip  $bench (not built)"
+    continue
+  fi
+
+  start=$(date +%s)
+  status=0
+  case "$name" in
+    system_throughput)
+      "$binary" --json BENCH_system_throughput.json \
+        > "$LOGS/$name.txt" 2>&1 || status=$?
+      ;;
+    micro_primitives)
+      "$binary" --benchmark_format=console \
+        --benchmark_out=BENCH_micro_primitives.json \
+        --benchmark_out_format=json > "$LOGS/$name.txt" 2>&1 || status=$?
+      ;;
+    *)
+      "$binary" > "$LOGS/$name.txt" 2>&1 || status=$?
+      printf '{\n  "bench": "%s",\n  "exit": %d,\n  "wall_seconds": %d\n}\n' \
+        "$name" "$status" "$(($(date +%s) - start))" > "BENCH_$name.json"
+      ;;
+  esac
+  elapsed=$(($(date +%s) - start))
+
+  if [ "$status" -eq 0 ]; then
+    echo "ok    $bench (${elapsed}s)"
+  else
+    echo "FAIL  $bench (exit $status, see $LOGS/$name.txt)"
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "bench.sh: $failures bench(es) failed" >&2
+  exit 1
+fi
+echo "bench.sh: BENCH_*.json written to $(pwd)"

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Header hygiene gate (ROADMAP item): every src/ header must compile as a
+# standalone translation unit, so any file can include exactly what it uses
+# without hidden ordering dependencies. Runs in CI and from verify.sh.
+#
+# Usage: scripts/check_headers.sh
+# Env:   CXX=<compiler>   (default: c++)
+set -eu
+
+cd "$(dirname "$0")/.."
+CXX=${CXX:-c++}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+status=0
+count=0
+for header in $(find src -name '*.hpp' | sort); do
+  rel=${header#src/}
+  printf '#include "%s"\n' "$rel" > "$tmp/tu.cpp"
+  if ! $CXX -std=c++20 -fsyntax-only -Wall -Wextra -Isrc "$tmp/tu.cpp" \
+      2> "$tmp/err"; then
+    echo "FAIL  $header"
+    cat "$tmp/err"
+    status=1
+  fi
+  count=$((count + 1))
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "header hygiene: failures among $count headers" >&2
+  exit 1
+fi
+echo "header hygiene: $count headers compile standalone"

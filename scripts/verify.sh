@@ -5,6 +5,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+scripts/check_headers.sh
+
 cmake -B build -S . -DJRF_WERROR=ON
 cmake --build build -j"$(nproc 2>/dev/null || echo 4)"
 

@@ -1,0 +1,483 @@
+#include "core/filter_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/raw_filter.hpp"
+#include "core/structure.hpp"
+#include "util/error.hpp"
+
+namespace jrf::core {
+
+compiled_layout compiled_layout::compile(const filter_expr& root) {
+  compiled_layout layout;
+  const auto visit = [&layout](const filter_expr& e, const auto& self) -> void {
+    switch (e.kind) {
+      case expr_kind::primitive:
+        layout.bare_engines.push_back(layout.engines.size());
+        layout.engines.push_back(make_engine(e.prim));
+        break;
+      case expr_kind::group: {
+        group_info info;
+        info.kind = e.group;
+        info.first = layout.engines.size();
+        for (const primitive_spec& m : e.members)
+          layout.engines.push_back(make_engine(m));
+        info.last = layout.engines.size();
+        layout.groups.push_back(info);
+        break;
+      }
+      case expr_kind::conjunction:
+      case expr_kind::disjunction:
+        for (const expr_ptr& child : e.children) self(*child, self);
+        break;
+    }
+  };
+  visit(root, visit);
+  return layout;
+}
+
+compiled_layout compiled_layout::clone() const {
+  compiled_layout copy;
+  copy.engines.reserve(engines.size());
+  for (const auto& engine : engines) copy.engines.push_back(engine->clone());
+  copy.groups = groups;
+  copy.bare_engines = bare_engines;
+  return copy;
+}
+
+filter_engine::filter_engine(expr_ptr expr, filter_options options)
+    : expr_(std::move(expr)), options_(options) {
+  if (!expr_) throw error("filter engine: null expression");
+}
+
+std::vector<bool> filter_engine::filter_stream(std::string_view stream) {
+  reset();
+  clear_decisions();
+  scan_chunk(stream);
+  finish();
+  return take_decisions();
+}
+
+const char* to_string(engine_kind kind) {
+  return kind == engine_kind::scalar ? "scalar" : "chunked";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar engine: raw_filter::push per byte, the paper-faithful reference.
+// ---------------------------------------------------------------------------
+
+class scalar_filter_engine final : public filter_engine {
+ public:
+  scalar_filter_engine(expr_ptr expr, filter_options options)
+      : filter_engine(std::move(expr), options), rf_(expr_, options) {}
+
+  void reset() override {
+    rf_.reset();
+    pending_ = false;
+  }
+
+  void scan_chunk(std::span<const unsigned char> chunk) override {
+    for (const unsigned char byte : chunk) {
+      const raw_filter::step_result r = rf_.push(byte);
+      if (r.record_boundary) {
+        if (pending_) decisions_.push_back(r.accept);
+        pending_ = false;
+      } else {
+        pending_ = true;
+      }
+    }
+  }
+
+  void finish() override {
+    if (!pending_) return;
+    const raw_filter::step_result r = rf_.push(options_.separator);
+    decisions_.push_back(r.accept);
+    // A masked flush separator (trailing record left a string literal
+    // open) produces no boundary, so push() did not reset; do it here so
+    // the engine is ready for a fresh stream like the chunked path.
+    if (!r.record_boundary) rf_.reset();
+    pending_ = false;
+  }
+
+  bool accepts(std::string_view record) override {
+    pending_ = false;
+    return rf_.accepts(record);
+  }
+
+  std::unique_ptr<filter_engine> clone() const override {
+    return std::unique_ptr<filter_engine>(new scalar_filter_engine(rf_));
+  }
+
+ private:
+  explicit scalar_filter_engine(const raw_filter& other)
+      : filter_engine(other.expression(), other.options()), rf_(other) {}
+
+  raw_filter rf_;
+  bool pending_ = false;  // bytes seen since the last boundary
+};
+
+// ---------------------------------------------------------------------------
+// Chunked engine: batched framing + bulk per-record evaluation.
+//
+// Decision-identity with the scalar path rests on three observations:
+//
+//  1. Framing. A byte is a record boundary iff it equals the separator and
+//     is not masked by the JSON string-literal automaton, and masking
+//     depends only on that automaton (quotes and backslash escapes). The
+//     framing scan advances the same automaton but jumps with memchr
+//     between the only bytes that can change it ('"', '\\') or end a
+//     record (the separator), so it finds exactly the boundaries push()
+//     would.
+//
+//  2. Bare leaves. The record decision samples sticky per-record latches,
+//     so a bare leaf contributes exactly "did the engine pulse anywhere in
+//     record+separator" - primitive_engine::fires_in, an early-exit bulk
+//     scan.
+//
+//  3. Groups. A group tracker's state only changes on bytes where a member
+//     pulses or a sample trigger occurs (unmasked structural byte or the
+//     separator); on every other byte its step() degenerates to a no-op
+//     (no latch change, no sample, armed depth either held or tracking a
+//     value that is only read at arming time). Replaying the tracker over
+//     just those bytes - with the exact structure_state each one had - is
+//     therefore state-identical, and the group latch is "did the tracker
+//     pulse at any sample point".
+// ---------------------------------------------------------------------------
+
+class chunked_filter_engine final : public filter_engine {
+ public:
+  chunked_filter_engine(expr_ptr expr, filter_options options)
+      : filter_engine(std::move(expr), options),
+        layout_(compiled_layout::compile(*expr_)),
+        tracker_(options.depth_bits) {
+    for (const compiled_layout::group_info& g : layout_.groups)
+      trackers_.emplace_back(g.kind, static_cast<int>(g.last - g.first));
+    std::size_t max_members = 0;
+    for (const compiled_layout::group_info& g : layout_.groups)
+      max_members = std::max(max_members, g.last - g.first);
+    member_fires_.resize(max_members);
+    fire_cursor_.resize(max_members);
+    fire_lists_.resize(max_members);
+    std::size_t leaf_cursor = 0;
+    std::size_t group_cursor = 0;
+    root_ = build_eval_tree(*expr_, leaf_cursor, group_cursor);
+  }
+
+  void reset() override {
+    in_string_ = false;
+    escaped_ = false;
+    carry_.clear();
+  }
+
+  void scan_chunk(std::span<const unsigned char> chunk) override {
+    std::size_t pos = 0;
+    while (pos < chunk.size()) {
+      const std::size_t boundary = find_boundary(chunk, pos);
+      if (boundary == npos) {
+        carry_.insert(carry_.end(), chunk.begin() + static_cast<std::ptrdiff_t>(pos),
+                      chunk.end());
+        return;
+      }
+      if (!carry_.empty()) {
+        carry_.insert(carry_.end(), chunk.begin() + static_cast<std::ptrdiff_t>(pos),
+                      chunk.begin() + static_cast<std::ptrdiff_t>(boundary));
+        decisions_.push_back(evaluate_record({carry_.data(), carry_.size()}));
+        carry_.clear();
+      } else if (boundary > pos) {
+        decisions_.push_back(evaluate_record(chunk.subspan(pos, boundary - pos)));
+      }
+      // Empty records (consecutive separators) produce no decision, exactly
+      // like filter_stream's pending-byte bookkeeping.
+      pos = boundary + 1;
+      in_string_ = false;
+      escaped_ = false;
+    }
+  }
+
+  void finish() override {
+    if (carry_.empty()) return;
+    // The scalar path flushes by pushing one synthesized separator; when
+    // the trailing record left the string automaton open (or the separator
+    // is the quote byte itself) that separator is masked, no boundary
+    // occurs, and the flushed decision is unconditionally false.
+    const bool masked = in_string_ || options_.separator == '"';
+    decisions_.push_back(masked ? false
+                                : evaluate_record({carry_.data(), carry_.size()}));
+    carry_.clear();
+    in_string_ = false;
+    escaped_ = false;
+  }
+
+  bool accepts(std::string_view record) override {
+    reset();
+    // accepts() == decision of the final (possibly empty) segment: push()
+    // discards the state of every earlier segment at its boundary.
+    const std::span<const unsigned char> bytes{
+        reinterpret_cast<const unsigned char*>(record.data()), record.size()};
+    std::size_t last_start = 0;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+      const std::size_t boundary = find_boundary(bytes, pos);
+      if (boundary == npos) break;
+      last_start = boundary + 1;
+      pos = boundary + 1;
+      in_string_ = false;
+      escaped_ = false;
+    }
+    const bool masked = in_string_ || options_.separator == '"';
+    const bool decision =
+        masked ? false : evaluate_record(bytes.subspan(last_start));
+    reset();
+    return decision;
+  }
+
+  std::unique_ptr<filter_engine> clone() const override {
+    return std::unique_ptr<filter_engine>(new chunked_filter_engine(*this));
+  }
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Expression tree with pre-assigned engine/group indices so evaluation
+  /// can short-circuit without the cursor walk eval_node needs.
+  struct eval_node {
+    enum class kind { leaf, group, conj, disj };
+    kind k = kind::leaf;
+    std::size_t index = 0;  // engine index (leaf) or group ordinal (group)
+    std::vector<eval_node> children;
+  };
+
+  chunked_filter_engine(const chunked_filter_engine& other)
+      : filter_engine(other.expr_, other.options_),
+        layout_(other.layout_.clone()),
+        tracker_(other.options_.depth_bits),
+        trackers_(other.trackers_),
+        root_(other.root_),
+        member_fires_(other.member_fires_.size()),
+        fire_cursor_(other.fire_cursor_.size()),
+        fire_lists_(other.fire_lists_.size()) {
+    for (auto& tracker : trackers_) tracker.reset();
+  }
+
+  eval_node build_eval_tree(const filter_expr& e, std::size_t& leaf_cursor,
+                            std::size_t& group_cursor) const {
+    eval_node node;
+    switch (e.kind) {
+      case expr_kind::primitive:
+        node.k = eval_node::kind::leaf;
+        node.index = layout_.bare_engines[leaf_cursor++];
+        break;
+      case expr_kind::group:
+        node.k = eval_node::kind::group;
+        node.index = group_cursor++;
+        break;
+      case expr_kind::conjunction:
+      case expr_kind::disjunction:
+        node.k = e.kind == expr_kind::conjunction ? eval_node::kind::conj
+                                                  : eval_node::kind::disj;
+        node.children.reserve(e.children.size());
+        for (const expr_ptr& child : e.children)
+          node.children.push_back(build_eval_tree(*child, leaf_cursor,
+                                                  group_cursor));
+        break;
+    }
+    return node;
+  }
+
+  /// Advance the string-mask automaton from `pos` and return the position
+  /// of the next unmasked separator, or npos when the chunk ends first.
+  /// Only '"' and '\\' can change the mask, so the scan memchr-jumps
+  /// between those bytes and separator candidates.
+  std::size_t find_boundary(std::span<const unsigned char> chunk,
+                            std::size_t pos) {
+    const unsigned char sep = options_.separator;
+    const unsigned char* data = chunk.data();
+    const std::size_t size = chunk.size();
+    while (pos < size) {
+      if (in_string_) {
+        if (escaped_) {
+          escaped_ = false;
+          ++pos;
+          continue;
+        }
+        // The closing quote bounds the backslash search, so neither scan
+        // runs past the current string literal.
+        const auto* quote = static_cast<const unsigned char*>(
+            std::memchr(data + pos, '"', size - pos));
+        const std::size_t limit =
+            quote != nullptr ? static_cast<std::size_t>(quote - data) : size;
+        const auto* bslash = static_cast<const unsigned char*>(
+            std::memchr(data + pos, '\\', limit - pos));
+        if (bslash != nullptr) {
+          escaped_ = true;
+          pos = static_cast<std::size_t>(bslash - data) + 1;
+        } else if (quote != nullptr) {
+          in_string_ = false;
+          pos = limit + 1;
+        } else {
+          return npos;  // chunk ends inside the literal
+        }
+      } else {
+        // A separator of '"' is always masked (it opens a string), so it can
+        // never be a boundary; every other separator candidate holds unless
+        // a quote opens a string before it.
+        const auto* boundary =
+            sep == '"' ? nullptr
+                       : static_cast<const unsigned char*>(
+                             std::memchr(data + pos, sep, size - pos));
+        const std::size_t limit =
+            boundary != nullptr ? static_cast<std::size_t>(boundary - data)
+                                : size;
+        const auto* quote = static_cast<const unsigned char*>(
+            std::memchr(data + pos, '"', limit - pos));
+        if (quote != nullptr) {
+          in_string_ = true;
+          pos = static_cast<std::size_t>(quote - data) + 1;
+        } else if (boundary != nullptr) {
+          return limit;
+        } else {
+          return npos;
+        }
+      }
+    }
+    return npos;
+  }
+
+  bool evaluate_record(std::span<const unsigned char> record) {
+    events_ready_ = false;
+    return eval(root_, record);
+  }
+
+  bool eval(const eval_node& node, std::span<const unsigned char> record) {
+    switch (node.k) {
+      case eval_node::kind::leaf:
+        return layout_.engines[node.index]->fires_in(record,
+                                                     options_.separator);
+      case eval_node::kind::group:
+        return group_fires(node.index, record);
+      case eval_node::kind::conj:
+        for (const eval_node& child : node.children)
+          if (!eval(child, record)) return false;
+        return true;
+      case eval_node::kind::disj:
+        for (const eval_node& child : node.children)
+          if (eval(child, record)) return true;
+        return false;
+    }
+    throw error("chunked filter: invalid eval node");
+  }
+
+  /// One unmasked structural byte of the current record.
+  struct struct_event {
+    std::uint32_t pos = 0;
+    structure_state st;
+  };
+
+  void ensure_events(std::span<const unsigned char> record) {
+    if (events_ready_) return;
+    events_.clear();
+    tracker_.reset();
+    for (std::size_t i = 0; i < record.size(); ++i) {
+      const structure_state st = tracker_.step(record[i]);
+      if (st.scope_open || st.scope_close || st.pair_boundary)
+        events_.push_back({static_cast<std::uint32_t>(i), st});
+    }
+    separator_st_ = tracker_.step(options_.separator);
+    events_ready_ = true;
+  }
+
+  bool group_fires(std::size_t group, std::span<const unsigned char> record) {
+    const compiled_layout::group_info& info = layout_.groups[group];
+    const std::size_t members = info.last - info.first;
+
+    // Necessary condition first: a member that never pulses can never be
+    // latched at a sample point, so the group cannot fire.
+    for (std::size_t m = 0; m < members; ++m) {
+      fire_lists_[m].clear();
+      layout_.engines[info.first + m]->fire_positions(
+          record, options_.separator, fire_lists_[m]);
+      if (fire_lists_[m].empty()) return false;
+    }
+
+    ensure_events(record);
+
+    // Event-driven replay: step the tracker only at bytes where state can
+    // change, in position order, merging member pulses with structural
+    // events. The final separator byte always samples.
+    group_tracker& tracker = trackers_[group];
+    tracker.reset();
+    std::fill(fire_cursor_.begin(), fire_cursor_.begin() +
+              static_cast<std::ptrdiff_t>(members), 0);
+    std::size_t event_cursor = 0;
+    const auto separator_pos = static_cast<std::uint32_t>(record.size());
+    int depth = 0;  // nesting level after the last structural event
+
+    for (;;) {
+      // Next position where anything happens.
+      std::uint32_t pos = separator_pos;
+      for (std::size_t m = 0; m < members; ++m)
+        if (fire_cursor_[m] < fire_lists_[m].size())
+          pos = std::min(pos, fire_lists_[m][fire_cursor_[m]]);
+      if (event_cursor < events_.size())
+        pos = std::min(pos, events_[event_cursor].pos);
+
+      structure_state st;
+      if (event_cursor < events_.size() && events_[event_cursor].pos == pos) {
+        st = events_[event_cursor].st;
+        depth = st.depth;
+        ++event_cursor;
+      } else if (pos == separator_pos) {
+        st = separator_st_;
+      } else {
+        st.depth_before = depth;
+        st.depth = depth;
+      }
+
+      for (std::size_t m = 0; m < members; ++m) {
+        const bool fired = fire_cursor_[m] < fire_lists_[m].size() &&
+                           fire_lists_[m][fire_cursor_[m]] == pos;
+        member_fires_[m] = fired ? 1 : 0;
+        if (fired) ++fire_cursor_[m];
+      }
+
+      const bool separator = pos == separator_pos;
+      if (tracker.step(st, separator,
+                       {member_fires_.data(), members}))
+        return true;  // latch is sticky: one pulse decides the record
+      if (separator) return false;
+    }
+  }
+
+  compiled_layout layout_;
+  structure_tracker tracker_;            // record-scoped event collection
+  std::vector<group_tracker> trackers_;  // replay state, one per group
+  eval_node root_;
+
+  // Framing state (persists across scan_chunk calls).
+  bool in_string_ = false;
+  bool escaped_ = false;
+  std::vector<unsigned char> carry_;  // partial record awaiting its boundary
+
+  // Per-record scratch, reused across records.
+  bool events_ready_ = false;
+  std::vector<struct_event> events_;
+  structure_state separator_st_;
+  std::vector<char> member_fires_;
+  std::vector<std::size_t> fire_cursor_;
+  std::vector<std::vector<std::uint32_t>> fire_lists_;
+};
+
+}  // namespace
+
+std::unique_ptr<filter_engine> make_filter_engine(engine_kind kind,
+                                                  expr_ptr expr,
+                                                  filter_options options) {
+  if (kind == engine_kind::scalar)
+    return std::make_unique<scalar_filter_engine>(std::move(expr), options);
+  return std::make_unique<chunked_filter_engine>(std::move(expr), options);
+}
+
+}  // namespace jrf::core

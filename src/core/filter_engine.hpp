@@ -1,0 +1,141 @@
+// Filter-engine abstraction layer: the software hot path of the repo.
+//
+// The paper's FPGA consumes one byte per cycle, and core::raw_filter mirrors
+// that with a scalar push(byte) loop. A software model serving real traffic
+// wants to move whole buffers per call, so this layer splits "what a filter
+// decides" from "how bytes reach it":
+//
+//   * compiled_layout  - the engine complement of a filter expression
+//                        (primitive engines in leaf order plus structural
+//                        group spans), compiled once and cheaply cloneable:
+//                        clones duplicate run state but share the immutable
+//                        compile artifacts (DFA tables, gram sets).
+//   * filter_engine    - abstract streaming interface: scan_chunk() accepts
+//                        arbitrary-size byte chunks, per-record decisions
+//                        accumulate in decisions(), finish() flushes a
+//                        trailing unterminated record, clone() spawns a
+//                        fresh lane off the shared compiled query.
+//
+// Two implementations exist behind make_filter_engine():
+//
+//   scalar  - wraps raw_filter::push(), byte per byte; the paper-faithful
+//             reference path.
+//   chunked - the batched hot path. Records are framed with memchr-style
+//             separator search (escape-aware, so separator bytes inside
+//             JSON string literals never split a record), then each record
+//             is evaluated from whole-slice bulk scans of the primitive
+//             engines plus an event-driven replay of the structural group
+//             trackers at the sparse positions where state can change
+//             (member fire pulses, unmasked structural bytes, separator).
+//
+// Both paths are decision-identical by construction, and the
+// core_chunked_equivalence_test suite holds them to it across the
+// riotbench queries and all three datasets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/expr.hpp"
+#include "core/primitive.hpp"
+
+namespace jrf::core {
+
+struct filter_options {
+  unsigned char separator = '\n';
+  int depth_bits = 5;  // structure tracker counter width
+};
+
+/// Engine complement of a compiled filter expression. Shared by raw_filter
+/// (scalar path) and the chunked engine so both instantiate primitives in
+/// the same leaf order with the same group spans.
+struct compiled_layout {
+  struct group_info {
+    group_kind kind = group_kind::scope;
+    std::size_t first = 0;  // engine range [first, last)
+    std::size_t last = 0;
+  };
+
+  std::vector<std::unique_ptr<primitive_engine>> engines;  // leaf order
+  std::vector<group_info> groups;                          // group order
+  std::vector<std::size_t> bare_engines;  // bare-leaf cursor -> engine index
+
+  /// Instantiate every primitive of the expression (throws on null/invalid).
+  static compiled_layout compile(const filter_expr& root);
+
+  /// Fresh lane: engines cloned (sharing compiled artifacts), spans copied.
+  compiled_layout clone() const;
+};
+
+/// Abstract streaming filter lane. Decisions follow raw_filter semantics:
+/// one decision per non-empty record, records separated by an unmasked
+/// separator byte, all state reset at the boundary.
+class filter_engine {
+ public:
+  virtual ~filter_engine() = default;
+
+  /// Drop all run state (and any buffered partial record); decisions()
+  /// already emitted are kept.
+  virtual void reset() = 0;
+
+  /// Consume the next chunk of the stream. Chunk boundaries are arbitrary:
+  /// records may split anywhere, including mid-token or mid-escape. The
+  /// chunked implementation buffers an in-flight record until its boundary
+  /// arrives, so memory is O(longest record) (the scalar path is O(1));
+  /// reset() drops the buffer.
+  virtual void scan_chunk(std::span<const unsigned char> chunk) = 0;
+  void scan_chunk(std::string_view chunk) {
+    scan_chunk(std::span<const unsigned char>{
+        reinterpret_cast<const unsigned char*>(chunk.data()), chunk.size()});
+  }
+
+  /// Flush a trailing record that lacks its final separator (no-op when the
+  /// stream ended exactly on a boundary).
+  virtual void finish() = 0;
+
+  /// Decision for one standalone record, terminator supplied internally.
+  /// Restarts the stream (identical to raw_filter::accepts).
+  virtual bool accepts(std::string_view record) = 0;
+
+  /// Fresh engine for another lane: duplicates run state only, sharing the
+  /// compiled query (expression tree, DFA tables, gram sets).
+  virtual std::unique_ptr<filter_engine> clone() const = 0;
+
+  /// reset + scan + finish; identical to raw_filter::filter_stream.
+  std::vector<bool> filter_stream(std::string_view stream);
+
+  /// Per-record decisions accumulated since the last clear.
+  const std::vector<bool>& decisions() const noexcept { return decisions_; }
+  std::vector<bool> take_decisions() {
+    std::vector<bool> out;
+    out.swap(decisions_);
+    return out;
+  }
+  void clear_decisions() { decisions_.clear(); }
+
+  const expr_ptr& expression() const noexcept { return expr_; }
+  const filter_options& options() const noexcept { return options_; }
+
+ protected:
+  filter_engine(expr_ptr expr, filter_options options);
+
+  expr_ptr expr_;
+  filter_options options_;
+  std::vector<bool> decisions_;
+};
+
+enum class engine_kind {
+  scalar,   // byte-at-a-time raw_filter::push, paper-faithful
+  chunked,  // batched framing + bulk record evaluation
+};
+
+const char* to_string(engine_kind kind);
+
+std::unique_ptr<filter_engine> make_filter_engine(engine_kind kind,
+                                                  expr_ptr expr,
+                                                  filter_options options = {});
+
+}  // namespace jrf::core

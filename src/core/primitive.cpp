@@ -1,6 +1,8 @@
 #include "core/primitive.hpp"
 
 #include <algorithm>
+#include <array>
+#include <string_view>
 
 #include "util/error.hpp"
 
@@ -33,6 +35,30 @@ std::string to_string(const primitive_spec& spec) {
   return std::visit([](const auto& s) { return s.to_string(); }, spec);
 }
 
+bool primitive_engine::fires_in(std::span<const unsigned char> record,
+                                unsigned char terminator) {
+  reset();
+  for (const unsigned char byte : record) {
+    if (step(byte)) {
+      reset();
+      return true;
+    }
+  }
+  const bool fire = step(terminator);
+  reset();
+  return fire;
+}
+
+void primitive_engine::fire_positions(std::span<const unsigned char> record,
+                                      unsigned char terminator,
+                                      std::vector<std::uint32_t>& out) {
+  reset();
+  for (std::size_t i = 0; i < record.size(); ++i)
+    if (step(record[i])) out.push_back(static_cast<std::uint32_t>(i));
+  if (step(terminator)) out.push_back(static_cast<std::uint32_t>(record.size()));
+  reset();
+}
+
 namespace {
 
 void validate_search_string(const string_spec& spec) {
@@ -51,6 +77,18 @@ int counter_width(int threshold) {
   return bits;
 }
 
+/// numrange::is_token_byte as a flat table: the bulk scans test it per byte
+/// and the out-of-line call would dominate the loop.
+const std::array<char, 256>& token_byte_table() {
+  static const std::array<char, 256> table = [] {
+    std::array<char, 256> t{};
+    for (unsigned c = 0; c < 256; ++c)
+      t[c] = numrange::is_token_byte(static_cast<unsigned char>(c)) ? 1 : 0;
+    return t;
+  }();
+  return table;
+}
+
 /// (iii) B-gram matcher; (ii) exact compare falls out as B = N.
 class substring_engine final : public primitive_engine {
  public:
@@ -60,13 +98,54 @@ class substring_engine final : public primitive_engine {
         threshold_(spec_.threshold()),
         width_(counter_width(threshold_)),
         mask_((1u << width_) - 1),
-        buffer_(static_cast<std::size_t>(spec_.block), 0) {
+        buffer_(static_cast<std::size_t>(spec_.block), 0),
+        newest_in_gram_(256, 0) {
     validate_search_string(spec_);
+    for (const std::string& gram : grams_)
+      newest_in_gram_[static_cast<unsigned char>(gram.back())] = 1;
   }
 
   void reset() override {
     std::ranges::fill(buffer_, 0);
     counter_ = 0;
+  }
+
+  std::unique_ptr<primitive_engine> clone() const override {
+    auto copy = std::make_unique<substring_engine>(*this);
+    copy->reset();
+    return copy;
+  }
+
+  bool fires_in(std::span<const unsigned char> record,
+                unsigned char terminator) override {
+    // Exact compare (B = N, threshold 1): a single gram, any occurrence
+    // fires - delegate the scan to the memchr-backed find.
+    if (threshold_ == 1 && grams_.size() == 1) {
+      const std::string_view sv{reinterpret_cast<const char*>(record.data()),
+                                record.size()};
+      if (sv.find(grams_.front()) != std::string_view::npos) return true;
+      return hit_at(record, terminator, record.size());
+    }
+    unsigned counter = 0;
+    for (std::size_t pos = 0; pos <= record.size(); ++pos) {
+      counter = hit_at(record, terminator, pos) ? ((counter + 1) & mask_) : 0;
+      if (counter == static_cast<unsigned>(threshold_)) return true;
+    }
+    return false;
+  }
+
+  void fire_positions(std::span<const unsigned char> record,
+                      unsigned char terminator,
+                      std::vector<std::uint32_t>& out) override {
+    // Replays the counter exactly: consecutive gram hits increment a
+    // width_-bit counter that wraps, a miss clears it, a pulse occurs
+    // whenever the wrapped count equals the threshold.
+    unsigned counter = 0;
+    for (std::size_t pos = 0; pos <= record.size(); ++pos) {
+      counter = hit_at(record, terminator, pos) ? ((counter + 1) & mask_) : 0;
+      if (counter == static_cast<unsigned>(threshold_))
+        out.push_back(static_cast<std::uint32_t>(pos));
+    }
   }
 
   bool step(unsigned char byte) override {
@@ -129,12 +208,39 @@ class substring_engine final : public primitive_engine {
   }
 
  private:
+  /// Would the scalar window compare hit at `pos`? pos == record.size()
+  /// addresses the terminator byte. The shift buffer starts zero-filled and
+  /// gram bytes are printable, so windows overlapping the pre-record zeros
+  /// never hit - a hit needs pos + 1 >= B.
+  bool hit_at(std::span<const unsigned char> record, unsigned char terminator,
+              std::size_t pos) const {
+    const unsigned char newest = pos < record.size() ? record[pos] : terminator;
+    if (!newest_in_gram_[newest]) return false;
+    const std::size_t b = buffer_.size();
+    if (pos + 1 < b) return false;
+    if (b == 1) return true;  // the bitmap is the whole compare for B = 1
+    const std::size_t first = pos - (b - 1);
+    for (const std::string& gram : grams_) {
+      if (static_cast<unsigned char>(gram.back()) != newest) continue;
+      bool all = true;
+      for (std::size_t j = 0; j + 1 < b; ++j) {
+        if (record[first + j] != static_cast<unsigned char>(gram[j])) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+    return false;
+  }
+
   string_spec spec_;
   std::vector<std::string> grams_;
   int threshold_;
   int width_;
   unsigned mask_;
   std::vector<unsigned char> buffer_;
+  std::vector<unsigned char> newest_in_gram_;  // byte value -> ends some gram
   unsigned counter_ = 0;
 };
 
@@ -144,18 +250,53 @@ class dfa_string_engine final : public primitive_engine {
  public:
   explicit dfa_string_engine(string_spec spec)
       : spec_(std::move(spec)),
-        dfa_(regex::compile(regex::concat(
+        dfa_(std::make_shared<const regex::dfa>(regex::compile(regex::concat(
             {regex::star(regex::chars(regex::class_set::all())),
-             regex::literal(spec_.text)}))),
-        state_(dfa_.start()) {
+             regex::literal(spec_.text)})))),
+        state_(dfa_->start()) {
     validate_search_string(spec_);
   }
 
-  void reset() override { state_ = dfa_.start(); }
+  void reset() override { state_ = dfa_->start(); }
 
   bool step(unsigned char byte) override {
-    state_ = dfa_.step(state_, byte);
-    return dfa_.accepting(state_);
+    state_ = dfa_->step(state_, byte);
+    return dfa_->accepting(state_);
+  }
+
+  std::unique_ptr<primitive_engine> clone() const override {
+    auto copy = std::make_unique<dfa_string_engine>(*this);  // shares dfa_
+    copy->reset();
+    return copy;
+  }
+
+  // The .*text automaton accepts exactly the streams whose last N bytes are
+  // `text`, so a pulse at byte i <=> an occurrence of `text` ends at i. The
+  // DFA starts fresh at the record boundary, so occurrences cannot span the
+  // pre-record gap - plain substring search over record+terminator is
+  // pulse-identical.
+  bool fires_in(std::span<const unsigned char> record,
+                unsigned char terminator) override {
+    const std::string_view sv{reinterpret_cast<const char*>(record.data()),
+                              record.size()};
+    if (sv.find(spec_.text) != std::string_view::npos) return true;
+    return ends_at_terminator(sv, terminator);
+  }
+
+  void fire_positions(std::span<const unsigned char> record,
+                      unsigned char terminator,
+                      std::vector<std::uint32_t>& out) override {
+    const std::string_view sv{reinterpret_cast<const char*>(record.data()),
+                              record.size()};
+    const std::size_t n = spec_.text.size();
+    for (std::size_t from = 0;;) {
+      const std::size_t at = sv.find(spec_.text, from);
+      if (at == std::string_view::npos) break;
+      out.push_back(static_cast<std::uint32_t>(at + n - 1));
+      from = at + 1;  // overlapping occurrences pulse too
+    }
+    if (ends_at_terminator(sv, terminator))
+      out.push_back(static_cast<std::uint32_t>(record.size()));
   }
 
   elaborated_primitive elaborate(network& net, const bus& byte,
@@ -164,7 +305,7 @@ class dfa_string_engine final : public primitive_engine {
     // Chain-shaped .*needle automata encode compactly in binary (the state
     // is essentially a match-length counter); number-range DFAs use the
     // default one-hot encoding instead (bench_ablation_encoding).
-    const auto circuit = netlist::elaborate_dfa(net, dfa_, byte,
+    const auto circuit = netlist::elaborate_dfa(net, *dfa_, byte,
                                                 net.constant(true), record_reset,
                                                 prefix + ".dfa",
                                                 netlist::dfa_encoding::binary);
@@ -173,10 +314,10 @@ class dfa_string_engine final : public primitive_engine {
     // structure: accept iff some (state, class) pair leads to an accepting
     // state.
     std::vector<node_id> terms;
-    for (int s = 0; s < dfa_.state_count(); ++s) {
-      for (int cls = 0; cls < dfa_.class_count(); ++cls) {
-        if (!dfa_.accepting(dfa_.transition(s, cls))) continue;
-        const node_id on_class = netlist::in_class(net, byte, dfa_.class_symbols(cls));
+    for (int s = 0; s < dfa_->state_count(); ++s) {
+      for (int cls = 0; cls < dfa_->class_count(); ++cls) {
+        if (!dfa_->accepting(dfa_->transition(s, cls))) continue;
+        const node_id on_class = netlist::in_class(net, byte, dfa_->class_symbols(cls));
         terms.push_back(net.and_gate(circuit.active[static_cast<std::size_t>(s)], on_class));
       }
     }
@@ -184,8 +325,19 @@ class dfa_string_engine final : public primitive_engine {
   }
 
  private:
+  /// Occurrence whose final byte is the appended terminator (possible when
+  /// the search text ends in the separator byte - printable separators).
+  bool ends_at_terminator(std::string_view record,
+                          unsigned char terminator) const {
+    const std::string& t = spec_.text;
+    if (static_cast<unsigned char>(t.back()) != terminator) return false;
+    if (record.size() + 1 < t.size()) return false;
+    return record.substr(record.size() - (t.size() - 1)) ==
+           std::string_view{t}.substr(0, t.size() - 1);
+  }
+
   string_spec spec_;
-  regex::dfa dfa_;
+  std::shared_ptr<const regex::dfa> dfa_;  // shared across lane clones
   int state_;
 };
 
@@ -194,19 +346,51 @@ class value_engine final : public primitive_engine {
  public:
   explicit value_engine(value_spec spec)
       : spec_(std::move(spec)),
-        dfa_(numrange::build_token_dfa(spec_.range, spec_.options)),
-        state_(dfa_.start()) {}
+        compiled_(std::make_shared<const compiled_dfa>(
+            numrange::build_token_dfa(spec_.range, spec_.options))),
+        state_(compiled_->dfa.start()) {}
 
-  void reset() override { state_ = dfa_.start(); }
+  void reset() override { state_ = compiled_->dfa.start(); }
 
   bool step(unsigned char byte) override {
+    const regex::dfa& dfa = compiled_->dfa;
     if (numrange::is_token_byte(byte)) {
-      state_ = dfa_.step(state_, byte);
+      state_ = dfa.step(state_, byte);
       return false;
     }
-    const bool fire = dfa_.accepting(state_);
-    state_ = dfa_.start();
+    const bool fire = dfa.accepting(state_);
+    state_ = dfa.start();
     return fire;
+  }
+
+  std::unique_ptr<primitive_engine> clone() const override {
+    auto copy = std::make_unique<value_engine>(*this);  // shares compiled_
+    copy->reset();
+    return copy;
+  }
+
+  // Bulk path: the token DFA only advances on token bytes and is sampled
+  // (then restarted) at every non-token byte, so the scan walks maximal
+  // token runs and checks acceptance once per run end. Dead states absorb,
+  // letting the scan skip the rest of a run; between runs no pulse is
+  // possible unless the start state itself accepts.
+  bool fires_in(std::span<const unsigned char> record,
+                unsigned char terminator) override {
+    bool fired = false;
+    scan(record, terminator, [&](std::size_t) {
+      fired = true;
+      return false;  // stop
+    });
+    return fired;
+  }
+
+  void fire_positions(std::span<const unsigned char> record,
+                      unsigned char terminator,
+                      std::vector<std::uint32_t>& out) override {
+    scan(record, terminator, [&](std::size_t pos) {
+      out.push_back(static_cast<std::uint32_t>(pos));
+      return true;  // keep scanning
+    });
   }
 
   elaborated_primitive elaborate(network& net, const bus& byte,
@@ -220,15 +404,65 @@ class value_engine final : public primitive_engine {
     const node_id reset = net.or_gate(record_reset, net.not_gate(is_token));
     // advance is constantly true: whenever the DFA would not advance the
     // reset line is high anyway, so the hold path would be dead logic.
-    const auto circuit = netlist::elaborate_dfa(net, dfa_, byte,
+    const auto circuit = netlist::elaborate_dfa(net, compiled_->dfa, byte,
                                                 net.constant(true), reset,
                                                 prefix + ".val");
     return {net.and_gate(net.not_gate(is_token), circuit.accepting)};
   }
 
  private:
+  /// Immutable compile artifacts shared by every lane clone.
+  struct compiled_dfa {
+    explicit compiled_dfa(regex::dfa d) : dfa(std::move(d)) {
+      dead.reserve(static_cast<std::size_t>(dfa.state_count()));
+      for (int s = 0; s < dfa.state_count(); ++s)
+        dead.push_back(dfa.dead(s) ? 1 : 0);
+      start_accepting = dfa.accepting(dfa.start());
+    }
+    regex::dfa dfa;
+    std::vector<char> dead;
+    bool start_accepting = false;
+  };
+
+  /// Walk record+terminator, invoking on_fire(pos) for every pulse the
+  /// scalar path would emit; on_fire returning false stops the scan.
+  template <typename OnFire>
+  void scan(std::span<const unsigned char> record, unsigned char terminator,
+            OnFire&& on_fire) const {
+    const regex::dfa& dfa = compiled_->dfa;
+    const std::array<char, 256>& token = token_byte_table();
+    const std::size_t n = record.size();
+    const auto byte_at = [&](std::size_t i) {
+      return i < n ? record[i] : terminator;
+    };
+    int state = dfa.start();
+    std::size_t i = 0;
+    while (i <= n) {
+      const unsigned char byte = byte_at(i);
+      if (token[byte]) {
+        if (compiled_->dead[static_cast<std::size_t>(state)]) {
+          // Dead states absorb: skip the rest of this token run.
+          do {
+            ++i;
+          } while (i <= n && token[byte_at(i)]);
+          continue;
+        }
+        state = dfa.step(state, byte);
+        ++i;
+        continue;
+      }
+      if (dfa.accepting(state) && !on_fire(i)) return;
+      state = dfa.start();
+      ++i;
+      if (!compiled_->start_accepting) {
+        // A restarted DFA cannot pulse again until a token intervenes.
+        while (i <= n && !token[byte_at(i)]) ++i;
+      }
+    }
+  }
+
   value_spec spec_;
-  regex::dfa dfa_;
+  std::shared_ptr<const compiled_dfa> compiled_;
   int state_;
 };
 

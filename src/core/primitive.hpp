@@ -19,7 +19,9 @@
 // two is part of the test suite.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -74,6 +76,14 @@ struct elaborated_primitive {
 /// Behavioural engine interface. step() consumes one byte and returns the
 /// fire pulse for that byte; the engine matches the elaborated hardware
 /// cycle for cycle (including counter wrap behaviour).
+///
+/// Besides the scalar per-byte path the interface exposes a bulk per-record
+/// path (fires_in / fire_positions) used by the chunked filter engine
+/// (core/filter_engine.hpp): both report the fire pulses the scalar path
+/// would emit stepping from the power-on state over `record` followed by the
+/// one `terminator` byte the record protocol appends. The base-class
+/// defaults replay step(); engines override them with scanning loops that
+/// skip irrelevant bytes but are pulse-identical by construction.
 class primitive_engine {
  public:
   virtual ~primitive_engine() = default;
@@ -83,6 +93,23 @@ class primitive_engine {
 
   /// Consume one byte; true = fire pulse on this byte.
   virtual bool step(unsigned char byte) = 0;
+
+  /// Fresh engine for another lane: duplicates run state, shares immutable
+  /// compiled artifacts (DFA tables, gram sets). The copy starts reset.
+  virtual std::unique_ptr<primitive_engine> clone() const = 0;
+
+  /// Bulk path: true when at least one fire pulse would occur stepping over
+  /// `record` then `terminator` from the power-on state. May clobber and
+  /// leaves the engine in the power-on state.
+  virtual bool fires_in(std::span<const unsigned char> record,
+                        unsigned char terminator);
+
+  /// Bulk path: append the 0-based position of every fire pulse stepping
+  /// over `record` then `terminator` (position record.size() means the pulse
+  /// occurred on the terminator byte). Same state contract as fires_in.
+  virtual void fire_positions(std::span<const unsigned char> record,
+                              unsigned char terminator,
+                              std::vector<std::uint32_t>& out);
 
   /// Elaborate into the network. `byte` is the stream input; `record_reset`
   /// is a combinational line that is high on record-boundary bytes. The

@@ -52,36 +52,29 @@ raw_filter::raw_filter(expr_ptr expr, filter_options options)
       options_(options),
       tracker_(options.depth_bits) {
   if (!expr_) throw error("raw filter: null expression");
+  layout_ = compiled_layout::compile(*expr_);
+  for (const compiled_layout::group_info& g : layout_.groups)
+    groups_.emplace_back(g.kind, static_cast<int>(g.last - g.first));
+  leaf_latch_.resize(layout_.bare_engines.size(), 0);
+  group_latch_.resize(layout_.groups.size(), 0);
+  fires_.resize(layout_.engines.size(), 0);
+}
 
-  // Instantiate engines in leaf order; record group member spans.
-  const auto visit = [this](const filter_expr& e, const auto& self) -> void {
-    switch (e.kind) {
-      case expr_kind::primitive:
-        engines_.push_back(make_engine(e.prim));
-        leaf_latch_.push_back(0);
-        break;
-      case expr_kind::group: {
-        const std::size_t first = engines_.size();
-        for (const primitive_spec& m : e.members)
-          engines_.push_back(make_engine(m));
-        group_span_.emplace_back(first, engines_.size());
-        groups_.emplace_back(e.group, static_cast<int>(e.members.size()));
-        group_latch_.push_back(0);
-        break;
-      }
-      case expr_kind::conjunction:
-      case expr_kind::disjunction:
-        for (const expr_ptr& child : e.children) self(*child, self);
-        break;
-    }
-  };
-  visit(*expr_, visit);
-  fires_.resize(engines_.size(), 0);
+raw_filter::raw_filter(const raw_filter& other)
+    : expr_(other.expr_),
+      options_(other.options_),
+      tracker_(other.options_.depth_bits),
+      layout_(other.layout_.clone()),
+      groups_(other.groups_),
+      leaf_latch_(other.leaf_latch_.size(), 0),
+      group_latch_(other.group_latch_.size(), 0),
+      fires_(other.fires_.size(), 0) {
+  for (auto& tracker : groups_) tracker.reset();
 }
 
 void raw_filter::reset() {
   tracker_.reset();
-  for (auto& engine : engines_) engine->reset();
+  for (auto& engine : layout_.engines) engine->reset();
   for (auto& tracker : groups_) tracker.reset();
   std::ranges::fill(leaf_latch_, 0);
   std::ranges::fill(group_latch_, 0);
@@ -117,31 +110,21 @@ raw_filter::step_result raw_filter::push(unsigned char byte) {
   const structure_state st = tracker_.step(byte);
   const bool boundary = byte == options_.separator && !st.masked;
 
-  for (std::size_t i = 0; i < engines_.size(); ++i)
-    fires_[i] = engines_[i]->step(byte) ? 1 : 0;
+  for (std::size_t i = 0; i < layout_.engines.size(); ++i)
+    fires_[i] = layout_.engines[i]->step(byte) ? 1 : 0;
 
-  // Bare leaves latch their fire pulses; groups run their samplers. Bare
-  // leaves occupy the engine slots not covered by any group span.
-  std::size_t leaf_index = 0;
-  std::size_t group_index = 0;
-  std::size_t engine_index = 0;
-  while (engine_index < engines_.size()) {
-    if (group_index < group_span_.size() &&
-        group_span_[group_index].first == engine_index) {
-      const auto [first, last] = group_span_[group_index];
-      const std::span<const char> member_fires{fires_.data() + first,
-                                               last - first};
-      const bool fire = groups_[group_index].step(st, boundary, member_fires);
-      group_latch_[group_index] = static_cast<char>(group_latch_[group_index] | fire);
-      ++group_index;
-      engine_index = last;
-    } else {
-      leaf_latch_[leaf_index] =
-          static_cast<char>(leaf_latch_[leaf_index] | fires_[engine_index]);
-      ++leaf_index;
-      ++engine_index;
-    }
+  // Bare leaves latch their fire pulses; groups run their samplers. The two
+  // updates touch disjoint engine slots, so order does not matter.
+  for (std::size_t g = 0; g < layout_.groups.size(); ++g) {
+    const compiled_layout::group_info& info = layout_.groups[g];
+    const std::span<const char> member_fires{fires_.data() + info.first,
+                                             info.last - info.first};
+    const bool fire = groups_[g].step(st, boundary, member_fires);
+    group_latch_[g] = static_cast<char>(group_latch_[g] | fire);
   }
+  for (std::size_t leaf = 0; leaf < layout_.bare_engines.size(); ++leaf)
+    leaf_latch_[leaf] = static_cast<char>(leaf_latch_[leaf] |
+                                          fires_[layout_.bare_engines[leaf]]);
 
   step_result result;
   result.record_boundary = boundary;

@@ -16,15 +16,11 @@
 #include <vector>
 
 #include "core/expr.hpp"
+#include "core/filter_engine.hpp"
 #include "core/primitive.hpp"
 #include "core/structure.hpp"
 
 namespace jrf::core {
-
-struct filter_options {
-  unsigned char separator = '\n';
-  int depth_bits = 5;  // structure tracker counter width
-};
 
 /// State machine of one structural group; mirrors the elaborated hardware
 /// register for register. Shared by raw_filter and the DSE signal memoizer
@@ -60,6 +56,12 @@ class raw_filter {
  public:
   explicit raw_filter(expr_ptr expr, filter_options options = {});
 
+  /// Lane copy: duplicates run state, shares the compiled query (expression
+  /// tree, DFA tables, gram sets). The copy starts reset.
+  raw_filter(const raw_filter& other);
+  raw_filter& operator=(const raw_filter&) = delete;
+  raw_filter(raw_filter&&) = default;
+
   /// Return to the power-on state (start of stream).
   void reset();
 
@@ -88,8 +90,7 @@ class raw_filter {
   expr_ptr expr_;
   filter_options options_;
   structure_tracker tracker_;
-  std::vector<std::unique_ptr<primitive_engine>> engines_;  // leaf order
-  std::vector<std::pair<std::size_t, std::size_t>> group_span_;  // engine range
+  compiled_layout layout_;         // engines in leaf order + group spans
   std::vector<group_tracker> groups_;
   std::vector<char> leaf_latch_;   // bare leaves, leaf order
   std::vector<char> group_latch_;  // group order

@@ -13,6 +13,26 @@ std::string inflate(std::string_view stream, std::size_t target_bytes) {
   return out;
 }
 
+std::vector<std::string> shard_records(std::string_view stream,
+                                       std::size_t shards) {
+  if (shards == 0) throw error("shard_records: zero shards");
+  std::vector<std::string> out(shards);
+  std::size_t next = 0;
+  json::for_each_record(stream, [&](std::string_view record) {
+    out[next] += record;
+    out[next] += '\n';
+    next = (next + 1) % shards;
+  });
+  return out;
+}
+
+void for_each_chunk(std::string_view stream, std::size_t chunk_bytes,
+                    const std::function<void(std::string_view)>& fn) {
+  if (chunk_bytes == 0) throw error("for_each_chunk: zero chunk size");
+  for (std::size_t pos = 0; pos < stream.size(); pos += chunk_bytes)
+    fn(stream.substr(pos, chunk_bytes));
+}
+
 std::vector<bool> contains_labels(std::string_view stream,
                                   std::string_view needle) {
   std::vector<bool> labels;

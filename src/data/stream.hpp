@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,6 +12,18 @@ namespace jrf::data {
 /// Repeat an NDJSON stream until it reaches at least `target_bytes`
 /// (whole records only) - the paper's "44 MB of inflated JSON data".
 std::string inflate(std::string_view stream, std::size_t target_bytes);
+
+/// Deal whole records round-robin into `shards` independent NDJSON streams
+/// (each with trailing separators) - the ingress shape of the sharded
+/// system model.
+std::vector<std::string> shard_records(std::string_view stream,
+                                       std::size_t shards);
+
+/// Invoke `fn` over consecutive fixed-size slices of the stream (the last
+/// slice may be short). Chunk boundaries fall anywhere, including inside
+/// records - the shape the chunked filter-engine path consumes.
+void for_each_chunk(std::string_view stream, std::size_t chunk_bytes,
+                    const std::function<void(std::string_view)>& fn);
 
 /// Substring-presence ground truth for the string-search evaluation
 /// (Tables I-III): labels[i] is true when record i contains `needle`.

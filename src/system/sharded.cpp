@@ -1,0 +1,167 @@
+#include "system/sharded.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace jrf::system {
+
+std::string sharded_report::to_string() const {
+  char buffer[512];
+  std::snprintf(buffer, sizeof buffer,
+                "shards=%zu bytes=%llu records=%llu accepted=%llu "
+                "backpressure=%llu cycles=%llu (stall=%llu) time=%.4fs "
+                "rate=%.2f GB/s (theoretical %.2f)",
+                shards.size(), static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(records),
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(backpressure_events),
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(stall_cycles), seconds,
+                gbytes_per_second, theoretical_gbps);
+  return buffer;
+}
+
+sharded_filter_system::sharded_filter_system(core::expr_ptr expr,
+                                             std::size_t shards,
+                                             system_options options)
+    : options_(options), expr_(std::move(expr)) {
+  if (shards < 1) throw error("sharded system: need at least one shard");
+  if (options_.lane_fifo_bytes == 0)
+    throw error("sharded system: zero lane FIFO size");
+  if (options_.dma_burst_bytes == 0)
+    throw error("sharded system: zero DMA burst size");
+  lanes_.resize(shards);
+  // One compile, N-1 clones: the lanes share DFA tables and gram sets.
+  lanes_.front().engine =
+      core::make_filter_engine(options_.engine, expr_, options_.filter);
+  for (std::size_t s = 1; s < shards; ++s)
+    lanes_[s].engine = lanes_.front().engine->clone();
+}
+
+sharded_filter_system::lane& sharded_filter_system::checked(std::size_t shard) {
+  if (shard >= lanes_.size()) throw error("sharded system: shard out of range");
+  return lanes_[shard];
+}
+
+std::size_t sharded_filter_system::offer(std::size_t shard,
+                                         std::string_view bytes) {
+  lane& l = checked(shard);
+  l.stats.offered += bytes.size();
+  const std::size_t free_space =
+      options_.lane_fifo_bytes - std::min(options_.lane_fifo_bytes,
+                                          l.buffered());
+  const std::size_t take = std::min(free_space, bytes.size());
+  if (take < bytes.size()) ++l.stats.backpressure_events;
+  l.fifo.insert(l.fifo.end(),
+                reinterpret_cast<const unsigned char*>(bytes.data()),
+                reinterpret_cast<const unsigned char*>(bytes.data()) + take);
+  l.stats.fifo_high_watermark =
+      std::max(l.stats.fifo_high_watermark, l.buffered());
+  return take;
+}
+
+void sharded_filter_system::pump_lane(lane& l, std::size_t budget) {
+  const std::size_t buffered = l.buffered();
+  if (buffered == 0) return;
+  const std::size_t take = budget == 0 ? buffered : std::min(budget, buffered);
+  const std::size_t before = l.engine->decisions().size();
+  l.engine->scan_chunk(
+      std::span<const unsigned char>{l.fifo.data() + l.head, take});
+  l.head += take;
+  l.stats.bytes += take;
+  // Count newly accepted records without rescanning the decision vector.
+  const auto& decisions = l.engine->decisions();
+  for (std::size_t i = before; i < decisions.size(); ++i)
+    if (decisions[i]) ++l.stats.accepted;
+  l.stats.records = decisions.size();
+  if (l.head == l.fifo.size()) {
+    l.fifo.clear();
+    l.head = 0;
+  } else if (l.head >= options_.lane_fifo_bytes) {
+    l.fifo.erase(l.fifo.begin(),
+                 l.fifo.begin() + static_cast<std::ptrdiff_t>(l.head));
+    l.head = 0;
+  }
+}
+
+void sharded_filter_system::pump(std::size_t budget_per_lane) {
+  for (lane& l : lanes_) pump_lane(l, budget_per_lane);
+}
+
+void sharded_filter_system::finish() {
+  for (lane& l : lanes_) {
+    pump_lane(l, 0);
+    const std::size_t before = l.engine->decisions().size();
+    l.engine->finish();
+    const auto& decisions = l.engine->decisions();
+    for (std::size_t i = before; i < decisions.size(); ++i)
+      if (decisions[i]) ++l.stats.accepted;
+    l.stats.records = decisions.size();
+    l.engine->reset();
+  }
+}
+
+const std::vector<bool>& sharded_filter_system::decisions(
+    std::size_t shard) const {
+  if (shard >= lanes_.size()) throw error("sharded system: shard out of range");
+  return lanes_[shard].engine->decisions();
+}
+
+sharded_report sharded_filter_system::report() const {
+  sharded_report out;
+  out.shards.reserve(lanes_.size());
+  std::uint64_t slowest = 0;
+  for (const lane& l : lanes_) {
+    out.shards.push_back(l.stats);
+    out.bytes += l.stats.bytes;
+    out.records += l.stats.records;
+    out.accepted += l.stats.accepted;
+    out.backpressure_events += l.stats.backpressure_events;
+    slowest = std::max(slowest, l.stats.bytes);
+  }
+  out.theoretical_gbps = static_cast<double>(lanes_.size()) *
+                         options_.clock_mhz * 1e6 / 1e9;
+
+  // Same quantization as filter_system: one byte per lane per cycle, the
+  // slowest lane bounds completion, every DMA burst descriptor on the
+  // shared ingress bus charges setup cycles.
+  const std::uint64_t bursts =
+      (out.bytes + options_.dma_burst_bytes - 1) / options_.dma_burst_bytes;
+  out.cycles = slowest +
+               bursts * static_cast<std::uint64_t>(options_.dma_setup_cycles);
+  const std::uint64_t balanced =
+      (out.bytes + lanes_.size() - 1) / lanes_.size();
+  out.stall_cycles = out.cycles - std::min(out.cycles, balanced);
+  out.seconds = static_cast<double>(out.cycles) / (options_.clock_mhz * 1e6);
+  out.gbytes_per_second =
+      out.seconds > 0 ? static_cast<double>(out.bytes) / out.seconds / 1e9
+                      : 0.0;
+  return out;
+}
+
+sharded_report sharded_filter_system::run(
+    std::span<const std::string_view> streams) {
+  if (streams.size() != lanes_.size())
+    throw error("sharded system: stream count != shard count");
+
+  std::vector<std::size_t> cursor(streams.size(), 0);
+  bool remaining = true;
+  while (remaining) {
+    remaining = false;
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (cursor[s] >= streams[s].size()) continue;
+      const std::size_t want =
+          std::min(options_.dma_burst_bytes, streams[s].size() - cursor[s]);
+      cursor[s] += offer(s, streams[s].substr(cursor[s], want));
+      if (cursor[s] < streams[s].size()) remaining = true;
+    }
+    // One burst interval: every lane drains up to one burst worth of bytes.
+    pump(options_.dma_burst_bytes);
+  }
+  finish();
+  return report();
+}
+
+}  // namespace jrf::system

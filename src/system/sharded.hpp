@@ -1,0 +1,115 @@
+// Sharded multi-stream system model.
+//
+// filter_system replays the paper's deployment: one stream, whole records
+// dealt round-robin to replicated pipelines. Production traffic is N
+// independent streams (one per connection / queue / NIC ring), so this
+// model binds one filter lane to each input shard:
+//
+//   * the query is compiled once; every lane is a cheap clone sharing the
+//     compiled artifacts (DFA tables, gram sets),
+//   * each lane owns a bounded input FIFO. offer() is non-blocking: it
+//     copies in at most the free FIFO space and reports how much it took,
+//     so a full lane pushes back on its producer instead of queueing
+//     unbounded ingress (the lane's engine still assembles one in-flight
+//     record at a time, so memory per lane is FIFO + longest record),
+//   * pump() drains the FIFOs through the lanes' chunked scan path;
+//     decisions accumulate per shard and merge into one report,
+//   * the cycle-quantized accounting carries over from filter_system: every
+//     lane consumes one byte per cycle, DMA burst descriptors charge setup
+//     cycles on the shared ingress bus, and the slowest lane bounds the
+//     wall time, so lane imbalance shows up as stall cycles exactly as in
+//     the paper-reproduction path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/expr.hpp"
+#include "core/filter_engine.hpp"
+#include "system/system.hpp"
+
+namespace jrf::system {
+
+struct shard_stats {
+  std::uint64_t offered = 0;   // bytes producers tried to enqueue
+  std::uint64_t bytes = 0;     // bytes actually filtered
+  std::uint64_t records = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t backpressure_events = 0;  // offers truncated by a full FIFO
+  std::size_t fifo_high_watermark = 0;    // max buffered bytes observed
+};
+
+struct sharded_report {
+  std::vector<shard_stats> shards;
+  std::uint64_t bytes = 0;
+  std::uint64_t records = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t backpressure_events = 0;
+  std::uint64_t cycles = 0;        // slowest lane + DMA descriptor setup
+  std::uint64_t stall_cycles = 0;  // DMA setup + lane imbalance
+  double seconds = 0.0;
+  double gbytes_per_second = 0.0;
+  double theoretical_gbps = 0.0;
+
+  std::string to_string() const;
+};
+
+/// N independent input streams filtered by N lanes of one compiled query.
+class sharded_filter_system {
+ public:
+  /// `shards` lanes are created; options.lanes is ignored (the stream/lane
+  /// binding is 1:1 in sharded mode).
+  sharded_filter_system(core::expr_ptr expr, std::size_t shards,
+                        system_options options = {});
+
+  std::size_t shard_count() const noexcept { return lanes_.size(); }
+
+  /// Non-blocking enqueue: append at most the free FIFO space of `shard`
+  /// and return the number of bytes taken (0 = hard backpressure).
+  std::size_t offer(std::size_t shard, std::string_view bytes);
+
+  /// Drain every lane FIFO through its filter engine, at most
+  /// `budget_per_lane` bytes each (0 = drain fully).
+  void pump(std::size_t budget_per_lane = 0);
+
+  /// Drain everything and flush trailing records without a final
+  /// separator. Further offers start fresh streams.
+  void finish();
+
+  /// Per-record decisions of `shard`, in that stream's record order.
+  const std::vector<bool>& decisions(std::size_t shard) const;
+
+  /// Merged accounting over everything filtered so far.
+  sharded_report report() const;
+
+  /// Convenience driver: run one full stream per shard to completion,
+  /// offering DMA-burst-sized slices round-robin with pump() interleaved -
+  /// the sharded analogue of filter_system::run.
+  sharded_report run(std::span<const std::string_view> streams);
+
+  const system_options& options() const noexcept { return options_; }
+  const core::expr_ptr& expression() const noexcept { return expr_; }
+
+ private:
+  struct lane {
+    std::unique_ptr<core::filter_engine> engine;
+    std::vector<unsigned char> fifo;  // buffered bytes, head first
+    std::size_t head = 0;             // consumed prefix of `fifo`
+    shard_stats stats;
+
+    std::size_t buffered() const noexcept { return fifo.size() - head; }
+  };
+
+  lane& checked(std::size_t shard);
+  void pump_lane(lane& l, std::size_t budget);
+
+  system_options options_;
+  core::expr_ptr expr_;
+  std::vector<lane> lanes_;
+};
+
+}  // namespace jrf::system

@@ -28,9 +28,12 @@ filter_system::filter_system(core::expr_ptr expr, system_options options)
   if (options_.lanes < 1) throw error("filter system: need at least one lane");
   if (options_.dma_burst_bytes == 0)
     throw error("filter system: zero DMA burst size");
-  for (int lane = 0; lane < options_.lanes; ++lane)
-    lanes_.push_back(
-        std::make_unique<core::raw_filter>(expr_, options_.filter));
+  // Compile the query once; every further lane clones the first, sharing
+  // the immutable compile artifacts instead of re-running DFA construction.
+  lanes_.push_back(
+      core::make_filter_engine(options_.engine, expr_, options_.filter));
+  for (int lane = 1; lane < options_.lanes; ++lane)
+    lanes_.push_back(lanes_.front()->clone());
 }
 
 throughput_report filter_system::run(std::string_view stream) {

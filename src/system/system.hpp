@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "core/expr.hpp"
-#include "core/raw_filter.hpp"
+#include "core/filter_engine.hpp"
 
 namespace jrf::system {
 
@@ -33,6 +33,9 @@ struct system_options {
   std::size_t dma_burst_bytes = 4096;  // bytes moved per DMA descriptor
   int dma_setup_cycles = 12;        // descriptor setup / bus arbitration
   std::size_t lane_fifo_bytes = 8192;  // per-lane input FIFO
+  // Software hot path the lanes run on. Decisions and the cycle-quantized
+  // accounting are identical for both; only host wall-clock differs.
+  core::engine_kind engine = core::engine_kind::chunked;
   core::filter_options filter;
 };
 
@@ -52,7 +55,9 @@ struct throughput_report {
 
 /// Streams `stream` through the modelled system once and reports the
 /// achieved bandwidth. All lanes run the same compiled filter expression
-/// (the paper's deployment: one query, replicated pipelines).
+/// (the paper's deployment: one query, replicated pipelines): the query is
+/// compiled once and every further lane is a cheap clone sharing the
+/// compiled artifacts (DFA tables, gram sets).
 class filter_system {
  public:
   filter_system(core::expr_ptr expr, system_options options = {});
@@ -67,7 +72,7 @@ class filter_system {
  private:
   system_options options_;
   core::expr_ptr expr_;
-  std::vector<std::unique_ptr<core::raw_filter>> lanes_;
+  std::vector<std::unique_ptr<core::filter_engine>> lanes_;
   std::vector<bool> decisions_;
 };
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/expr.hpp"
+#include "core/raw_filter.hpp"
 #include "data/smartcity.hpp"
 #include "data/stream.hpp"
 #include "util/error.hpp"
