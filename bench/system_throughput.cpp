@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -23,6 +24,7 @@
 #include "data/stream.hpp"
 #include "query/compile.hpp"
 #include "query/riotbench.hpp"
+#include "system/ingest.hpp"
 #include "system/sharded.hpp"
 #include "system/system.hpp"
 
@@ -137,6 +139,42 @@ int main(int argc, char** argv) {
   std::printf("modeled  : %s\n", sharded_report.to_string().c_str());
   std::printf("wall     : %.2f MB/s (%.2fs)\n", sharded_mbps, sharded_seconds);
 
+  // -------------------------------------------------------------------
+  // Concurrent sharded: the same 7 shards pumped on a worker pool. On a
+  // multi-core host the lanes scan in parallel and the wall rate scales
+  // with workers; a single hardware thread serializes them again, so the
+  // JSON records host_cpus next to the numbers.
+  // -------------------------------------------------------------------
+  bench::heading("Concurrent sharded wall clock (7 shards, worker pool)");
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("host CPUs: %u\n", host_cpus);
+  struct threaded_row {
+    std::size_t workers;
+    double seconds;
+    double mbytes_per_second;
+  };
+  std::vector<threaded_row> threaded;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    system::system_options options;
+    options.worker_threads = workers;
+    system::sharded_filter_system sys(rf, 7, options);
+    system::concurrent_runner runner(sys);
+    for (std::size_t s = 0; s < shard_views.size(); ++s)
+      runner.bind(s, std::make_unique<system::memory_source>(shard_views[s]));
+    const auto start = std::chrono::steady_clock::now();
+    const auto threaded_report = runner.run();
+    const double seconds = seconds_since(start);
+    const double mbps =
+        static_cast<double>(threaded_report.bytes) / seconds / 1e6;
+    threaded.push_back({workers, seconds, mbps});
+    std::printf("%zu workers : %8.2f MB/s (%.2fs, %.2fx vs 1-thread "
+                "sharded; decisions identical: %s)\n",
+                workers, mbps, seconds, mbps / sharded_mbps,
+                threaded_report.accepted == sharded_report.accepted ? "yes"
+                                                                    : "NO!");
+  }
+
   system::filter_system detail(rf);
   const auto report = detail.run(stream);
   std::printf("\n7-lane detail: %s\n", report.to_string().c_str());
@@ -176,12 +214,22 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "  \"sharded\": {\"shards\": 7, \"wall_mbps\": %.2f, "
                  "\"records\": %llu, \"accepted\": %llu, "
-                 "\"backpressure_events\": %llu}\n",
+                 "\"backpressure_events\": %llu},\n",
                  sharded_mbps,
                  static_cast<unsigned long long>(sharded_report.records),
                  static_cast<unsigned long long>(sharded_report.accepted),
                  static_cast<unsigned long long>(
                      sharded_report.backpressure_events));
+    std::fprintf(f, "  \"threaded\": {\"host_cpus\": %u, \"rows\": [\n",
+                 host_cpus);
+    for (std::size_t i = 0; i < threaded.size(); ++i)
+      std::fprintf(f,
+                   "    {\"workers\": %zu, \"wall_mbps\": %.2f, "
+                   "\"speedup_vs_sharded_1t\": %.2f}%s\n",
+                   threaded[i].workers, threaded[i].mbytes_per_second,
+                   threaded[i].mbytes_per_second / sharded_mbps,
+                   i + 1 < threaded.size() ? "," : "");
+    std::fprintf(f, "  ]}\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", json_path);

@@ -6,18 +6,32 @@
 #
 #   * bench_system_throughput writes its own rich JSON (--json): modeled
 #     GB/s per lane count, host wall-clock MB/s for the scalar push() path
-#     vs the chunked filter-engine path (the tracked speedup), and the
-#     sharded multi-stream run.
+#     vs the chunked filter-engine path (the tracked speedup), the sharded
+#     multi-stream run, and the concurrent worker-pool scaling rows.
 #   * bench_micro_primitives emits the Google Benchmark JSON report.
 #   * every other bench gets {"bench", "exit", "wall_seconds"} plus its
-#     captured stdout under build/bench-logs/.
+#     captured stdout under build/bench-logs/. wall_seconds has millisecond
+#     resolution (date +%s%N where available, awk fallback otherwise).
 #
-# Usage: scripts/bench.sh [bench_name ...]     (default: all benches)
+# A requested bench whose binary is missing is a FAILURE, not a skip: a
+# green run means every listed bench actually executed.
+#
+# Usage: scripts/bench.sh [--compare] [bench_name ...]  (default: all)
+#   --compare   after running bench_system_throughput, diff the fresh
+#               BENCH_system_throughput.json against the committed baseline
+#               (git HEAD) and fail on a >25% wall-clock MB/s regression in
+#               any tracked rate (scalar, chunked, sharded wall).
 # Env:   BUILD=<dir>   build directory (default: build)
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD=${BUILD:-build}
+
+COMPARE=0
+if [ "${1:-}" = "--compare" ]; then
+  COMPARE=1
+  shift
+fi
 
 if [ ! -d "$BUILD/bench" ]; then
   echo "bench.sh: $BUILD/bench missing - run scripts/verify.sh first" >&2
@@ -29,10 +43,41 @@ cmake --build "$BUILD" -j"$(nproc 2>/dev/null || echo 4)" >/dev/null
 LOGS="$BUILD/bench-logs"
 mkdir -p "$LOGS"
 
+# Millisecond wall clock. GNU date prints nanoseconds for +%s%N; platforms
+# without %N leave a literal 'N' in the output, in which case fall back to
+# awk's srand() seconds (coarse, but still a number - never a blank).
+now_ms() {
+  ns=$(date +%s%N 2>/dev/null || echo "")
+  case "$ns" in
+    ''|*[!0-9]*) awk 'BEGIN { srand(); printf "%d000", srand() }' ;;
+    *) echo "$((ns / 1000000))" ;;
+  esac
+}
+
+# Extract the first numeric value of "key": <number> from a JSON file.
+json_number() {
+  sed -n 's/.*"'"$2"'": *\(-\{0,1\}[0-9][0-9.]*\).*/\1/p' "$1" | head -n 1
+}
+
 if [ "$#" -gt 0 ]; then
   BENCHES="$*"
 else
   BENCHES=$(cd "$BUILD/bench" && ls bench_* | sort)
+fi
+
+# Snapshot the committed system-throughput baseline before the fresh run
+# overwrites the working-tree copy.
+BASELINE="$LOGS/system_throughput.baseline.json"
+if [ "$COMPARE" -eq 1 ]; then
+  if ! git show HEAD:BENCH_system_throughput.json > "$BASELINE" 2>/dev/null
+  then
+    if [ -f BENCH_system_throughput.json ]; then
+      cp BENCH_system_throughput.json "$BASELINE"
+    else
+      echo "bench.sh: --compare needs a committed BENCH_system_throughput.json" >&2
+      exit 1
+    fi
+  fi
 fi
 
 failures=0
@@ -40,11 +85,12 @@ for bench in $BENCHES; do
   name=${bench#bench_}
   binary="$BUILD/bench/$bench"
   if [ ! -x "$binary" ]; then
-    echo "skip  $bench (not built)"
+    echo "FAIL  $bench (binary not built at $binary)"
+    failures=$((failures + 1))
     continue
   fi
 
-  start=$(date +%s)
+  start=$(now_ms)
   status=0
   case "$name" in
     system_throughput)
@@ -58,19 +104,53 @@ for bench in $BENCHES; do
       ;;
     *)
       "$binary" > "$LOGS/$name.txt" 2>&1 || status=$?
-      printf '{\n  "bench": "%s",\n  "exit": %d,\n  "wall_seconds": %d\n}\n' \
-        "$name" "$status" "$(($(date +%s) - start))" > "BENCH_$name.json"
+      elapsed_ms=$(($(now_ms) - start))
+      printf '{\n  "bench": "%s",\n  "exit": %d,\n  "wall_seconds": %s\n}\n' \
+        "$name" "$status" \
+        "$(awk "BEGIN { printf \"%.3f\", $elapsed_ms / 1000 }")" \
+        > "BENCH_$name.json"
       ;;
   esac
-  elapsed=$(($(date +%s) - start))
+  elapsed_ms=$(($(now_ms) - start))
 
   if [ "$status" -eq 0 ]; then
-    echo "ok    $bench (${elapsed}s)"
+    echo "ok    $bench ($(awk "BEGIN { printf \"%.2f\", $elapsed_ms / 1000 }")s)"
   else
     echo "FAIL  $bench (exit $status, see $LOGS/$name.txt)"
     failures=$((failures + 1))
   fi
 done
+
+# --compare: fail on a >25% regression in any tracked wall-clock rate of
+# the system bench (modeled GB/s is deterministic and tracked by eye; the
+# wall rates are what a perf regression actually moves).
+if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
+  fresh=BENCH_system_throughput.json
+  if [ ! -f "$fresh" ]; then
+    echo "bench.sh: --compare ran without a fresh $fresh" >&2
+    exit 1
+  fi
+  echo "compare: fresh $fresh vs committed baseline (tolerance 25%)"
+  regressions=0
+  for key in scalar_mbps chunked_mbps wall_mbps; do
+    base=$(json_number "$BASELINE" "$key")
+    new=$(json_number "$fresh" "$key")
+    if [ -z "$base" ] || [ -z "$new" ]; then
+      echo "  $key: missing in baseline or fresh run - skipping"
+      continue
+    fi
+    verdict=$(awk "BEGIN { print ($new < 0.75 * $base) ? \"REGRESSED\" : \"ok\" }")
+    printf '  %-14s baseline %10s  fresh %10s  %s\n' \
+      "$key" "$base" "$new" "$verdict"
+    if [ "$verdict" = "REGRESSED" ]; then
+      regressions=$((regressions + 1))
+    fi
+  done
+  if [ "$regressions" -ne 0 ]; then
+    echo "bench.sh: $regressions tracked rate(s) regressed >25%" >&2
+    exit 1
+  fi
+fi
 
 if [ "$failures" -ne 0 ]; then
   echo "bench.sh: $failures bench(es) failed" >&2

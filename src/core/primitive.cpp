@@ -13,8 +13,14 @@ using netlist::network;
 using netlist::node_id;
 
 std::string string_spec::to_string() const {
-  if (technique == string_technique::dfa) return "dfa(\"" + text + "\")";
-  return "s" + std::to_string(block) + "(\"" + text + "\")";
+  // Built up with += (not nested operator+) so GCC 12's -Wrestrict does
+  // not misfire on the rvalue-insert path under -O3 -Werror.
+  std::string out = technique == string_technique::dfa
+                        ? std::string("dfa(\"")
+                        : "s" + std::to_string(block) + "(\"";
+  out += text;
+  out += "\")";
+  return out;
 }
 
 std::vector<std::string> string_spec::substrings() const {

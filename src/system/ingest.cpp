@@ -1,0 +1,131 @@
+#include "system/ingest.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace jrf::system {
+
+// ---------------------------------------------------------------------------
+// memory_source
+
+std::string_view memory_source::peek(std::size_t max_bytes) {
+  const std::size_t remaining = buffer_.size() - cursor_;
+  const std::size_t take =
+      max_bytes == 0 ? remaining : std::min(max_bytes, remaining);
+  return buffer_.substr(cursor_, take);
+}
+
+void memory_source::consume(std::size_t bytes) {
+  if (bytes > buffer_.size() - cursor_)
+    throw error("memory source: consume past end");
+  cursor_ += bytes;
+}
+
+// ---------------------------------------------------------------------------
+// chunked_file_source
+
+chunked_file_source::chunked_file_source(const std::string& path,
+                                         std::size_t chunk_bytes)
+    : file_(path, std::ios::binary), chunk_(std::max<std::size_t>(chunk_bytes, 1)) {
+  if (!file_) throw error("chunked file source: cannot open " + path);
+}
+
+void chunked_file_source::refill() {
+  if (eof_ || cursor_ < size_) return;
+  file_.read(chunk_.data(), static_cast<std::streamsize>(chunk_.size()));
+  size_ = static_cast<std::size_t>(file_.gcount());
+  cursor_ = 0;
+  if (size_ == 0) eof_ = true;
+}
+
+std::string_view chunked_file_source::peek(std::size_t max_bytes) {
+  refill();
+  const std::size_t remaining = size_ - cursor_;
+  const std::size_t take =
+      max_bytes == 0 ? remaining : std::min(max_bytes, remaining);
+  return {chunk_.data() + cursor_, take};
+}
+
+void chunked_file_source::consume(std::size_t bytes) {
+  if (bytes > size_ - cursor_)
+    throw error("chunked file source: consume past end");
+  cursor_ += bytes;
+}
+
+bool chunked_file_source::exhausted() const {
+  return eof_ && cursor_ == size_;
+}
+
+// ---------------------------------------------------------------------------
+// synthetic_rate_source
+
+synthetic_rate_source::synthetic_rate_source(std::string corpus,
+                                             std::size_t total_bytes,
+                                             std::size_t bytes_per_pull)
+    : corpus_(std::move(corpus)),
+      total_bytes_(total_bytes),
+      bytes_per_pull_(bytes_per_pull) {
+  if (corpus_.empty() && total_bytes_ > 0)
+    throw error("synthetic rate source: empty corpus");
+  if (bytes_per_pull_ == 0)
+    throw error("synthetic rate source: zero bytes per pull");
+}
+
+std::string_view synthetic_rate_source::peek(std::size_t max_bytes) {
+  if (produced_ == total_bytes_) return {};
+  const std::size_t offset = produced_ % corpus_.size();
+  std::size_t take = std::min({bytes_per_pull_, total_bytes_ - produced_,
+                               corpus_.size() - offset});
+  if (max_bytes != 0) take = std::min(take, max_bytes);
+  return std::string_view{corpus_}.substr(offset, take);
+}
+
+void synthetic_rate_source::consume(std::size_t bytes) {
+  if (bytes > total_bytes_ - produced_)
+    throw error("synthetic rate source: consume past end");
+  produced_ += bytes;
+}
+
+// ---------------------------------------------------------------------------
+// concurrent_runner
+
+concurrent_runner::concurrent_runner(sharded_filter_system& system,
+                                     std::size_t burst_bytes)
+    : system_(system),
+      burst_bytes_(burst_bytes == 0 ? system.options().dma_burst_bytes
+                                    : burst_bytes),
+      sources_(system.shard_count()) {}
+
+void concurrent_runner::bind(std::size_t shard,
+                             std::unique_ptr<ingest_source> source) {
+  if (shard >= sources_.size())
+    throw error("concurrent runner: shard out of range");
+  if (!source) throw error("concurrent runner: null source");
+  sources_[shard] = std::move(source);
+}
+
+sharded_report concurrent_runner::run() {
+  bool live = false;
+  for (const auto& source : sources_)
+    if (source && !source->exhausted()) live = true;
+
+  while (live) {
+    live = false;
+    for (std::size_t shard = 0; shard < sources_.size(); ++shard) {
+      ingest_source* source = sources_[shard].get();
+      if (source == nullptr || source->exhausted()) continue;
+      const std::string_view pending = source->peek(burst_bytes_);
+      if (!pending.empty())
+        source->consume(system_.offer(shard, pending));
+      if (!source->exhausted()) live = true;
+    }
+    // One burst interval: every lane drains up to one burst worth of
+    // bytes, on the worker pool when the system has one.
+    system_.pump(burst_bytes_);
+  }
+  system_.finish();
+  return system_.report();
+}
+
+}  // namespace jrf::system

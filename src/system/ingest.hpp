@@ -1,0 +1,138 @@
+// Ingest sources and the concurrent runner.
+//
+// The sharded system's offer()/pump() surface says how bytes enter a lane
+// but not where they come from. Production deployments pull from many
+// shapes of producer - a DMA-mapped memory region, a spooled capture file,
+// a NIC queue that trickles bytes at line rate - so this module abstracts
+// the producer side as a pull-based `ingest_source`:
+//
+//   * peek(max) exposes the next pending bytes without committing them,
+//   * consume(n) advances past the bytes a lane actually accepted (offer()
+//     may take fewer than peeked under backpressure - the remainder is
+//     re-peeked on the next round, never dropped),
+//   * exhausted() distinguishes "done for good" from "nothing this round".
+//
+// Three concrete sources cover the test and bench workloads: a zero-copy
+// memory buffer, a chunked file reader (bounded memory regardless of file
+// size), and a synthetic-rate source that replays a corpus while capping
+// bytes per pull - the software stand-in for a throttled producer.
+//
+// `concurrent_runner` binds one source per shard and drives the system the
+// way the DMA engine drives the paper's pipelines: each round offers up to
+// one burst from every live source, then pump() drains up to one burst per
+// lane (on the system's worker threads when configured). run() loops until
+// every source is exhausted, flushes trailing records, and reports.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "system/sharded.hpp"
+
+namespace jrf::system {
+
+/// Pull-based byte producer feeding one shard.
+class ingest_source {
+ public:
+  virtual ~ingest_source() = default;
+
+  /// View of the next pending bytes, at most `max_bytes` (0 = no cap). An
+  /// empty view means nothing is available this round; check exhausted()
+  /// to tell a throttled source from a finished one. The view stays valid
+  /// until the next peek()/consume() call.
+  virtual std::string_view peek(std::size_t max_bytes) = 0;
+
+  /// Commit `bytes` of the last peek as accepted (bytes <= that view's
+  /// size). Unconsumed bytes are re-peeked later.
+  virtual void consume(std::size_t bytes) = 0;
+
+  /// True once the source will never produce another byte.
+  virtual bool exhausted() const = 0;
+};
+
+/// Zero-copy source over a caller-owned buffer (the buffer must outlive
+/// the source).
+class memory_source final : public ingest_source {
+ public:
+  explicit memory_source(std::string_view buffer) : buffer_(buffer) {}
+
+  std::string_view peek(std::size_t max_bytes) override;
+  void consume(std::size_t bytes) override;
+  bool exhausted() const override { return cursor_ == buffer_.size(); }
+
+ private:
+  std::string_view buffer_;
+  std::size_t cursor_ = 0;
+};
+
+/// Streams a file in fixed-size chunks: memory stays O(chunk) no matter
+/// the file size. Throws jrf::error when the file cannot be opened.
+class chunked_file_source final : public ingest_source {
+ public:
+  explicit chunked_file_source(const std::string& path,
+                               std::size_t chunk_bytes = 1u << 16);
+
+  std::string_view peek(std::size_t max_bytes) override;
+  void consume(std::size_t bytes) override;
+  bool exhausted() const override;
+
+ private:
+  void refill();
+
+  std::ifstream file_;
+  std::vector<char> chunk_;
+  std::size_t size_ = 0;    // valid bytes in chunk_
+  std::size_t cursor_ = 0;  // consumed prefix of chunk_
+  bool eof_ = false;
+};
+
+/// Replays `corpus` until `total_bytes` were produced, handing out at most
+/// `bytes_per_pull` per peek - a deterministic model of a producer capped
+/// at some line rate. A total that is not a corpus multiple cuts the final
+/// record short (finish() flushes it, mirroring a truncated capture).
+class synthetic_rate_source final : public ingest_source {
+ public:
+  synthetic_rate_source(std::string corpus, std::size_t total_bytes,
+                        std::size_t bytes_per_pull);
+
+  std::string_view peek(std::size_t max_bytes) override;
+  void consume(std::size_t bytes) override;
+  bool exhausted() const override { return produced_ == total_bytes_; }
+
+ private:
+  std::string corpus_;
+  std::size_t total_bytes_;
+  std::size_t bytes_per_pull_;
+  std::size_t produced_ = 0;  // bytes handed out and consumed so far
+};
+
+/// Binds one ingest source per shard and drives offer/pump/finish under
+/// backpressure - the single policy behind sharded_filter_system::run and
+/// the service-core examples.
+class concurrent_runner {
+ public:
+  /// `burst_bytes` caps bytes offered per source and pumped per lane each
+  /// round (0 = the system's dma_burst_bytes).
+  explicit concurrent_runner(sharded_filter_system& system,
+                             std::size_t burst_bytes = 0);
+
+  /// Bind `source` to `shard` (replacing any previous binding). A shard
+  /// left unbound idles, showing up as lane-imbalance stalls.
+  void bind(std::size_t shard, std::unique_ptr<ingest_source> source);
+
+  /// Drive every bound source to exhaustion: offer up to one burst per
+  /// shard per round, pump one burst per lane (concurrently when the
+  /// system has worker threads), then flush trailing records and report.
+  sharded_report run();
+
+ private:
+  sharded_filter_system& system_;
+  std::size_t burst_bytes_;
+  std::vector<std::unique_ptr<ingest_source>> sources_;
+};
+
+}  // namespace jrf::system

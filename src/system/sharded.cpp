@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "system/ingest.hpp"
 #include "util/error.hpp"
 
 namespace jrf::system {
@@ -11,12 +12,13 @@ std::string sharded_report::to_string() const {
   char buffer[512];
   std::snprintf(buffer, sizeof buffer,
                 "shards=%zu bytes=%llu records=%llu accepted=%llu "
-                "backpressure=%llu cycles=%llu (stall=%llu) time=%.4fs "
-                "rate=%.2f GB/s (theoretical %.2f)",
+                "backpressure=%llu (hard=%llu) cycles=%llu (stall=%llu) "
+                "time=%.4fs rate=%.2f GB/s (theoretical %.2f)",
                 shards.size(), static_cast<unsigned long long>(bytes),
                 static_cast<unsigned long long>(records),
                 static_cast<unsigned long long>(accepted),
                 static_cast<unsigned long long>(backpressure_events),
+                static_cast<unsigned long long>(hard_backpressure_events),
                 static_cast<unsigned long long>(cycles),
                 static_cast<unsigned long long>(stall_cycles), seconds,
                 gbytes_per_second, theoretical_gbps);
@@ -32,28 +34,47 @@ sharded_filter_system::sharded_filter_system(core::expr_ptr expr,
     throw error("sharded system: zero lane FIFO size");
   if (options_.dma_burst_bytes == 0)
     throw error("sharded system: zero DMA burst size");
-  lanes_.resize(shards);
+  lanes_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s)
+    lanes_.push_back(std::make_unique<lane>());
   // One compile, N-1 clones: the lanes share DFA tables and gram sets.
-  lanes_.front().engine =
+  lanes_.front()->engine =
       core::make_filter_engine(options_.engine, expr_, options_.filter);
   for (std::size_t s = 1; s < shards; ++s)
-    lanes_[s].engine = lanes_.front().engine->clone();
+    lanes_[s]->engine = lanes_.front()->engine->clone();
+  // 0 and 1 both mean "the calling thread pumps": a one-worker pool would
+  // only add handoff latency to an identical execution order.
+  if (options_.worker_threads > 1)
+    pool_ = std::make_unique<util::thread_pool>(options_.worker_threads);
 }
 
 sharded_filter_system::lane& sharded_filter_system::checked(std::size_t shard) {
   if (shard >= lanes_.size()) throw error("sharded system: shard out of range");
-  return lanes_[shard];
+  return *lanes_[shard];
 }
 
 std::size_t sharded_filter_system::offer(std::size_t shard,
                                          std::string_view bytes) {
   lane& l = checked(shard);
+  // An empty offer is a no-op: no offered bytes, no backpressure tick, no
+  // watermark refresh - a producer polling with empty views must not skew
+  // the stats.
+  if (bytes.empty()) return 0;
+  std::lock_guard<std::mutex> lock(l.mutex);
   l.stats.offered += bytes.size();
   const std::size_t free_space =
       options_.lane_fifo_bytes - std::min(options_.lane_fifo_bytes,
                                           l.buffered());
   const std::size_t take = std::min(free_space, bytes.size());
-  if (take < bytes.size()) ++l.stats.backpressure_events;
+  if (take < bytes.size()) {
+    ++l.stats.backpressure_events;
+    // Hard backpressure - a full FIFO refusing every byte - is the signal
+    // a producer throttles on, so it gets its own counter.
+    if (take == 0) {
+      ++l.stats.hard_backpressure_events;
+      return 0;
+    }
+  }
   l.fifo.insert(l.fifo.end(),
                 reinterpret_cast<const unsigned char*>(bytes.data()),
                 reinterpret_cast<const unsigned char*>(bytes.data()) + take);
@@ -63,6 +84,12 @@ std::size_t sharded_filter_system::offer(std::size_t shard,
 }
 
 void sharded_filter_system::pump_lane(lane& l, std::size_t budget) {
+  std::lock_guard<std::mutex> lock(l.mutex);
+  drain_locked(l, budget);
+}
+
+// Caller holds l.mutex.
+void sharded_filter_system::drain_locked(lane& l, std::size_t budget) {
   const std::size_t buffered = l.buffered();
   if (buffered == 0) return;
   const std::size_t take = budget == 0 ? buffered : std::min(budget, buffered);
@@ -86,13 +113,31 @@ void sharded_filter_system::pump_lane(lane& l, std::size_t budget) {
   }
 }
 
+void sharded_filter_system::for_each_lane(
+    const std::function<void(lane&)>& fn) {
+  if (pool_ == nullptr) {
+    for (auto& l : lanes_) fn(*l);
+    return;
+  }
+  // One task per lane: lanes are independent (own mutex, own engine, own
+  // stats), so any schedule yields the same per-lane state - concurrency
+  // changes wall clock only, never decisions or the modeled report.
+  pool_->parallel_for(lanes_.size(),
+                      [&](std::size_t i) { fn(*lanes_[i]); });
+}
+
 void sharded_filter_system::pump(std::size_t budget_per_lane) {
-  for (lane& l : lanes_) pump_lane(l, budget_per_lane);
+  for_each_lane([&](lane& l) { pump_lane(l, budget_per_lane); });
 }
 
 void sharded_filter_system::finish() {
-  for (lane& l : lanes_) {
-    pump_lane(l, 0);
+  // Drain + flush + reset under one lock hold: an offer() racing a lane's
+  // finish lands either wholly before (framed into this stream) or wholly
+  // after (start of a fresh stream) - never with half a record drained and
+  // the other half stranded in the FIFO across the flush.
+  for_each_lane([&](lane& l) {
+    std::lock_guard<std::mutex> lock(l.mutex);
+    drain_locked(l, 0);
     const std::size_t before = l.engine->decisions().size();
     l.engine->finish();
     const auto& decisions = l.engine->decisions();
@@ -100,27 +145,35 @@ void sharded_filter_system::finish() {
       if (decisions[i]) ++l.stats.accepted;
     l.stats.records = decisions.size();
     l.engine->reset();
-  }
+  });
 }
 
 const std::vector<bool>& sharded_filter_system::decisions(
     std::size_t shard) const {
   if (shard >= lanes_.size()) throw error("sharded system: shard out of range");
-  return lanes_[shard].engine->decisions();
+  return lanes_[shard]->engine->decisions();
 }
 
 sharded_report sharded_filter_system::report() const {
   sharded_report out;
   out.shards.reserve(lanes_.size());
   std::uint64_t slowest = 0;
-  for (const lane& l : lanes_) {
-    out.shards.push_back(l.stats);
-    out.bytes += l.stats.bytes;
-    out.records += l.stats.records;
-    out.accepted += l.stats.accepted;
-    out.backpressure_events += l.stats.backpressure_events;
-    slowest = std::max(slowest, l.stats.bytes);
+  for (const auto& l : lanes_) {
+    std::lock_guard<std::mutex> lock(l->mutex);
+    out.shards.push_back(l->stats);
   }
+  for (const shard_stats& stats : out.shards) {
+    out.bytes += stats.bytes;
+    out.records += stats.records;
+    out.accepted += stats.accepted;
+    out.backpressure_events += stats.backpressure_events;
+    out.hard_backpressure_events += stats.hard_backpressure_events;
+    slowest = std::max(slowest, stats.bytes);
+  }
+  // A zero-byte run has no meaningful rates: report zeros rather than the
+  // configured peak (and never divide by a zero cycle count).
+  if (out.bytes == 0) return out;
+
   out.theoretical_gbps = static_cast<double>(lanes_.size()) *
                          options_.clock_mhz * 1e6 / 1e9;
 
@@ -146,22 +199,12 @@ sharded_report sharded_filter_system::run(
   if (streams.size() != lanes_.size())
     throw error("sharded system: stream count != shard count");
 
-  std::vector<std::size_t> cursor(streams.size(), 0);
-  bool remaining = true;
-  while (remaining) {
-    remaining = false;
-    for (std::size_t s = 0; s < streams.size(); ++s) {
-      if (cursor[s] >= streams[s].size()) continue;
-      const std::size_t want =
-          std::min(options_.dma_burst_bytes, streams[s].size() - cursor[s]);
-      cursor[s] += offer(s, streams[s].substr(cursor[s], want));
-      if (cursor[s] < streams[s].size()) remaining = true;
-    }
-    // One burst interval: every lane drains up to one burst worth of bytes.
-    pump(options_.dma_burst_bytes);
-  }
-  finish();
-  return report();
+  // run() is one policy over the ingest machinery: a memory source per
+  // stream, burst-sliced offers with pump() interleaved, finish, report.
+  concurrent_runner runner(*this, options_.dma_burst_bytes);
+  for (std::size_t s = 0; s < streams.size(); ++s)
+    runner.bind(s, std::make_unique<memory_source>(streams[s]));
+  return runner.run();
 }
 
 }  // namespace jrf::system

@@ -1,4 +1,4 @@
-// Sharded multi-stream system model.
+// Sharded multi-stream system model - the concurrent service core.
 //
 // filter_system replays the paper's deployment: one stream, whole records
 // dealt round-robin to replicated pipelines. Production traffic is N
@@ -14,15 +14,30 @@
 //     record at a time, so memory per lane is FIFO + longest record),
 //   * pump() drains the FIFOs through the lanes' chunked scan path;
 //     decisions accumulate per shard and merge into one report,
+//   * with options.worker_threads > 1 the lanes drain on a util::thread_pool
+//     - one task per lane per pump/finish - which is where the model stops
+//     being a simulation and becomes a usable service core. Every lane
+//     carries its own mutex, so offer() from producer threads never races
+//     a worker draining that lane; lanes never share mutable state, so the
+//     per-shard decisions and the cycle-quantized report are byte-identical
+//     to the serial path for every worker count (asserted by
+//     system_concurrency_test),
 //   * the cycle-quantized accounting carries over from filter_system: every
 //     lane consumes one byte per cycle, DMA burst descriptors charge setup
 //     cycles on the shared ingress bus, and the slowest lane bounds the
 //     wall time, so lane imbalance shows up as stall cycles exactly as in
 //     the paper-reproduction path.
+//
+// Thread-safety contract: offer(), pump(), finish() and report() may be
+// called from any thread, concurrently. decisions() returns a reference
+// into a lane's engine and therefore requires quiescence: call it only
+// when no pump()/finish() is in flight (run() returns quiescent).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -31,6 +46,7 @@
 #include "core/expr.hpp"
 #include "core/filter_engine.hpp"
 #include "system/system.hpp"
+#include "util/thread_pool.hpp"
 
 namespace jrf::system {
 
@@ -40,7 +56,8 @@ struct shard_stats {
   std::uint64_t records = 0;
   std::uint64_t accepted = 0;
   std::uint64_t backpressure_events = 0;  // offers truncated by a full FIFO
-  std::size_t fifo_high_watermark = 0;    // max buffered bytes observed
+  std::uint64_t hard_backpressure_events = 0;  // non-empty offers taking 0
+  std::size_t fifo_high_watermark = 0;         // max buffered bytes observed
 };
 
 struct sharded_report {
@@ -49,6 +66,7 @@ struct sharded_report {
   std::uint64_t records = 0;
   std::uint64_t accepted = 0;
   std::uint64_t backpressure_events = 0;
+  std::uint64_t hard_backpressure_events = 0;
   std::uint64_t cycles = 0;        // slowest lane + DMA descriptor setup
   std::uint64_t stall_cycles = 0;  // DMA setup + lane imbalance
   double seconds = 0.0;
@@ -62,18 +80,22 @@ struct sharded_report {
 class sharded_filter_system {
  public:
   /// `shards` lanes are created; options.lanes is ignored (the stream/lane
-  /// binding is 1:1 in sharded mode).
+  /// binding is 1:1 in sharded mode). options.worker_threads > 1 starts a
+  /// pool that pump()/finish() fan the lanes out over.
   sharded_filter_system(core::expr_ptr expr, std::size_t shards,
                         system_options options = {});
 
   std::size_t shard_count() const noexcept { return lanes_.size(); }
 
   /// Non-blocking enqueue: append at most the free FIFO space of `shard`
-  /// and return the number of bytes taken (0 = hard backpressure).
+  /// and return the number of bytes taken (0 = hard backpressure). An
+  /// empty view is a no-op and changes no counters. Safe to call from any
+  /// producer thread.
   std::size_t offer(std::size_t shard, std::string_view bytes);
 
   /// Drain every lane FIFO through its filter engine, at most
-  /// `budget_per_lane` bytes each (0 = drain fully).
+  /// `budget_per_lane` bytes each (0 = drain fully). Lanes drain on the
+  /// worker pool when one is configured; returns once every lane is done.
   void pump(std::size_t budget_per_lane = 0);
 
   /// Drain everything and flush trailing records without a final
@@ -81,21 +103,28 @@ class sharded_filter_system {
   void finish();
 
   /// Per-record decisions of `shard`, in that stream's record order.
+  /// Requires quiescence (no pump/finish in flight).
   const std::vector<bool>& decisions(std::size_t shard) const;
 
-  /// Merged accounting over everything filtered so far.
+  /// Merged accounting over everything filtered so far. A zero-byte run
+  /// reports all-zero rates (no NaN/inf).
   sharded_report report() const;
 
-  /// Convenience driver: run one full stream per shard to completion,
-  /// offering DMA-burst-sized slices round-robin with pump() interleaved -
-  /// the sharded analogue of filter_system::run.
+  /// Convenience driver: run one full stream per shard to completion -
+  /// one memory_source per stream handed to a concurrent_runner, which
+  /// offers DMA-burst-sized slices with pump() interleaved. The sharded
+  /// analogue of filter_system::run.
   sharded_report run(std::span<const std::string_view> streams);
 
   const system_options& options() const noexcept { return options_; }
   const core::expr_ptr& expression() const noexcept { return expr_; }
 
  private:
+  // One lane = one shard: engine + bounded FIFO + stats, all guarded by
+  // the lane's mutex so producers (offer) and workers (pump/finish) never
+  // race. Lanes are independent - no lock ordering concerns.
   struct lane {
+    mutable std::mutex mutex;
     std::unique_ptr<core::filter_engine> engine;
     std::vector<unsigned char> fifo;  // buffered bytes, head first
     std::size_t head = 0;             // consumed prefix of `fifo`
@@ -106,10 +135,13 @@ class sharded_filter_system {
 
   lane& checked(std::size_t shard);
   void pump_lane(lane& l, std::size_t budget);
+  void drain_locked(lane& l, std::size_t budget);
+  void for_each_lane(const std::function<void(lane&)>& fn);
 
   system_options options_;
   core::expr_ptr expr_;
-  std::vector<lane> lanes_;
+  std::vector<std::unique_ptr<lane>> lanes_;
+  std::unique_ptr<util::thread_pool> pool_;  // null when serial
 };
 
 }  // namespace jrf::system

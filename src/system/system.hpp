@@ -33,6 +33,10 @@ struct system_options {
   std::size_t dma_burst_bytes = 4096;  // bytes moved per DMA descriptor
   int dma_setup_cycles = 12;        // descriptor setup / bus arbitration
   std::size_t lane_fifo_bytes = 8192;  // per-lane input FIFO
+  // Host worker threads the sharded system pumps its lanes on (0 or 1 =
+  // the calling thread). Decisions and the cycle-quantized accounting are
+  // identical for every value; only host wall-clock differs.
+  std::size_t worker_threads = 0;
   // Software hot path the lanes run on. Decisions and the cycle-quantized
   // accounting are identical for both; only host wall-clock differs.
   core::engine_kind engine = core::engine_kind::chunked;

@@ -1,0 +1,118 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace jrf::util {
+
+thread_pool::thread_pool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void thread_pool::submit(std::function<void()> task) {
+  if (!task) throw error("thread pool: null task");
+  if (workers_.empty()) {  // inline mode
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) throw error("thread pool: submit after shutdown");
+    tasks_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+bool thread_pool::run_one(std::unique_lock<std::mutex>& lock) {
+  if (tasks_.empty()) return false;
+  std::function<void()> task = std::move(tasks_.front());
+  tasks_.pop_front();
+  ++active_;
+  lock.unlock();
+  task();
+  lock.lock();
+  --active_;
+  if (tasks_.empty() && active_ == 0) idle_.notify_all();
+  return true;
+}
+
+void thread_pool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (run_one(lock)) continue;
+    if (stop_) return;
+    task_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+  }
+}
+
+void thread_pool::parallel_for(std::size_t count,
+                               const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (!fn) throw error("thread pool: null parallel_for body");
+  if (workers_.empty() || count == 1) {  // inline mode / nothing to fan out
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // One shared cursor hands out indices; workers and the calling thread
+  // pull from it until exhausted. `pending` counts indices whose body has
+  // not finished yet, so the caller knows when it may return.
+  struct state {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending;
+    std::exception_ptr first_error;
+    explicit state(std::size_t count) : pending(count) {}
+  };
+  auto shared = std::make_shared<state>(count);
+
+  auto drain = [shared, count, &fn] {
+    for (;;) {
+      const std::size_t i =
+          shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      std::exception_ptr error;
+      try {
+        fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      if (error && !shared->first_error) shared->first_error = error;
+      if (--shared->pending == 0) shared->done.notify_all();
+    }
+  };
+
+  // `fn` stays on the caller's stack: every task must finish before this
+  // function returns, which `pending` guarantees. Cap the helper tasks at
+  // the index count so tiny ranges do not flood the queue.
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  for (std::size_t i = 0; i < helpers; ++i) submit(drain);
+  drain();
+
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  shared->done.wait(lock, [&] { return shared->pending == 0; });
+  if (shared->first_error) std::rethrow_exception(shared->first_error);
+}
+
+void thread_pool::wait_idle() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+}  // namespace jrf::util

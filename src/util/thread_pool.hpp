@@ -1,0 +1,72 @@
+// Fixed-size worker pool for the concurrent system paths.
+//
+// The sharded system model runs one filter lane per input shard; turning
+// the model into a service core means pumping those lanes on real host
+// threads. This pool is deliberately small and boring: a fixed set of
+// workers started in the constructor, one mutex-protected task queue, and
+// a join-on-destruction shutdown, so every consumer (sharded pump/finish,
+// future DSE sweeps) gets the same well-understood lifetime rules.
+//
+//   * submit() enqueues a task; workers pick tasks up FIFO.
+//   * parallel_for() fans one callable out over an index range and blocks
+//     until every index ran; the calling thread lends a hand, so a pool is
+//     never slower than the serial loop it replaces. The first exception
+//     thrown by any iteration is rethrown on the caller.
+//   * a pool constructed with zero workers degrades to inline execution
+//     (no threads are spawned) - callers can hold one code path for both
+//     the serial and the concurrent configuration.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jrf::util {
+
+class thread_pool {
+ public:
+  /// Start `workers` threads (0 = inline mode: submit/parallel_for run
+  /// tasks on the calling thread).
+  explicit thread_pool(std::size_t workers);
+
+  /// Signals shutdown and joins every worker; queued tasks that have not
+  /// started yet still run before the workers exit.
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue one task. Tasks must not throw (submit offers no channel to
+  /// report the exception; use parallel_for for throwing work).
+  void submit(std::function<void()> task);
+
+  /// Run fn(0) .. fn(count - 1) across the workers and the calling thread,
+  /// returning once every index completed. Rethrows the first exception
+  /// (by submission order of discovery) any iteration raised.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+  bool run_one(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace jrf::util

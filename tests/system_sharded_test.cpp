@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string_view>
 #include <vector>
 
@@ -96,6 +97,74 @@ TEST(ShardedSystem, OfferHonoursFifoBackpressure) {
   EXPECT_GE(report.shards[0].backpressure_events, 2u);
   EXPECT_EQ(report.shards[0].fifo_high_watermark, 32u);
   EXPECT_EQ(report.shards[0].offered, 300u);
+}
+
+TEST(ShardedSystem, HardBackpressureIsItsOwnStat) {
+  system_options options;
+  options.lane_fifo_bytes = 32;
+  sharded_filter_system sys(simple_filter(), 1, options);
+
+  const std::string big(100, 'x');
+  sys.offer(0, big);  // truncated: soft backpressure only
+  sharded_report report = sys.report();
+  EXPECT_EQ(report.shards[0].backpressure_events, 1u);
+  EXPECT_EQ(report.shards[0].hard_backpressure_events, 0u);
+
+  // Full FIFO taking zero bytes of a non-empty offer: hard backpressure,
+  // counted both as a backpressure event and in the dedicated stat.
+  EXPECT_EQ(sys.offer(0, big), 0u);
+  EXPECT_EQ(sys.offer(0, "y"), 0u);
+  report = sys.report();
+  EXPECT_EQ(report.shards[0].backpressure_events, 3u);
+  EXPECT_EQ(report.shards[0].hard_backpressure_events, 2u);
+  EXPECT_EQ(report.hard_backpressure_events, 2u);  // merged view
+
+  // After draining, a fitting offer counts neither.
+  sys.pump();
+  EXPECT_EQ(sys.offer(0, "z"), 1u);
+  report = sys.report();
+  EXPECT_EQ(report.shards[0].backpressure_events, 3u);
+  EXPECT_EQ(report.shards[0].hard_backpressure_events, 2u);
+}
+
+TEST(ShardedSystem, EmptyOfferOnFullFifoChangesNoCounters) {
+  system_options options;
+  options.lane_fifo_bytes = 32;
+  sharded_filter_system sys(simple_filter(), 1, options);
+  sys.offer(0, std::string(32, 'x'));  // exactly fills the FIFO
+  const sharded_report before = sys.report();
+
+  EXPECT_EQ(sys.offer(0, std::string_view{}), 0u);
+  EXPECT_EQ(sys.offer(0, ""), 0u);
+
+  const sharded_report after = sys.report();
+  EXPECT_EQ(after.shards[0].offered, before.shards[0].offered);
+  EXPECT_EQ(after.shards[0].backpressure_events,
+            before.shards[0].backpressure_events);
+  EXPECT_EQ(after.shards[0].hard_backpressure_events,
+            before.shards[0].hard_backpressure_events);
+  EXPECT_EQ(after.shards[0].fifo_high_watermark,
+            before.shards[0].fifo_high_watermark);
+  EXPECT_EQ(after.shards[0].bytes, before.shards[0].bytes);
+}
+
+TEST(ShardedSystem, ZeroByteReportHasNoNanOrInf) {
+  // report() on a freshly constructed system: every derived rate must be
+  // exactly zero - not the configured peak, and never NaN/inf.
+  sharded_filter_system sys(simple_filter(), 4);
+  const sharded_report report = sys.report();
+  EXPECT_EQ(report.bytes, 0u);
+  EXPECT_EQ(report.records, 0u);
+  EXPECT_EQ(report.cycles, 0u);
+  EXPECT_EQ(report.stall_cycles, 0u);
+  EXPECT_EQ(report.seconds, 0.0);
+  EXPECT_EQ(report.gbytes_per_second, 0.0);
+  EXPECT_EQ(report.theoretical_gbps, 0.0);
+  EXPECT_TRUE(std::isfinite(report.seconds));
+  EXPECT_TRUE(std::isfinite(report.gbytes_per_second));
+  EXPECT_TRUE(std::isfinite(report.theoretical_gbps));
+  // to_string on the empty report must not trip anything either.
+  EXPECT_FALSE(report.to_string().empty());
 }
 
 TEST(ShardedSystem, RunCompletesDespiteTinyFifo) {

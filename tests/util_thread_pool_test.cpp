@@ -1,0 +1,104 @@
+// Tests for the fixed-size worker pool behind the concurrent system paths.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace jrf::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  thread_pool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkersDegradesToInline) {
+  thread_pool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+
+  // Inline mode: the task ran by the time submit returns, on this thread.
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+
+  std::vector<bool> seen(64, false);
+  pool.parallel_for(64, [&](std::size_t i) { seen[i] = true; });
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_TRUE(seen[i]) << i;
+  pool.wait_idle();  // no-op, must not hang
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  thread_pool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForActuallyFansOut) {
+  thread_pool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> threads;
+  pool.parallel_for(256, [&](std::size_t) {
+    // Enough work per index that helpers get a chance to pick some up.
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    std::lock_guard<std::mutex> lock(mutex);
+    threads.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(threads.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+  thread_pool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(50,
+                                 [&](std::size_t i) {
+                                   ++ran;
+                                   if (i == 17) throw error("boom");
+                                 }),
+               error);
+  // Every started index still completed before the rethrow: the pool is
+  // reusable afterwards.
+  pool.parallel_for(8, [&](std::size_t) { ++ran; });
+  EXPECT_GE(ran.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsANoOp) {
+  thread_pool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    thread_pool pool(2);
+    for (int i = 0; i < 200; ++i) pool.submit([&] { ++ran; });
+    // No wait_idle: the destructor must still run every queued task.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, RejectsNullTask) {
+  thread_pool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), error);
+  EXPECT_THROW(pool.parallel_for(3, std::function<void(std::size_t)>{}),
+               error);
+}
+
+}  // namespace
+}  // namespace jrf::util
