@@ -3,7 +3,9 @@
 // measured 1.33 GB/s against a 1.4 GB/s theoretical peak and the 1.25 GB/s
 // 10 GbE line rate.
 //
-// On top of the cycle-quantized model this bench measures host wall-clock
+// Every configuration stands up through the jrf::pipeline facade - the
+// same entry point the examples and any embedding application use. On top
+// of the cycle-quantized model this bench measures host wall-clock
 // throughput of the two software paths (scalar push() vs the chunked
 // filter-engine scan) and of the sharded multi-stream system, and can emit
 // the numbers as machine-readable JSON:
@@ -16,17 +18,16 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "api/pipeline.hpp"
 #include "bench_common.hpp"
 #include "data/smartcity.hpp"
 #include "data/stream.hpp"
 #include "query/compile.hpp"
 #include "query/riotbench.hpp"
-#include "system/ingest.hpp"
-#include "system/sharded.hpp"
-#include "system/system.hpp"
 
 namespace {
 
@@ -39,21 +40,34 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 struct wall_result {
   double seconds = 0.0;
   double mbytes_per_second = 0.0;
-  jrf::system::throughput_report report;
+  jrf::run_result result;
 };
 
-wall_result timed_run(const jrf::core::expr_ptr& rf,
-                      jrf::core::engine_kind engine,
-                      const std::string& stream) {
-  jrf::system::system_options options;
-  options.engine = engine;
-  jrf::system::filter_system sys(rf, options);
+// One timed facade run: `configure` finishes the builder (backend, lanes,
+// inputs), then run() is timed wall-clock.
+template <typename Configure>
+wall_result timed_run(const jrf::core::expr_ptr& rf, std::uint64_t bytes,
+                      Configure&& configure) {
+  auto builder = jrf::pipeline::make();
+  builder.raw_filter(rf);
+  configure(builder);
+  auto built = builder.build();
+  if (!built) {
+    std::fprintf(stderr, "pipeline build failed: %s\n",
+                 built.error().message.c_str());
+    std::exit(1);
+  }
   const auto start = std::chrono::steady_clock::now();
+  auto run = built->run();
   wall_result out;
-  out.report = sys.run(stream);
   out.seconds = seconds_since(start);
-  out.mbytes_per_second =
-      static_cast<double>(stream.size()) / out.seconds / 1e6;
+  if (!run) {
+    std::fprintf(stderr, "pipeline run failed: %s\n",
+                 run.error().message.c_str());
+    std::exit(1);
+  }
+  out.result = std::move(*run);
+  out.mbytes_per_second = static_cast<double>(bytes) / out.seconds / 1e6;
   return out;
 }
 
@@ -88,10 +102,11 @@ int main(int argc, char** argv) {
   };
   std::vector<modeled_row> modeled;
   for (const int lanes : {1, 2, 4, 7, 8}) {
-    system::system_options options;
-    options.lanes = lanes;
-    system::filter_system sys(rf, options);
-    const auto report = sys.run(stream);
+    const wall_result r =
+        timed_run(rf, stream.size(), [&](pipeline_builder& b) {
+          b.backend(backend_kind::system).lanes(lanes).input(stream);
+        });
+    const auto& report = r.result.report;
     modeled.push_back({lanes, report});
     std::printf("%-6d | %12.3f | %12.2f | %9.2f%% | %s\n", lanes,
                 report.gbytes_per_second, report.theoretical_gbps,
@@ -111,9 +126,17 @@ int main(int argc, char** argv) {
   // -------------------------------------------------------------------
   bench::heading("Host wall clock (software hot path, 7 lanes)");
   const wall_result scalar =
-      timed_run(rf, core::engine_kind::scalar, stream);
+      timed_run(rf, stream.size(), [&](pipeline_builder& b) {
+        b.backend(backend_kind::system)
+            .engine(core::engine_kind::scalar)
+            .input(stream);
+      });
   const wall_result chunked =
-      timed_run(rf, core::engine_kind::chunked, stream);
+      timed_run(rf, stream.size(), [&](pipeline_builder& b) {
+        b.backend(backend_kind::system)
+            .engine(core::engine_kind::chunked)
+            .input(stream);
+      });
   const double speedup =
       chunked.seconds > 0 ? scalar.seconds / chunked.seconds : 0.0;
   std::printf("scalar push()   : %8.2f MB/s (%.2fs)\n",
@@ -121,23 +144,25 @@ int main(int argc, char** argv) {
   std::printf("chunked scan    : %8.2f MB/s (%.2fs)\n",
               chunked.mbytes_per_second, chunked.seconds);
   std::printf("speedup         : %8.2fx (decisions identical: %s)\n", speedup,
-              scalar.report.accepted == chunked.report.accepted ? "yes"
-                                                                : "NO!");
+              scalar.result.report.accepted == chunked.result.report.accepted
+                  ? "yes"
+                  : "NO!");
 
   // -------------------------------------------------------------------
   // Sharded mode: 7 independent streams, one lane each.
   // -------------------------------------------------------------------
   bench::heading("Sharded multi-stream (7 shards, chunked)");
   const auto shards = data::shard_records(stream, 7);
-  std::vector<std::string_view> shard_views{shards.begin(), shards.end()};
-  system::sharded_filter_system sharded(rf, 7);
-  const auto sharded_start = std::chrono::steady_clock::now();
-  const auto sharded_report = sharded.run(shard_views);
-  const double sharded_seconds = seconds_since(sharded_start);
-  const double sharded_mbps =
-      static_cast<double>(sharded_report.bytes) / sharded_seconds / 1e6;
-  std::printf("modeled  : %s\n", sharded_report.to_string().c_str());
-  std::printf("wall     : %.2f MB/s (%.2fs)\n", sharded_mbps, sharded_seconds);
+  std::uint64_t sharded_bytes = 0;
+  for (const auto& s : shards) sharded_bytes += s.size();
+  const wall_result sharded =
+      timed_run(rf, sharded_bytes, [&](pipeline_builder& b) {
+        b.backend(backend_kind::sharded);
+        for (const auto& s : shards) b.input(s);
+      });
+  const double sharded_mbps = sharded.mbytes_per_second;
+  std::printf("modeled  : %s\n", sharded.result.to_string().c_str());
+  std::printf("wall     : %.2f MB/s (%.2fs)\n", sharded_mbps, sharded.seconds);
 
   // -------------------------------------------------------------------
   // Concurrent sharded: the same 7 shards pumped on a worker pool. On a
@@ -156,27 +181,26 @@ int main(int argc, char** argv) {
   std::vector<threaded_row> threaded;
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}, std::size_t{8}}) {
-    system::system_options options;
-    options.worker_threads = workers;
-    system::sharded_filter_system sys(rf, 7, options);
-    system::concurrent_runner runner(sys);
-    for (std::size_t s = 0; s < shard_views.size(); ++s)
-      runner.bind(s, std::make_unique<system::memory_source>(shard_views[s]));
-    const auto start = std::chrono::steady_clock::now();
-    const auto threaded_report = runner.run();
-    const double seconds = seconds_since(start);
-    const double mbps =
-        static_cast<double>(threaded_report.bytes) / seconds / 1e6;
-    threaded.push_back({workers, seconds, mbps});
+    const wall_result r =
+        timed_run(rf, sharded_bytes, [&](pipeline_builder& b) {
+          b.backend(backend_kind::sharded).worker_threads(workers);
+          for (const auto& s : shards) b.input(s);
+        });
+    threaded.push_back({workers, r.seconds, r.mbytes_per_second});
     std::printf("%zu workers : %8.2f MB/s (%.2fs, %.2fx vs 1-thread "
                 "sharded; decisions identical: %s)\n",
-                workers, mbps, seconds, mbps / sharded_mbps,
-                threaded_report.accepted == sharded_report.accepted ? "yes"
-                                                                    : "NO!");
+                workers, r.mbytes_per_second, r.seconds,
+                r.mbytes_per_second / sharded_mbps,
+                r.result.report.accepted == sharded.result.report.accepted
+                    ? "yes"
+                    : "NO!");
   }
 
-  system::filter_system detail(rf);
-  const auto report = detail.run(stream);
+  const wall_result detail =
+      timed_run(rf, stream.size(), [&](pipeline_builder& b) {
+        b.backend(backend_kind::system).lanes(7).input(stream);
+      });
+  const auto& report = detail.result.report;
   std::printf("\n7-lane detail: %s\n", report.to_string().c_str());
   std::printf("records forwarded to CPU: %llu of %llu (%.1f%% filtered out)\n",
               static_cast<unsigned long long>(report.accepted),
@@ -216,10 +240,14 @@ int main(int argc, char** argv) {
                  "\"records\": %llu, \"accepted\": %llu, "
                  "\"backpressure_events\": %llu},\n",
                  sharded_mbps,
-                 static_cast<unsigned long long>(sharded_report.records),
-                 static_cast<unsigned long long>(sharded_report.accepted),
-                 static_cast<unsigned long long>(
-                     sharded_report.backpressure_events));
+                 static_cast<unsigned long long>(sharded.result.records()),
+                 static_cast<unsigned long long>(sharded.result.accepted()),
+                 [&] {
+                   std::uint64_t events = 0;
+                   for (const auto& s : sharded.result.shards)
+                     events += s.backpressure_events;
+                   return static_cast<unsigned long long>(events);
+                 }());
     std::fprintf(f, "  \"threaded\": {\"host_cpus\": %u, \"rows\": [\n",
                  host_cpus);
     for (std::size_t i = 0; i < threaded.size(); ++i)

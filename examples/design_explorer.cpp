@@ -1,11 +1,14 @@
 // Design-space exploration walkthrough (paper Section III-D): given a
 // query and a calibration stream, enumerate every raw-filter
-// configuration, print the FPR/LUT Pareto front, and let the deployment
-// pick its operating point - e.g. "cheapest configuration under FPR 5%".
+// configuration, print the FPR/LUT Pareto front, let the deployment pick
+// its operating point - e.g. "cheapest configuration under FPR 5%" - and
+// stand the chosen filter up through the jrf::pipeline facade.
 #include <cstdio>
 
+#include "api/pipeline.hpp"
 #include "data/taxi.hpp"
 #include "dse/explore.hpp"
+#include "query/compile.hpp"
 #include "query/eval.hpp"
 #include "query/riotbench.hpp"
 
@@ -44,5 +47,33 @@ int main() {
               chosen->notation.c_str());
   std::printf("  -> %d LUTs, FPR %.3f, forwards %.1f%% of the stream\n",
               chosen->luts, chosen->fpr, 100.0 * chosen->accept_rate);
-  return 0;
+
+  // Deploy the chosen operating point: compile its choice vector and run
+  // the calibration stream through the 7-lane system via the facade.
+  auto deployed = pipeline::make()
+                      .raw_filter(query::compile(q, chosen->choices))
+                      .backend(backend_kind::system)
+                      .lanes(7)
+                      .input(calibration)
+                      .build();
+  if (!deployed) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 deployed.error().message.c_str());
+    return 1;
+  }
+  auto run = deployed->run();
+  if (!run) {
+    std::fprintf(stderr, "deploy run failed: %s\n",
+                 run.error().message.c_str());
+    return 1;
+  }
+  const auto check =
+      query::verify_no_false_negatives(q, calibration, run->decisions);
+  std::printf("deployed via jrf::pipeline: %llu of %llu records forwarded, "
+              "%zu true matches, %zu dropped %s\n",
+              static_cast<unsigned long long>(run->accepted()),
+              static_cast<unsigned long long>(run->records()),
+              check.true_matches, check.false_negatives,
+              check.ok() ? "(no false negatives)" : "(BUG!)");
+  return check.ok() ? 0 : 1;
 }

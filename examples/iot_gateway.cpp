@@ -2,19 +2,19 @@
 // 10 GbE stream of SenML sensor records and forwards only query-relevant
 // ones to the on-chip CPU. Seven parallel raw-filter lanes at 200 MHz
 // pre-filter the stream at line rate; the CPU parses only what survives.
+//
+// Both deployments - the monolithic Figure-4 gateway and the concurrent
+// sharded service core - stand up through the jrf::pipeline facade.
 #include <cstdio>
 #include <memory>
-#include <string_view>
-#include <vector>
+#include <string>
 
+#include "api/pipeline.hpp"
 #include "data/smartcity.hpp"
 #include "data/stream.hpp"
-#include "query/compile.hpp"
 #include "query/eval.hpp"
 #include "query/riotbench.hpp"
 #include "system/ingest.hpp"
-#include "system/sharded.hpp"
-#include "system/system.hpp"
 
 int main() {
   using namespace jrf;
@@ -22,17 +22,33 @@ int main() {
   // The gateway runs RiotBench QS1 (outlier detection: light, dust and air
   // quality outside their usual bands).
   const query::query q = query::riotbench::qs1();
-  const core::expr_ptr rf = query::compile_default(q);
-  std::printf("gateway query : %s\n", q.to_string().c_str());
-  std::printf("deployed RF   : %s\n\n", rf->to_string().c_str());
 
   // Ingress: 8 MB of SenML telemetry.
   data::smartcity_generator sensors;
   const std::string ingress = data::inflate(sensors.stream(2000), 8u << 20);
 
-  system::filter_system gateway(rf);
-  const auto report = gateway.run(ingress);
+  // Deployment 1: the paper's Figure-4 system - one stream, whole records
+  // dealt round-robin to 7 replicated lanes.
+  auto gateway = pipeline::make()
+                     .from_query(q)
+                     .backend(backend_kind::system)
+                     .lanes(7)
+                     .input(ingress)
+                     .build();
+  if (!gateway) {
+    std::fprintf(stderr, "build failed: %s\n", gateway.error().message.c_str());
+    return 1;
+  }
+  std::printf("gateway query : %s\n", q.to_string().c_str());
+  std::printf("deployed RF   : %s\n\n",
+              gateway->expression()->to_string().c_str());
 
+  auto run = gateway->run();
+  if (!run) {
+    std::fprintf(stderr, "run failed: %s\n", run.error().message.c_str());
+    return 1;
+  }
+  const auto& report = run->report;
   std::printf("ingress   : %.1f MB, %llu records\n",
               static_cast<double>(report.bytes) / (1u << 20),
               static_cast<unsigned long long>(report.records));
@@ -44,43 +60,44 @@ int main() {
 
   // What the CPU-side parser would have concluded - the raw filter must
   // never have dropped a true match.
-  const auto labels = query::label_stream(q, ingress);
-  std::size_t matches = 0;
-  std::size_t missed = 0;
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (!labels[i]) continue;
-    ++matches;
-    if (!gateway.decisions()[i]) ++missed;
-  }
+  const auto check =
+      query::verify_no_false_negatives(q, ingress, run->decisions);
   std::printf("check     : %zu true matches, %zu dropped by the RF %s\n",
-              matches, missed,
-              missed == 0 ? "(no false negatives)" : "(BUG!)");
+              check.true_matches, check.false_negatives,
+              check.ok() ? "(no false negatives)" : "(BUG!)");
 
-  // Sharded deployment as a concurrent service core: the same gateway fed
-  // by 7 independent sensor feeds, one filter lane each (query compiled
-  // once, lanes cloned), lanes pumped on a worker pool, bounded per-lane
-  // FIFOs pushing back on fast producers. Six feeds replay captured
-  // telemetry from memory; the last one is a throttled line-rate sensor
-  // modeled by a synthetic-rate source, so the run shows real lane
-  // imbalance and backpressure accounting.
+  // Deployment 2: the same gateway as a concurrent service core - 7
+  // independent sensor feeds, one filter lane each (query compiled once,
+  // lanes cloned), lanes pumped on a worker pool, bounded per-lane FIFOs
+  // pushing back on fast producers. Six feeds replay captured telemetry
+  // from memory; the last one is a throttled line-rate sensor modeled by a
+  // synthetic-rate source, so the run shows real lane imbalance and
+  // backpressure accounting.
   const auto feeds = data::shard_records(ingress, 7);
-  system::system_options gateway_options;
-  gateway_options.worker_threads = 4;
-  system::sharded_filter_system sharded(rf, 7, gateway_options);
-  system::concurrent_runner runner(sharded);
+  auto service = pipeline::make();
+  service.from_query(q).backend(backend_kind::sharded).worker_threads(4);
   for (std::size_t shard = 0; shard + 1 < feeds.size(); ++shard)
-    runner.bind(shard, std::make_unique<system::memory_source>(feeds[shard]));
-  runner.bind(feeds.size() - 1,
-              std::make_unique<system::synthetic_rate_source>(
-                  feeds.back(), feeds.back().size(), 1024));
-  const auto sharded_report = runner.run();
-  std::printf("\nsharded   : %s\n", sharded_report.to_string().c_str());
+    service.input(feeds[shard]);
+  service.source(std::make_unique<system::synthetic_rate_source>(
+      feeds.back(), feeds.back().size(), 1024));
+  auto sharded = service.build();
+  if (!sharded) {
+    std::fprintf(stderr, "build failed: %s\n", sharded.error().message.c_str());
+    return 1;
+  }
+  auto sharded_run = sharded->run();
+  if (!sharded_run) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 sharded_run.error().message.c_str());
+    return 1;
+  }
+  std::printf("\nsharded   : %s\n", sharded_run->to_string().c_str());
 
   // The concurrent core must drop nothing the monolithic gateway kept.
   std::printf("cross-check: %llu accepted on the concurrent core (%s)\n",
-              static_cast<unsigned long long>(sharded_report.accepted),
-              sharded_report.accepted == report.accepted
+              static_cast<unsigned long long>(sharded_run->accepted()),
+              sharded_run->accepted() == report.accepted
                   ? "matches one-stream run"
                   : "MISMATCH!");
-  return missed == 0 && sharded_report.accepted == report.accepted ? 0 : 1;
+  return check.ok() && sharded_run->accepted() == report.accepted ? 0 : 1;
 }

@@ -1,5 +1,5 @@
-// Quickstart: express a query, compile it to a raw filter, and filter an
-// NDJSON stream - the complete public-API path in ~40 lines.
+// Quickstart: the complete public-API path in ~40 lines, all through the
+// jrf::pipeline facade - query text in, per-record decisions out.
 //
 //   $ ./quickstart
 //
@@ -8,42 +8,53 @@
 #include <cstdio>
 #include <string>
 
+#include "api/pipeline.hpp"
 #include "core/elaborate.hpp"
-#include "core/raw_filter.hpp"
-#include "query/compile.hpp"
 #include "query/eval.hpp"
-#include "query/parse.hpp"
 
 int main() {
   using namespace jrf;
 
-  // 1. A query - JSONPath (Listing 2) or the Table VIII expression syntax.
-  const query::query q = query::parse_jsonpath(
-      R"($.e[?(@.n=="temperature" & @.v >= 0.7 & @.v <= 35.1)])", "Q0");
-  std::printf("query: %s\n", q.to_string().c_str());
-
-  // 2. Compile to a raw filter: a structural group pairing the string
-  //    matcher s1("temperature") with the value-range automaton.
-  const core::expr_ptr rf = query::compile_default(q);
-  std::printf("raw filter: %s\n", rf->to_string().c_str());
-  std::printf("estimated cost: %s\n",
-              core::filter_cost(rf).to_string().c_str());
-
-  // 3. Filter a stream: one decision per NDJSON record.
+  // An NDJSON stream of SenML records (Listing 1 shape).
   const std::string stream =
       R"({"e":[{"v":"35.2","u":"far","n":"temperature"}],"bt":1})" "\n"
       R"({"e":[{"v":"21.5","u":"far","n":"temperature"}],"bt":2})" "\n"
       R"({"e":[{"v":"12","u":"per","n":"humidity"}],"bt":3})" "\n";
 
-  core::raw_filter filter(rf);
-  const auto decisions = filter.filter_stream(stream);
+  // One fluent flow: parse the Listing 2 JSONPath query, compile it to a
+  // raw filter, bind the stream, pick the paper-faithful scalar backend.
+  auto built = pipeline::make()
+                   .jsonpath(R"($.e[?(@.n=="temperature" & @.v >= 0.7)"
+                             R"( & @.v <= 35.1)])")
+                   .backend(backend_kind::scalar)
+                   .input(stream)
+                   .build();
+  if (!built) {  // the facade never throws: errors come back as values
+    std::fprintf(stderr, "build failed: %s\n", built.error().message.c_str());
+    return 1;
+  }
+  std::printf("query: %s\n", built->parsed_query()->to_string().c_str());
+  std::printf("raw filter: %s\n", built->expression()->to_string().c_str());
+  std::printf("estimated cost: %s\n",
+              core::filter_cost(built->expression()).to_string().c_str());
 
-  // 4. Compare with the exact (CPU-parser) verdicts: the raw filter may
-  //    pass extra records but never drops a true match.
-  const auto labels = query::label_stream(q, stream);
-  for (std::size_t i = 0; i < decisions.size(); ++i)
+  auto result = built->run();
+  if (!result) {
+    std::fprintf(stderr, "run failed: %s\n", result.error().message.c_str());
+    return 1;
+  }
+
+  // Compare with the exact (CPU-parser) verdicts: the raw filter may pass
+  // extra records but never drops a true match.
+  const auto labels = query::label_stream(*built->parsed_query(), stream);
+  for (std::size_t i = 0; i < result->decisions.size(); ++i)
     std::printf("record %zu: raw filter %s, exact %s\n", i,
-                decisions[i] ? "PASS" : "drop",
+                result->decisions[i] ? "PASS" : "drop",
                 labels[i] ? "match" : "no match");
-  return 0;
+  const auto check = query::verify_no_false_negatives(
+      *built->parsed_query(), stream, result->decisions);
+  std::printf("%zu true matches, %zu dropped %s\n", check.true_matches,
+              check.false_negatives,
+              check.ok() ? "(no false negatives)" : "(BUG!)");
+  return check.ok() ? 0 : 1;
 }

@@ -1,11 +1,14 @@
 // Figure 1 companion: elaborate the s2("temperature") matcher of the
 // paper's RTL schematic, run it cycle by cycle on the netlist simulator,
 // and dump a VCD waveform of the byte stream, match counter and accept
-// line - viewable with GTKWave.
+// line - viewable with GTKWave. The same filter expression then runs
+// through the jrf::pipeline facade on the scalar backend (the software
+// path the RTL suite proves cycle-equivalent) as a decision cross-check.
 #include <cstdio>
 #include <fstream>
 #include <string>
 
+#include "api/pipeline.hpp"
 #include "core/elaborate.hpp"
 #include "core/expr.hpp"
 #include "rtl/simulator.hpp"
@@ -45,5 +48,27 @@ int main() {
 
   std::printf("wrote %llu cycles to %s (open with GTKWave)\n",
               static_cast<unsigned long long>(time), path.c_str());
-  return 0;
+
+  // Software cross-check through the facade: the scalar backend mirrors
+  // the byte-per-cycle hardware semantics, so its per-record decisions
+  // state what the traced circuit's accept line concludes per record.
+  auto built = pipeline::make()
+                   .raw_filter(rf)
+                   .backend(backend_kind::scalar)
+                   .input(stream)
+                   .build();
+  if (!built) {
+    std::fprintf(stderr, "build failed: %s\n", built.error().message.c_str());
+    return 1;
+  }
+  auto result = built->run();
+  if (!result) {
+    std::fprintf(stderr, "run failed: %s\n", result.error().message.c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < result->decisions.size(); ++i)
+    std::printf("record %zu: %s\n", i,
+                result->decisions[i] ? "accept" : "drop");
+  // The first record contains "temperature", the second does not.
+  return result->decisions == std::vector<bool>{true, false} ? 0 : 1;
 }

@@ -1,37 +1,51 @@
 // SmartNIC scenario (paper Section IV-B, second deployment): the raw
 // filters sit between the network interface and the host CPU; filtered
 // records cross PCIe, everything else is dropped in the NIC. The host
-// effectively sees only candidate matches of the Taxi query QT.
+// effectively sees only candidate matches of the Taxi query QT. The NIC
+// stands up through the jrf::pipeline facade like every other deployment.
 #include <cstdio>
+#include <string>
 
+#include "api/pipeline.hpp"
 #include "core/elaborate.hpp"
 #include "data/stream.hpp"
 #include "data/taxi.hpp"
-#include "query/compile.hpp"
 #include "query/eval.hpp"
 #include "query/riotbench.hpp"
-#include "system/system.hpp"
 
 int main() {
   using namespace jrf;
 
   const query::query q = query::riotbench::qt();
 
-  // A SmartNIC has a tight area budget: pick the B = 2 grouped filter the
-  // paper highlights ({ s2("tolls_amount") & v(2.5 <= f <= 18.0) } class of
-  // configurations) by compiling with block length 2.
-  const core::expr_ptr rf = query::compile_default(q, /*block=*/2);
-  const auto cost = core::filter_cost(rf);
-  std::printf("query      : %s\n", q.to_string().c_str());
-  std::printf("NIC filter : %s\n", rf->to_string().c_str());
-  std::printf("area       : %s\n\n", cost.to_string().c_str());
-
   data::taxi_generator trips;
   const std::string wire = data::inflate(trips.stream(3000), 8u << 20);
 
-  system::filter_system nic(rf);
-  const auto report = nic.run(wire);
+  // A SmartNIC has a tight area budget: pick the B = 2 grouped filter the
+  // paper highlights ({ s2("tolls_amount") & v(2.5 <= f <= 18.0) } class
+  // of configurations) by compiling with block length 2.
+  auto nic = pipeline::make()
+                 .from_query(q)
+                 .block(2)
+                 .backend(backend_kind::system)
+                 .lanes(7)
+                 .input(wire)
+                 .build();
+  if (!nic) {
+    std::fprintf(stderr, "build failed: %s\n", nic.error().message.c_str());
+    return 1;
+  }
+  const auto cost = core::filter_cost(nic->expression());
+  std::printf("query      : %s\n", q.to_string().c_str());
+  std::printf("NIC filter : %s\n", nic->expression()->to_string().c_str());
+  std::printf("area       : %s\n\n", cost.to_string().c_str());
 
+  auto run = nic->run();
+  if (!run) {
+    std::fprintf(stderr, "run failed: %s\n", run.error().message.c_str());
+    return 1;
+  }
+  const auto& report = run->report;
   const double pcie_reduction =
       1.0 - static_cast<double>(report.accepted) /
                 static_cast<double>(report.records);
@@ -45,17 +59,9 @@ int main() {
               100.0 * pcie_reduction);
 
   // Host-side verification: parse the forwarded records exactly.
-  const auto labels = query::label_stream(q, wire);
-  std::size_t true_matches = 0;
-  std::size_t forwarded_matches = 0;
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (!labels[i]) continue;
-    ++true_matches;
-    if (nic.decisions()[i]) ++forwarded_matches;
-  }
+  const auto check = query::verify_no_false_negatives(q, wire, run->decisions);
   std::printf("host check   : %zu/%zu true matches forwarded %s\n",
-              forwarded_matches, true_matches,
-              forwarded_matches == true_matches ? "(no false negatives)"
-                                                : "(BUG!)");
-  return forwarded_matches == true_matches ? 0 : 1;
+              check.true_matches - check.false_negatives, check.true_matches,
+              check.ok() ? "(no false negatives)" : "(BUG!)");
+  return check.ok() ? 0 : 1;
 }

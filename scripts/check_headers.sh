@@ -32,3 +32,20 @@ if [ "$status" -ne 0 ]; then
   exit 1
 fi
 echo "header hygiene: $count headers compile standalone"
+
+# Umbrella completeness: every public header under src/ must be reachable
+# from src/jrf.hpp, so an embedding application gets the whole API from one
+# include (the facade smoke target compiles against jrf.hpp alone).
+missing=0
+for header in $(find src -name '*.hpp' ! -name 'jrf.hpp' | sort); do
+  rel=${header#src/}
+  if ! grep -q "#include \"$rel\"" src/jrf.hpp; then
+    echo "MISSING from umbrella src/jrf.hpp: $rel"
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "header hygiene: umbrella src/jrf.hpp is incomplete" >&2
+  exit 1
+fi
+echo "header hygiene: umbrella includes all $((count - 1)) public headers"

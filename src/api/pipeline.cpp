@@ -1,0 +1,690 @@
+#include "api/pipeline.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "query/compile.hpp"
+#include "query/parse.hpp"
+#include "system/sharded.hpp"
+#include "system/system.hpp"
+
+namespace jrf {
+
+namespace {
+
+// One bound input, whatever shape the builder was given. Owned text and
+// custom sources live here until run() consumes them.
+struct input_spec {
+  enum class kind { view, text, file, custom };
+
+  kind k = kind::view;
+  std::string_view view;
+  std::string text;
+  std::string path;
+  std::unique_ptr<system::ingest_source> source;
+};
+
+std::unique_ptr<system::ingest_source> open_source(input_spec& in) {
+  switch (in.k) {
+    case input_spec::kind::view:
+      return std::make_unique<system::memory_source>(in.view);
+    case input_spec::kind::text:
+      return std::make_unique<system::memory_source>(in.text);
+    case input_spec::kind::file:
+      return std::make_unique<system::chunked_file_source>(in.path);
+    case input_spec::kind::custom:
+      return std::move(in.source);
+  }
+  throw error("pipeline: invalid input binding");
+}
+
+system::system_options to_system_options(const pipeline_options& o, int lanes,
+                                         core::engine_kind engine) {
+  system::system_options so;
+  so.lanes = lanes;
+  so.clock_mhz = o.clock_mhz;
+  so.dma_burst_bytes = o.dma_burst_bytes;
+  so.dma_setup_cycles = o.dma_setup_cycles;
+  so.lane_fifo_bytes = o.lane_fifo_bytes;
+  so.worker_threads = o.worker_threads;
+  so.engine = engine;
+  so.filter = o.filter;
+  return so;
+}
+
+}  // namespace
+
+const char* to_string(backend_kind kind) {
+  switch (kind) {
+    case backend_kind::scalar: return "scalar";
+    case backend_kind::chunked: return "chunked";
+    case backend_kind::system: return "system";
+    case backend_kind::sharded: return "sharded";
+  }
+  return "?";
+}
+
+std::string run_result::to_string() const {
+  std::string out = report.to_string();
+  if (shards.size() > 1) {
+    std::uint64_t backpressure = 0;
+    std::uint64_t hard = 0;
+    for (const auto& s : shards) {
+      backpressure += s.backpressure_events;
+      hard += s.hard_backpressure_events;
+    }
+    out += " [" + std::to_string(shards.size()) +
+           " shards, backpressure=" + std::to_string(backpressure) +
+           " (hard=" + std::to_string(hard) + ")]";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// pipeline::impl - the execution state behind the facade. The streaming
+// surface is the primitive; run() is a driver loop over it (plus the
+// concurrent_runner policy for the sharded backend).
+
+struct pipeline::impl {
+  pipeline_options opts;
+  std::optional<query::query> q;  // set when built from text / query
+  core::expr_ptr expr;
+  decision_sink sink;
+  std::vector<input_spec> inputs;
+
+  enum class phase { idle, streaming, done };
+  phase state = phase::idle;
+  std::mutex mutex;  // serializes the facade surface; lanes still drain
+                     // concurrently on the worker pool inside pump()
+
+  // Single-stream backends (scalar / chunked: one engine; system: lanes
+  // dealt whole records round-robin, filter_system semantics).
+  std::unique_ptr<core::filter_engine> engine;
+  std::vector<std::unique_ptr<core::filter_engine>> lanes;
+  std::vector<std::uint64_t> lane_bytes;
+  std::string pending;               // in-flight record (system dealing)
+  std::vector<bool> dealt;           // system-backend decisions
+  std::uint64_t offered = 0;
+
+  // Sharded backend.
+  std::unique_ptr<system::sharded_filter_system> sharded;
+
+  std::vector<std::uint64_t> emitted;  // decisions delivered per shard
+
+  std::size_t stream_count() const {
+    if (opts.backend != backend_kind::sharded) return 1;
+    return inputs.empty() ? opts.shards : inputs.size();
+  }
+
+  void ensure_exec(std::size_t shard_count) {
+    if (engine || !lanes.empty() || sharded) return;
+    switch (opts.backend) {
+      case backend_kind::scalar:
+        engine = core::make_filter_engine(core::engine_kind::scalar, expr,
+                                          opts.filter);
+        break;
+      case backend_kind::chunked:
+        engine = core::make_filter_engine(core::engine_kind::chunked, expr,
+                                          opts.filter);
+        break;
+      case backend_kind::system:
+        // filter_system semantics: compile once, clone every further lane.
+        lanes.push_back(
+            core::make_filter_engine(opts.engine, expr, opts.filter));
+        for (int lane = 1; lane < opts.lanes; ++lane)
+          lanes.push_back(lanes.front()->clone());
+        lane_bytes.assign(static_cast<std::size_t>(opts.lanes), 0);
+        break;
+      case backend_kind::sharded:
+        sharded = std::make_unique<system::sharded_filter_system>(
+            expr, shard_count,
+            to_system_options(opts, static_cast<int>(shard_count),
+                              opts.engine));
+        break;
+    }
+    emitted.assign(opts.backend == backend_kind::sharded ? shard_count : 1, 0);
+  }
+
+  // One record complete: deal it to the next lane (round-robin, identical
+  // to filter_system::run over json::split_records with the configured
+  // separator byte).
+  void deal_record(std::string_view record) {
+    if (record.empty()) return;  // split_records skips empty lines
+    const std::size_t lane = dealt.size() % lanes.size();
+    lane_bytes[lane] += record.size() + 1;  // + separator byte
+    dealt.push_back(lanes[lane]->accepts(record));
+  }
+
+  void deal_chunk(std::string_view chunk) {
+    const char separator = static_cast<char>(opts.filter.separator);
+    std::size_t start = 0;
+    while (start <= chunk.size()) {
+      const std::size_t nl = chunk.find(separator, start);
+      if (nl == std::string_view::npos) {
+        pending.append(chunk.substr(start));
+        return;
+      }
+      if (pending.empty()) {
+        deal_record(chunk.substr(start, nl - start));
+      } else {
+        pending.append(chunk.substr(start, nl - start));
+        deal_record(pending);
+        pending.clear();
+      }
+      start = nl + 1;
+    }
+  }
+
+  void offer_bytes(std::size_t shard, std::string_view bytes) {
+    switch (opts.backend) {
+      case backend_kind::scalar:
+      case backend_kind::chunked:
+        engine->scan_chunk(bytes);
+        offered += bytes.size();
+        break;
+      case backend_kind::system:
+        deal_chunk(bytes);
+        offered += bytes.size();
+        break;
+      case backend_kind::sharded: {
+        // Absorb the whole view, draining a full FIFO in-line: pump() with
+        // a zero budget empties the lane, so progress is guaranteed for
+        // any non-zero FIFO size (validated at build()).
+        std::string_view rest = bytes;
+        while (!rest.empty()) {
+          const std::size_t taken = sharded->offer(shard, rest);
+          rest.remove_prefix(taken);
+          if (!rest.empty()) sharded->pump();
+        }
+        break;
+      }
+    }
+  }
+
+  void flush() {
+    switch (opts.backend) {
+      case backend_kind::scalar:
+      case backend_kind::chunked:
+        engine->finish();
+        break;
+      case backend_kind::system:
+        if (!pending.empty()) {
+          deal_record(pending);
+          pending.clear();
+        }
+        break;
+      case backend_kind::sharded:
+        sharded->finish();
+        break;
+    }
+  }
+
+  const std::vector<bool>& decisions_of(std::size_t shard) const {
+    switch (opts.backend) {
+      case backend_kind::scalar:
+      case backend_kind::chunked:
+        return engine->decisions();
+      case backend_kind::system:
+        return dealt;
+      case backend_kind::sharded:
+        return sharded->decisions(shard);
+    }
+    throw error("pipeline: invalid backend");
+  }
+
+  /// Deliver decisions the sink has not seen yet. Requires quiescence
+  /// (holds: every caller owns the facade mutex and pump()/run() joined).
+  std::uint64_t deliver() {
+    std::uint64_t delivered = 0;
+    for (std::size_t shard = 0; shard < emitted.size(); ++shard) {
+      const std::vector<bool>& all = decisions_of(shard);
+      for (; emitted[shard] < all.size(); ++emitted[shard], ++delivered)
+        if (sink) sink(shard, emitted[shard], all[emitted[shard]]);
+    }
+    return delivered;
+  }
+
+  run_result collect() {
+    run_result result;
+    switch (opts.backend) {
+      case backend_kind::scalar:
+      case backend_kind::chunked:
+      case backend_kind::system: {
+        const bool single = opts.backend != backend_kind::system;
+        const std::vector<bool>& decisions = single ? engine->decisions()
+                                                    : dealt;
+        std::uint64_t accepted = 0;
+        for (const bool d : decisions) accepted += d ? 1 : 0;
+        // Single-engine backends: the whole stream flows through one lane.
+        const std::uint64_t slowest =
+            single ? offered
+                   : (lane_bytes.empty()
+                          ? 0
+                          : *std::max_element(lane_bytes.begin(),
+                                              lane_bytes.end()));
+        const core::engine_kind ek = opts.backend == backend_kind::scalar
+                                         ? core::engine_kind::scalar
+                                         : opts.backend == backend_kind::chunked
+                                               ? core::engine_kind::chunked
+                                               : opts.engine;
+        result.report = system::model_report(
+            to_system_options(opts, single ? 1 : opts.lanes, ek), offered,
+            decisions.size(), accepted, slowest);
+        system::shard_stats stats;
+        stats.offered = offered;
+        stats.bytes = offered;
+        stats.records = decisions.size();
+        stats.accepted = accepted;
+        result.shards.push_back(stats);
+        result.shard_decisions.push_back(decisions);
+        result.decisions = decisions;
+        break;
+      }
+      case backend_kind::sharded: {
+        const system::sharded_report sr = sharded->report();
+        result.report.bytes = sr.bytes;
+        result.report.records = sr.records;
+        result.report.accepted = sr.accepted;
+        result.report.cycles = sr.cycles;
+        result.report.stall_cycles = sr.stall_cycles;
+        result.report.seconds = sr.seconds;
+        result.report.gbytes_per_second = sr.gbytes_per_second;
+        result.report.theoretical_gbps = sr.theoretical_gbps;
+        result.shards = sr.shards;
+        for (std::size_t shard = 0; shard < sharded->shard_count(); ++shard) {
+          result.shard_decisions.push_back(sharded->decisions(shard));
+          result.decisions.insert(result.decisions.end(),
+                                  result.shard_decisions.back().begin(),
+                                  result.shard_decisions.back().end());
+        }
+        break;
+      }
+    }
+    return result;
+  }
+
+  /// Pull `source` dry into `shard`, one DMA burst per round (the
+  /// concurrent_runner pacing, applied to the single-stream backends).
+  void feed(std::size_t shard, system::ingest_source& source) {
+    while (!source.exhausted()) {
+      const std::string_view chunk = source.peek(opts.dma_burst_bytes);
+      if (chunk.empty()) {
+        // Throttled source, nothing this round: give the producer's clock
+        // a chance to advance instead of pegging a core on the poll.
+        std::this_thread::yield();
+        continue;
+      }
+      offer_bytes(shard, chunk);
+      source.consume(chunk.size());
+    }
+  }
+
+  run_result run_batch() {
+    if (opts.backend == backend_kind::sharded) {
+      ensure_exec(inputs.size());
+      system::concurrent_runner runner(*sharded, opts.dma_burst_bytes);
+      for (std::size_t shard = 0; shard < inputs.size(); ++shard)
+        runner.bind(shard, open_source(inputs[shard]));
+      runner.run();
+    } else {
+      ensure_exec(1);
+      for (input_spec& in : inputs) {
+        // In-memory inputs skip the source round-trip: one offer each.
+        if (in.k == input_spec::kind::view)
+          offer_bytes(0, in.view);
+        else if (in.k == input_spec::kind::text)
+          offer_bytes(0, in.text);
+        else
+          feed(0, *open_source(in));
+      }
+      flush();
+    }
+    deliver();
+    return collect();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// pipeline
+
+pipeline::pipeline(std::unique_ptr<impl> impl) : impl_(std::move(impl)) {}
+pipeline::~pipeline() = default;
+pipeline::pipeline(pipeline&&) noexcept = default;
+pipeline& pipeline::operator=(pipeline&&) noexcept = default;
+
+pipeline_builder pipeline::make() { return pipeline_builder{}; }
+
+const core::expr_ptr& pipeline::expression() const noexcept {
+  return impl_->expr;
+}
+
+const query::query* pipeline::parsed_query() const noexcept {
+  return impl_->q ? &*impl_->q : nullptr;
+}
+
+const pipeline_options& pipeline::options() const noexcept {
+  return impl_->opts;
+}
+
+std::size_t pipeline::shard_count() const noexcept {
+  return impl_->stream_count();
+}
+
+expected<run_result> pipeline::run() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->state != impl::phase::idle)
+    return unexpected("pipeline: run() after the pipeline already executed "
+                      "(streaming surface or a previous run)");
+  if (impl_->inputs.empty())
+    return unexpected("pipeline: run() needs at least one bound input "
+                      "(input / input_text / input_file / source)");
+  impl_->state = impl::phase::done;
+  try {
+    return impl_->run_batch();
+  } catch (const parse_error& e) {
+    return unexpected(error_info::from(e));
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+expected<std::uint64_t> pipeline::offer(std::size_t shard,
+                                        std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->state == impl::phase::done)
+    return unexpected("pipeline: offer() after finish()/run()");
+  if (!impl_->inputs.empty())
+    return unexpected("pipeline: offer() on a pipeline with bound inputs - "
+                      "use run(), or build without inputs to stream");
+  if (shard >= impl_->stream_count())
+    return unexpected("pipeline: shard " + std::to_string(shard) +
+                      " out of range (" +
+                      std::to_string(impl_->stream_count()) + " streams)");
+  impl_->state = impl::phase::streaming;
+  try {
+    impl_->ensure_exec(impl_->stream_count());
+    impl_->offer_bytes(shard, bytes);
+    impl_->deliver();
+    return static_cast<std::uint64_t>(bytes.size());
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+expected<std::uint64_t> pipeline::offer(std::string_view bytes) {
+  return offer(0, bytes);
+}
+
+expected<std::uint64_t> pipeline::pump() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->state == impl::phase::done)
+    return unexpected("pipeline: pump() after finish()/run()");
+  try {
+    impl_->ensure_exec(impl_->stream_count());
+    if (impl_->sharded) impl_->sharded->pump();
+    return impl_->deliver();
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+expected<run_result> pipeline::finish() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->state == impl::phase::done)
+    return unexpected("pipeline: finish() after finish()/run()");
+  if (!impl_->inputs.empty())
+    return unexpected("pipeline: finish() on a pipeline with bound inputs - "
+                      "use run()");
+  impl_->state = impl::phase::done;
+  try {
+    impl_->ensure_exec(impl_->stream_count());
+    impl_->flush();
+    impl_->deliver();
+    return impl_->collect();
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pipeline_builder
+
+struct pipeline_builder::state {
+  pipeline_options opts;
+
+  enum class source_kind { none, filter_expr, jsonpath, parsed, expr };
+  source_kind qsrc = source_kind::none;
+  bool duplicate_query = false;
+  bool consumed = false;    // build() succeeded; the builder is spent
+  bool shards_set = false;  // shards() called explicitly
+  std::string qtext;
+  query::data_model qmodel = query::data_model::flat;
+  std::optional<query::query> parsed;
+  core::expr_ptr expr;
+
+  std::vector<input_spec> inputs;
+  decision_sink sink;
+
+  void set_source(source_kind kind) {
+    // Re-setting the same kind replaces it (the retry-after-parse-error
+    // flow); mixing kinds is the misuse the duplicate diagnosis catches.
+    if (qsrc != source_kind::none && qsrc != kind) duplicate_query = true;
+    qsrc = kind;
+  }
+};
+
+pipeline_builder::pipeline_builder() : state_(std::make_unique<state>()) {}
+pipeline_builder::~pipeline_builder() = default;
+pipeline_builder::pipeline_builder(pipeline_builder&&) noexcept = default;
+pipeline_builder& pipeline_builder::operator=(pipeline_builder&&) noexcept =
+    default;
+
+pipeline_builder& pipeline_builder::filter_expression(std::string_view text,
+                                                      query::data_model model) {
+  state_->set_source(state::source_kind::filter_expr);
+  state_->qtext = std::string(text);
+  state_->qmodel = model;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::jsonpath(std::string_view text) {
+  state_->set_source(state::source_kind::jsonpath);
+  state_->qtext = std::string(text);
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::from_query(query::query q) {
+  state_->set_source(state::source_kind::parsed);
+  state_->parsed = std::move(q);
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::raw_filter(core::expr_ptr expr) {
+  state_->set_source(state::source_kind::expr);
+  state_->expr = std::move(expr);
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::block(int b) {
+  state_->opts.block = b;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::group(core::group_kind kind) {
+  state_->opts.group = kind;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::backend(backend_kind kind) {
+  state_->opts.backend = kind;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::lanes(int n) {
+  state_->opts.lanes = n;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::shards(std::size_t n) {
+  state_->opts.shards = n;
+  state_->shards_set = true;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::worker_threads(std::size_t n) {
+  state_->opts.worker_threads = n;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::lane_fifo_bytes(std::size_t n) {
+  state_->opts.lane_fifo_bytes = n;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::dma_burst_bytes(std::size_t n) {
+  state_->opts.dma_burst_bytes = n;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::engine(core::engine_kind kind) {
+  state_->opts.engine = kind;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::separator(unsigned char s) {
+  state_->opts.filter.separator = s;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::options(pipeline_options o) {
+  state_->opts = std::move(o);
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::input(std::string_view buffer) {
+  input_spec in;
+  in.k = input_spec::kind::view;
+  in.view = buffer;
+  state_->inputs.push_back(std::move(in));
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::input_text(std::string text) {
+  input_spec in;
+  in.k = input_spec::kind::text;
+  in.text = std::move(text);
+  state_->inputs.push_back(std::move(in));
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::input_file(std::string path) {
+  input_spec in;
+  in.k = input_spec::kind::file;
+  in.path = std::move(path);
+  state_->inputs.push_back(std::move(in));
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::source(
+    std::unique_ptr<system::ingest_source> src) {
+  input_spec in;
+  in.k = input_spec::kind::custom;
+  in.source = std::move(src);
+  state_->inputs.push_back(std::move(in));
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::on_decision(decision_sink sink) {
+  state_->sink = std::move(sink);
+  return *this;
+}
+
+expected<pipeline> pipeline_builder::build() {
+  state& s = *state_;
+  if (s.consumed)
+    return unexpected("pipeline builder: build() already consumed this "
+                      "builder");
+
+  // --- configuration validation (before any parsing work) ---
+  if (s.qsrc == state::source_kind::none)
+    return unexpected("pipeline: no query source given - call one of "
+                      "filter_expression / jsonpath / from_query / "
+                      "raw_filter");
+  if (s.duplicate_query)
+    return unexpected("pipeline: more than one query source given - exactly "
+                      "one of filter_expression / jsonpath / from_query / "
+                      "raw_filter");
+  if (s.opts.dma_burst_bytes == 0)
+    return unexpected("pipeline: dma_burst_bytes must be non-zero");
+  if (s.opts.clock_mhz <= 0.0)
+    return unexpected("pipeline: clock_mhz must be positive");
+  if (s.opts.block < 0)
+    return unexpected("pipeline: negative block length");
+  if (s.opts.backend == backend_kind::system && s.opts.lanes < 1)
+    return unexpected("pipeline: the system backend needs at least one lane");
+  for (const input_spec& in : s.inputs)
+    if (in.k == input_spec::kind::custom && !in.source)
+      return unexpected("pipeline: null ingest source bound");
+  if (s.opts.backend == backend_kind::sharded) {
+    if (s.opts.lane_fifo_bytes == 0)
+      return unexpected("pipeline: the sharded backend needs a non-zero "
+                        "lane FIFO");
+    if (s.inputs.empty() && s.opts.shards == 0)
+      return unexpected("pipeline: the sharded backend needs shards >= 1 "
+                        "(or bound inputs, one shard each)");
+    if (s.shards_set && !s.inputs.empty() &&
+        s.opts.shards != s.inputs.size())
+      return unexpected("pipeline: shards(" + std::to_string(s.opts.shards) +
+                        ") conflicts with " + std::to_string(s.inputs.size()) +
+                        " bound inputs - sharded mode binds one shard per "
+                        "input");
+  }
+
+  // --- parse + compile: the exception/expected boundary. parse_error byte
+  // offsets cross it intact via error_info::offset. A failed build leaves
+  // the builder fully retryable: the sink and query sources are copied,
+  // and the (move-only) inputs are handed back on the error path.
+  auto impl = std::make_unique<pipeline::impl>();
+  impl->opts = s.opts;
+  impl->sink = s.sink;
+  impl->inputs = std::move(s.inputs);
+  try {
+    switch (s.qsrc) {
+      case state::source_kind::filter_expr:
+        impl->q = query::parse_filter_expression(s.qtext, s.qmodel);
+        break;
+      case state::source_kind::jsonpath:
+        impl->q = query::parse_jsonpath(s.qtext);
+        break;
+      case state::source_kind::parsed:
+        impl->q = s.parsed;
+        break;
+      case state::source_kind::expr:
+        impl->expr = s.expr;
+        break;
+      case state::source_kind::none:
+        break;  // unreachable, validated above
+    }
+    if (impl->q) {
+      query::compile_options co;
+      co.group = s.opts.group;
+      impl->expr = query::compile_default(*impl->q, s.opts.block, co);
+    }
+    // Stand the execution state up eagerly: engine compilation, lane
+    // clones and the worker pool all belong to build(), so run()/offer()
+    // spend their time on steady-state filtering only (the wall-clock
+    // benches time run() alone, matching a pre-constructed filter_system).
+    impl->ensure_exec(impl->stream_count());
+  } catch (const std::exception& e) {
+    s.inputs = std::move(impl->inputs);
+    const auto* pe = dynamic_cast<const parse_error*>(&e);
+    return unexpected(pe ? error_info::from(*pe) : error_info::from(e));
+  }
+
+  s.consumed = true;
+  return pipeline(std::move(impl));
+}
+
+}  // namespace jrf

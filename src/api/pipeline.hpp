@@ -1,0 +1,202 @@
+// jrf::pipeline - the one public entry point from query text to filtered
+// decisions (the deployment flow of the paper: compile a query to a raw
+// filter, replicate it across lanes, feed it a byte stream at line rate).
+//
+// The inner layers stay exposed for tests and research code, but every
+// example, bench driver and embedding application stands the system up the
+// same way:
+//
+//   auto built = jrf::pipeline::make()
+//                    .jsonpath(R"($.e[?(@.n=="temperature" & @.v >= 0.7
+//                                       & @.v <= 35.1)])")
+//                    .backend(jrf::backend_kind::sharded)
+//                    .worker_threads(4)
+//                    .input(feed0).input(feed1)
+//                    .build();                  // expected<pipeline>
+//   if (!built) { /* built.error().message, built.error().offset */ }
+//   auto result = built->run();                 // expected<run_result>
+//
+// Query sources (exactly one): filter-expression text (Table VIII syntax),
+// JSONPath text (Listing 2), a parsed query::query, or a prebuilt
+// core::expr_ptr. Backends select the execution layer the decisions are
+// byte-identical to:
+//
+//   scalar  - one core::filter_engine(scalar): the paper-faithful
+//             byte-per-cycle reference path,
+//   chunked - one core::filter_engine(chunked): the batched hot path,
+//   system  - system::filter_system semantics: N replicated lanes, whole
+//             records dealt round-robin (Figure 4),
+//   sharded - system::sharded_filter_system + concurrent_runner: one lane
+//             per input stream, bounded FIFOs, optional worker pool.
+//
+// The API boundary is non-throwing: build(), run(), offer(), pump() and
+// finish() return jrf::expected, preserving parse_error byte offsets.
+// Batch mode binds inputs up front and calls run() once; streaming mode
+// pushes bytes with offer() (blocking under backpressure until absorbed)
+// and collects the tail with finish(). A decision sink registered with
+// on_decision() receives every per-record verdict as lanes drain, so push
+// producers can consume matches without buffering them. Streaming calls
+// are serialized on an internal mutex (lanes still drain concurrently on
+// the worker pool); do not call back into the pipeline from the sink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/result.hpp"
+#include "core/expr.hpp"
+#include "core/filter_engine.hpp"
+#include "query/ir.hpp"
+#include "system/ingest.hpp"
+#include "util/error.hpp"
+
+namespace jrf {
+
+enum class backend_kind { scalar, chunked, system, sharded };
+
+const char* to_string(backend_kind kind);
+
+/// Per-record verdict callback: (shard, record index within that shard's
+/// stream, accepted).
+using decision_sink =
+    std::function<void(std::size_t, std::uint64_t, bool)>;
+
+struct pipeline_options {
+  backend_kind backend = backend_kind::system;
+
+  // Execution.
+  int lanes = 7;                   // system backend: replicated pipelines
+  std::size_t shards = 1;          // sharded streaming: lane/FIFO count
+  std::size_t worker_threads = 0;  // sharded: pool pumping the lanes
+  std::size_t lane_fifo_bytes = 8192;
+  std::size_t dma_burst_bytes = 4096;
+  double clock_mhz = 200.0;
+  int dma_setup_cycles = 12;
+  core::engine_kind engine = core::engine_kind::chunked;  // system/sharded
+
+  // Compilation (ignored when built from a prebuilt core::expr_ptr).
+  int block = 1;                          // string-matcher block length B
+  std::optional<core::group_kind> group;  // group-kind override
+
+  core::filter_options filter;  // separator byte, tracker depth bits
+};
+
+class pipeline;
+
+/// Fluent builder. Every setter returns *this; build() validates the whole
+/// configuration and returns expected<pipeline> - it never throws.
+class pipeline_builder {
+ public:
+  pipeline_builder();
+  ~pipeline_builder();
+  pipeline_builder(pipeline_builder&&) noexcept;
+  pipeline_builder& operator=(pipeline_builder&&) noexcept;
+
+  // --- query source (exactly one required; re-setting the same kind
+  // replaces it, e.g. retrying corrected text after a parse error) ---
+  /// Table VIII filter-expression text, e.g.
+  /// (0.7 <= "temperature" <= 35.1) AND (12 <= "airquality_raw" <= 49).
+  pipeline_builder& filter_expression(
+      std::string_view text,
+      query::data_model model = query::data_model::flat);
+  /// JSONPath text (the paper's Listing 2 subset); always SenML model.
+  pipeline_builder& jsonpath(std::string_view text);
+  /// An already parsed / programmatically built query.
+  pipeline_builder& from_query(query::query q);
+  /// A prebuilt raw-filter expression (skips query compilation; block and
+  /// group options are ignored).
+  pipeline_builder& raw_filter(core::expr_ptr expr);
+
+  // --- compile options ---
+  pipeline_builder& block(int b);
+  pipeline_builder& group(core::group_kind kind);
+
+  // --- execution backend ---
+  pipeline_builder& backend(backend_kind kind);
+  pipeline_builder& lanes(int n);
+  pipeline_builder& shards(std::size_t n);
+  pipeline_builder& worker_threads(std::size_t n);
+  pipeline_builder& lane_fifo_bytes(std::size_t n);
+  pipeline_builder& dma_burst_bytes(std::size_t n);
+  pipeline_builder& engine(core::engine_kind kind);
+  pipeline_builder& separator(unsigned char s);
+  /// Replace the whole option block (setters called afterwards still win).
+  pipeline_builder& options(pipeline_options o);
+
+  // --- inputs (sharded: one shard per input; other backends: sequential
+  // segments of the single stream) ---
+  /// Caller-owned buffer, zero copy; must outlive run().
+  pipeline_builder& input(std::string_view buffer);
+  /// Pipeline-owned copy of the text.
+  pipeline_builder& input_text(std::string text);
+  /// Streamed from disk in bounded chunks; missing files surface as an
+  /// expected error from run(), not at build time.
+  pipeline_builder& input_file(std::string path);
+  /// Custom pull-based producer.
+  pipeline_builder& source(std::unique_ptr<system::ingest_source> src);
+
+  // --- decision push sink ---
+  pipeline_builder& on_decision(decision_sink sink);
+
+  /// Validate, parse and compile. All failures - malformed query text
+  /// (with its parse_error byte offset), zero lanes/shards/FIFO/burst,
+  /// missing or duplicate query source - come back as expected errors.
+  expected<pipeline> build();
+
+ private:
+  struct state;
+  std::unique_ptr<state> state_;
+};
+
+/// A built pipeline: one compiled query bound to one execution backend.
+/// Use either the batch surface (inputs bound in the builder + run()) or
+/// the streaming surface (offer()/pump()/finish()), never both.
+class pipeline {
+ public:
+  ~pipeline();
+  pipeline(pipeline&&) noexcept;
+  pipeline& operator=(pipeline&&) noexcept;
+
+  /// Entry point of the fluent flow: jrf::pipeline::make()...build().
+  static pipeline_builder make();
+
+  /// Drive every bound input to exhaustion under backpressure and report.
+  /// Callable once; errors if the streaming surface was used.
+  expected<run_result> run();
+
+  /// Streaming push into `shard` (sharded backend) or the single stream
+  /// (other backends, shard 0). Blocks until the whole view is absorbed -
+  /// a full lane FIFO is drained in-line - and returns the bytes taken.
+  expected<std::uint64_t> offer(std::size_t shard, std::string_view bytes);
+  expected<std::uint64_t> offer(std::string_view bytes);
+
+  /// Drain buffered lane bytes and deliver pending verdicts to the sink;
+  /// returns how many new decisions were delivered.
+  expected<std::uint64_t> pump();
+
+  /// Flush trailing unterminated records, deliver the final verdicts and
+  /// return the merged result. Ends the streaming surface.
+  expected<run_result> finish();
+
+  const core::expr_ptr& expression() const noexcept;
+  /// The parsed query when built from text or query::query (for exact
+  /// ground-truth cross-checks); nullptr when built from a raw expr.
+  const query::query* parsed_query() const noexcept;
+  const pipeline_options& options() const noexcept;
+  /// Streams this pipeline executes: bound inputs (batch) or the
+  /// configured shard count (streaming).
+  std::size_t shard_count() const noexcept;
+
+ private:
+  friend class pipeline_builder;
+  struct impl;
+  explicit pipeline(std::unique_ptr<impl> impl);
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace jrf

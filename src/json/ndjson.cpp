@@ -2,11 +2,12 @@
 
 namespace jrf::json {
 
-std::vector<std::string_view> split_records(std::string_view stream) {
+std::vector<std::string_view> split_records(std::string_view stream,
+                                            unsigned char separator) {
   std::vector<std::string_view> out;
   std::size_t start = 0;
   for (std::size_t i = 0; i <= stream.size(); ++i) {
-    if (i == stream.size() || stream[i] == '\n') {
+    if (i == stream.size() || stream[i] == static_cast<char>(separator)) {
       if (i > start) out.push_back(stream.substr(start, i - start));
       start = i + 1;
     }

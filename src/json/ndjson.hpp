@@ -13,8 +13,11 @@
 namespace jrf::json {
 
 /// Split an NDJSON stream into record views (no copies). A trailing record
-/// without a final newline is included. Empty lines are skipped.
-std::vector<std::string_view> split_records(std::string_view stream);
+/// without a final separator is included. Empty lines are skipped. The
+/// separator defaults to '\n' (RiotBench framing); the system layers pass
+/// their configured separator byte through.
+std::vector<std::string_view> split_records(std::string_view stream,
+                                            unsigned char separator = '\n');
 
 /// Invoke `fn` for each record in the stream.
 void for_each_record(std::string_view stream,

@@ -128,4 +128,25 @@ double selectivity(const std::vector<bool>& labels) {
   return static_cast<double>(matches) / static_cast<double>(labels.size());
 }
 
+false_negative_report verify_no_false_negatives(
+    const query& q, std::string_view stream,
+    const std::vector<bool>& decisions) {
+  const auto labels = label_stream(q, stream);
+  if (labels.size() != decisions.size())
+    throw error("verify_no_false_negatives: " + std::to_string(labels.size()) +
+                " records labelled but " + std::to_string(decisions.size()) +
+                " decisions given");
+  false_negative_report report;
+  report.records = labels.size();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!labels[i]) continue;
+    ++report.true_matches;
+    if (!decisions[i]) {
+      ++report.false_negatives;
+      report.missed.push_back(i);
+    }
+  }
+  return report;
+}
+
 }  // namespace jrf::query

@@ -43,4 +43,23 @@ std::vector<bool> label_stream(const query& q, std::string_view stream);
 /// "Selectivity (%)" is 100 times this).
 double selectivity(const std::vector<bool>& labels);
 
+/// Outcome of the raw-filter correctness cross-check: a raw filter may
+/// pass extra records (false positives) but must never drop a true match.
+struct false_negative_report {
+  std::size_t records = 0;           // records labelled
+  std::size_t true_matches = 0;      // records the exact evaluator accepts
+  std::size_t false_negatives = 0;   // true matches the filter dropped
+  std::vector<std::size_t> missed;   // their record indices, stream order
+
+  bool ok() const noexcept { return false_negatives == 0; }
+};
+
+/// Label `stream` exactly and cross-check `decisions` (one per record, as
+/// produced by any filter path: raw_filter, filter_engine, the system
+/// layers, jrf::pipeline). Throws jrf::error when the decision count does
+/// not match the record count - that is a harness bug, not a filter miss.
+false_negative_report verify_no_false_negatives(
+    const query& q, std::string_view stream,
+    const std::vector<bool>& decisions);
+
 }  // namespace jrf::query

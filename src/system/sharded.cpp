@@ -174,23 +174,18 @@ sharded_report sharded_filter_system::report() const {
   // configured peak (and never divide by a zero cycle count).
   if (out.bytes == 0) return out;
 
-  out.theoretical_gbps = static_cast<double>(lanes_.size()) *
-                         options_.clock_mhz * 1e6 / 1e9;
-
-  // Same quantization as filter_system: one byte per lane per cycle, the
-  // slowest lane bounds completion, every DMA burst descriptor on the
-  // shared ingress bus charges setup cycles.
-  const std::uint64_t bursts =
-      (out.bytes + options_.dma_burst_bytes - 1) / options_.dma_burst_bytes;
-  out.cycles = slowest +
-               bursts * static_cast<std::uint64_t>(options_.dma_setup_cycles);
-  const std::uint64_t balanced =
-      (out.bytes + lanes_.size() - 1) / lanes_.size();
-  out.stall_cycles = out.cycles - std::min(out.cycles, balanced);
-  out.seconds = static_cast<double>(out.cycles) / (options_.clock_mhz * 1e6);
-  out.gbytes_per_second =
-      out.seconds > 0 ? static_cast<double>(out.bytes) / out.seconds / 1e9
-                      : 0.0;
+  // Same quantization as filter_system, via the shared model: one byte per
+  // lane per cycle, the slowest lane bounds completion, every DMA burst
+  // descriptor on the shared ingress bus charges setup cycles.
+  system_options per_shard = options_;
+  per_shard.lanes = static_cast<int>(lanes_.size());
+  const throughput_report model =
+      model_report(per_shard, out.bytes, out.records, out.accepted, slowest);
+  out.cycles = model.cycles;
+  out.stall_cycles = model.stall_cycles;
+  out.seconds = model.seconds;
+  out.gbytes_per_second = model.gbytes_per_second;
+  out.theoretical_gbps = model.theoretical_gbps;
   return out;
 }
 

@@ -23,6 +23,41 @@ std::string throughput_report::to_string() const {
   return buffer;
 }
 
+throughput_report model_report(const system_options& options,
+                               std::uint64_t bytes, std::uint64_t records,
+                               std::uint64_t accepted,
+                               std::uint64_t slowest_lane_bytes) {
+  throughput_report report;
+  report.bytes = bytes;
+  report.records = records;
+  report.accepted = accepted;
+  report.theoretical_gbps =
+      static_cast<double>(options.lanes) * options.clock_mhz * 1e6 / 1e9;
+
+  // DMA: every burst descriptor costs setup cycles during which no lane
+  // receives data (shared ingress bus).
+  const std::uint64_t bursts =
+      (bytes + options.dma_burst_bytes - 1) / options.dma_burst_bytes;
+  const std::uint64_t dma_overhead =
+      bursts * static_cast<std::uint64_t>(options.dma_setup_cycles);
+
+  const std::uint64_t balanced =
+      (bytes + static_cast<std::uint64_t>(options.lanes) - 1) /
+      static_cast<std::uint64_t>(options.lanes);
+  report.cycles = slowest_lane_bytes + dma_overhead;
+  // Clamp: blank-line-heavy input can make the slowest lane shorter than
+  // the balanced distribution of raw bytes (separators of empty records
+  // reach no lane), and unsigned subtraction must not wrap.
+  report.stall_cycles = report.cycles - std::min(report.cycles, balanced);
+  report.seconds =
+      static_cast<double>(report.cycles) / (options.clock_mhz * 1e6);
+  report.gbytes_per_second =
+      report.seconds > 0
+          ? static_cast<double>(report.bytes) / report.seconds / 1e9
+          : 0.0;
+  return report;
+}
+
 filter_system::filter_system(core::expr_ptr expr, system_options options)
     : options_(options), expr_(std::move(expr)) {
   if (options_.lanes < 1) throw error("filter system: need at least one lane");
@@ -37,49 +72,27 @@ filter_system::filter_system(core::expr_ptr expr, system_options options)
 }
 
 throughput_report filter_system::run(std::string_view stream) {
-  const auto records = json::split_records(stream);
-
-  throughput_report report;
-  report.bytes = stream.size();
-  report.records = records.size();
-  report.theoretical_gbps =
-      static_cast<double>(options_.lanes) * options_.clock_mhz * 1e6 / 1e9;
+  const auto records =
+      json::split_records(stream, options_.filter.separator);
 
   // Whole records are dealt round-robin; each lane consumes one byte per
   // cycle, so the slowest lane sets the filtering time.
   std::vector<std::uint64_t> lane_bytes(
       static_cast<std::size_t>(options_.lanes), 0);
+  std::uint64_t accepted = 0;
   decisions_.assign(records.size(), false);
   for (std::size_t r = 0; r < records.size(); ++r) {
     const std::size_t lane = r % static_cast<std::size_t>(options_.lanes);
     lane_bytes[lane] += records[r].size() + 1;  // + separator byte
     decisions_[r] = lanes_[lane]->accepts(records[r]);
-    if (decisions_[r]) ++report.accepted;
+    if (decisions_[r]) ++accepted;
   }
   const std::uint64_t slowest =
       lane_bytes.empty()
           ? 0
           : *std::max_element(lane_bytes.begin(), lane_bytes.end());
-
-  // DMA: every burst descriptor costs setup cycles during which no lane
-  // receives data (shared ingress bus).
-  const std::uint64_t bursts =
-      (report.bytes + options_.dma_burst_bytes - 1) / options_.dma_burst_bytes;
-  const std::uint64_t dma_overhead =
-      bursts * static_cast<std::uint64_t>(options_.dma_setup_cycles);
-
-  const std::uint64_t balanced =
-      (report.bytes + static_cast<std::uint64_t>(options_.lanes) - 1) /
-      static_cast<std::uint64_t>(options_.lanes);
-  report.cycles = slowest + dma_overhead;
-  report.stall_cycles = report.cycles - balanced;
-  report.seconds =
-      static_cast<double>(report.cycles) / (options_.clock_mhz * 1e6);
-  report.gbytes_per_second =
-      report.seconds > 0
-          ? static_cast<double>(report.bytes) / report.seconds / 1e9
-          : 0.0;
-  return report;
+  return model_report(options_, stream.size(), records.size(), accepted,
+                      slowest);
 }
 
 }  // namespace jrf::system

@@ -57,6 +57,17 @@ struct throughput_report {
   std::string to_string() const;
 };
 
+/// The cycle-quantized Figure-4 accounting, shared by every execution path
+/// (filter_system::run, the sharded system, the jrf::pipeline facade):
+/// the slowest lane bounds the filtering time, every DMA burst descriptor
+/// charges setup cycles on the shared ingress bus, and the gap to the
+/// perfectly balanced distribution shows up as stall cycles. A zero-byte
+/// run reports all-zero rates (no NaN/inf).
+throughput_report model_report(const system_options& options,
+                               std::uint64_t bytes, std::uint64_t records,
+                               std::uint64_t accepted,
+                               std::uint64_t slowest_lane_bytes);
+
 /// Streams `stream` through the modelled system once and reports the
 /// achieved bandwidth. All lanes run the same compiled filter expression
 /// (the paper's deployment: one query, replicated pipelines): the query is

@@ -1,8 +1,20 @@
-// Error type shared by all jrf modules.
+// Error types shared by all jrf modules.
+//
+// Two error regimes coexist:
+//   * inner layers (parsers, compilers, engines) throw jrf::error /
+//     jrf::parse_error - exceptions keep the hot paths free of result
+//     plumbing and the call sites are all library-internal,
+//   * the public API boundary (jrf::pipeline) is non-throwing: it returns
+//     jrf::expected<T>, converting any exception into an error_info that
+//     preserves the parse_error byte offset. Embedders that prefer
+//     exceptions call expected::value(), which rethrows as jrf::error.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <variant>
 
 namespace jrf {
 
@@ -24,6 +36,78 @@ class parse_error : public error {
 
  private:
   std::size_t offset_;
+};
+
+/// Value-semantic error description crossing the non-throwing API boundary.
+struct error_info {
+  std::string message;
+  /// Byte offset into the offending input text, when the failure was a
+  /// parse error (the parse_error offset, preserved verbatim).
+  std::optional<std::size_t> offset;
+
+  static error_info from(const parse_error& e) {
+    return {e.what(), e.offset()};
+  }
+  static error_info from(const std::exception& e) {
+    return {e.what(), std::nullopt};
+  }
+
+  std::string to_string() const { return message; }
+};
+
+/// Disambiguation wrapper for the expected<T> error constructor (mirrors
+/// std::unexpected; std::expected itself is C++23 and unavailable here).
+struct unexpected {
+  error_info info;
+
+  explicit unexpected(error_info e) : info(std::move(e)) {}
+  explicit unexpected(std::string message,
+                      std::optional<std::size_t> offset = std::nullopt)
+      : info{std::move(message), offset} {}
+};
+
+/// Either a T or an error_info. Minimal hand-rolled stand-in for
+/// std::expected: supports move-only T, [[nodiscard]] so errors cannot be
+/// silently dropped, and value() rethrows the error as jrf::error for
+/// callers that want the exception regime back.
+template <typename T>
+class [[nodiscard]] expected {
+ public:
+  expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  expected(unexpected err)
+      : storage_(std::in_place_index<1>, std::move(err.info)) {}
+
+  bool has_value() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & {
+    throw_if_error();
+    return std::get<0>(storage_);
+  }
+  const T& value() const& {
+    throw_if_error();
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    throw_if_error();
+    return std::get<0>(std::move(storage_));
+  }
+
+  /// Precondition: !has_value().
+  const error_info& error() const { return std::get<1>(storage_); }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+ private:
+  void throw_if_error() const {
+    if (!has_value()) throw jrf::error(std::get<1>(storage_).message);
+  }
+
+  std::variant<T, error_info> storage_;
 };
 
 }  // namespace jrf

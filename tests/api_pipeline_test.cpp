@@ -1,0 +1,576 @@
+// jrf::pipeline facade suite (tier-1).
+//
+// Two halves:
+//   * equivalence - for every backend the facade's per-record decisions are
+//     byte-identical to the layer it fronts (filter_engine, filter_system,
+//     sharded_filter_system), across riotbench queries x datasets x worker
+//     counts, batch and streaming surfaces alike;
+//   * error paths - build()/run()/offer()/finish() never throw across the
+//     API boundary: malformed query text comes back as an expected error
+//     carrying the parse_error byte offset, and invalid configurations
+//     (zero lanes / FIFO / burst / shards, duplicate query sources, missing
+//     input files) are diagnosed without aborting.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "core/filter_engine.hpp"
+#include "data/smartcity.hpp"
+#include "data/stream.hpp"
+#include "data/taxi.hpp"
+#include "query/compile.hpp"
+#include "query/eval.hpp"
+#include "query/parse.hpp"
+#include "query/riotbench.hpp"
+#include "system/sharded.hpp"
+#include "system/system.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace jrf;
+
+struct workload {
+  std::string name;
+  query::query q;
+  std::string stream;
+};
+
+const std::vector<workload>& workloads() {
+  static const std::vector<workload> cases = [] {
+    std::vector<workload> out;
+    data::smartcity_generator city;
+    out.push_back({"qs0_smartcity", query::riotbench::qs0(), city.stream(400)});
+    out.push_back({"qs1_smartcity", query::riotbench::qs1(), city.stream(400)});
+    data::taxi_generator taxi;
+    out.push_back({"qt_taxi", query::riotbench::qt(), taxi.stream(400)});
+    return out;
+  }();
+  return cases;
+}
+
+std::vector<bool> facade_decisions(const workload& w, backend_kind kind) {
+  auto built = pipeline::make()
+                   .from_query(w.q)
+                   .backend(kind)
+                   .input(w.stream)
+                   .build();
+  EXPECT_TRUE(built.has_value()) << (built ? "" : built.error().message);
+  auto result = built->run();
+  EXPECT_TRUE(result.has_value()) << (result ? "" : result.error().message);
+  return result->decisions;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Equivalence: facade vs the layer each backend fronts.
+
+TEST(ApiPipelineEquivalence, ScalarAndChunkedMatchFilterEngine) {
+  for (const workload& w : workloads()) {
+    const core::expr_ptr rf = query::compile_default(w.q);
+    for (const core::engine_kind kind :
+         {core::engine_kind::scalar, core::engine_kind::chunked}) {
+      const auto reference =
+          core::make_filter_engine(kind, rf)->filter_stream(w.stream);
+      const auto facade = facade_decisions(
+          w, kind == core::engine_kind::scalar ? backend_kind::scalar
+                                               : backend_kind::chunked);
+      EXPECT_EQ(facade, reference)
+          << w.name << " " << core::to_string(kind);
+    }
+  }
+}
+
+TEST(ApiPipelineEquivalence, SystemBackendMatchesFilterSystem) {
+  for (const workload& w : workloads()) {
+    const core::expr_ptr rf = query::compile_default(w.q);
+    for (const int lanes : {1, 3, 7}) {
+      system::system_options so;
+      so.lanes = lanes;
+      system::filter_system reference(rf, so);
+      const auto reference_report = reference.run(w.stream);
+
+      auto built = pipeline::make()
+                       .from_query(w.q)
+                       .backend(backend_kind::system)
+                       .lanes(lanes)
+                       .input(w.stream)
+                       .build();
+      ASSERT_TRUE(built.has_value()) << built.error().message;
+      auto result = built->run();
+      ASSERT_TRUE(result.has_value()) << result.error().message;
+
+      EXPECT_EQ(result->decisions, reference.decisions())
+          << w.name << " lanes=" << lanes;
+      // The facade reuses system::model_report, so the whole cycle-model
+      // accounting matches, not just the verdict counts.
+      EXPECT_EQ(result->report.bytes, reference_report.bytes);
+      EXPECT_EQ(result->report.records, reference_report.records);
+      EXPECT_EQ(result->report.accepted, reference_report.accepted);
+      EXPECT_EQ(result->report.cycles, reference_report.cycles);
+      EXPECT_EQ(result->report.stall_cycles, reference_report.stall_cycles);
+      EXPECT_DOUBLE_EQ(result->report.gbytes_per_second,
+                       reference_report.gbytes_per_second);
+    }
+  }
+}
+
+TEST(ApiPipelineEquivalence, ShardedBackendMatchesShardedSystem) {
+  for (const workload& w : workloads()) {
+    const core::expr_ptr rf = query::compile_default(w.q);
+    const auto shards = data::shard_records(w.stream, 5);
+    const std::vector<std::string_view> views{shards.begin(), shards.end()};
+
+    for (const std::size_t workers : {std::size_t{0}, std::size_t{2},
+                                      std::size_t{4}}) {
+      system::system_options so;
+      so.worker_threads = workers;
+      system::sharded_filter_system reference(rf, views.size(), so);
+      const auto reference_report = reference.run(views);
+
+      auto builder = pipeline::make();
+      builder.from_query(w.q)
+          .backend(backend_kind::sharded)
+          .worker_threads(workers);
+      for (const std::string_view view : views) builder.input(view);
+      auto built = builder.build();
+      ASSERT_TRUE(built.has_value()) << built.error().message;
+      auto result = built->run();
+      ASSERT_TRUE(result.has_value()) << result.error().message;
+
+      ASSERT_EQ(result->shard_decisions.size(), views.size());
+      for (std::size_t s = 0; s < views.size(); ++s)
+        EXPECT_EQ(result->shard_decisions[s], reference.decisions(s))
+            << w.name << " workers=" << workers << " shard=" << s;
+      EXPECT_EQ(result->report.accepted, reference_report.accepted);
+      EXPECT_EQ(result->report.records, reference_report.records);
+      EXPECT_EQ(result->report.cycles, reference_report.cycles);
+      ASSERT_EQ(result->shards.size(), reference_report.shards.size());
+      for (std::size_t s = 0; s < views.size(); ++s)
+        EXPECT_EQ(result->shards[s].bytes, reference_report.shards[s].bytes);
+    }
+  }
+}
+
+TEST(ApiPipelineEquivalence, AllBackendsAgreeOnDecisions) {
+  // One stream, every backend: the merged decision vector is identical
+  // (sharded with a single input degenerates to one lane, stream order).
+  for (const workload& w : workloads()) {
+    const auto scalar = facade_decisions(w, backend_kind::scalar);
+    ASSERT_FALSE(scalar.empty());
+    EXPECT_EQ(facade_decisions(w, backend_kind::chunked), scalar) << w.name;
+    EXPECT_EQ(facade_decisions(w, backend_kind::system), scalar) << w.name;
+    EXPECT_EQ(facade_decisions(w, backend_kind::sharded), scalar) << w.name;
+  }
+}
+
+TEST(ApiPipelineEquivalence, NoFalseNegativesThroughTheFacade) {
+  for (const workload& w : workloads()) {
+    const auto decisions = facade_decisions(w, backend_kind::system);
+    const auto check =
+        query::verify_no_false_negatives(w.q, w.stream, decisions);
+    EXPECT_GT(check.true_matches, 0u) << w.name;
+    EXPECT_TRUE(check.ok()) << w.name << ": dropped "
+                            << check.false_negatives << " true matches";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming surface: offer()/pump()/finish() and the decision sink.
+
+TEST(ApiPipelineStreaming, ChunkedStreamingMatchesBatch) {
+  const workload& w = workloads().front();
+  const auto batch = facade_decisions(w, backend_kind::chunked);
+
+  std::vector<std::pair<std::size_t, bool>> sunk;
+  auto built = pipeline::make()
+                   .from_query(w.q)
+                   .backend(backend_kind::chunked)
+                   .on_decision([&](std::size_t shard, std::uint64_t index,
+                                    bool accepted) {
+                     EXPECT_EQ(shard, 0u);
+                     sunk.emplace_back(index, accepted);
+                   })
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+
+  // Ragged chunks: boundaries land mid-record, mid-token, everywhere.
+  std::string_view rest = w.stream;
+  while (!rest.empty()) {
+    const std::size_t step = std::min<std::size_t>(97, rest.size());
+    auto taken = built->offer(rest.substr(0, step));
+    ASSERT_TRUE(taken.has_value()) << taken.error().message;
+    EXPECT_EQ(*taken, step);
+    rest.remove_prefix(step);
+  }
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  EXPECT_EQ(result->decisions, batch);
+  ASSERT_EQ(sunk.size(), batch.size());
+  for (std::size_t i = 0; i < sunk.size(); ++i) {
+    EXPECT_EQ(sunk[i].first, i);       // in order, exactly once
+    EXPECT_EQ(sunk[i].second, batch[i]);
+  }
+}
+
+TEST(ApiPipelineStreaming, SystemStreamingMatchesFilterSystem) {
+  const workload& w = workloads().back();
+  const core::expr_ptr rf = query::compile_default(w.q);
+  system::filter_system reference(rf);
+  reference.run(w.stream);
+
+  auto built = pipeline::make()
+                   .from_query(w.q)
+                   .backend(backend_kind::system)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  std::string_view rest = w.stream;
+  while (!rest.empty()) {
+    const std::size_t step = std::min<std::size_t>(61, rest.size());
+    ASSERT_TRUE(built->offer(rest.substr(0, step)).has_value());
+    rest.remove_prefix(step);
+  }
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->decisions, reference.decisions());
+}
+
+TEST(ApiPipelineStreaming, ShardedStreamingUnderBackpressure) {
+  const workload& w = workloads().front();
+  const auto shards = data::shard_records(w.stream, 3);
+
+  std::vector<std::vector<bool>> sunk(shards.size());
+  auto built = pipeline::make()
+                   .from_query(w.q)
+                   .backend(backend_kind::sharded)
+                   .shards(shards.size())
+                   .worker_threads(2)
+                   .lane_fifo_bytes(256)  // far smaller than the offers
+                   .on_decision([&](std::size_t shard, std::uint64_t index,
+                                    bool accepted) {
+                     EXPECT_EQ(index, sunk[shard].size());
+                     sunk[shard].push_back(accepted);
+                   })
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  EXPECT_EQ(built->shard_count(), shards.size());
+
+  // Offer each shard's whole stream in one call: far larger than the lane
+  // FIFO, so offer() must drain in-line and still absorb every byte.
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    auto taken = built->offer(s, shards[s]);
+    ASSERT_TRUE(taken.has_value()) << taken.error().message;
+    EXPECT_EQ(*taken, shards[s].size());
+  }
+  ASSERT_TRUE(built->pump().has_value());
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  // Decisions per shard equal a fresh serial sharded run of the same feeds.
+  const core::expr_ptr rf = query::compile_default(w.q);
+  const std::vector<std::string_view> views{shards.begin(), shards.end()};
+  system::sharded_filter_system reference(rf, views.size());
+  reference.run(views);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    EXPECT_EQ(result->shard_decisions[s], reference.decisions(s));
+    EXPECT_EQ(sunk[s], result->shard_decisions[s]) << "shard " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Error paths: the boundary never throws, offsets survive.
+
+namespace {
+
+std::size_t reference_offset_filter_expression(std::string_view text) {
+  try {
+    (void)query::parse_filter_expression(text);
+  } catch (const parse_error& e) {
+    return e.offset();
+  }
+  ADD_FAILURE() << "reference parse unexpectedly succeeded";
+  return static_cast<std::size_t>(-1);
+}
+
+std::size_t reference_offset_jsonpath(std::string_view text) {
+  try {
+    (void)query::parse_jsonpath(text);
+  } catch (const parse_error& e) {
+    return e.offset();
+  }
+  ADD_FAILURE() << "reference parse unexpectedly succeeded";
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+TEST(ApiPipelineErrors, MalformedFilterExpressionPreservesOffset) {
+  const std::string_view bad[] = {
+      "",                                     // empty query text
+      "(0.7 <= \"temperature\" <= )",         // missing bound
+      "(0.7 <= \"temperature\" <= 35.1) AND", // dangling conjunction
+      "(0.7 <= temperature <= 35.1)",         // unquoted attribute
+  };
+  for (const std::string_view text : bad) {
+    auto built = pipeline::make().filter_expression(text).build();
+    ASSERT_FALSE(built.has_value()) << "accepted: " << text;
+    ASSERT_TRUE(built.error().offset.has_value()) << text;
+    EXPECT_EQ(*built.error().offset, reference_offset_filter_expression(text))
+        << text;
+    EXPECT_FALSE(built.error().message.empty());
+  }
+}
+
+TEST(ApiPipelineErrors, MalformedJsonPathPreservesOffset) {
+  const std::string_view bad[] = {
+      "",
+      "$.e[?(@.n==\"temperature\"",          // unterminated filter
+      "e[?(@.n==\"t\" & @.v >= 1)]",         // missing $.
+  };
+  for (const std::string_view text : bad) {
+    auto built = pipeline::make().jsonpath(text).build();
+    ASSERT_FALSE(built.has_value()) << "accepted: " << text;
+    ASSERT_TRUE(built.error().offset.has_value()) << text;
+    EXPECT_EQ(*built.error().offset, reference_offset_jsonpath(text)) << text;
+  }
+}
+
+TEST(ApiPipelineErrors, ConfigurationValidation) {
+  const query::query q = query::riotbench::q0();
+
+  // No query source at all.
+  auto none = pipeline::make().input("{}\n").build();
+  ASSERT_FALSE(none.has_value());
+  EXPECT_FALSE(none.error().offset.has_value());
+
+  // Two query sources.
+  auto twice = pipeline::make()
+                   .from_query(q)
+                   .jsonpath("$.e[?(@.n==\"t\" & @.v >= 1)]")
+                   .build();
+  ASSERT_FALSE(twice.has_value());
+
+  // Zero lanes on the system backend.
+  auto zero_lanes = pipeline::make()
+                        .from_query(q)
+                        .backend(backend_kind::system)
+                        .lanes(0)
+                        .build();
+  ASSERT_FALSE(zero_lanes.has_value());
+
+  // Zero-byte lane FIFO on the sharded backend.
+  auto zero_fifo = pipeline::make()
+                       .from_query(q)
+                       .backend(backend_kind::sharded)
+                       .lane_fifo_bytes(0)
+                       .build();
+  ASSERT_FALSE(zero_fifo.has_value());
+
+  // Zero shards without bound inputs on the sharded backend.
+  auto zero_shards = pipeline::make()
+                         .from_query(q)
+                         .backend(backend_kind::sharded)
+                         .shards(0)
+                         .build();
+  ASSERT_FALSE(zero_shards.has_value());
+
+  // Zero DMA burst.
+  auto zero_burst =
+      pipeline::make().from_query(q).dma_burst_bytes(0).build();
+  ASSERT_FALSE(zero_burst.has_value());
+}
+
+TEST(ApiPipelineErrors, SurfaceMisuseIsDiagnosed) {
+  const query::query q = query::riotbench::q0();
+  const std::string stream = "{\"e\":[{\"n\":\"t\",\"v\":\"1\"}]}\n";
+
+  // run() without inputs.
+  auto empty = pipeline::make().from_query(q).build();
+  ASSERT_TRUE(empty.has_value());
+  ASSERT_FALSE(empty->run().has_value());
+
+  // offer() on a batch pipeline / run() after streaming started.
+  auto batch = pipeline::make().from_query(q).input(stream).build();
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_FALSE(batch->offer(stream).has_value());
+  ASSERT_TRUE(batch->run().has_value());
+  ASSERT_FALSE(batch->run().has_value());  // second run
+
+  auto streaming = pipeline::make().from_query(q).build();
+  ASSERT_TRUE(streaming.has_value());
+  ASSERT_TRUE(streaming->offer(stream).has_value());
+  ASSERT_FALSE(streaming->run().has_value());
+  ASSERT_TRUE(streaming->finish().has_value());
+  ASSERT_FALSE(streaming->offer(stream).has_value());  // after finish
+  ASSERT_FALSE(streaming->finish().has_value());       // double finish
+
+  // Out-of-range shard on a single-stream backend.
+  auto single = pipeline::make().from_query(q).build();
+  ASSERT_TRUE(single.has_value());
+  ASSERT_FALSE(single->offer(3, stream).has_value());
+
+  // Missing input file surfaces from run(), with the path in the message.
+  auto missing = pipeline::make()
+                     .from_query(q)
+                     .input_file("/nonexistent/jrf-no-such-file.ndjson")
+                     .build();
+  ASSERT_TRUE(missing.has_value());
+  auto result = missing->run();
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("jrf-no-such-file"),
+            std::string::npos);
+}
+
+TEST(ApiPipelineEquivalence, BlankLineHeavyStreamDoesNotUnderflowStalls) {
+  // Blank lines carry bytes to no lane, so the slowest lane can finish in
+  // fewer cycles than the balanced distribution of raw bytes; the stall
+  // accounting must clamp at zero instead of wrapping the unsigned math.
+  std::string stream = "{\"a\":1}\n";
+  stream.append(50000, '\n');
+  auto built = pipeline::make()
+                   .filter_expression("(0 <= \"a\" <= 9)")
+                   .backend(backend_kind::system)
+                   .lanes(7)
+                   .input(stream)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  auto result = built->run();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->records(), 1u);
+  EXPECT_LE(result->report.stall_cycles, result->report.cycles);
+}
+
+TEST(ApiPipelineEquivalence, CustomSeparatorConsistentAcrossBackends) {
+  // ';'-separated records: the system backend's record dealing must frame
+  // on the configured separator byte exactly like the engine backends.
+  const std::string stream = "{\"a\":\"1\"};{\"a\":\"7\"};{\"a\":\"3\"};";
+  const char* expr = "(0 <= \"a\" <= 5)";
+  std::vector<std::vector<bool>> per_backend;
+  for (const backend_kind kind :
+       {backend_kind::scalar, backend_kind::chunked, backend_kind::system,
+        backend_kind::sharded}) {
+    auto built = pipeline::make()
+                     .filter_expression(expr)
+                     .separator(';')
+                     .backend(kind)
+                     .input(stream)
+                     .build();
+    ASSERT_TRUE(built.has_value()) << built.error().message;
+    auto result = built->run();
+    ASSERT_TRUE(result.has_value()) << result.error().message;
+    per_backend.push_back(result->decisions);
+  }
+  const std::vector<bool> expected{true, false, true};
+  for (const auto& decisions : per_backend) EXPECT_EQ(decisions, expected);
+}
+
+TEST(ApiPipelineErrors, NullSourceDiagnosedOnEveryBackend) {
+  const query::query q = query::riotbench::q0();
+  for (const backend_kind kind :
+       {backend_kind::scalar, backend_kind::chunked, backend_kind::system,
+        backend_kind::sharded}) {
+    auto built = pipeline::make()
+                     .from_query(q)
+                     .backend(kind)
+                     .source(nullptr)
+                     .build();
+    EXPECT_FALSE(built.has_value()) << to_string(kind);
+  }
+}
+
+TEST(ApiPipelineErrors, ShardCountConflictingWithInputsIsDiagnosed) {
+  const query::query q = query::riotbench::q0();
+  const std::string stream = "{\"e\":[{\"n\":\"t\",\"v\":\"1\"}]}\n";
+  auto conflicting = pipeline::make()
+                         .from_query(q)
+                         .backend(backend_kind::sharded)
+                         .shards(5)
+                         .input(stream)
+                         .input(stream)
+                         .build();
+  ASSERT_FALSE(conflicting.has_value());
+  EXPECT_NE(conflicting.error().message.find("conflicts"), std::string::npos);
+
+  // A matching explicit count is fine.
+  auto matching = pipeline::make()
+                      .from_query(q)
+                      .backend(backend_kind::sharded)
+                      .shards(2)
+                      .input(stream)
+                      .input(stream)
+                      .build();
+  EXPECT_TRUE(matching.has_value());
+}
+
+TEST(ApiPipelineErrors, FailedBuildLeavesBuilderRetryable) {
+  const std::string stream = "{\"e\":[{\"n\":\"t\",\"v\":\"1\"}]}\n";
+  std::size_t sunk = 0;
+  auto builder = pipeline::make();
+  builder.jsonpath("$.e[?(@.n==\"t\"")  // malformed: unterminated filter
+      .on_decision(
+          [&](std::size_t, std::uint64_t, bool) { ++sunk; })
+      .input(stream);
+  ASSERT_FALSE(builder.build().has_value());
+
+  // Correct the query text (same source kind = replacement, not a
+  // duplicate) and retry: the bound input and sink must have survived.
+  builder.jsonpath("$.e[?(@.n==\"t\" & @.v >= 1)]");
+  auto built = builder.build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  auto result = built->run();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->records(), 1u);
+  EXPECT_EQ(sunk, 1u);
+}
+
+TEST(ApiPipelineErrors, BuilderReuseIsDiagnosedNotUndefined) {
+  const query::query q = query::riotbench::q0();
+  auto builder = pipeline::make();
+  builder.from_query(q).input("{}\n");
+  ASSERT_TRUE(builder.build().has_value());
+  // Setters on a spent builder must stay memory-safe, and a second build()
+  // must come back as a diagnosed error, not a crash.
+  builder.lanes(2).backend(backend_kind::system);
+  auto again = builder.build();
+  ASSERT_FALSE(again.has_value());
+  EXPECT_NE(again.error().message.find("already consumed"),
+            std::string::npos);
+}
+
+TEST(ApiPipelineErrors, ExpectedValueRethrowsAsJrfError) {
+  auto built = pipeline::make().filter_expression("(bogus").build();
+  ASSERT_FALSE(built.has_value());
+  EXPECT_THROW((void)built.value(), jrf::error);
+}
+
+// ---------------------------------------------------------------------------
+// verify_no_false_negatives helper contract.
+
+TEST(VerifyNoFalseNegatives, CountsMissedTrueMatches) {
+  const workload& w = workloads().front();
+  const auto labels = query::label_stream(w.q, w.stream);
+
+  // A perfect oracle has zero false negatives.
+  const auto perfect = query::verify_no_false_negatives(w.q, w.stream, labels);
+  EXPECT_TRUE(perfect.ok());
+  EXPECT_EQ(perfect.records, labels.size());
+  EXPECT_GT(perfect.true_matches, 0u);
+
+  // Dropping everything misses every true match, with indices reported.
+  const std::vector<bool> drop_all(labels.size(), false);
+  const auto missed = query::verify_no_false_negatives(w.q, w.stream, drop_all);
+  EXPECT_FALSE(missed.ok());
+  EXPECT_EQ(missed.false_negatives, missed.true_matches);
+  EXPECT_EQ(missed.missed.size(), missed.false_negatives);
+
+  // A decision-count mismatch is a harness bug and throws.
+  EXPECT_THROW((void)query::verify_no_false_negatives(
+                   w.q, w.stream, std::vector<bool>(labels.size() + 1, true)),
+               jrf::error);
+}
