@@ -24,6 +24,7 @@
 
 #include "api/pipeline.hpp"
 #include "bench_common.hpp"
+#include "core/simd.hpp"
 #include "data/smartcity.hpp"
 #include "data/stream.hpp"
 #include "query/compile.hpp"
@@ -149,6 +150,40 @@ int main(int argc, char** argv) {
                   : "NO!");
 
   // -------------------------------------------------------------------
+  // SIMD dispatch tiers: the chunked path pinned to every vector tier
+  // this host can execute. Decisions are identical per construction (and
+  // cross-checked here); the rows record what each tier buys.
+  // -------------------------------------------------------------------
+  bench::heading("SIMD dispatch tiers (chunked scan, 7 lanes)");
+  std::printf("detected: %s, active: %s (JRF_FORCE_SCALAR/JRF_SIMD_LEVEL "
+              "pin the tier)\n",
+              core::simd::to_string(core::simd::detected_level()),
+              core::simd::to_string(core::simd::active_level()));
+  struct simd_row {
+    core::simd::simd_level level;
+    double seconds;
+    double mbytes_per_second;
+  };
+  std::vector<simd_row> simd_rows;
+  for (const core::simd::simd_level level : core::simd::available_levels()) {
+    const wall_result r =
+        timed_run(rf, stream.size(), [&](pipeline_builder& b) {
+          b.backend(backend_kind::system)
+              .engine(core::engine_kind::chunked)
+              .simd(level)
+              .input(stream);
+        });
+    simd_rows.push_back({level, r.seconds, r.mbytes_per_second});
+    std::printf("%-7s : %8.2f MB/s (%.2fs, %.2fx vs scalar tier; "
+                "decisions identical: %s)\n",
+                core::simd::to_string(level), r.mbytes_per_second, r.seconds,
+                r.mbytes_per_second / simd_rows.front().mbytes_per_second,
+                r.result.report.accepted == chunked.result.report.accepted
+                    ? "yes"
+                    : "NO!");
+  }
+
+  // -------------------------------------------------------------------
   // Sharded mode: 7 independent streams, one lane each.
   // -------------------------------------------------------------------
   bench::heading("Sharded multi-stream (7 shards, chunked)");
@@ -235,6 +270,24 @@ int main(int argc, char** argv) {
                  "  \"wall\": {\"scalar_mbps\": %.2f, \"chunked_mbps\": %.2f, "
                  "\"speedup\": %.2f},\n",
                  scalar.mbytes_per_second, chunked.mbytes_per_second, speedup);
+    std::fprintf(f,
+                 "  \"simd\": {\"detected\": \"%s\", \"active\": \"%s\", "
+                 "\"rows\": [\n",
+                 core::simd::to_string(core::simd::detected_level()),
+                 core::simd::to_string(core::simd::active_level()));
+    for (std::size_t i = 0; i < simd_rows.size(); ++i)
+      // Key deliberately NOT "chunked_mbps": bench.sh --compare greps the
+      // first occurrence of that key for the regression gate and must keep
+      // hitting the "wall" object regardless of section order.
+      std::fprintf(f,
+                   "    {\"level\": \"%s\", \"mbps\": %.2f, "
+                   "\"speedup_vs_scalar_tier\": %.2f}%s\n",
+                   core::simd::to_string(simd_rows[i].level),
+                   simd_rows[i].mbytes_per_second,
+                   simd_rows[i].mbytes_per_second /
+                       simd_rows.front().mbytes_per_second,
+                   i + 1 < simd_rows.size() ? "," : "");
+    std::fprintf(f, "  ]},\n");
     std::fprintf(f,
                  "  \"sharded\": {\"shards\": 7, \"wall_mbps\": %.2f, "
                  "\"records\": %llu, \"accepted\": %llu, "

@@ -558,6 +558,11 @@ pipeline_builder& pipeline_builder::separator(unsigned char s) {
   return *this;
 }
 
+pipeline_builder& pipeline_builder::simd(core::simd::simd_level level) {
+  state_->opts.filter.simd = level;
+  return *this;
+}
+
 pipeline_builder& pipeline_builder::options(pipeline_options o) {
   state_->opts = std::move(o);
   return *this;

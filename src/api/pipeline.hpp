@@ -125,6 +125,10 @@ class pipeline_builder {
   pipeline_builder& dma_burst_bytes(std::size_t n);
   pipeline_builder& engine(core::engine_kind kind);
   pipeline_builder& separator(unsigned char s);
+  /// Vector tier of the bulk scans (default automatic = runtime CPU
+  /// dispatch clamped by JRF_FORCE_SCALAR / JRF_SIMD_LEVEL). Decisions are
+  /// identical at every level; only wall-clock differs.
+  pipeline_builder& simd(core::simd::simd_level level);
   /// Replace the whole option block (setters called afterwards still win).
   pipeline_builder& options(pipeline_options o);
 

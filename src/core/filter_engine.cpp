@@ -9,20 +9,22 @@
 
 namespace jrf::core {
 
-compiled_layout compiled_layout::compile(const filter_expr& root) {
+compiled_layout compiled_layout::compile(const filter_expr& root,
+                                         simd::simd_level level) {
   compiled_layout layout;
-  const auto visit = [&layout](const filter_expr& e, const auto& self) -> void {
+  const auto visit = [&layout, level](const filter_expr& e,
+                                      const auto& self) -> void {
     switch (e.kind) {
       case expr_kind::primitive:
         layout.bare_engines.push_back(layout.engines.size());
-        layout.engines.push_back(make_engine(e.prim));
+        layout.engines.push_back(make_engine(e.prim, level));
         break;
       case expr_kind::group: {
         group_info info;
         info.kind = e.group;
         info.first = layout.engines.size();
         for (const primitive_spec& m : e.members)
-          layout.engines.push_back(make_engine(m));
+          layout.engines.push_back(make_engine(m, level));
         info.last = layout.engines.size();
         layout.groups.push_back(info);
         break;
@@ -151,7 +153,8 @@ class chunked_filter_engine final : public filter_engine {
  public:
   chunked_filter_engine(expr_ptr expr, filter_options options)
       : filter_engine(std::move(expr), options),
-        layout_(compiled_layout::compile(*expr_)),
+        level_(simd::resolve(options.simd)),
+        layout_(compiled_layout::compile(*expr_, options.simd)),
         tracker_(options.depth_bits) {
     for (const compiled_layout::group_info& g : layout_.groups)
       trackers_.emplace_back(g.kind, static_cast<int>(g.last - g.first));
@@ -252,6 +255,7 @@ class chunked_filter_engine final : public filter_engine {
 
   chunked_filter_engine(const chunked_filter_engine& other)
       : filter_engine(other.expr_, other.options_),
+        level_(other.level_),
         layout_(other.layout_.clone()),
         tracker_(other.options_.depth_bits),
         trackers_(other.trackers_),
@@ -289,8 +293,9 @@ class chunked_filter_engine final : public filter_engine {
 
   /// Advance the string-mask automaton from `pos` and return the position
   /// of the next unmasked separator, or npos when the chunk ends first.
-  /// Only '"' and '\\' can change the mask, so the scan memchr-jumps
-  /// between those bytes and separator candidates.
+  /// Only '"' and '\\' can change the mask, so the scan jumps with the
+  /// vectored two-byte search between the bytes that matter for the
+  /// current automaton state.
   std::size_t find_boundary(std::span<const unsigned char> chunk,
                             std::size_t pos) {
     const unsigned char sep = options_.separator;
@@ -303,44 +308,28 @@ class chunked_filter_engine final : public filter_engine {
           ++pos;
           continue;
         }
-        // The closing quote bounds the backslash search, so neither scan
-        // runs past the current string literal.
-        const auto* quote = static_cast<const unsigned char*>(
-            std::memchr(data + pos, '"', size - pos));
-        const std::size_t limit =
-            quote != nullptr ? static_cast<std::size_t>(quote - data) : size;
-        const auto* bslash = static_cast<const unsigned char*>(
-            std::memchr(data + pos, '\\', limit - pos));
-        if (bslash != nullptr) {
+        const std::size_t at =
+            simd::find_first_of2(data + pos, size - pos, '"', '\\', level_);
+        if (at == simd::npos) return npos;  // chunk ends inside the literal
+        pos += at + 1;
+        if (data[pos - 1] == '\\') {
           escaped_ = true;
-          pos = static_cast<std::size_t>(bslash - data) + 1;
-        } else if (quote != nullptr) {
-          in_string_ = false;
-          pos = limit + 1;
         } else {
-          return npos;  // chunk ends inside the literal
+          in_string_ = false;
         }
       } else {
-        // A separator of '"' is always masked (it opens a string), so it can
-        // never be a boundary; every other separator candidate holds unless
-        // a quote opens a string before it.
-        const auto* boundary =
-            sep == '"' ? nullptr
-                       : static_cast<const unsigned char*>(
-                             std::memchr(data + pos, sep, size - pos));
-        const std::size_t limit =
-            boundary != nullptr ? static_cast<std::size_t>(boundary - data)
-                                : size;
-        const auto* quote = static_cast<const unsigned char*>(
-            std::memchr(data + pos, '"', limit - pos));
-        if (quote != nullptr) {
-          in_string_ = true;
-          pos = static_cast<std::size_t>(quote - data) + 1;
-        } else if (boundary != nullptr) {
-          return limit;
-        } else {
-          return npos;
-        }
+        // A separator of '"' is always masked (it opens a string), so it
+        // can never be a boundary; every other separator candidate holds
+        // unless a quote opens a string before it.
+        const std::size_t at =
+            sep == '"'
+                ? simd::find_byte(data + pos, size - pos, '"', level_)
+                : simd::find_first_of2(data + pos, size - pos, sep, '"',
+                                       level_);
+        if (at == simd::npos) return npos;
+        if (data[pos + at] != '"') return pos + at;
+        in_string_ = true;
+        pos += at + 1;
       }
     }
     return npos;
@@ -376,14 +365,41 @@ class chunked_filter_engine final : public filter_engine {
     structure_state st;
   };
 
+  /// Collect the record's structural events by stepping the tracker only
+  /// at bytes that can change it: the six structural candidates plus
+  /// backslash (one vectored chunk classification, then a bit walk -
+  /// structural bytes are too dense in real JSON for per-byte jump scans
+  /// to amortize). Every skipped byte is a tracker no-op with no event:
+  /// outside a literal only the candidate set reacts, inside a literal
+  /// only '"' and '\\' do - except the one byte after a backslash, which
+  /// clears the escape flag whatever it is, so it is stepped inline and
+  /// excluded from the walk. The event list and final tracker state are
+  /// identical to stepping every byte.
   void ensure_events(std::span<const unsigned char> record) {
     if (events_ready_) return;
     events_.clear();
     tracker_.reset();
-    for (std::size_t i = 0; i < record.size(); ++i) {
-      const structure_state st = tracker_.step(record[i]);
-      if (st.scope_open || st.scope_close || st.pair_boundary)
-        events_.push_back({static_cast<std::uint32_t>(i), st});
+    const unsigned char* data = record.data();
+    const std::size_t n = record.size();
+    const std::size_t width = simd::chunk_width(level_);
+    std::size_t consumed = 0;  // bound of positions stepped inline
+    for (std::size_t base = 0; base < n; base += width) {
+      std::uint32_t mask = simd::structural_mask(data + base, n - base, level_);
+      while (mask != 0) {
+        const auto bit = static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
+        const std::size_t pos = base + bit;
+        if (pos < consumed) continue;  // was an escape payload
+        const structure_state st = tracker_.step(data[pos]);
+        if (st.scope_open || st.scope_close || st.pair_boundary)
+          events_.push_back({static_cast<std::uint32_t>(pos), st});
+        if (tracker_.escaped() && pos + 1 < n) {
+          tracker_.step(data[pos + 1]);  // escape payload clears the flag
+          consumed = pos + 2;
+        }
+        // A record-final backslash leaves the flag armed for the
+        // separator step, exactly like the scalar walk.
+      }
     }
     separator_st_ = tracker_.step(options_.separator);
     events_ready_ = true;
@@ -404,9 +420,14 @@ class chunked_filter_engine final : public filter_engine {
 
     ensure_events(record);
 
-    // Event-driven replay: step the tracker only at bytes where state can
-    // change, in position order, merging member pulses with structural
-    // events. The final separator byte always samples.
+    // Event-driven replay: step the tracker only at bytes where its state
+    // can change, in position order, merging member pulses with
+    // structural events. While the tracker is unarmed every structural
+    // event with no member pulse is a state no-op that cannot fire
+    // (sampling clears latches that are already clear), so the replay
+    // fast-forwards straight to the next member pulse, consuming skipped
+    // events only for their depth. The final separator byte always
+    // samples.
     group_tracker& tracker = trackers_[group];
     tracker.reset();
     std::fill(fire_cursor_.begin(), fire_cursor_.begin() +
@@ -416,13 +437,22 @@ class chunked_filter_engine final : public filter_engine {
     int depth = 0;  // nesting level after the last structural event
 
     for (;;) {
-      // Next position where anything happens.
+      // Next position where anything can happen: member pulses (and, only
+      // while armed, structural events).
       std::uint32_t pos = separator_pos;
       for (std::size_t m = 0; m < members; ++m)
         if (fire_cursor_[m] < fire_lists_[m].size())
           pos = std::min(pos, fire_lists_[m][fire_cursor_[m]]);
-      if (event_cursor < events_.size())
-        pos = std::min(pos, events_[event_cursor].pos);
+      if (tracker.armed()) {
+        if (event_cursor < events_.size())
+          pos = std::min(pos, events_[event_cursor].pos);
+      } else {
+        while (event_cursor < events_.size() &&
+               events_[event_cursor].pos < pos) {
+          depth = events_[event_cursor].st.depth;
+          ++event_cursor;
+        }
+      }
 
       structure_state st;
       if (event_cursor < events_.size() && events_[event_cursor].pos == pos) {
@@ -451,6 +481,7 @@ class chunked_filter_engine final : public filter_engine {
     }
   }
 
+  simd::simd_level level_;               // resolved vector tier (framing/events)
   compiled_layout layout_;
   structure_tracker tracker_;            // record-scoped event collection
   std::vector<group_tracker> trackers_;  // replay state, one per group

@@ -41,12 +41,19 @@
 
 #include "core/expr.hpp"
 #include "core/primitive.hpp"
+#include "core/simd.hpp"
 
 namespace jrf::core {
 
 struct filter_options {
   unsigned char separator = '\n';
   int depth_bits = 5;  // structure tracker counter width
+  // Vector tier of the bulk scans (framing, gram candidate scans, token
+  // runs). automatic follows simd::active_level() - the CPUID probe
+  // clamped by JRF_FORCE_SCALAR / JRF_SIMD_LEVEL; an explicit level is
+  // clamped to what the CPU supports. Decisions are identical at every
+  // level; only wall-clock differs.
+  simd::simd_level simd = simd::simd_level::automatic;
 };
 
 /// Engine complement of a compiled filter expression. Shared by raw_filter
@@ -64,7 +71,11 @@ struct compiled_layout {
   std::vector<std::size_t> bare_engines;  // bare-leaf cursor -> engine index
 
   /// Instantiate every primitive of the expression (throws on null/invalid).
-  static compiled_layout compile(const filter_expr& root);
+  /// `level` pins the vector tier of the engines' bulk scans (automatic =
+  /// the runtime-dispatched host level).
+  static compiled_layout compile(
+      const filter_expr& root,
+      simd::simd_level level = simd::simd_level::automatic);
 
   /// Fresh lane: engines cloned (sharing compiled artifacts), spans copied.
   compiled_layout clone() const;

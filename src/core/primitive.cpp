@@ -1,9 +1,10 @@
 #include "core/primitive.hpp"
 
 #include <algorithm>
-#include <array>
+#include <bit>
 #include <string_view>
 
+#include "core/simd.hpp"
 #include "util/error.hpp"
 
 namespace jrf::core {
@@ -83,32 +84,23 @@ int counter_width(int threshold) {
   return bits;
 }
 
-/// numrange::is_token_byte as a flat table: the bulk scans test it per byte
-/// and the out-of-line call would dominate the loop.
-const std::array<char, 256>& token_byte_table() {
-  static const std::array<char, 256> table = [] {
-    std::array<char, 256> t{};
-    for (unsigned c = 0; c < 256; ++c)
-      t[c] = numrange::is_token_byte(static_cast<unsigned char>(c)) ? 1 : 0;
-    return t;
-  }();
-  return table;
-}
-
 /// (iii) B-gram matcher; (ii) exact compare falls out as B = N.
 class substring_engine final : public primitive_engine {
  public:
-  explicit substring_engine(string_spec spec)
+  explicit substring_engine(string_spec spec,
+                            simd::simd_level level = simd::simd_level::automatic)
       : spec_(std::move(spec)),
         grams_(spec_.substrings()),
         threshold_(spec_.threshold()),
         width_(counter_width(threshold_)),
         mask_((1u << width_) - 1),
         buffer_(static_cast<std::size_t>(spec_.block), 0),
-        newest_in_gram_(256, 0) {
+        level_(simd::resolve(level)) {
     validate_search_string(spec_);
+    std::vector<unsigned char> last_bytes;
     for (const std::string& gram : grams_)
-      newest_in_gram_[static_cast<unsigned char>(gram.back())] = 1;
+      last_bytes.push_back(static_cast<unsigned char>(gram.back()));
+    last_bytes_ = simd::byte_set({last_bytes.data(), last_bytes.size()});
   }
 
   void reset() override {
@@ -125,33 +117,31 @@ class substring_engine final : public primitive_engine {
   bool fires_in(std::span<const unsigned char> record,
                 unsigned char terminator) override {
     // Exact compare (B = N, threshold 1): a single gram, any occurrence
-    // fires - delegate the scan to the memchr-backed find.
+    // fires - delegate the scan to the vectored substring search.
     if (threshold_ == 1 && grams_.size() == 1) {
-      const std::string_view sv{reinterpret_cast<const char*>(record.data()),
-                                record.size()};
-      if (sv.find(grams_.front()) != std::string_view::npos) return true;
+      const std::string& gram = grams_.front();
+      if (simd::find_substring(
+              record.data(), record.size(),
+              reinterpret_cast<const unsigned char*>(gram.data()), gram.size(),
+              level_) != simd::npos)
+        return true;
       return hit_at(record, terminator, record.size());
     }
-    unsigned counter = 0;
-    for (std::size_t pos = 0; pos <= record.size(); ++pos) {
-      counter = hit_at(record, terminator, pos) ? ((counter + 1) & mask_) : 0;
-      if (counter == static_cast<unsigned>(threshold_)) return true;
-    }
-    return false;
+    bool fired = false;
+    scan(record, terminator, [&](std::size_t) {
+      fired = true;
+      return false;  // stop
+    });
+    return fired;
   }
 
   void fire_positions(std::span<const unsigned char> record,
                       unsigned char terminator,
                       std::vector<std::uint32_t>& out) override {
-    // Replays the counter exactly: consecutive gram hits increment a
-    // width_-bit counter that wraps, a miss clears it, a pulse occurs
-    // whenever the wrapped count equals the threshold.
-    unsigned counter = 0;
-    for (std::size_t pos = 0; pos <= record.size(); ++pos) {
-      counter = hit_at(record, terminator, pos) ? ((counter + 1) & mask_) : 0;
-      if (counter == static_cast<unsigned>(threshold_))
-        out.push_back(static_cast<std::uint32_t>(pos));
-    }
+    scan(record, terminator, [&](std::size_t pos) {
+      out.push_back(static_cast<std::uint32_t>(pos));
+      return true;  // keep scanning
+    });
   }
 
   bool step(unsigned char byte) override {
@@ -214,6 +204,42 @@ class substring_engine final : public primitive_engine {
   }
 
  private:
+  /// Candidate-driven replay of the hit counter: a position can only hit
+  /// when its byte ends some gram, so the scan classifies whole chunks
+  /// against the gram-last-byte set (vectored membership mask), confirms
+  /// each candidate with the scalar window compare, and resets the counter
+  /// across skipped positions (which are all misses). Pulse-for-pulse
+  /// identical to stepping every position: misses cannot fire (threshold
+  /// >= 1) and candidate order is preserved.
+  template <typename OnFire>
+  void scan(std::span<const unsigned char> record, unsigned char terminator,
+            OnFire&& on_fire) const {
+    const std::size_t n = record.size();
+    const std::size_t width = simd::chunk_width(level_);
+    unsigned counter = 0;
+    std::size_t next_pos = 0;  // first position the counter has not seen
+    for (std::size_t base = 0; base < n; base += width) {
+      std::uint32_t mask =
+          simd::match_mask(record.data() + base, n - base, last_bytes_, level_);
+      while (mask != 0) {
+        const auto bit = static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
+        const std::size_t pos = base + bit;
+        if (pos != next_pos) counter = 0;  // skipped positions all missed
+        counter = hit_at(record, terminator, pos) ? ((counter + 1) & mask_) : 0;
+        next_pos = pos + 1;
+        if (counter == static_cast<unsigned>(threshold_) && !on_fire(pos))
+          return;
+      }
+    }
+    // Position n: the appended terminator byte.
+    if (last_bytes_.contains(terminator)) {
+      if (n != next_pos) counter = 0;
+      counter = hit_at(record, terminator, n) ? ((counter + 1) & mask_) : 0;
+      if (counter == static_cast<unsigned>(threshold_)) on_fire(n);
+    }
+  }
+
   /// Would the scalar window compare hit at `pos`? pos == record.size()
   /// addresses the terminator byte. The shift buffer starts zero-filled and
   /// gram bytes are printable, so windows overlapping the pre-record zeros
@@ -221,7 +247,7 @@ class substring_engine final : public primitive_engine {
   bool hit_at(std::span<const unsigned char> record, unsigned char terminator,
               std::size_t pos) const {
     const unsigned char newest = pos < record.size() ? record[pos] : terminator;
-    if (!newest_in_gram_[newest]) return false;
+    if (!last_bytes_.contains(newest)) return false;
     const std::size_t b = buffer_.size();
     if (pos + 1 < b) return false;
     if (b == 1) return true;  // the bitmap is the whole compare for B = 1
@@ -246,7 +272,8 @@ class substring_engine final : public primitive_engine {
   int width_;
   unsigned mask_;
   std::vector<unsigned char> buffer_;
-  std::vector<unsigned char> newest_in_gram_;  // byte value -> ends some gram
+  simd::simd_level level_;       // resolved vector tier of the bulk scans
+  simd::byte_set last_bytes_;    // byte value -> ends some gram
   unsigned counter_ = 0;
 };
 
@@ -254,11 +281,13 @@ class substring_engine final : public primitive_engine {
 /// (overlapping occurrences included, KMP-style).
 class dfa_string_engine final : public primitive_engine {
  public:
-  explicit dfa_string_engine(string_spec spec)
+  explicit dfa_string_engine(string_spec spec,
+                             simd::simd_level level = simd::simd_level::automatic)
       : spec_(std::move(spec)),
         dfa_(std::make_shared<const regex::dfa>(regex::compile(regex::concat(
             {regex::star(regex::chars(regex::class_set::all())),
              regex::literal(spec_.text)})))),
+        level_(simd::resolve(level)),
         state_(dfa_->start()) {
     validate_search_string(spec_);
   }
@@ -279,29 +308,29 @@ class dfa_string_engine final : public primitive_engine {
   // The .*text automaton accepts exactly the streams whose last N bytes are
   // `text`, so a pulse at byte i <=> an occurrence of `text` ends at i. The
   // DFA starts fresh at the record boundary, so occurrences cannot span the
-  // pre-record gap - plain substring search over record+terminator is
-  // pulse-identical.
+  // pre-record gap - the vectored exact substring search over
+  // record+terminator is pulse-identical (the DFA prefilter of the paper's
+  // technique (i)).
   bool fires_in(std::span<const unsigned char> record,
                 unsigned char terminator) override {
-    const std::string_view sv{reinterpret_cast<const char*>(record.data()),
-                              record.size()};
-    if (sv.find(spec_.text) != std::string_view::npos) return true;
-    return ends_at_terminator(sv, terminator);
+    if (simd::find_substring(record.data(), record.size(), text_data(),
+                             spec_.text.size(), level_) != simd::npos)
+      return true;
+    return ends_at_terminator(record, terminator);
   }
 
   void fire_positions(std::span<const unsigned char> record,
                       unsigned char terminator,
                       std::vector<std::uint32_t>& out) override {
-    const std::string_view sv{reinterpret_cast<const char*>(record.data()),
-                              record.size()};
     const std::size_t n = spec_.text.size();
-    for (std::size_t from = 0;;) {
-      const std::size_t at = sv.find(spec_.text, from);
-      if (at == std::string_view::npos) break;
-      out.push_back(static_cast<std::uint32_t>(at + n - 1));
-      from = at + 1;  // overlapping occurrences pulse too
+    for (std::size_t from = 0; from <= record.size();) {
+      const std::size_t at = simd::find_substring(
+          record.data() + from, record.size() - from, text_data(), n, level_);
+      if (at == simd::npos) break;
+      out.push_back(static_cast<std::uint32_t>(from + at + n - 1));
+      from += at + 1;  // overlapping occurrences pulse too
     }
-    if (ends_at_terminator(sv, terminator))
+    if (ends_at_terminator(record, terminator))
       out.push_back(static_cast<std::uint32_t>(record.size()));
   }
 
@@ -331,29 +360,38 @@ class dfa_string_engine final : public primitive_engine {
   }
 
  private:
+  const unsigned char* text_data() const noexcept {
+    return reinterpret_cast<const unsigned char*>(spec_.text.data());
+  }
+
   /// Occurrence whose final byte is the appended terminator (possible when
   /// the search text ends in the separator byte - printable separators).
-  bool ends_at_terminator(std::string_view record,
+  bool ends_at_terminator(std::span<const unsigned char> record,
                           unsigned char terminator) const {
     const std::string& t = spec_.text;
     if (static_cast<unsigned char>(t.back()) != terminator) return false;
     if (record.size() + 1 < t.size()) return false;
-    return record.substr(record.size() - (t.size() - 1)) ==
+    const std::string_view sv{reinterpret_cast<const char*>(record.data()),
+                              record.size()};
+    return sv.substr(record.size() - (t.size() - 1)) ==
            std::string_view{t}.substr(0, t.size() - 1);
   }
 
   string_spec spec_;
   std::shared_ptr<const regex::dfa> dfa_;  // shared across lane clones
+  simd::simd_level level_;  // resolved vector tier of the bulk scans
   int state_;
 };
 
 /// Number-range filter: token DFA sampled at every non-token byte.
 class value_engine final : public primitive_engine {
  public:
-  explicit value_engine(value_spec spec)
+  explicit value_engine(value_spec spec,
+                        simd::simd_level level = simd::simd_level::automatic)
       : spec_(std::move(spec)),
         compiled_(std::make_shared<const compiled_dfa>(
             numrange::build_token_dfa(spec_.range, spec_.options))),
+        level_(simd::resolve(level)),
         state_(compiled_->dfa.start()) {}
 
   void reset() override { state_ = compiled_->dfa.start(); }
@@ -431,26 +469,50 @@ class value_engine final : public primitive_engine {
   };
 
   /// Walk record+terminator, invoking on_fire(pos) for every pulse the
-  /// scalar path would emit; on_fire returning false stops the scan.
+  /// scalar path would emit; on_fire returning false stops the scan. The
+  /// token runs a live DFA walks stay scalar (each byte feeds a table
+  /// step), but both skip loops - past a dead-state token run, and across
+  /// the non-token gap after a restart - jump with the vectored
+  /// token-class scans.
   template <typename OnFire>
   void scan(std::span<const unsigned char> record, unsigned char terminator,
             OnFire&& on_fire) const {
     const regex::dfa& dfa = compiled_->dfa;
-    const std::array<char, 256>& token = token_byte_table();
+    const auto token = [](unsigned char b) { return numrange::is_token_byte(b); };
     const std::size_t n = record.size();
     const auto byte_at = [&](std::size_t i) {
       return i < n ? record[i] : terminator;
+    };
+    // First position >= i (capped at n + 1) holding a token byte; position
+    // n is the terminator.
+    const auto next_token = [&](std::size_t i) {
+      if (i < n) {
+        const std::size_t at =
+            simd::find_token(record.data() + i, n - i, level_);
+        if (at != simd::npos) return i + at;
+        i = n;
+      }
+      if (i == n && token(terminator)) return n;
+      return n + 1;
+    };
+    const auto next_non_token = [&](std::size_t i) {
+      if (i < n) {
+        const std::size_t at =
+            simd::find_non_token(record.data() + i, n - i, level_);
+        if (at != simd::npos) return i + at;
+        i = n;
+      }
+      if (i == n && !token(terminator)) return n;
+      return n + 1;
     };
     int state = dfa.start();
     std::size_t i = 0;
     while (i <= n) {
       const unsigned char byte = byte_at(i);
-      if (token[byte]) {
+      if (token(byte)) {
         if (compiled_->dead[static_cast<std::size_t>(state)]) {
           // Dead states absorb: skip the rest of this token run.
-          do {
-            ++i;
-          } while (i <= n && token[byte_at(i)]);
+          i = next_non_token(i + 1);
           continue;
         }
         state = dfa.step(state, byte);
@@ -462,25 +524,27 @@ class value_engine final : public primitive_engine {
       ++i;
       if (!compiled_->start_accepting) {
         // A restarted DFA cannot pulse again until a token intervenes.
-        while (i <= n && !token[byte_at(i)]) ++i;
+        i = next_token(i);
       }
     }
   }
 
   value_spec spec_;
   std::shared_ptr<const compiled_dfa> compiled_;
+  simd::simd_level level_;  // resolved vector tier of the skip scans
   int state_;
 };
 
 }  // namespace
 
-std::unique_ptr<primitive_engine> make_engine(const primitive_spec& spec) {
+std::unique_ptr<primitive_engine> make_engine(const primitive_spec& spec,
+                                              simd::simd_level level) {
   if (const auto* s = std::get_if<string_spec>(&spec)) {
     if (s->technique == string_technique::dfa)
-      return std::make_unique<dfa_string_engine>(*s);
-    return std::make_unique<substring_engine>(*s);
+      return std::make_unique<dfa_string_engine>(*s, level);
+    return std::make_unique<substring_engine>(*s, level);
   }
-  return std::make_unique<value_engine>(std::get<value_spec>(spec));
+  return std::make_unique<value_engine>(std::get<value_spec>(spec), level);
 }
 
 }  // namespace jrf::core

@@ -26,6 +26,7 @@
 #include <variant>
 #include <vector>
 
+#include "core/simd.hpp"
 #include "netlist/builders.hpp"
 #include "netlist/network.hpp"
 #include "numrange/builder.hpp"
@@ -120,7 +121,13 @@ class primitive_engine {
                                          const std::string& prefix) const = 0;
 };
 
-/// Instantiate the engine for a spec.
-std::unique_ptr<primitive_engine> make_engine(const primitive_spec& spec);
+/// Instantiate the engine for a spec. `level` pins the vector tier of the
+/// bulk scans (fires_in / fire_positions); automatic follows the
+/// runtime-dispatched host level. step() is always scalar - it models the
+/// hardware byte per byte - and the bulk paths are pulse-identical to it
+/// at every level.
+std::unique_ptr<primitive_engine> make_engine(
+    const primitive_spec& spec,
+    simd::simd_level level = simd::simd_level::automatic);
 
 }  // namespace jrf::core

@@ -1,0 +1,628 @@
+#include "core/simd.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#include "numrange/builder.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define JRF_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define JRF_SIMD_X86 0
+#endif
+
+namespace jrf::core::simd {
+
+const char* to_string(simd_level level) noexcept {
+  switch (level) {
+    case simd_level::automatic: return "auto";
+    case simd_level::scalar: return "scalar";
+    case simd_level::sse2: return "sse2";
+    case simd_level::avx2: return "avx2";
+  }
+  return "?";
+}
+
+std::optional<simd_level> parse_level(std::string_view text) noexcept {
+  if (text == "auto") return simd_level::automatic;
+  if (text == "scalar") return simd_level::scalar;
+  if (text == "sse2") return simd_level::sse2;
+  if (text == "avx2") return simd_level::avx2;
+  return std::nullopt;
+}
+
+namespace {
+
+int rank(simd_level level) noexcept { return static_cast<int>(level); }
+
+simd_level probe_cpu() noexcept {
+#if JRF_SIMD_X86 && defined(__GNUC__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return simd_level::avx2;
+  if (__builtin_cpu_supports("sse2")) return simd_level::sse2;
+#endif
+  return simd_level::scalar;
+}
+
+/// True unless the variable is unset, empty, "0" or "OFF".
+bool env_truthy(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "OFF") != 0 &&
+         std::strcmp(v, "off") != 0;
+}
+
+simd_level compute_active() noexcept {
+  simd_level level = probe_cpu();
+#ifdef JRF_FORCE_SCALAR
+  level = simd_level::scalar;
+#endif
+  if (env_truthy("JRF_FORCE_SCALAR")) level = simd_level::scalar;
+  if (const char* v = std::getenv("JRF_SIMD_LEVEL")) {
+    if (const auto parsed = parse_level(v);
+        parsed && *parsed != simd_level::automatic &&
+        rank(*parsed) < rank(level))
+      level = *parsed;
+  }
+  return level;
+}
+
+}  // namespace
+
+simd_level detected_level() noexcept {
+  static const simd_level level = probe_cpu();
+  return level;
+}
+
+simd_level active_level() noexcept {
+  static const simd_level level = compute_active();
+  return level;
+}
+
+simd_level resolve(simd_level preference) noexcept {
+  if (preference == simd_level::automatic) return active_level();
+  return rank(preference) < rank(detected_level()) ? preference
+                                                   : detected_level();
+}
+
+std::vector<simd_level> available_levels() {
+  std::vector<simd_level> out{simd_level::scalar};
+  if (rank(detected_level()) >= rank(simd_level::sse2))
+    out.push_back(simd_level::sse2);
+  if (rank(detected_level()) >= rank(simd_level::avx2))
+    out.push_back(simd_level::avx2);
+  return out;
+}
+
+byte_set::byte_set(std::span<const unsigned char> bytes) {
+  for (const unsigned char b : bytes) {
+    if (bitmap_[b]) continue;
+    bitmap_[b] = 1;
+    bytes_.push_back(b);
+  }
+  // Nibble classifier: assign one bucket bit per distinct high nibble;
+  // exact membership whenever <= 8 high nibbles occur (always true for
+  // ASCII search text, whose high nibbles span 0x2-0x7).
+  std::array<int, 16> bucket_of;
+  bucket_of.fill(-1);
+  int buckets = 0;
+  nibble_ok_ = true;
+  for (const unsigned char b : bytes_) {
+    const unsigned hi = b >> 4;
+    if (bucket_of[hi] < 0) {
+      if (buckets == 8) {
+        nibble_ok_ = false;
+        break;
+      }
+      bucket_of[hi] = buckets++;
+    }
+  }
+  if (nibble_ok_) {
+    for (unsigned hi = 0; hi < 16; ++hi)
+      if (bucket_of[hi] >= 0)
+        hi_table_[hi] = static_cast<unsigned char>(1u << bucket_of[hi]);
+    for (const unsigned char b : bytes_)
+      lo_table_[b & 15] |= hi_table_[b >> 4];
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier: the reference implementation of every kernel.
+// ---------------------------------------------------------------------------
+
+// The single definition of the numeric-token class; the vector tiers
+// below mirror it and core_simd_test pins them to it byte for byte.
+constexpr bool is_token_scalar(unsigned char b) noexcept {
+  return numrange::is_token_byte(b);
+}
+
+/// The structure tracker's candidate set outside a string literal.
+constexpr bool is_structural_scalar(unsigned char b) noexcept {
+  return b == '"' || b == '{' || b == '}' || b == '[' || b == ']' || b == ',';
+}
+
+std::uint32_t match_mask_scalar(const unsigned char* data, std::size_t size,
+                                const byte_set& set) noexcept {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < size; ++i)
+    mask |= static_cast<std::uint32_t>(set.contains(data[i]) ? 1u : 0u) << i;
+  return mask;
+}
+
+std::size_t find_byte_scalar(const unsigned char* data, std::size_t size,
+                             unsigned char b) noexcept {
+  if (size == 0) return npos;  // empty spans may carry a null data()
+  const void* hit = std::memchr(data, b, size);
+  return hit == nullptr
+             ? npos
+             : static_cast<std::size_t>(static_cast<const unsigned char*>(hit) -
+                                        data);
+}
+
+std::size_t find_first_of2_scalar(const unsigned char* data, std::size_t size,
+                                  unsigned char a, unsigned char b) noexcept {
+  for (std::size_t i = 0; i < size; ++i)
+    if (data[i] == a || data[i] == b) return i;
+  return npos;
+}
+
+std::uint32_t structural_mask_scalar(const unsigned char* data,
+                                     std::size_t size) noexcept {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < size; ++i)
+    if (is_structural_scalar(data[i]) || data[i] == '\\')
+      mask |= std::uint32_t{1} << i;
+  return mask;
+}
+
+std::size_t find_token_scalar(const unsigned char* data,
+                              std::size_t size) noexcept {
+  for (std::size_t i = 0; i < size; ++i)
+    if (is_token_scalar(data[i])) return i;
+  return npos;
+}
+
+std::size_t find_non_token_scalar(const unsigned char* data,
+                                  std::size_t size) noexcept {
+  for (std::size_t i = 0; i < size; ++i)
+    if (!is_token_scalar(data[i])) return i;
+  return npos;
+}
+
+std::size_t find_substring_scalar(const unsigned char* hay, std::size_t n,
+                                  const unsigned char* needle,
+                                  std::size_t m) noexcept {
+  if (m == 0) return 0;
+  if (m > n) return npos;
+  std::size_t i = 0;
+  while (i + m <= n) {
+    const void* hit = std::memchr(hay + i, needle[0], n - m - i + 1);
+    if (hit == nullptr) return npos;
+    i = static_cast<std::size_t>(static_cast<const unsigned char*>(hit) - hay);
+    if (std::memcmp(hay + i, needle, m) == 0) return i;
+    ++i;
+  }
+  return npos;
+}
+
+#if JRF_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 tier (128-bit). Every loop reads only full in-bounds vectors and
+// finishes with the scalar reference over the tail.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse2"))) std::uint32_t match_mask_sse2(
+    const unsigned char* data, std::size_t size, const byte_set& set) noexcept {
+  // Partial chunks take the scalar path (a full 16-byte load would read
+  // past the buffer); sets beyond the compare budget fall back too, capped
+  // at this tier's chunk width.
+  if (size < 16 || set.size() > 4)
+    return match_mask_scalar(data, std::min<std::size_t>(size, 16), set);
+  const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data));
+  __m128i acc = _mm_setzero_si128();
+  for (const unsigned char b : set.bytes())
+    acc = _mm_or_si128(acc, _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(b))));
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(acc)) & 0xFFFFu;
+}
+
+__attribute__((target("sse2"))) std::size_t find_byte_sse2(
+    const unsigned char* data, std::size_t size, unsigned char b) noexcept {
+  const __m128i vb = _mm_set1_epi8(static_cast<char>(b));
+  std::size_t i = 0;
+  for (; i + 16 <= size; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(v, vb));
+    if (mask != 0)
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(mask)));
+  }
+  const std::size_t tail = find_byte_scalar(data + i, size - i, b);
+  return tail == npos ? npos : i + tail;
+}
+
+__attribute__((target("sse2"))) std::size_t find_first_of2_sse2(
+    const unsigned char* data, std::size_t size, unsigned char a,
+    unsigned char b) noexcept {
+  const __m128i va = _mm_set1_epi8(static_cast<char>(a));
+  const __m128i vb = _mm_set1_epi8(static_cast<char>(b));
+  std::size_t i = 0;
+  for (; i + 16 <= size; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const __m128i hit =
+        _mm_or_si128(_mm_cmpeq_epi8(v, va), _mm_cmpeq_epi8(v, vb));
+    const int mask = _mm_movemask_epi8(hit);
+    if (mask != 0)
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(mask)));
+  }
+  const std::size_t tail = find_first_of2_scalar(data + i, size - i, a, b);
+  return tail == npos ? npos : i + tail;
+}
+
+
+/// Structural candidates plus backslash. ORing 0x20 folds '{'/'[' and
+/// '}'/']' onto single compares ('[' | 0x20 == '{', ']' | 0x20 == '}',
+/// and no other byte folds onto either).
+__attribute__((target("sse2"))) std::uint32_t structural_mask_sse2(
+    const unsigned char* data, std::size_t size) noexcept {
+  if (size < 16) return structural_mask_scalar(data, size);
+  const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data));
+  const __m128i folded = _mm_or_si128(v, _mm_set1_epi8(0x20));
+  const __m128i hit = _mm_or_si128(
+      _mm_or_si128(
+          _mm_or_si128(_mm_cmpeq_epi8(v, _mm_set1_epi8('"')),
+                       _mm_cmpeq_epi8(v, _mm_set1_epi8(','))),
+          _mm_cmpeq_epi8(v, _mm_set1_epi8('\\'))),
+      _mm_or_si128(_mm_cmpeq_epi8(folded, _mm_set1_epi8('{')),
+                   _mm_cmpeq_epi8(folded, _mm_set1_epi8('}'))));
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(hit)) & 0xFFFFu;
+}
+
+/// Numeric-token class mask for one 16-byte vector: digits by signed range
+/// compare (token bytes are all < 0x80, and bytes >= 0x80 read as negative
+/// so both range compares reject them), 'e'/'E' by case fold, '+', '-',
+/// '.' by direct compare.
+__attribute__((target("sse2"))) __m128i token_mask_sse2(__m128i v) noexcept {
+  const __m128i digit = _mm_and_si128(
+      _mm_cmpgt_epi8(v, _mm_set1_epi8('0' - 1)),
+      _mm_cmplt_epi8(v, _mm_set1_epi8('9' + 1)));
+  const __m128i e_fold = _mm_cmpeq_epi8(_mm_or_si128(v, _mm_set1_epi8(0x20)),
+                                        _mm_set1_epi8('e'));
+  const __m128i signs = _mm_or_si128(_mm_cmpeq_epi8(v, _mm_set1_epi8('+')),
+                                     _mm_cmpeq_epi8(v, _mm_set1_epi8('-')));
+  const __m128i dot = _mm_cmpeq_epi8(v, _mm_set1_epi8('.'));
+  return _mm_or_si128(_mm_or_si128(digit, e_fold), _mm_or_si128(signs, dot));
+}
+
+__attribute__((target("sse2"))) std::size_t find_token_sse2(
+    const unsigned char* data, std::size_t size) noexcept {
+  std::size_t i = 0;
+  for (; i + 16 <= size; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const int mask = _mm_movemask_epi8(token_mask_sse2(v));
+    if (mask != 0)
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(mask)));
+  }
+  const std::size_t tail = find_token_scalar(data + i, size - i);
+  return tail == npos ? npos : i + tail;
+}
+
+__attribute__((target("sse2"))) std::size_t find_non_token_sse2(
+    const unsigned char* data, std::size_t size) noexcept {
+  std::size_t i = 0;
+  for (; i + 16 <= size; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const int mask = (~_mm_movemask_epi8(token_mask_sse2(v))) & 0xFFFF;
+    if (mask != 0)
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(mask)));
+  }
+  const std::size_t tail = find_non_token_scalar(data + i, size - i);
+  return tail == npos ? npos : i + tail;
+}
+
+/// First+last byte candidate compare, memcmp confirm (Mula's SIMD-friendly
+/// substring scheme). Both loads stay inside hay[0, n): the block at
+/// offset i reads [i, i+16) and [i+m-1, i+m+15), bounded by the loop
+/// condition.
+__attribute__((target("sse2"))) std::size_t find_substring_sse2(
+    const unsigned char* hay, std::size_t n, const unsigned char* needle,
+    std::size_t m) noexcept {
+  if (m == 0) return 0;
+  if (m > n) return npos;
+  if (m == 1) return find_byte_sse2(hay, n, needle[0]);
+  const __m128i first = _mm_set1_epi8(static_cast<char>(needle[0]));
+  const __m128i last = _mm_set1_epi8(static_cast<char>(needle[m - 1]));
+  std::size_t i = 0;
+  for (; i + m + 15 <= n; i += 16) {
+    const __m128i block_first =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hay + i));
+    const __m128i block_last =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hay + i + m - 1));
+    unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(
+        _mm_and_si128(_mm_cmpeq_epi8(block_first, first),
+                      _mm_cmpeq_epi8(block_last, last))));
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(mask));
+      mask &= mask - 1;
+      if (std::memcmp(hay + i + bit + 1, needle + 1, m - 2) == 0)
+        return i + bit;
+    }
+  }
+  const std::size_t tail = find_substring_scalar(hay + i, n - i, needle, m);
+  return tail == npos ? npos : i + tail;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier (256-bit).
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) std::uint32_t match_mask_avx2(
+    const unsigned char* data, std::size_t size, const byte_set& set) noexcept {
+  if (size < 32) return match_mask_scalar(data, size, set);
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+  if (set.size() <= 4) {
+    __m256i acc = _mm256_setzero_si256();
+    for (const unsigned char b : set.bytes())
+      acc = _mm256_or_si256(
+          acc, _mm256_cmpeq_epi8(v, _mm256_set1_epi8(static_cast<char>(b))));
+    return static_cast<std::uint32_t>(_mm256_movemask_epi8(acc));
+  }
+  if (set.nibble_classifiable()) {
+    // Exact nibble-table classification: member iff
+    // lo_table[b & 15] & hi_table[b >> 4] != 0.
+    const __m128i lo128 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(set.lo_table().data()));
+    const __m128i hi128 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(set.hi_table().data()));
+    const __m256i lo_tbl = _mm256_broadcastsi128_si256(lo128);
+    const __m256i hi_tbl = _mm256_broadcastsi128_si256(hi128);
+    const __m256i low_nibbles = _mm256_and_si256(v, _mm256_set1_epi8(0x0F));
+    // vpshufb selects 0 for lanes with bit 7 set, which is exactly right:
+    // bytes >= 0x80 have no bucket and must classify as non-members.
+    const __m256i high_nibbles = _mm256_and_si256(
+        _mm256_srli_epi16(v, 4), _mm256_set1_epi8(0x0F));
+    const __m256i lo_bits = _mm256_shuffle_epi8(lo_tbl, low_nibbles);
+    const __m256i hi_bits = _mm256_shuffle_epi8(hi_tbl, high_nibbles);
+    const __m256i member = _mm256_cmpeq_epi8(
+        _mm256_and_si256(lo_bits, hi_bits), _mm256_setzero_si256());
+    return ~static_cast<std::uint32_t>(_mm256_movemask_epi8(member));
+  }
+  return match_mask_scalar(data, std::min<std::size_t>(size, 32), set);
+}
+
+__attribute__((target("avx2"))) std::size_t find_byte_avx2(
+    const unsigned char* data, std::size_t size, unsigned char b) noexcept {
+  const __m256i vb = _mm256_set1_epi8(static_cast<char>(b));
+  std::size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const auto mask =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(v, vb)));
+    if (mask != 0)
+      return i + static_cast<std::size_t>(std::countr_zero(mask));
+  }
+  const std::size_t tail = find_byte_scalar(data + i, size - i, b);
+  return tail == npos ? npos : i + tail;
+}
+
+__attribute__((target("avx2"))) std::size_t find_first_of2_avx2(
+    const unsigned char* data, std::size_t size, unsigned char a,
+    unsigned char b) noexcept {
+  const __m256i va = _mm256_set1_epi8(static_cast<char>(a));
+  const __m256i vb = _mm256_set1_epi8(static_cast<char>(b));
+  std::size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const auto mask = static_cast<std::uint32_t>(_mm256_movemask_epi8(
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, va), _mm256_cmpeq_epi8(v, vb))));
+    if (mask != 0)
+      return i + static_cast<std::size_t>(std::countr_zero(mask));
+  }
+  const std::size_t tail = find_first_of2_scalar(data + i, size - i, a, b);
+  return tail == npos ? npos : i + tail;
+}
+
+
+__attribute__((target("avx2"))) std::uint32_t structural_mask_avx2(
+    const unsigned char* data, std::size_t size) noexcept {
+  if (size < 32) return structural_mask_scalar(data, size);
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+  const __m256i folded = _mm256_or_si256(v, _mm256_set1_epi8(0x20));
+  const __m256i hit = _mm256_or_si256(
+      _mm256_or_si256(
+          _mm256_or_si256(_mm256_cmpeq_epi8(v, _mm256_set1_epi8('"')),
+                          _mm256_cmpeq_epi8(v, _mm256_set1_epi8(','))),
+          _mm256_cmpeq_epi8(v, _mm256_set1_epi8('\\'))),
+      _mm256_or_si256(_mm256_cmpeq_epi8(folded, _mm256_set1_epi8('{')),
+                      _mm256_cmpeq_epi8(folded, _mm256_set1_epi8('}'))));
+  return static_cast<std::uint32_t>(_mm256_movemask_epi8(hit));
+}
+
+__attribute__((target("avx2"))) __m256i token_mask_avx2(__m256i v) noexcept {
+  const __m256i digit = _mm256_and_si256(
+      _mm256_cmpgt_epi8(v, _mm256_set1_epi8('0' - 1)),
+      _mm256_cmpgt_epi8(_mm256_set1_epi8('9' + 1), v));
+  const __m256i e_fold = _mm256_cmpeq_epi8(
+      _mm256_or_si256(v, _mm256_set1_epi8(0x20)), _mm256_set1_epi8('e'));
+  const __m256i signs =
+      _mm256_or_si256(_mm256_cmpeq_epi8(v, _mm256_set1_epi8('+')),
+                      _mm256_cmpeq_epi8(v, _mm256_set1_epi8('-')));
+  const __m256i dot = _mm256_cmpeq_epi8(v, _mm256_set1_epi8('.'));
+  return _mm256_or_si256(_mm256_or_si256(digit, e_fold),
+                         _mm256_or_si256(signs, dot));
+}
+
+__attribute__((target("avx2"))) std::size_t find_token_avx2(
+    const unsigned char* data, std::size_t size) noexcept {
+  std::size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const auto mask =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(token_mask_avx2(v)));
+    if (mask != 0)
+      return i + static_cast<std::size_t>(std::countr_zero(mask));
+  }
+  const std::size_t tail = find_token_scalar(data + i, size - i);
+  return tail == npos ? npos : i + tail;
+}
+
+__attribute__((target("avx2"))) std::size_t find_non_token_avx2(
+    const unsigned char* data, std::size_t size) noexcept {
+  std::size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const auto mask =
+        ~static_cast<std::uint32_t>(_mm256_movemask_epi8(token_mask_avx2(v)));
+    if (mask != 0)
+      return i + static_cast<std::size_t>(std::countr_zero(mask));
+  }
+  const std::size_t tail = find_non_token_scalar(data + i, size - i);
+  return tail == npos ? npos : i + tail;
+}
+
+__attribute__((target("avx2"))) std::size_t find_substring_avx2(
+    const unsigned char* hay, std::size_t n, const unsigned char* needle,
+    std::size_t m) noexcept {
+  if (m == 0) return 0;
+  if (m > n) return npos;
+  if (m == 1) return find_byte_avx2(hay, n, needle[0]);
+  const __m256i first = _mm256_set1_epi8(static_cast<char>(needle[0]));
+  const __m256i last = _mm256_set1_epi8(static_cast<char>(needle[m - 1]));
+  std::size_t i = 0;
+  for (; i + m + 31 <= n; i += 32) {
+    const __m256i block_first =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hay + i));
+    const __m256i block_last =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hay + i + m - 1));
+    auto mask = static_cast<std::uint32_t>(_mm256_movemask_epi8(
+        _mm256_and_si256(_mm256_cmpeq_epi8(block_first, first),
+                         _mm256_cmpeq_epi8(block_last, last))));
+    while (mask != 0) {
+      const auto bit = static_cast<unsigned>(std::countr_zero(mask));
+      mask &= mask - 1;
+      if (std::memcmp(hay + i + bit + 1, needle + 1, m - 2) == 0)
+        return i + bit;
+    }
+  }
+  const std::size_t tail = find_substring_scalar(hay + i, n - i, needle, m);
+  return tail == npos ? npos : i + tail;
+}
+
+#endif  // JRF_SIMD_X86
+
+}  // namespace
+
+std::size_t chunk_width(simd_level level) noexcept {
+#if JRF_SIMD_X86
+  if (level == simd_level::sse2) return 16;
+#else
+  (void)level;
+#endif
+  return 32;
+}
+
+std::uint32_t match_mask(const unsigned char* data, std::size_t size,
+                         const byte_set& set, simd_level level) noexcept {
+#if JRF_SIMD_X86
+  switch (level) {
+    case simd_level::avx2: return match_mask_avx2(data, size, set);
+    case simd_level::sse2: return match_mask_sse2(data, size, set);
+    default: break;
+  }
+#endif
+  return match_mask_scalar(data, std::min(size, chunk_width(level)), set);
+}
+
+std::size_t find_byte(const unsigned char* data, std::size_t size,
+                      unsigned char b, simd_level level) noexcept {
+#if JRF_SIMD_X86
+  switch (level) {
+    case simd_level::avx2: return find_byte_avx2(data, size, b);
+    case simd_level::sse2: return find_byte_sse2(data, size, b);
+    default: break;
+  }
+#endif
+  (void)level;
+  return find_byte_scalar(data, size, b);
+}
+
+std::size_t find_first_of2(const unsigned char* data, std::size_t size,
+                           unsigned char a, unsigned char b,
+                           simd_level level) noexcept {
+#if JRF_SIMD_X86
+  switch (level) {
+    case simd_level::avx2: return find_first_of2_avx2(data, size, a, b);
+    case simd_level::sse2: return find_first_of2_sse2(data, size, a, b);
+    default: break;
+  }
+#endif
+  (void)level;
+  return find_first_of2_scalar(data, size, a, b);
+}
+
+
+std::uint32_t structural_mask(const unsigned char* data, std::size_t size,
+                              simd_level level) noexcept {
+#if JRF_SIMD_X86
+  switch (level) {
+    case simd_level::avx2: return structural_mask_avx2(data, size);
+    case simd_level::sse2: return structural_mask_sse2(data, size);
+    default: break;
+  }
+#endif
+  return structural_mask_scalar(data, std::min(size, chunk_width(level)));
+}
+
+std::size_t find_token(const unsigned char* data, std::size_t size,
+                       simd_level level) noexcept {
+#if JRF_SIMD_X86
+  switch (level) {
+    case simd_level::avx2: return find_token_avx2(data, size);
+    case simd_level::sse2: return find_token_sse2(data, size);
+    default: break;
+  }
+#endif
+  (void)level;
+  return find_token_scalar(data, size);
+}
+
+std::size_t find_non_token(const unsigned char* data, std::size_t size,
+                           simd_level level) noexcept {
+#if JRF_SIMD_X86
+  switch (level) {
+    case simd_level::avx2: return find_non_token_avx2(data, size);
+    case simd_level::sse2: return find_non_token_sse2(data, size);
+    default: break;
+  }
+#endif
+  (void)level;
+  return find_non_token_scalar(data, size);
+}
+
+std::size_t find_substring(const unsigned char* hay, std::size_t n,
+                           const unsigned char* needle, std::size_t m,
+                           simd_level level) noexcept {
+#if JRF_SIMD_X86
+  switch (level) {
+    case simd_level::avx2: return find_substring_avx2(hay, n, needle, m);
+    case simd_level::sse2: return find_substring_sse2(hay, n, needle, m);
+    default: break;
+  }
+#endif
+  (void)level;
+  return find_substring_scalar(hay, n, needle, m);
+}
+
+}  // namespace jrf::core::simd

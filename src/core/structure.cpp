@@ -23,35 +23,6 @@ void structure_tracker::reset() {
   depth_ = 0;
 }
 
-structure_state structure_tracker::step(unsigned char byte) {
-  structure_state st;
-  st.depth_before = depth_;
-  if (in_string_) {
-    st.masked = true;
-    if (escaped_) {
-      escaped_ = false;
-    } else if (byte == '\\') {
-      escaped_ = true;
-    } else if (byte == '"') {
-      in_string_ = false;
-    }
-  } else if (byte == '"') {
-    st.masked = true;
-    in_string_ = true;
-  } else if (byte == '{' || byte == '[') {
-    st.scope_open = true;
-    depth_ = std::min(depth_ + 1, max_depth_);
-  } else if (byte == '}' || byte == ']') {
-    st.scope_close = true;
-    st.pair_boundary = true;
-    depth_ = std::max(depth_ - 1, 0);
-  } else if (byte == ',') {
-    st.pair_boundary = true;
-  }
-  st.depth = depth_;
-  return st;
-}
-
 string_mask_circuit build_string_mask(network& net, const bus& byte,
                                       const std::string& prefix) {
   string_mask_circuit out;

@@ -17,6 +17,7 @@
 // netlist elaboration; equivalence is tested.
 #pragma once
 
+#include <algorithm>
 #include <string>
 
 #include "netlist/network.hpp"
@@ -46,10 +47,44 @@ class structure_tracker {
 
   void reset();
 
-  structure_state step(unsigned char byte);
+  /// Defined inline: the chunked engine's event scan calls this once per
+  /// structural byte (~every 7th byte of real JSON) and the call overhead
+  /// would dominate that loop out of line.
+  structure_state step(unsigned char byte) {
+    structure_state st;
+    st.depth_before = depth_;
+    if (in_string_) {
+      st.masked = true;
+      if (escaped_) {
+        escaped_ = false;
+      } else if (byte == '\\') {
+        escaped_ = true;
+      } else if (byte == '"') {
+        in_string_ = false;
+      }
+    } else if (byte == '"') {
+      st.masked = true;
+      in_string_ = true;
+    } else if (byte == '{' || byte == '[') {
+      st.scope_open = true;
+      depth_ = std::min(depth_ + 1, max_depth_);
+    } else if (byte == '}' || byte == ']') {
+      st.scope_close = true;
+      st.pair_boundary = true;
+      depth_ = std::max(depth_ - 1, 0);
+    } else if (byte == ',') {
+      st.pair_boundary = true;
+    }
+    st.depth = depth_;
+    return st;
+  }
 
   int depth() const noexcept { return depth_; }
   bool in_string() const noexcept { return in_string_; }
+  /// Inside a literal with the escape armed: the next byte - whatever it
+  /// is - only clears the flag. Lets batched scans that skip
+  /// state-irrelevant bytes know the one byte they must not skip.
+  bool escaped() const noexcept { return escaped_; }
   int max_depth() const noexcept { return max_depth_; }
 
  private:

@@ -208,11 +208,6 @@ node_ptr exponent_escape_regex() {
                  star(chars(token_tail))});
 }
 
-bool is_token_byte(unsigned char byte) noexcept {
-  return (byte >= '0' && byte <= '9') || byte == '.' || byte == '+' ||
-         byte == '-' || byte == 'e' || byte == 'E';
-}
-
 namespace {
 
 /// Effective bounds for the given range, rounded to integers when the filter

@@ -64,6 +64,12 @@ derivation derive(const range_spec& spec, const build_options& options = {});
 
 /// Bytes that may be part of a numeric token; anything else terminates the
 /// token and causes the filter to sample the DFA state (paper Section III-B).
-bool is_token_byte(unsigned char byte) noexcept;
+/// Defined inline: the scalar tiers of core/simd's token scans call it per
+/// byte, and it is the single definition those vector kernels must mirror
+/// (core_simd_test pins every tier to it over all 256 byte values).
+constexpr bool is_token_byte(unsigned char byte) noexcept {
+  return (byte >= '0' && byte <= '9') || byte == '.' || byte == '+' ||
+         byte == '-' || byte == 'e' || byte == 'E';
+}
 
 }  // namespace jrf::numrange

@@ -40,6 +40,9 @@ struct system_options {
   // Software hot path the lanes run on. Decisions and the cycle-quantized
   // accounting are identical for both; only host wall-clock differs.
   core::engine_kind engine = core::engine_kind::chunked;
+  // filter.simd selects the vector tier of the lanes' bulk scans
+  // (automatic = runtime CPU dispatch); decisions are identical at every
+  // level.
   core::filter_options filter;
 };
 

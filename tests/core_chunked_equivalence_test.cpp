@@ -1,7 +1,9 @@
 // Acceptance gate for the chunked hot path: scan_chunk framing + bulk
 // record evaluation must produce byte-identical per-record decisions to the
 // scalar push() path across the riotbench queries and all three datasets,
-// for every compilation mode the query compiler can emit.
+// for every compilation mode the query compiler can emit AND every SIMD
+// tier this host can execute (scalar / SSE2 / AVX2): the vectored candidate
+// scans must cause zero decision drift at any level.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -9,6 +11,7 @@
 
 #include "core/filter_engine.hpp"
 #include "core/raw_filter.hpp"
+#include "core/simd.hpp"
 #include "data/smartcity.hpp"
 #include "data/stream.hpp"
 #include "data/taxi.hpp"
@@ -38,11 +41,18 @@ void expect_identical_decisions(const core::expr_ptr& expr,
   core::raw_filter reference(expr);
   const std::vector<bool> expected = reference.filter_stream(stream);
 
-  auto chunked = core::make_filter_engine(core::engine_kind::chunked, expr);
-  const std::vector<bool> actual = chunked->filter_stream(stream);
-  ASSERT_EQ(actual.size(), expected.size()) << label;
-  for (std::size_t i = 0; i < expected.size(); ++i)
-    ASSERT_EQ(actual[i], expected[i]) << label << " record " << i;
+  for (const core::simd::simd_level level : core::simd::available_levels()) {
+    core::filter_options options;
+    options.simd = level;
+    auto chunked =
+        core::make_filter_engine(core::engine_kind::chunked, expr, options);
+    const std::vector<bool> actual = chunked->filter_stream(stream);
+    const std::string where =
+        label + " simd=" + core::simd::to_string(level);
+    ASSERT_EQ(actual.size(), expected.size()) << where;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      ASSERT_EQ(actual[i], expected[i]) << where << " record " << i;
+  }
 }
 
 TEST(ChunkedEquivalence, RiotbenchQueriesAllDatasetsGrouped) {

@@ -191,6 +191,88 @@ TEST(FilterEngine, NullExpressionThrows) {
   EXPECT_THROW(make_filter_engine(engine_kind::chunked, nullptr), error);
 }
 
+/// expect_framing_equivalence swept across every SIMD tier this host can
+/// execute: the vector kernels' tail handling must not shift a single
+/// decision.
+void expect_equivalence_all_levels(const expr_ptr& expr,
+                                   std::string_view stream) {
+  for (const simd::simd_level level : simd::available_levels()) {
+    filter_options options;
+    options.simd = level;
+    expect_framing_equivalence(expr, stream, options);
+  }
+}
+
+TEST(FilterEngine, VectorWidthBoundaryRecordLengths) {
+  // Records of exactly 15/16/17/31/32/33 bytes surround the 16- and
+  // 32-byte vector widths: the candidate scans and framing must handle
+  // full-vector, one-short and one-over tails identically to scalar.
+  const expr_ptr expr = conj({string_leaf("tm", 1)});
+  for (const std::size_t len : {15u, 16u, 17u, 31u, 32u, 33u}) {
+    for (const std::size_t at : {0u, 7u, 13u, 29u}) {
+      if (at + 2 > len) continue;
+      std::string record(len, '.');
+      record[at] = 't';
+      record[at + 1] = 'm';
+      std::string stream = record + "\n" + record + "\n";
+      expect_equivalence_all_levels(expr, stream);
+      // Same records with no match at all.
+      expect_equivalence_all_levels(expr,
+                                    std::string(len, '.') + "\n");
+    }
+  }
+}
+
+TEST(FilterEngine, MatchStraddlesChunkBoundary) {
+  // "temperature" placed so it begins in one 32-byte block and ends in
+  // the next - every offset around both vector widths.
+  for (const std::size_t at : {5u, 10u, 14u, 15u, 16u, 21u, 26u, 30u, 31u,
+                               32u, 33u, 40u}) {
+    std::string record(64, 'x');
+    record.replace(at, 11, "temperature");
+    const std::string stream = record + "\n";
+    expect_equivalence_all_levels(conj({string_leaf("temperature", 1)}),
+                                  stream);
+    expect_equivalence_all_levels(conj({string_leaf("temperature", 2)}),
+                                  stream);
+    expect_equivalence_all_levels(
+        conj({dfa_string_leaf("temperature")}), stream);
+    expect_equivalence_all_levels(
+        conj({string_leaf("temperature", 11)}), stream);
+  }
+}
+
+TEST(FilterEngine, EscapedQuoteAtRecordTail) {
+  // Escapes at the very end of a record (and of a vector chunk): the
+  // framing scan and the event scan both special-case the byte after a
+  // backslash; at the record tail that byte is the separator itself.
+  const std::vector<std::string> streams = {
+      // Escaped quote as the last content byte.
+      "{\"msg\":\"tail\\\"\",\"temperature\":5.0}\n",
+      // Backslash as the final record byte (open literal, masked flush).
+      "{\"temperature\":5.0}\n{\"msg\":\"trailing\\",
+      // Escaped backslash then closing quote at a 32-byte boundary.
+      "{\"padpadpadpadpad\":\"0123456\\\\\",\"temperature\":7.0}\n",
+      // Double records whose escapes land on chunk edges at width 1-64.
+      "{\"a\":\"\\\"\\\"\\\"\"}\n{\"temperature\":5.0,\"b\":\"\\\\\"}\n",
+  };
+  for (const std::string& stream : streams) {
+    expect_equivalence_all_levels(temperature_filter(), stream);
+    expect_equivalence_all_levels(grouped_filter(), stream);
+  }
+}
+
+TEST(FilterEngine, SimdLevelKnobProducesIdenticalDecisions) {
+  // The engine-selection knob end to end: same stream, every level, both
+  // a flat and a grouped filter, decisions byte-identical.
+  const std::string stream =
+      "{\"e\":[{\"n\":\"temperature\",\"v\":21.5}],\"x\":\"\\\"esc\\\"\"}\n"
+      "{\"e\":[{\"n\":\"temperature\",\"v\":99.0}]}\n"
+      "{\"e\":[{\"n\":\"humidity\",\"v\":3.2}]}\n";
+  expect_equivalence_all_levels(temperature_filter(), stream);
+  expect_equivalence_all_levels(grouped_filter(), stream);
+}
+
 TEST(FilterEngine, RawFilterCopyIsIndependent) {
   raw_filter original(temperature_filter());
   original.push('{');

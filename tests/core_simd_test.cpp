@@ -1,0 +1,268 @@
+// core/simd portability layer: every vector tier must return positions and
+// masks byte-identical to the scalar reference tier, for buffers that
+// exercise the vector-width boundaries (15/16/17 and 31/32/33 bytes, and
+// matches straddling a 16- or 32-byte chunk edge). Also holds the runtime
+// dispatch contract: the CPUID probe, the JRF_FORCE_SCALAR / JRF_SIMD_LEVEL
+// overrides (exercised via resolve()), and the CI probe gate - when
+// JRF_REQUIRE_SIMD names a level, detecting less is a failure, so a
+// misconfigured runner cannot silently fall back to scalar.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/simd.hpp"
+#include "numrange/builder.hpp"
+
+namespace jrf::core::simd {
+namespace {
+
+int rank(simd_level level) { return static_cast<int>(level); }
+
+std::vector<std::size_t> boundary_sizes() {
+  return {0, 1, 2, 7, 15, 16, 17, 31, 32, 33, 47, 63, 64, 65, 200, 255};
+}
+
+std::vector<unsigned char> random_bytes(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(0, 255);
+  std::vector<unsigned char> out(n);
+  for (auto& b : out) b = static_cast<unsigned char>(dist(rng));
+  return out;
+}
+
+// References: the token class delegates to its single definition
+// (numrange::is_token_byte) so the vector tiers are pinned to the byte
+// class the value engine actually samples with; the structural class is
+// restated from the structure_tracker spec.
+bool ref_token(unsigned char b) { return numrange::is_token_byte(b); }
+
+bool ref_structural_or_escape(unsigned char b) {
+  return b == '"' || b == '{' || b == '}' || b == '[' || b == ']' ||
+         b == ',' || b == '\\';
+}
+
+TEST(SimdDispatch, DetectedLevelIsConcreteAndOrdered) {
+  const simd_level detected = detected_level();
+  EXPECT_NE(detected, simd_level::automatic);
+  EXPECT_GE(rank(detected), rank(simd_level::scalar));
+  const auto levels = available_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), simd_level::scalar);
+  EXPECT_EQ(levels.back(), detected);
+  for (std::size_t i = 1; i < levels.size(); ++i)
+    EXPECT_GT(rank(levels[i]), rank(levels[i - 1]));
+}
+
+TEST(SimdDispatch, ResolveClampsToDetected) {
+  EXPECT_EQ(resolve(simd_level::automatic), active_level());
+  EXPECT_EQ(resolve(simd_level::scalar), simd_level::scalar);
+  EXPECT_LE(rank(resolve(simd_level::avx2)), rank(detected_level()));
+  for (const simd_level level : available_levels())
+    EXPECT_EQ(resolve(level), level);
+}
+
+TEST(SimdDispatch, ParseAndPrintRoundTrip) {
+  for (const simd_level level :
+       {simd_level::automatic, simd_level::scalar, simd_level::sse2,
+        simd_level::avx2}) {
+    const auto parsed = parse_level(to_string(level));
+    ASSERT_TRUE(parsed.has_value()) << to_string(level);
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(parse_level("altivec").has_value());
+  EXPECT_FALSE(parse_level("").has_value());
+}
+
+// CI probe gate: an AVX2 runner exports JRF_REQUIRE_SIMD=avx2; if the
+// probe silently downgrades (a build or detection regression), this test
+// fails instead of the whole matrix quietly testing scalar twice.
+TEST(SimdDispatch, RequiredLevelIsDetected) {
+  const char* required = std::getenv("JRF_REQUIRE_SIMD");
+  if (required == nullptr || *required == '\0')
+    GTEST_SKIP() << "JRF_REQUIRE_SIMD not set";
+  const auto level = parse_level(required);
+  ASSERT_TRUE(level.has_value()) << "unparseable JRF_REQUIRE_SIMD: " << required;
+  EXPECT_GE(rank(detected_level()), rank(*level))
+      << "CPU probe detected only " << to_string(detected_level())
+      << " but the runner promises " << required;
+}
+
+TEST(SimdKernels, FindByteMatchesScalarAtEveryLevel) {
+  for (const std::size_t n : boundary_sizes()) {
+    auto data = random_bytes(n, 17u + static_cast<unsigned>(n));
+    // Plant the needle at every chunk-straddling offset that fits.
+    for (const std::size_t at : {std::size_t{0}, std::size_t{15},
+                                 std::size_t{16}, std::size_t{31},
+                                 std::size_t{32}, n - 1}) {
+      if (at >= n) continue;
+      auto planted = data;
+      planted[at] = 0xA7;
+      const std::size_t expected =
+          find_byte(planted.data(), n, 0xA7, simd_level::scalar);
+      for (const simd_level level : available_levels())
+        EXPECT_EQ(find_byte(planted.data(), n, 0xA7, level), expected)
+            << "n=" << n << " at=" << at << " level=" << to_string(level);
+    }
+    // And the no-match case.
+    std::vector<unsigned char> blank(n, 'x');
+    for (const simd_level level : available_levels())
+      EXPECT_EQ(find_byte(blank.data(), n, 'y', level), npos) << n;
+  }
+}
+
+TEST(SimdKernels, FindFirstOf2MatchesScalarAtEveryLevel) {
+  for (const std::size_t n : boundary_sizes()) {
+    auto data = random_bytes(n, 99u + static_cast<unsigned>(n));
+    const std::size_t expected =
+        find_first_of2(data.data(), n, '"', '\\', simd_level::scalar);
+    for (const simd_level level : available_levels())
+      EXPECT_EQ(find_first_of2(data.data(), n, '"', '\\', level), expected)
+          << "n=" << n << " level=" << to_string(level);
+  }
+  // A backslash exactly on the 32-byte chunk edge.
+  std::vector<unsigned char> buf(70, 'a');
+  buf[32] = '\\';
+  buf[33] = '"';
+  for (const simd_level level : available_levels()) {
+    EXPECT_EQ(find_first_of2(buf.data(), buf.size(), '"', '\\', level), 32u);
+    EXPECT_EQ(find_first_of2(buf.data() + 33, buf.size() - 33, '"', '\\', level),
+              0u);
+  }
+}
+
+TEST(SimdKernels, StructuralMaskAndTokenClassesMatchScalar) {
+  for (const std::size_t n : boundary_sizes()) {
+    auto data = random_bytes(n, 7u + static_cast<unsigned>(n));
+    for (std::size_t from = 0; from < n; from += 13) {
+      const std::size_t want_token =
+          find_token(data.data() + from, n - from, simd_level::scalar);
+      const std::size_t want_non =
+          find_non_token(data.data() + from, n - from, simd_level::scalar);
+      for (const simd_level level : available_levels()) {
+        EXPECT_EQ(find_token(data.data() + from, n - from, level), want_token);
+        EXPECT_EQ(find_non_token(data.data() + from, n - from, level),
+                  want_non);
+        // structural_mask against the restated spec, chunk by chunk.
+        const std::size_t width = chunk_width(level);
+        std::uint32_t expected = 0;
+        for (std::size_t i = 0; i < std::min(n - from, width); ++i)
+          if (ref_structural_or_escape(data[from + i]))
+            expected |= std::uint32_t{1} << i;
+        EXPECT_EQ(structural_mask(data.data() + from, n - from, level),
+                  expected)
+            << "n=" << n << " from=" << from << " level=" << to_string(level);
+      }
+    }
+  }
+  // Cross-check the classifiers byte for byte: the token scans against the
+  // class's single definition, the structural mask against its spec.
+  for (int b = 0; b < 256; ++b) {
+    const unsigned char byte = static_cast<unsigned char>(b);
+    for (const simd_level level : available_levels()) {
+      EXPECT_EQ(find_token(&byte, 1, level) == 0, ref_token(byte)) << b;
+      EXPECT_EQ(find_non_token(&byte, 1, level) == 0, !ref_token(byte)) << b;
+      EXPECT_EQ(structural_mask(&byte, 1, level) == 1,
+                ref_structural_or_escape(byte))
+          << b;
+    }
+  }
+}
+
+TEST(SimdKernels, MatchMaskAgreesAcrossLevelsAndSetShapes) {
+  // Set shapes: 1-4 members (compare path), 5-8 (nibble path on AVX2), and
+  // a set spanning > 8 high nibbles (forces the bitmap fallback).
+  const std::vector<std::string> shapes = {
+      "e", "ab", "{}[]", "temperature", "aeimquyC",
+      "\x05\x15\x25\x35\x45\x55\x65\x75\x85\x95"};
+  for (const std::string& shape : shapes) {
+    const byte_set set{std::string_view{shape}};
+    for (const std::size_t n : boundary_sizes()) {
+      auto data = random_bytes(n, 41u + static_cast<unsigned>(n));
+      // Sprinkle members so masks are non-trivial.
+      for (std::size_t i = 0; i < n; i += 5)
+        data[i] = static_cast<unsigned char>(shape[i % shape.size()]);
+      for (const simd_level level : available_levels()) {
+        const std::size_t width = chunk_width(level);
+        for (std::size_t base = 0; base < n; base += width) {
+          const std::size_t len = n - base;
+          std::uint32_t expected = 0;
+          for (std::size_t i = 0; i < std::min(len, width); ++i)
+            if (set.contains(data[base + i]))
+              expected |= std::uint32_t{1} << i;
+          EXPECT_EQ(match_mask(data.data() + base, len, set, level), expected)
+              << "set=" << shape.size() << "B n=" << n << " base=" << base
+              << " level=" << to_string(level);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ByteSetMembershipIsExact) {
+  const byte_set set{std::string_view{"temperature"}};
+  EXPECT_EQ(set.size(), 7u);  // t e m p r a u
+  for (int b = 0; b < 256; ++b) {
+    const bool member = std::string("temperature").find(static_cast<char>(b)) !=
+                        std::string::npos;
+    EXPECT_EQ(set.contains(static_cast<unsigned char>(b)), member) << b;
+  }
+}
+
+TEST(SimdKernels, FindSubstringMatchesScalarAtEveryLevel) {
+  const std::string hay_text =
+      "{\"e\":[{\"n\":\"temperature\",\"v\":21.5},{\"n\":\"temp\",\"v\":3}]}";
+  const auto* hay = reinterpret_cast<const unsigned char*>(hay_text.data());
+  const std::vector<std::string> needles = {
+      "temperature", "temp", "t", "}]", "21.5", "missing", hay_text};
+  for (const std::string& needle : needles) {
+    const auto* nd = reinterpret_cast<const unsigned char*>(needle.data());
+    const std::size_t expected = find_substring(
+        hay, hay_text.size(), nd, needle.size(), simd_level::scalar);
+    EXPECT_EQ(expected, hay_text.find(needle));
+    for (const simd_level level : available_levels())
+      EXPECT_EQ(find_substring(hay, hay_text.size(), nd, needle.size(), level),
+                expected)
+          << needle << " @" << to_string(level);
+  }
+}
+
+TEST(SimdKernels, FindSubstringStraddlesChunkBoundaries) {
+  // Needle placed so its first byte sits on every offset around the 16-
+  // and 32-byte edges, including matches that begin in one vector block
+  // and end in the next.
+  const std::string needle = "needle!";
+  const auto* nd = reinterpret_cast<const unsigned char*>(needle.data());
+  for (std::size_t at : {std::size_t{10}, std::size_t{14}, std::size_t{15},
+                         std::size_t{16}, std::size_t{26}, std::size_t{30},
+                         std::size_t{31}, std::size_t{32}, std::size_t{33},
+                         std::size_t{57}}) {
+    std::string hay(70, '.');
+    hay.replace(at, needle.size(), needle);
+    const auto* h = reinterpret_cast<const unsigned char*>(hay.data());
+    for (const simd_level level : available_levels())
+      EXPECT_EQ(find_substring(h, hay.size(), nd, needle.size(), level), at)
+          << "at=" << at << " level=" << to_string(level);
+  }
+  // False first+last candidates that fail the interior confirm.
+  std::string decoys = "n!n....n!needle!n.....needle?.needle!";
+  const auto* h = reinterpret_cast<const unsigned char*>(decoys.data());
+  for (const simd_level level : available_levels())
+    EXPECT_EQ(find_substring(h, decoys.size(), nd, needle.size(), level),
+              decoys.find(needle));
+}
+
+TEST(SimdKernels, FindSubstringDegenerateInputs) {
+  const auto* empty = reinterpret_cast<const unsigned char*>("");
+  const auto* ab = reinterpret_cast<const unsigned char*>("ab");
+  for (const simd_level level : available_levels()) {
+    EXPECT_EQ(find_substring(ab, 2, empty, 0, level), 0u);  // empty needle
+    EXPECT_EQ(find_substring(empty, 0, ab, 2, level), npos);
+    EXPECT_EQ(find_substring(ab, 2, ab, 2, level), 0u);  // whole-buffer match
+  }
+}
+
+}  // namespace
+}  // namespace jrf::core::simd
