@@ -9,6 +9,9 @@
 #     vs the chunked filter-engine path (the tracked speedup), the sharded
 #     multi-stream run, and the concurrent worker-pool scaling rows.
 #   * bench_micro_primitives emits the Google Benchmark JSON report.
+#   * service_latency (the loadgen example, picked up when examples were
+#     built) replays records over a Unix-socket filter_service and writes
+#     p50/p99/p99.9 per-record decision latency.
 #   * every other bench gets {"bench", "exit", "wall_seconds"} plus its
 #     captured stdout under build/bench-logs/. wall_seconds has millisecond
 #     resolution (date +%s%N where available, awk fallback otherwise).
@@ -63,6 +66,12 @@ if [ "$#" -gt 0 ]; then
   BENCHES="$*"
 else
   BENCHES=$(cd "$BUILD/bench" && ls bench_* | sort)
+  # The service-latency bench rides on the loadgen example (it needs the
+  # socket front-end, not a bench/ binary); it joins the default set when
+  # examples were built.
+  if [ -x "$BUILD/examples/example_loadgen" ]; then
+    BENCHES="$BENCHES service_latency"
+  fi
 fi
 
 # Snapshot the committed system-throughput baseline before the fresh run
@@ -84,6 +93,9 @@ failures=0
 for bench in $BENCHES; do
   name=${bench#bench_}
   binary="$BUILD/bench/$bench"
+  if [ "$name" = "service_latency" ]; then
+    binary="$BUILD/examples/example_loadgen"
+  fi
   if [ ! -x "$binary" ]; then
     echo "FAIL  $bench (binary not built at $binary)"
     failures=$((failures + 1))
@@ -101,6 +113,13 @@ for bench in $BENCHES; do
       "$binary" --benchmark_format=console \
         --benchmark_out=BENCH_micro_primitives.json \
         --benchmark_out_format=json > "$LOGS/$name.txt" 2>&1 || status=$?
+      ;;
+    service_latency)
+      # Per-record decision latency through the socket service: the
+      # loadgen replays SenML records over a Unix socket at a paced rate
+      # and reports p50/p99/p99.9 from send() to the echoed verdict byte.
+      "$binary" --records 20000 --rate 200000 --shards 4 --workers 2 \
+        --json BENCH_service_latency.json > "$LOGS/$name.txt" 2>&1 || status=$?
       ;;
     *)
       "$binary" > "$LOGS/$name.txt" 2>&1 || status=$?

@@ -1,7 +1,9 @@
 #include "api/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -86,6 +88,19 @@ std::string run_result::to_string() const {
 // pipeline::impl - the execution state behind the facade. The streaming
 // surface is the primitive; run() is a driver loop over it (plus the
 // concurrent_runner policy for the sharded backend).
+//
+// Locking. The facade no longer owns one global mutex: each stream carries
+// its own gate, so producers on different shards never serialize above the
+// per-lane locks of the sharded system. The lock order, for every path
+// that holds more than one lock, is
+//
+//   state_mutex  >  router_mutex  >  stream gate s  >  sink_mutex s
+//
+// where state_mutex is never held while acquiring any later lock (the
+// entry points validate under it, release, then take the locks they
+// need), finish() acquires every gate in index order, and the decision
+// sink is only ever invoked with NO internal lock held - which is what
+// makes re-entrant offer()/try_offer()/pump() calls from a sink legal.
 
 struct pipeline::impl {
   pipeline_options opts;
@@ -95,9 +110,34 @@ struct pipeline::impl {
   std::vector<input_spec> inputs;
 
   enum class phase { idle, streaming, done };
-  phase state = phase::idle;
-  std::mutex mutex;  // serializes the facade surface; lanes still drain
-                     // concurrently on the worker pool inside pump()
+  std::atomic<phase> state{phase::idle};
+  std::mutex state_mutex;  // guards phase transitions + execution bring-up
+
+  // One per stream: the gate serializes this stream's offers/pumps, and
+  // the delivery half stages decisions (under the gate) so they can be
+  // handed to the sink outside every lock, in per-shard record order.
+  struct stream_state {
+    std::mutex gate;
+
+    std::mutex sink_mutex;         // guards the delivery fields below
+    std::vector<bool> pending;     // staged, not yet handed to the sink
+    std::size_t pending_head = 0;  // consumed prefix of `pending`
+    std::uint64_t next_index = 0;  // record index of pending[pending_head]
+    bool delivering = false;       // a flush loop is live for this shard
+    std::uint64_t observed = 0;    // decisions staged so far (gate-guarded)
+  };
+  std::vector<std::unique_ptr<stream_state>> streams;
+
+  // Record router behind the shard-less offer(bytes) overload on a
+  // multi-stream pipeline: deals complete records round-robin, carrying a
+  // record split across calls until its boundary arrives. Mirrors the
+  // engines' framing automaton (a separator inside a JSON string literal
+  // never ends a record; a '"' separator is always masked).
+  std::mutex router_mutex;
+  bool router_in_string = false;
+  bool router_escaped = false;
+  std::string router_carry;          // partial record, no boundary yet
+  std::size_t router_next_shard = 0;
 
   // Single-stream backends (scalar / chunked: one engine; system: lanes
   // dealt whole records round-robin, filter_system semantics).
@@ -110,8 +150,6 @@ struct pipeline::impl {
 
   // Sharded backend.
   std::unique_ptr<system::sharded_filter_system> sharded;
-
-  std::vector<std::uint64_t> emitted;  // decisions delivered per shard
 
   std::size_t stream_count() const {
     if (opts.backend != backend_kind::sharded) return 1;
@@ -144,7 +182,11 @@ struct pipeline::impl {
                               opts.engine));
         break;
     }
-    emitted.assign(opts.backend == backend_kind::sharded ? shard_count : 1, 0);
+    const std::size_t n =
+        opts.backend == backend_kind::sharded ? shard_count : 1;
+    streams.reserve(n);
+    while (streams.size() < n)
+      streams.push_back(std::make_unique<stream_state>());
   }
 
   // One record complete: deal it to the next lane (round-robin, identical
@@ -189,14 +231,31 @@ struct pipeline::impl {
         offered += bytes.size();
         break;
       case backend_kind::sharded: {
-        // Absorb the whole view, draining a full FIFO in-line: pump() with
-        // a zero budget empties the lane, so progress is guaranteed for
-        // any non-zero FIFO size (validated at build()).
+        // Absorb the whole view, draining a full FIFO in-line - only this
+        // shard's lane, so a blocking producer never waits on (or pumps
+        // work into) another shard. pump_shard() with a zero budget
+        // empties the lane, so after one drain a non-zero FIFO (validated
+        // at build()) must accept bytes: two zero-byte rounds in a row
+        // mean the lane cannot make forward progress, which is reported
+        // instead of spun on (each refused round already ticked the
+        // shard's hard_backpressure_events, so the stall is observable in
+        // stats() too).
         std::string_view rest = bytes;
+        bool stalled = false;
         while (!rest.empty()) {
           const std::size_t taken = sharded->offer(shard, rest);
           rest.remove_prefix(taken);
-          if (!rest.empty()) sharded->pump();
+          if (rest.empty()) break;
+          if (taken == 0) {
+            if (stalled)
+              throw error("pipeline: offer() made no forward progress on "
+                          "shard " + std::to_string(shard) +
+                          " (lane FIFO stuck full after a drain)");
+            stalled = true;
+          } else {
+            stalled = false;
+          }
+          sharded->pump_shard(shard);
         }
         break;
       }
@@ -234,16 +293,81 @@ struct pipeline::impl {
     throw error("pipeline: invalid backend");
   }
 
-  /// Deliver decisions the sink has not seen yet. Requires quiescence
-  /// (holds: every caller owns the facade mutex and pump()/run() joined).
-  std::uint64_t deliver() {
-    std::uint64_t delivered = 0;
-    for (std::size_t shard = 0; shard < emitted.size(); ++shard) {
-      const std::vector<bool>& all = decisions_of(shard);
-      for (; emitted[shard] < all.size(); ++emitted[shard], ++delivered)
-        if (sink) sink(shard, emitted[shard], all[emitted[shard]]);
+  /// Stage decisions the sink has not seen yet. Caller holds the shard's
+  /// gate (which keeps the lane quiescent, so reading decisions_of is
+  /// safe); the sink is NOT invoked here - flush_decisions does that with
+  /// no lock held. Returns how many new decisions were observed.
+  std::uint64_t stage_decisions(std::size_t shard) {
+    stream_state& st = *streams[shard];
+    const std::vector<bool>& all = decisions_of(shard);
+    if (st.observed >= all.size()) return 0;
+    const std::uint64_t fresh = all.size() - st.observed;
+    std::lock_guard<std::mutex> lock(st.sink_mutex);
+    for (; st.observed < all.size(); ++st.observed)
+      if (sink) st.pending.push_back(all[st.observed]);
+    return fresh;
+  }
+
+  /// Hand staged decisions to the sink, in record order, outside every
+  /// internal lock - a sink may therefore re-enter the streaming surface.
+  /// One flush loop runs per shard at a time: a second caller (including a
+  /// re-entrant one) returns immediately and the live loop picks up
+  /// whatever it staged.
+  void flush_decisions(std::size_t shard) {
+    if (!sink) return;
+    stream_state& st = *streams[shard];
+    std::unique_lock<std::mutex> lock(st.sink_mutex);
+    if (st.delivering) return;
+    st.delivering = true;
+    while (st.pending_head < st.pending.size()) {
+      const bool accepted = st.pending[st.pending_head++];
+      const std::uint64_t index = st.next_index++;
+      if (st.pending_head == st.pending.size()) {
+        st.pending.clear();
+        st.pending_head = 0;
+      }
+      lock.unlock();
+      sink(shard, index, accepted);
+      lock.lock();
     }
-    return delivered;
+    st.delivering = false;
+  }
+
+  /// Deal `bytes` into per-shard batches of complete records (round-robin,
+  /// separator re-appended per record), advancing the framing automaton.
+  /// Caller holds router_mutex; the trailing partial record stays in
+  /// router_carry until a later call (or finish) completes it.
+  std::vector<std::string> route_records(std::string_view bytes) {
+    std::vector<std::string> batches(streams.size());
+    const char sep = static_cast<char>(opts.filter.separator);
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      const char c = bytes[i];
+      if (router_in_string) {
+        if (router_escaped)
+          router_escaped = false;
+        else if (c == '\\')
+          router_escaped = true;
+        else if (c == '"')
+          router_in_string = false;
+      } else if (c == sep && opts.filter.separator != '"') {
+        // Boundary. Empty records (consecutive separators) deal no bytes:
+        // they produce no decision on any path.
+        if (!router_carry.empty() || i > start) {
+          std::string& batch = batches[router_next_shard];
+          batch.append(router_carry);
+          batch.append(bytes.substr(start, i - start));
+          batch.push_back(sep);
+          router_carry.clear();
+          router_next_shard = (router_next_shard + 1) % streams.size();
+        }
+        start = i + 1;
+      } else if (c == '"') {
+        router_in_string = true;
+      }
+    }
+    router_carry.append(bytes.substr(start));
+    return batches;
   }
 
   run_result collect() {
@@ -341,8 +465,38 @@ struct pipeline::impl {
       }
       flush();
     }
-    deliver();
+    // run() is exclusive (state moved to done before this), so staging
+    // needs no gates; the sink still fires outside the stage step.
+    for (std::size_t shard = 0; shard < streams.size(); ++shard) {
+      stage_decisions(shard);
+      flush_decisions(shard);
+    }
     return collect();
+  }
+
+  /// Shared entry gate of the streaming calls: validate under state_mutex,
+  /// flip to streaming, stand the execution up. Returns an error message
+  /// or nullopt; never holds state_mutex beyond the check.
+  std::optional<std::string> enter_streaming(const char* op,
+                                            std::size_t shard) {
+    std::lock_guard<std::mutex> lock(state_mutex);
+    if (state.load(std::memory_order_relaxed) == phase::done)
+      return std::string("pipeline: ") + op + "() after finish()/run()";
+    if (!inputs.empty())
+      return std::string("pipeline: ") + op +
+             "() on a pipeline with bound inputs - use run(), or build "
+             "without inputs to stream";
+    if (shard >= stream_count())
+      return "pipeline: shard " + std::to_string(shard) +
+             " out of range (" + std::to_string(stream_count()) +
+             " streams)";
+    state.store(phase::streaming, std::memory_order_relaxed);
+    ensure_exec(stream_count());
+    return std::nullopt;
+  }
+
+  bool done() const {
+    return state.load(std::memory_order_acquire) == phase::done;
   }
 };
 
@@ -373,14 +527,18 @@ std::size_t pipeline::shard_count() const noexcept {
 }
 
 expected<run_result> pipeline::run() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  if (impl_->state != impl::phase::idle)
-    return unexpected("pipeline: run() after the pipeline already executed "
-                      "(streaming surface or a previous run)");
-  if (impl_->inputs.empty())
-    return unexpected("pipeline: run() needs at least one bound input "
-                      "(input / input_text / input_file / source)");
-  impl_->state = impl::phase::done;
+  {
+    std::lock_guard<std::mutex> lock(impl_->state_mutex);
+    if (impl_->state.load(std::memory_order_relaxed) != impl::phase::idle)
+      return unexpected("pipeline: run() after the pipeline already executed "
+                        "(streaming surface or a previous run)");
+    if (impl_->inputs.empty())
+      return unexpected("pipeline: run() needs at least one bound input "
+                        "(input / input_text / input_file / source)");
+    impl_->state.store(impl::phase::done, std::memory_order_release);
+  }
+  // state_mutex is released before the batch executes, so a sink that
+  // (wrongly) re-enters the pipeline gets a clean error, not a deadlock.
   try {
     return impl_->run_batch();
   } catch (const parse_error& e) {
@@ -392,21 +550,20 @@ expected<run_result> pipeline::run() {
 
 expected<std::uint64_t> pipeline::offer(std::size_t shard,
                                         std::string_view bytes) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  if (impl_->state == impl::phase::done)
-    return unexpected("pipeline: offer() after finish()/run()");
-  if (!impl_->inputs.empty())
-    return unexpected("pipeline: offer() on a pipeline with bound inputs - "
-                      "use run(), or build without inputs to stream");
-  if (shard >= impl_->stream_count())
-    return unexpected("pipeline: shard " + std::to_string(shard) +
-                      " out of range (" +
-                      std::to_string(impl_->stream_count()) + " streams)");
-  impl_->state = impl::phase::streaming;
   try {
-    impl_->ensure_exec(impl_->stream_count());
-    impl_->offer_bytes(shard, bytes);
-    impl_->deliver();
+    if (auto err = impl_->enter_streaming("offer", shard))
+      return unexpected(std::move(*err));
+    impl::stream_state& st = *impl_->streams[shard];
+    {
+      std::lock_guard<std::mutex> gate(st.gate);
+      // Re-check after winning the gate: a finish() that overtook us
+      // (gates are taken after the state flips) must not be scanned past.
+      if (impl_->done())
+        return unexpected("pipeline: offer() after finish()/run()");
+      impl_->offer_bytes(shard, bytes);
+      impl_->stage_decisions(shard);
+    }
+    impl_->flush_decisions(shard);
     return static_cast<std::uint64_t>(bytes.size());
   } catch (const std::exception& e) {
     return unexpected(error_info::from(e));
@@ -414,35 +571,167 @@ expected<std::uint64_t> pipeline::offer(std::size_t shard,
 }
 
 expected<std::uint64_t> pipeline::offer(std::string_view bytes) {
-  return offer(0, bytes);
+  if (impl_->stream_count() <= 1) return offer(0, bytes);
+  // Multi-stream pipeline, no shard named: deal complete records
+  // round-robin (record k -> shard k % streams). The router is one shared
+  // cursor, so shard-less producers serialize on it - producers that want
+  // the concurrent path name their shard.
+  try {
+    if (auto err = impl_->enter_streaming("offer", 0))
+      return unexpected(std::move(*err));
+    {
+      std::lock_guard<std::mutex> router(impl_->router_mutex);
+      const std::vector<std::string> batches = impl_->route_records(bytes);
+      for (std::size_t shard = 0; shard < batches.size(); ++shard) {
+        if (batches[shard].empty()) continue;
+        std::lock_guard<std::mutex> gate(impl_->streams[shard]->gate);
+        if (impl_->done())
+          return unexpected("pipeline: offer() after finish()/run()");
+        impl_->offer_bytes(shard, batches[shard]);
+        impl_->stage_decisions(shard);
+      }
+    }
+    for (std::size_t shard = 0; shard < impl_->streams.size(); ++shard)
+      impl_->flush_decisions(shard);
+    return static_cast<std::uint64_t>(bytes.size());
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+expected<std::uint64_t> pipeline::try_offer(std::size_t shard,
+                                            std::string_view bytes) {
+  try {
+    if (auto err = impl_->enter_streaming("try_offer", shard))
+      return unexpected(std::move(*err));
+    impl::stream_state& st = *impl_->streams[shard];
+    std::uint64_t taken = 0;
+    {
+      std::lock_guard<std::mutex> gate(st.gate);
+      if (impl_->done())
+        return unexpected("pipeline: try_offer() after finish()/run()");
+      if (impl_->sharded) {
+        // Bounded by the lane's free FIFO space; never drains in-line.
+        taken = impl_->sharded->offer(shard, bytes);
+      } else {
+        // No FIFO in front of a single engine: absorbing IS the scan.
+        impl_->offer_bytes(shard, bytes);
+        taken = bytes.size();
+        impl_->stage_decisions(shard);
+      }
+    }
+    impl_->flush_decisions(shard);
+    return taken;
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
 }
 
 expected<std::uint64_t> pipeline::pump() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  if (impl_->state == impl::phase::done)
-    return unexpected("pipeline: pump() after finish()/run()");
   try {
-    impl_->ensure_exec(impl_->stream_count());
-    if (impl_->sharded) impl_->sharded->pump();
-    return impl_->deliver();
+    {
+      std::lock_guard<std::mutex> lock(impl_->state_mutex);
+      if (impl_->state.load(std::memory_order_relaxed) == impl::phase::done)
+        return unexpected("pipeline: pump() after finish()/run()");
+      impl_->ensure_exec(impl_->stream_count());
+    }
+    std::uint64_t observed = 0;
+    for (std::size_t shard = 0; shard < impl_->streams.size(); ++shard) {
+      {
+        std::lock_guard<std::mutex> gate(impl_->streams[shard]->gate);
+        if (impl_->done()) break;
+        if (impl_->sharded) impl_->sharded->pump_shard(shard);
+        observed += impl_->stage_decisions(shard);
+      }
+      impl_->flush_decisions(shard);
+    }
+    return observed;
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+expected<std::uint64_t> pipeline::pump(std::size_t shard) {
+  try {
+    {
+      std::lock_guard<std::mutex> lock(impl_->state_mutex);
+      if (impl_->state.load(std::memory_order_relaxed) == impl::phase::done)
+        return unexpected("pipeline: pump() after finish()/run()");
+      if (shard >= impl_->stream_count())
+        return unexpected("pipeline: shard " + std::to_string(shard) +
+                          " out of range (" +
+                          std::to_string(impl_->stream_count()) +
+                          " streams)");
+      impl_->ensure_exec(impl_->stream_count());
+    }
+    std::uint64_t observed = 0;
+    {
+      std::lock_guard<std::mutex> gate(impl_->streams[shard]->gate);
+      if (!impl_->done()) {
+        if (impl_->sharded) impl_->sharded->pump_shard(shard);
+        observed = impl_->stage_decisions(shard);
+      }
+    }
+    impl_->flush_decisions(shard);
+    return observed;
   } catch (const std::exception& e) {
     return unexpected(error_info::from(e));
   }
 }
 
 expected<run_result> pipeline::finish() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  if (impl_->state == impl::phase::done)
-    return unexpected("pipeline: finish() after finish()/run()");
-  if (!impl_->inputs.empty())
-    return unexpected("pipeline: finish() on a pipeline with bound inputs - "
-                      "use run()");
-  impl_->state = impl::phase::done;
   try {
-    impl_->ensure_exec(impl_->stream_count());
+    {
+      std::lock_guard<std::mutex> lock(impl_->state_mutex);
+      if (impl_->state.load(std::memory_order_relaxed) == impl::phase::done)
+        return unexpected("pipeline: finish() after finish()/run()");
+      if (!impl_->inputs.empty())
+        return unexpected("pipeline: finish() on a pipeline with bound "
+                          "inputs - use run()");
+      impl_->ensure_exec(impl_->stream_count());
+      impl_->state.store(impl::phase::done, std::memory_order_release);
+    }
+    // Quiesce: in-flight offers either finished before the store above or
+    // will fail their post-gate re-check; waiting on every gate (in index
+    // order, after the router so a shard-less offer cannot interleave)
+    // guarantees the former have drained before the final flush.
+    std::lock_guard<std::mutex> router(impl_->router_mutex);
+    std::vector<std::unique_lock<std::mutex>> gates;
+    gates.reserve(impl_->streams.size());
+    for (auto& st : impl_->streams) gates.emplace_back(st->gate);
+    if (!impl_->router_carry.empty()) {
+      // Trailing partial record of the shard-less overload: it belongs to
+      // the shard the round-robin cursor owes it to.
+      impl_->offer_bytes(impl_->router_next_shard, impl_->router_carry);
+      impl_->router_carry.clear();
+    }
     impl_->flush();
-    impl_->deliver();
+    for (std::size_t shard = 0; shard < impl_->streams.size(); ++shard)
+      impl_->stage_decisions(shard);
+    gates.clear();
+    for (std::size_t shard = 0; shard < impl_->streams.size(); ++shard)
+      impl_->flush_decisions(shard);
     return impl_->collect();
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+expected<std::vector<system::shard_stats>> pipeline::stats() const {
+  try {
+    if (impl_->sharded) return impl_->sharded->report().shards;
+    system::shard_stats stats;
+    if (!impl_->streams.empty()) {
+      // Single-stream backends: the gate keeps the engine quiescent while
+      // the decision vector is scanned.
+      std::lock_guard<std::mutex> gate(impl_->streams.front()->gate);
+      stats.offered = impl_->offered;
+      stats.bytes = impl_->offered;
+      const std::vector<bool>& decisions = impl_->decisions_of(0);
+      stats.records = decisions.size();
+      for (const bool d : decisions) stats.accepted += d ? 1 : 0;
+    }
+    return std::vector<system::shard_stats>{stats};
   } catch (const std::exception& e) {
     return unexpected(error_info::from(e));
   }

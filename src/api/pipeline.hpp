@@ -29,15 +29,25 @@
 //   sharded - system::sharded_filter_system + concurrent_runner: one lane
 //             per input stream, bounded FIFOs, optional worker pool.
 //
-// The API boundary is non-throwing: build(), run(), offer(), pump() and
-// finish() return jrf::expected, preserving parse_error byte offsets.
-// Batch mode binds inputs up front and calls run() once; streaming mode
-// pushes bytes with offer() (blocking under backpressure until absorbed)
-// and collects the tail with finish(). A decision sink registered with
-// on_decision() receives every per-record verdict as lanes drain, so push
-// producers can consume matches without buffering them. Streaming calls
-// are serialized on an internal mutex (lanes still drain concurrently on
-// the worker pool); do not call back into the pipeline from the sink.
+// The API boundary is non-throwing: build(), run(), offer(), try_offer(),
+// pump() and finish() return jrf::expected, preserving parse_error byte
+// offsets. Batch mode binds inputs up front and calls run() once;
+// streaming mode pushes bytes with offer() (blocking under backpressure
+// until absorbed) or try_offer() (non-blocking: reports how many bytes
+// the shard took, never drains in-line) and collects the tail with
+// finish(). A decision sink registered with on_decision() receives every
+// per-record verdict as lanes drain, so push producers can consume
+// matches without buffering them.
+//
+// Concurrency contract of the streaming surface: calls on DIFFERENT
+// shards run concurrently - each stream carries its own lock, so N
+// producer threads feeding N shards never serialize on the facade (the
+// per-lane locks underneath were always there; the facade no longer adds
+// a global mutex on top). Calls on the SAME shard are serialized.
+// Decisions are delivered to the sink outside every internal lock, in
+// per-shard record order, so a sink may safely call back into offer() /
+// try_offer() / pump() (re-entrant finish()/run() are diagnosed as
+// errors, never deadlocks).
 #pragma once
 
 #include <cstdint>
@@ -175,17 +185,49 @@ class pipeline {
 
   /// Streaming push into `shard` (sharded backend) or the single stream
   /// (other backends, shard 0). Blocks until the whole view is absorbed -
-  /// a full lane FIFO is drained in-line - and returns the bytes taken.
+  /// a full lane FIFO is drained in-line, pumping only this shard's lane -
+  /// and returns the bytes taken. Errors (instead of spinning) if a round
+  /// of drain-then-offer makes no forward progress.
   expected<std::uint64_t> offer(std::size_t shard, std::string_view bytes);
+
+  /// Convenience overload without a shard. Single-stream pipelines feed
+  /// shard 0. A multi-shard sharded pipeline deals complete records
+  /// round-robin across its shards (record k of the merged input goes to
+  /// shard k % shard_count() at per-shard index k / shard_count(),
+  /// matching data::shard_records): framing follows the engines'
+  /// escape-aware separator rules, a record split across offer() calls is
+  /// carried until its boundary arrives (finish() flushes a trailing
+  /// partial record to the shard it was destined for), and empty records
+  /// are skipped - they produce no decision on any path. Decision order
+  /// is per shard; interleave shard_decisions round-robin to recover the
+  /// merged input order.
   expected<std::uint64_t> offer(std::string_view bytes);
 
+  /// Non-blocking push: absorb at most what `shard` can take right now
+  /// and return the byte count. On the sharded backend this is bounded by
+  /// the lane's free FIFO space - 0 means hard backpressure (counted in
+  /// that shard's hard_backpressure_events); the caller re-offers the
+  /// rest after pump(shard), throttles, or sheds. try_offer() never
+  /// drains a FIFO in-line. Single-engine backends have no FIFO: the
+  /// engine itself absorbs the bytes, so the whole view is taken.
+  expected<std::uint64_t> try_offer(std::size_t shard,
+                                    std::string_view bytes);
+
   /// Drain buffered lane bytes and deliver pending verdicts to the sink;
-  /// returns how many new decisions were delivered.
+  /// returns how many new decisions were observed. The one-argument form
+  /// pumps a single shard's lane - the partner of try_offer() for a
+  /// producer that must not touch other shards.
   expected<std::uint64_t> pump();
+  expected<std::uint64_t> pump(std::size_t shard);
 
   /// Flush trailing unterminated records, deliver the final verdicts and
   /// return the merged result. Ends the streaming surface.
   expected<run_result> finish();
+
+  /// Live per-shard accounting snapshot (offered/filtered bytes, records,
+  /// accepted, backpressure counters) - safe to call concurrently with
+  /// streaming producers, e.g. for a periodic service stats report.
+  expected<std::vector<system::shard_stats>> stats() const;
 
   const core::expr_ptr& expression() const noexcept;
   /// The parsed query when built from text or query::query (for exact

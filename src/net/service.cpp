@@ -1,0 +1,234 @@
+#include "net/service.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "net/source.hpp"
+
+namespace jrf::net {
+
+// Locking inside the service (below every pipeline lock - the sink runs
+// with no pipeline lock held):  conn_mutex > echo_mutex > write_mutex.
+// The acceptor takes conn_mutex/echo_mutex to register; the sink takes
+// echo_mutex to find the shard's connection, then its write_mutex to
+// serialize verdict bytes against other sink calls.
+struct filter_service::impl {
+  struct connection {
+    std::size_t shard;
+    socket_source source;  // owns the fd; verdicts echo on descriptor()
+    std::mutex write_mutex;
+    bool peer_writable = true;  // cleared on the first failed echo write
+    std::thread producer;
+
+    connection(std::size_t s, socket_fd fd, std::size_t chunk_bytes)
+        : shard(s), source(std::move(fd), chunk_bytes) {}
+  };
+
+  service_options opts;
+  std::optional<pipeline> pipe;  // set right after build() succeeds
+  endpoint bound;
+  socket_fd listener;
+
+  std::atomic<bool> stopping{false};
+  std::atomic<std::uint64_t> accepted{0};
+  bool shut_down = false;  // shutdown() ran (guarded by shutdown_mutex)
+  std::mutex shutdown_mutex;
+
+  std::mutex conn_mutex;
+  std::vector<std::unique_ptr<connection>> connections;
+  std::mutex echo_mutex;
+  std::vector<connection*> echo_owner;  // per shard, latest connection wins
+
+  std::thread acceptor;
+  std::thread stats_thread;
+  std::mutex stats_mutex;
+  std::condition_variable stats_cv;
+
+  explicit impl(service_options o) : opts(std::move(o)) {}
+
+  // The pipeline's decision sink. Runs outside every pipeline lock, so
+  // echoing (and whatever the user callback does) cannot deadlock the
+  // streaming surface.
+  void deliver(std::size_t shard, std::uint64_t index, bool accepted_record) {
+    if (opts.on_decision) opts.on_decision(shard, index, accepted_record);
+    if (!opts.echo_decisions) return;
+    connection* owner = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(echo_mutex);
+      if (shard < echo_owner.size()) owner = echo_owner[shard];
+    }
+    if (owner == nullptr) return;
+    std::lock_guard<std::mutex> lock(owner->write_mutex);
+    if (!owner->peer_writable) return;
+    try {
+      const char verdict = accepted_record ? '1' : '0';
+      write_all(owner->source.descriptor(), std::string_view(&verdict, 1));
+    } catch (const std::exception&) {
+      // The peer stopped reading (or vanished): drop the echo stream for
+      // this connection, keep filtering - ingest is unaffected.
+      owner->peer_writable = false;
+    }
+  }
+
+  // One producer thread per connection: pull from the socket, push with
+  // try_offer, drain only OUR lane under hard backpressure. EOF (peer
+  // close or the drain path's shutdown_read) ends the loop; the bytes
+  // already absorbed stay in the pipeline for finish().
+  void serve(connection& c) {
+    try {
+      while (!c.source.exhausted()) {
+        const std::string_view chunk = c.source.peek(opts.chunk_bytes);
+        if (chunk.empty()) continue;  // EOF flips exhausted() next round
+        std::string_view rest = chunk;
+        while (!rest.empty()) {
+          const auto taken = pipe->try_offer(c.shard, rest);
+          if (!taken) return;  // pipeline finished under us: stop ingesting
+          if (*taken == 0) {
+            // Hard backpressure (counted in the shard's stats): make room
+            // in our own lane and re-offer. Never touches other shards.
+            (void)pipe->pump(c.shard);
+            continue;
+          }
+          rest.remove_prefix(static_cast<std::size_t>(*taken));
+        }
+        c.source.consume(chunk.size());
+        // Drain eagerly: verdicts (and their echo) leave per chunk, which
+        // is what keeps per-record decision latency flat under load.
+        (void)pipe->pump(c.shard);
+      }
+      (void)pipe->pump(c.shard);
+    } catch (const std::exception&) {
+      // Socket error on this connection only: its bytes so far are in the
+      // pipeline; the service keeps running.
+    }
+  }
+
+  void accept_loop() {
+    const std::size_t shards = pipe->shard_count();
+    while (!stopping.load(std::memory_order_acquire)) {
+      // Bounded poll: a shutdown is noticed within one timeout even if no
+      // client ever connects.
+      socket_fd fd = accept_connection(listener, /*timeout_ms=*/100);
+      if (!fd.valid()) continue;
+      const std::size_t shard =
+          accepted.load(std::memory_order_relaxed) % shards;
+      auto conn = std::make_unique<connection>(shard, std::move(fd),
+                                               opts.chunk_bytes);
+      connection* raw = conn.get();
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex);
+        connections.push_back(std::move(conn));
+      }
+      {
+        std::lock_guard<std::mutex> lock(echo_mutex);
+        echo_owner[shard] = raw;
+      }
+      // Publish before the producer starts: a client that connected and
+      // observed this count has its shard mapping fixed.
+      accepted.fetch_add(1, std::memory_order_release);
+      raw->producer = std::thread([this, raw] { serve(*raw); });
+    }
+  }
+
+  void stats_loop() {
+    std::unique_lock<std::mutex> lock(stats_mutex);
+    while (!stopping.load(std::memory_order_acquire)) {
+      stats_cv.wait_for(lock, opts.stats_period);
+      if (stopping.load(std::memory_order_acquire)) break;
+      auto snapshot = pipe->stats();
+      if (snapshot && opts.on_stats) opts.on_stats(*snapshot);
+    }
+  }
+
+  expected<run_result> drain() {
+    {
+      std::lock_guard<std::mutex> lock(shutdown_mutex);
+      if (shut_down)
+        return unexpected("net: filter_service already shut down");
+      shut_down = true;
+    }
+    stopping.store(true, std::memory_order_release);
+    if (acceptor.joinable()) acceptor.join();
+    listener.close();
+    unlink_endpoint(bound);
+    {
+      // Half-close every read side: producers blocked in recv() wake with
+      // EOF, absorb what they already buffered, and exit.
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      for (auto& c : connections) c->source.shutdown_read();
+    }
+    // No lock while joining: producers take conn-independent paths only.
+    for (auto& c : connections)
+      if (c->producer.joinable()) c->producer.join();
+    stats_cv.notify_all();
+    if (stats_thread.joinable()) stats_thread.join();
+    // Producers are quiescent: finish() flushes trailing records and
+    // delivers the final verdicts - the echo flows out before the
+    // connections close below.
+    auto result = pipe->finish();
+    for (auto& c : connections) c->source.shutdown_write();
+    connections.clear();
+    return result;
+  }
+};
+
+filter_service::filter_service(std::unique_ptr<impl> im)
+    : impl_(std::move(im)) {}
+
+filter_service::~filter_service() {
+  if (impl_) (void)impl_->drain();
+}
+
+filter_service::filter_service(filter_service&&) noexcept = default;
+filter_service& filter_service::operator=(filter_service&&) noexcept = default;
+
+expected<filter_service> filter_service::open(pipeline_builder builder,
+                                              service_options options) {
+  auto im = std::make_unique<impl>(std::move(options));
+  impl* raw = im.get();
+  // The service owns the builder's sink slot (applications hook
+  // service_options::on_decision): every verdict funnels through
+  // impl::deliver for the echo path. The impl address is stable - the
+  // unique_ptr moves, the pointee does not.
+  builder.on_decision(
+      [raw](std::size_t shard, std::uint64_t index, bool accepted) {
+        raw->deliver(shard, index, accepted);
+      });
+  auto built = builder.build();
+  if (!built) return unexpected(built.error());
+  im->pipe.emplace(std::move(*built));
+  try {
+    im->listener = listen_on(im->opts.listen);
+    im->bound = local_endpoint(im->listener, im->opts.listen);
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+  im->echo_owner.assign(im->pipe->shard_count(), nullptr);
+  im->acceptor = std::thread([raw] { raw->accept_loop(); });
+  if (im->opts.stats_period.count() > 0 && im->opts.on_stats)
+    im->stats_thread = std::thread([raw] { raw->stats_loop(); });
+  return filter_service(std::move(im));
+}
+
+const endpoint& filter_service::where() const noexcept { return impl_->bound; }
+
+std::size_t filter_service::shard_count() const noexcept {
+  return impl_->pipe->shard_count();
+}
+
+std::uint64_t filter_service::connections_accepted() const noexcept {
+  return impl_->accepted.load(std::memory_order_acquire);
+}
+
+expected<std::vector<system::shard_stats>> filter_service::stats() const {
+  return impl_->pipe->stats();
+}
+
+expected<run_result> filter_service::shutdown() { return impl_->drain(); }
+
+}  // namespace jrf::net

@@ -1,0 +1,107 @@
+// filter_service - the socket-facing front-end of a jrf::pipeline.
+//
+// This is the deployment posture of the paper's FPGA filter (and of the
+// scalable XML-filtering architecture it cites): a network-facing service
+// that absorbs raw JSON streams from many concurrent producers and lets
+// only query matches through. The software shape:
+//
+//   * one listener (TCP or Unix-domain; port 0 = ephemeral) accepts
+//     connections on its own thread, bounded-poll so shutdown is prompt,
+//   * connection i feeds shard i % shard_count(): each connection gets a
+//     producer thread that pulls bytes through a net::socket_source and
+//     pushes them with pipeline::try_offer() - hard backpressure from a
+//     full lane FIFO never blocks the thread in the facade; it drains its
+//     OWN lane with pump(shard) and re-offers, so one slow shard never
+//     stalls another connection's ingest,
+//   * decisions flow out through the pipeline's sink: an optional user
+//     callback, and optionally echoed to the shard's most recent
+//     connection as one '1'/'0' byte per record (in per-shard record
+//     order) - which is what the loadgen example timestamps to measure
+//     per-record decision latency,
+//   * a periodic stats snapshot (per-shard offered/filtered bytes,
+//     records, accepts, hard_backpressure_events) goes to on_stats while
+//     producers run,
+//   * shutdown() is a graceful drain: stop accepting, half-close every
+//     connection's read side (producers finish absorbing what already
+//     arrived, then exit), finish() the pipeline - flushing trailing
+//     unterminated records and delivering final verdicts, echo included -
+//     and return the merged run_result.
+//
+// Failures cross the boundary as jrf::expected, like the rest of the
+// facade; producer-thread socket errors drop that connection only.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "net/socket.hpp"
+#include "system/sharded.hpp"
+#include "util/error.hpp"
+
+namespace jrf::net {
+
+struct service_options {
+  /// Where to listen. Unix paths suit tests/CI (no port flakes); TCP with
+  /// port 0 binds an ephemeral port, readable back via where().
+  endpoint listen;
+
+  /// Per-connection read-buffer size (memory per connection is O(this)).
+  std::size_t chunk_bytes = 1u << 16;
+
+  /// Echo each record's verdict ('1' accepted / '0' dropped, per-shard
+  /// record order) to the shard's most recent connection.
+  bool echo_decisions = false;
+
+  /// Per-record verdict callback (shard, per-shard index, accepted),
+  /// invoked outside every pipeline lock. The service owns the builder's
+  /// sink slot; register the application callback here instead.
+  decision_sink on_decision;
+
+  /// Snapshot cadence for on_stats; zero disables the snapshot thread.
+  std::chrono::milliseconds stats_period{0};
+  std::function<void(const std::vector<system::shard_stats>&)> on_stats;
+};
+
+/// A pipeline standing behind a socket. Move-only; destroying a service
+/// that was not shut down drains it first (result discarded).
+class filter_service {
+ public:
+  /// Build the pipeline (the builder must have no bound inputs - the
+  /// socket IS the input) and start listening. All failures - build
+  /// errors, bind/listen errors - come back as expected errors.
+  static expected<filter_service> open(pipeline_builder builder,
+                                      service_options options);
+
+  ~filter_service();
+  filter_service(filter_service&&) noexcept;
+  filter_service& operator=(filter_service&&) noexcept;
+
+  /// The bound address - an ephemeral TCP port is resolved here.
+  const endpoint& where() const noexcept;
+
+  std::size_t shard_count() const noexcept;
+
+  /// Connections accepted so far. Producers connecting sequentially can
+  /// wait on this to get a deterministic connection->shard mapping.
+  std::uint64_t connections_accepted() const noexcept;
+
+  /// Live per-shard accounting (pipeline::stats passthrough) - safe while
+  /// producers stream.
+  expected<std::vector<system::shard_stats>> stats() const;
+
+  /// Graceful drain: stop accepting, half-close reads, join producers,
+  /// finish() the pipeline and return the merged result. Callable once.
+  expected<run_result> shutdown();
+
+ private:
+  struct impl;
+  explicit filter_service(std::unique_ptr<impl> im);
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace jrf::net

@@ -1,0 +1,165 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace jrf::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw error("net: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_un to_unix_addr(const endpoint& ep) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (ep.unix_path.size() >= sizeof addr.sun_path)
+    throw error("net: unix socket path too long (" +
+                std::to_string(ep.unix_path.size()) + " bytes, max " +
+                std::to_string(sizeof addr.sun_path - 1) + "): " +
+                ep.unix_path);
+  std::memcpy(addr.sun_path, ep.unix_path.c_str(), ep.unix_path.size() + 1);
+  return addr;
+}
+
+sockaddr_in to_tcp_addr(const endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1)
+    throw error("net: bad IPv4 address: " + ep.host);
+  return addr;
+}
+
+}  // namespace
+
+void socket_fd::shutdown_read() noexcept {
+  if (valid()) ::shutdown(fd_, SHUT_RD);
+}
+
+void socket_fd::shutdown_write() noexcept {
+  if (valid()) ::shutdown(fd_, SHUT_WR);
+}
+
+void socket_fd::close() noexcept {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string endpoint::to_string() const {
+  if (is_unix()) return "unix:" + unix_path;
+  return host + ":" + std::to_string(port);
+}
+
+socket_fd listen_on(const endpoint& ep, int backlog) {
+  socket_fd fd(::socket(ep.is_unix() ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket(" + ep.to_string() + ")");
+  if (ep.is_unix()) {
+    // A path left behind by a crashed prior run would make bind() fail
+    // with EADDRINUSE even though nothing is listening.
+    ::unlink(ep.unix_path.c_str());
+    const sockaddr_un addr = to_unix_addr(ep);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0)
+      fail("bind(" + ep.to_string() + ")");
+  } else {
+    const int reuse = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+    const sockaddr_in addr = to_tcp_addr(ep);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0)
+      fail("bind(" + ep.to_string() + ")");
+  }
+  if (::listen(fd.get(), backlog) != 0) fail("listen(" + ep.to_string() + ")");
+  return fd;
+}
+
+endpoint local_endpoint(const socket_fd& listener, const endpoint& requested) {
+  if (requested.is_unix()) return requested;
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0)
+    fail("getsockname");
+  endpoint resolved = requested;
+  resolved.port = ntohs(addr.sin_port);
+  return resolved;
+}
+
+socket_fd connect_to(const endpoint& ep) {
+  socket_fd fd(::socket(ep.is_unix() ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket(" + ep.to_string() + ")");
+  int rc;
+  if (ep.is_unix()) {
+    const sockaddr_un addr = to_unix_addr(ep);
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr);
+  } else {
+    const sockaddr_in addr = to_tcp_addr(ep);
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr);
+  }
+  if (rc != 0) fail("connect(" + ep.to_string() + ")");
+  return fd;
+}
+
+socket_fd accept_connection(const socket_fd& listener, int timeout_ms) {
+  pollfd pfd{listener.get(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return socket_fd{};
+    fail("poll(listener)");
+  }
+  if (ready == 0) return socket_fd{};  // timeout: caller re-checks its flag
+  const int fd = ::accept(listener.get(), nullptr, nullptr);
+  if (fd < 0) {
+    // The listener was closed under us (shutdown) or the peer gave up
+    // between poll and accept - both are a "nothing accepted" round.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EINVAL ||
+        errno == EBADF)
+      return socket_fd{};
+    fail("accept");
+  }
+  return socket_fd(fd);
+}
+
+void write_all(const socket_fd& fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-write must surface as an
+    // error on this call, not a process-wide SIGPIPE.
+    const ssize_t sent =
+        ::send(fd.get(), bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(sent));
+  }
+}
+
+std::size_t read_some(const socket_fd& fd, char* buffer, std::size_t cap) {
+  while (true) {
+    const ssize_t got = ::recv(fd.get(), buffer, cap, 0);
+    if (got >= 0) return static_cast<std::size_t>(got);
+    if (errno == EINTR) continue;
+    fail("recv");
+  }
+}
+
+void unlink_endpoint(const endpoint& ep) noexcept {
+  if (ep.is_unix()) ::unlink(ep.unix_path.c_str());
+}
+
+}  // namespace jrf::net

@@ -1,0 +1,97 @@
+// Thin POSIX socket layer under the jrf::net service front-end.
+//
+// Everything network-facing in this repo goes through these few calls: an
+// RAII fd, one endpoint type covering both transports (Unix-domain paths
+// for tests/CI - no flaky ports - and TCP for real deployments, port 0
+// picking an ephemeral one), a poll()-bounded accept so a listener thread
+// can notice shutdown without racing a close(), and write/read helpers
+// that handle partial transfers and EINTR so callers never re-implement
+// the retry loops. Failures surface as jrf::error; the service facade
+// translates them to jrf::expected at its boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jrf::net {
+
+/// RAII owner of one socket file descriptor. Move-only; closing twice is
+/// impossible by construction.
+class socket_fd {
+ public:
+  socket_fd() = default;
+  explicit socket_fd(int fd) noexcept : fd_(fd) {}
+  ~socket_fd() { close(); }
+
+  socket_fd(const socket_fd&) = delete;
+  socket_fd& operator=(const socket_fd&) = delete;
+  socket_fd(socket_fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  socket_fd& operator=(socket_fd&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Half-close the receive side: a blocked read() on another thread
+  /// returns 0 (EOF) - the graceful way to stop a producer mid-stream.
+  void shutdown_read() noexcept;
+  /// Half-close the send side: the peer's read() sees EOF once the
+  /// in-flight bytes drain.
+  void shutdown_write() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// One address for both transports: a non-empty `unix_path` selects a
+/// Unix-domain socket; otherwise host:port TCP, where port 0 asks the
+/// kernel for an ephemeral port (read the chosen one back off the
+/// listener with local_endpoint).
+struct endpoint {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  bool is_unix() const noexcept { return !unix_path.empty(); }
+  std::string to_string() const;
+};
+
+/// Bind + listen on `ep`. A stale Unix-socket path from a crashed prior
+/// run is unlinked first. Throws jrf::error on failure.
+socket_fd listen_on(const endpoint& ep, int backlog = 64);
+
+/// The address `listener` actually bound - resolves an ephemeral TCP port
+/// to the kernel's choice. Unix endpoints come back unchanged.
+endpoint local_endpoint(const socket_fd& listener, const endpoint& requested);
+
+/// Blocking connect to a listening endpoint. Throws jrf::error on failure.
+socket_fd connect_to(const endpoint& ep);
+
+/// Wait up to `timeout_ms` for a connection and accept it. Returns an
+/// invalid socket_fd on timeout - the acceptor's chance to re-check its
+/// stop flag - and throws jrf::error on a listener error.
+socket_fd accept_connection(const socket_fd& listener, int timeout_ms);
+
+/// Write the whole view, retrying partial sends and EINTR; SIGPIPE is
+/// suppressed (a vanished peer throws jrf::error instead of killing the
+/// process).
+void write_all(const socket_fd& fd, std::string_view bytes);
+
+/// Read up to `cap` bytes, retrying EINTR. Returns 0 only at EOF (peer
+/// closed or shutdown_read() on this end); throws jrf::error otherwise.
+std::size_t read_some(const socket_fd& fd, char* buffer, std::size_t cap);
+
+/// Remove a Unix-socket path from the filesystem (no-op for TCP
+/// endpoints or paths that are already gone).
+void unlink_endpoint(const endpoint& ep) noexcept;
+
+}  // namespace jrf::net

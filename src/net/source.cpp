@@ -1,0 +1,35 @@
+#include "net/source.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace jrf::net {
+
+socket_source::socket_source(socket_fd fd, std::size_t chunk_bytes)
+    : fd_(std::move(fd)), chunk_(std::max<std::size_t>(chunk_bytes, 1)) {
+  if (!fd_.valid()) throw error("net: socket_source needs a connected fd");
+}
+
+void socket_source::refill() {
+  size_ = read_some(fd_, chunk_.data(), chunk_.size());
+  cursor_ = 0;
+  if (size_ == 0) eof_ = true;
+}
+
+std::string_view socket_source::peek(std::size_t max_bytes) {
+  if (cursor_ == size_ && !eof_) refill();
+  const std::size_t available = size_ - cursor_;
+  const std::size_t take =
+      max_bytes == 0 ? available : std::min(max_bytes, available);
+  return {chunk_.data() + cursor_, take};
+}
+
+void socket_source::consume(std::size_t bytes) {
+  cursor_ += std::min(bytes, size_ - cursor_);
+}
+
+bool socket_source::exhausted() const { return eof_ && cursor_ == size_; }
+
+}  // namespace jrf::net

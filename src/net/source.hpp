@@ -1,0 +1,53 @@
+// socket_source - the network producer behind system::ingest_source.
+//
+// A connection is just another byte producer: peek() exposes what the
+// last read brought in (blocking on the socket when the buffer is dry),
+// consume() commits the bytes a lane actually absorbed, and EOF - peer
+// close or shutdown_read() from the service's drain path - flips
+// exhausted(). Memory stays O(chunk) per connection regardless of how
+// much the peer streams, exactly like chunked_file_source does for files.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "system/ingest.hpp"
+
+namespace jrf::net {
+
+/// Pull-based ingest over one connected socket. Owns the fd; dropping the
+/// source closes the connection.
+class socket_source final : public system::ingest_source {
+ public:
+  explicit socket_source(socket_fd fd, std::size_t chunk_bytes = 1u << 16);
+
+  /// Blocks on the socket when the buffer is empty; an empty view
+  /// therefore always means EOF (unlike throttled in-process sources).
+  std::string_view peek(std::size_t max_bytes) override;
+  void consume(std::size_t bytes) override;
+  bool exhausted() const override;
+
+  /// Unblock a peek() stuck in recv() on another thread: it returns EOF
+  /// once the already-buffered bytes are consumed.
+  void shutdown_read() noexcept { fd_.shutdown_read(); }
+
+  /// Half-close the send side (the peer's reader sees EOF).
+  void shutdown_write() noexcept { fd_.shutdown_write(); }
+
+  /// The underlying connection, for writing responses (verdict echo) on
+  /// the same socket the bytes came in on.
+  const socket_fd& descriptor() const noexcept { return fd_; }
+
+ private:
+  void refill();
+
+  socket_fd fd_;
+  std::vector<char> chunk_;
+  std::size_t size_ = 0;    // valid bytes in chunk_
+  std::size_t cursor_ = 0;  // consumed prefix of chunk_
+  bool eof_ = false;
+};
+
+}  // namespace jrf::net

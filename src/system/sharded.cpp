@@ -130,6 +130,10 @@ void sharded_filter_system::pump(std::size_t budget_per_lane) {
   for_each_lane([&](lane& l) { pump_lane(l, budget_per_lane); });
 }
 
+void sharded_filter_system::pump_shard(std::size_t shard, std::size_t budget) {
+  pump_lane(checked(shard), budget);
+}
+
 void sharded_filter_system::finish() {
   // Drain + flush + reset under one lock hold: an offer() racing a lane's
   // finish lands either wholly before (framed into this stream) or wholly

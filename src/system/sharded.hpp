@@ -98,6 +98,11 @@ class sharded_filter_system {
   /// worker pool when one is configured; returns once every lane is done.
   void pump(std::size_t budget_per_lane = 0);
 
+  /// Drain one lane only (same budget semantics, always on the calling
+  /// thread). The per-shard entry point a producer uses to make room in
+  /// its own FIFO without touching - or waiting on - any other lane.
+  void pump_shard(std::size_t shard, std::size_t budget = 0);
+
   /// Drain everything and flush trailing records without a final
   /// separator. Further offers start fresh streams.
   void finish();

@@ -283,6 +283,211 @@ TEST(ApiPipelineStreaming, ShardedStreamingUnderBackpressure) {
   }
 }
 
+TEST(ApiPipelineStreaming, TryOfferPartialAbsorptionUnderFullFifo) {
+  // A lane FIFO far smaller than the offer: try_offer must absorb exactly
+  // the free space, report hard backpressure with 0 (never block, never
+  // drain in-line), and resume after the caller pumps that shard.
+  const workload& w = workloads().front();
+  auto built = pipeline::make()
+                   .from_query(w.q)
+                   .backend(backend_kind::sharded)
+                   .shards(1)
+                   .lane_fifo_bytes(64)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+
+  std::string_view rest = w.stream;
+  std::uint64_t absorbed = 0;
+  bool saw_partial = false;
+  bool saw_hard = false;
+  while (!rest.empty()) {
+    auto taken = built->try_offer(0, rest);
+    ASSERT_TRUE(taken.has_value()) << taken.error().message;
+    EXPECT_LE(*taken, 64u);  // never more than the FIFO can hold
+    if (*taken == 0) {
+      saw_hard = true;
+      ASSERT_TRUE(built->pump(0).has_value());
+      continue;
+    }
+    if (*taken < rest.size()) saw_partial = true;
+    absorbed += *taken;
+    rest.remove_prefix(*taken);
+  }
+  EXPECT_TRUE(saw_partial);
+  EXPECT_EQ(absorbed, w.stream.size());
+
+  // A bounded second offer absorbs only what fits behind the unpumped
+  // tail; the live stats() snapshot shows the backpressure the loop hit.
+  auto tail = built->try_offer(0, w.stream);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_LE(*tail, 64u);
+  auto stats = built->stats();
+  ASSERT_TRUE(stats.has_value()) << stats.error().message;
+  ASSERT_EQ(stats->size(), 1u);
+  if (saw_hard) {
+    EXPECT_GT((*stats)[0].hard_backpressure_events, 0u);
+  }
+
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  // Every absorbed byte got filtered (finish drains the FIFO remainder),
+  // and the decisions are byte-identical to a batch scan over exactly the
+  // absorbed prefix sequence.
+  ASSERT_EQ(result->shards.size(), 1u);
+  EXPECT_EQ(result->shards[0].bytes, absorbed + *tail);
+  const core::expr_ptr rf = query::compile_default(w.q);
+  const std::string absorbed_stream =
+      w.stream + w.stream.substr(0, static_cast<std::size_t>(*tail));
+  EXPECT_EQ(result->decisions,
+            core::make_filter_engine(core::engine_kind::chunked, rf)
+                ->filter_stream(absorbed_stream));
+}
+
+TEST(ApiPipelineStreaming, TryOfferMatchesOfferDecisions) {
+  // try_offer + pump(shard) and blocking offer() absorb the same streams
+  // into byte-identical decisions, across queries x datasets x workers.
+  for (const workload& w : workloads()) {
+    const auto shards = data::shard_records(w.stream, 3);
+    for (const std::size_t workers : {std::size_t{0}, std::size_t{2}}) {
+      auto make = [&] {
+        auto builder = pipeline::make();
+        builder.from_query(w.q)
+            .backend(backend_kind::sharded)
+            .shards(shards.size())
+            .worker_threads(workers)
+            .lane_fifo_bytes(512);
+        return builder.build();
+      };
+      auto blocking = make();
+      auto nonblocking = make();
+      ASSERT_TRUE(blocking.has_value()) << blocking.error().message;
+      ASSERT_TRUE(nonblocking.has_value()) << nonblocking.error().message;
+
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        ASSERT_TRUE(blocking->offer(s, shards[s]).has_value());
+        std::string_view rest = shards[s];
+        while (!rest.empty()) {
+          auto taken = nonblocking->try_offer(s, rest);
+          ASSERT_TRUE(taken.has_value()) << taken.error().message;
+          if (*taken == 0) {
+            ASSERT_TRUE(nonblocking->pump(s).has_value());
+            continue;
+          }
+          rest.remove_prefix(*taken);
+        }
+      }
+      auto blocking_result = blocking->finish();
+      auto nonblocking_result = nonblocking->finish();
+      ASSERT_TRUE(blocking_result.has_value());
+      ASSERT_TRUE(nonblocking_result.has_value());
+      for (std::size_t s = 0; s < shards.size(); ++s)
+        EXPECT_EQ(nonblocking_result->shard_decisions[s],
+                  blocking_result->shard_decisions[s])
+            << w.name << " workers=" << workers << " shard=" << s;
+    }
+  }
+}
+
+TEST(ApiPipelineStreaming, ReentrantSinkDoesNotDeadlock) {
+  // Regression: deliver() used to invoke the sink holding the facade
+  // mutex, so a sink calling back into offer()/pump() self-deadlocked on
+  // the non-recursive lock. Decisions are now handed over outside every
+  // internal lock - this test re-enters both calls from inside the sink.
+  const workload& w = workloads().front();
+  const auto batch = facade_decisions(w, backend_kind::chunked);
+
+  pipeline* self = nullptr;
+  const std::string extra = "{\"e\":[]}\n";
+  std::vector<bool> sunk;
+  bool reentered = false;
+  auto built = pipeline::make()
+                   .from_query(w.q)
+                   .backend(backend_kind::chunked)
+                   .on_decision([&](std::size_t, std::uint64_t index,
+                                    bool accepted) {
+                     EXPECT_EQ(index, sunk.size());  // order survives
+                     sunk.push_back(accepted);
+                     if (!reentered) {
+                       reentered = true;
+                       // Both re-entrant calls must return, not deadlock.
+                       ASSERT_TRUE(self->pump().has_value());
+                       ASSERT_TRUE(self->offer(extra).has_value());
+                     }
+                   })
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  self = &*built;
+
+  ASSERT_TRUE(built->offer(w.stream).has_value());
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  ASSERT_TRUE(reentered);
+
+  // The re-entrant offer() injected one extra record after the first
+  // complete record's decision; every verdict still arrived exactly once,
+  // in record order.
+  const core::expr_ptr rf = query::compile_default(w.q);
+  const auto reference =
+      core::make_filter_engine(core::engine_kind::chunked, rf)
+          ->filter_stream(w.stream + extra);
+  EXPECT_EQ(result->decisions.size(), batch.size() + 1);
+  EXPECT_EQ(sunk.size(), result->decisions.size());
+  EXPECT_EQ(sunk, result->decisions);
+  // Same multiset of verdicts as the reference over stream+extra (the
+  // extra record lands mid-stream in arrival order, at the tail in the
+  // reference, so compare counts).
+  const auto count = [](const std::vector<bool>& v) {
+    std::size_t accepted = 0;
+    for (const bool d : v) accepted += d ? 1 : 0;
+    return accepted;
+  };
+  EXPECT_EQ(count(sunk), count(reference));
+}
+
+TEST(ApiPipelineStreaming, ConvenienceOfferRoundRobinsAcrossShards) {
+  // Regression: offer(bytes) used to hard-pin every byte to shard 0,
+  // silently serializing a multi-shard pipeline. It now deals complete
+  // records round-robin - byte-identical to data::shard_records - even
+  // when the chunking is ragged (boundaries mid-record).
+  for (const workload& w : workloads()) {
+    const auto shards = data::shard_records(w.stream, 3);
+    std::vector<std::vector<bool>> sunk(shards.size());
+    auto built = pipeline::make()
+                     .from_query(w.q)
+                     .backend(backend_kind::sharded)
+                     .shards(shards.size())
+                     .on_decision([&](std::size_t shard, std::uint64_t index,
+                                      bool accepted) {
+                       ASSERT_LT(shard, sunk.size());
+                       EXPECT_EQ(index, sunk[shard].size());
+                       sunk[shard].push_back(accepted);
+                     })
+                     .build();
+    ASSERT_TRUE(built.has_value()) << built.error().message;
+
+    std::string_view rest = w.stream;
+    while (!rest.empty()) {
+      const std::size_t step = std::min<std::size_t>(61, rest.size());
+      ASSERT_TRUE(built->offer(rest.substr(0, step)).has_value());
+      rest.remove_prefix(step);
+    }
+    auto result = built->finish();
+    ASSERT_TRUE(result.has_value()) << result.error().message;
+
+    const core::expr_ptr rf = query::compile_default(w.q);
+    const std::vector<std::string_view> views{shards.begin(), shards.end()};
+    system::sharded_filter_system reference(rf, views.size());
+    reference.run(views);
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      EXPECT_EQ(result->shard_decisions[s], reference.decisions(s))
+          << w.name << " shard=" << s;
+      EXPECT_EQ(sunk[s], result->shard_decisions[s]) << w.name;
+      EXPECT_FALSE(result->shard_decisions[s].empty())
+          << w.name << ": shard " << s << " never saw a record";
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Error paths: the boundary never throws, offsets survive.
 
