@@ -149,6 +149,35 @@ int main(int argc, char** argv) {
                   ? "yes"
                   : "NO!");
 
+  // External baseline: a bare memchr record-count sweep over the same
+  // buffer - the cheapest conceivable structural pass (libc's vectorised
+  // byte scan, no string masking, no predicate evaluation). It bounds what
+  // any single-thread framing pass could reach on this host and anchors
+  // the chunked MB/s against something outside this codebase. (A real
+  // external parser baseline - e.g. simdjson - would need a dependency the
+  // build intentionally does not take.)
+  std::uint64_t memchr_records = 0;
+  const auto memchr_start = std::chrono::steady_clock::now();
+  {
+    const char* p = stream.data();
+    const char* const end = p + stream.size();
+    while (p < end) {
+      const void* hit = std::memchr(p, '\n', static_cast<std::size_t>(end - p));
+      if (hit == nullptr) break;
+      ++memchr_records;
+      p = static_cast<const char*>(hit) + 1;
+    }
+  }
+  const double memchr_seconds = seconds_since(memchr_start);
+  const double memchr_mbps =
+      memchr_seconds > 0
+          ? static_cast<double>(stream.size()) / memchr_seconds / 1e6
+          : 0.0;
+  std::printf("memchr baseline : %8.2f MB/s (%.3fs, %llu records counted, "
+              "no filtering)\n",
+              memchr_mbps, memchr_seconds,
+              static_cast<unsigned long long>(memchr_records));
+
   // -------------------------------------------------------------------
   // SIMD dispatch tiers: the chunked path pinned to every vector tier
   // this host can execute. Decisions are identical per construction (and
@@ -268,8 +297,9 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  ],\n");
     std::fprintf(f,
                  "  \"wall\": {\"scalar_mbps\": %.2f, \"chunked_mbps\": %.2f, "
-                 "\"speedup\": %.2f},\n",
-                 scalar.mbytes_per_second, chunked.mbytes_per_second, speedup);
+                 "\"speedup\": %.2f, \"memchr_baseline_mbps\": %.2f},\n",
+                 scalar.mbytes_per_second, chunked.mbytes_per_second, speedup,
+                 memchr_mbps);
     std::fprintf(f,
                  "  \"simd\": {\"detected\": \"%s\", \"active\": \"%s\", "
                  "\"rows\": [\n",

@@ -23,7 +23,12 @@
 #   --compare   after running bench_system_throughput, diff the fresh
 #               BENCH_system_throughput.json against the committed baseline
 #               (git HEAD) and fail on a >25% wall-clock MB/s regression in
-#               any tracked rate (scalar, chunked, sharded wall).
+#               any tracked rate (scalar, chunked, sharded wall, and the
+#               best threaded row - the latter only when the host has more
+#               than one CPU, since worker scaling on a 1-CPU container is
+#               pure scheduler noise). When the service-latency bench ran,
+#               its p99 is gated the same way: fresh p99 more than 25%
+#               above the committed baseline fails the compare.
 # Env:   BUILD=<dir>   build directory (default: build)
 set -eu
 
@@ -62,6 +67,18 @@ json_number() {
   sed -n 's/.*"'"$2"'": *\(-\{0,1\}[0-9][0-9.]*\).*/\1/p' "$1" | head -n 1
 }
 
+# Largest "wall_mbps" value inside the "threaded" object (the best
+# worker-pool row - the one a threading regression actually moves).
+threaded_best() {
+  awk '/"threaded"/ { t = 1 }
+       t && match($0, /"wall_mbps": *[0-9.]+/) {
+         v = substr($0, RSTART, RLENGTH)
+         sub(/.*: */, "", v)
+         if (v + 0 > best) best = v + 0
+       }
+       END { if (best > 0) printf "%s", best }' "$1"
+}
+
 if [ "$#" -gt 0 ]; then
   BENCHES="$*"
 else
@@ -77,6 +94,7 @@ fi
 # Snapshot the committed system-throughput baseline before the fresh run
 # overwrites the working-tree copy.
 BASELINE="$LOGS/system_throughput.baseline.json"
+LATENCY_BASELINE="$LOGS/service_latency.baseline.json"
 if [ "$COMPARE" -eq 1 ]; then
   if ! git show HEAD:BENCH_system_throughput.json > "$BASELINE" 2>/dev/null
   then
@@ -85,6 +103,16 @@ if [ "$COMPARE" -eq 1 ]; then
     else
       echo "bench.sh: --compare needs a committed BENCH_system_throughput.json" >&2
       exit 1
+    fi
+  fi
+  # The latency baseline is optional (first PR with the service bench has
+  # none committed yet); its gate is skipped when this stays missing.
+  if ! git show HEAD:BENCH_service_latency.json > "$LATENCY_BASELINE" 2>/dev/null
+  then
+    if [ -f BENCH_service_latency.json ]; then
+      cp BENCH_service_latency.json "$LATENCY_BASELINE"
+    else
+      : > "$LATENCY_BASELINE"
     fi
   fi
 fi
@@ -165,6 +193,49 @@ if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
       regressions=$((regressions + 1))
     fi
   done
+
+  # Worker-pool scaling: the best threaded row, gated only on hosts where
+  # the pool can actually scale. host_cpus comes from the fresh JSON (the
+  # bench records std::thread::hardware_concurrency next to its rows).
+  host_cpus=$(json_number "$fresh" host_cpus)
+  if [ "${host_cpus:-0}" -le 1 ] 2>/dev/null; then
+    echo "  threaded_best: skipped (host_cpus=${host_cpus:-?} - worker scaling is noise on a 1-CPU host)"
+  else
+    base=$(threaded_best "$BASELINE")
+    new=$(threaded_best "$fresh")
+    if [ -z "$base" ] || [ -z "$new" ]; then
+      echo "  threaded_best: missing in baseline or fresh run - skipping"
+    else
+      verdict=$(awk "BEGIN { print ($new < 0.75 * $base) ? \"REGRESSED\" : \"ok\" }")
+      printf '  %-14s baseline %10s  fresh %10s  %s\n' \
+        "threaded_best" "$base" "$new" "$verdict"
+      if [ "$verdict" = "REGRESSED" ]; then
+        regressions=$((regressions + 1))
+      fi
+    fi
+  fi
+
+  # Service p99 latency: higher is worse, so the gate flips - fresh p99
+  # more than 25% above the committed baseline is a regression. Skipped
+  # when either side is missing (latency bench not run / no baseline).
+  fresh_lat=BENCH_service_latency.json
+  if [ -s "$LATENCY_BASELINE" ] && [ -f "$fresh_lat" ]; then
+    base=$(json_number "$LATENCY_BASELINE" p99)
+    new=$(json_number "$fresh_lat" p99)
+    if [ -z "$base" ] || [ -z "$new" ]; then
+      echo "  p99_latency: missing in baseline or fresh run - skipping"
+    else
+      verdict=$(awk "BEGIN { print ($new > 1.25 * $base) ? \"REGRESSED\" : \"ok\" }")
+      printf '  %-14s baseline %10s  fresh %10s  %s (us, lower is better)\n' \
+        "p99_latency" "$base" "$new" "$verdict"
+      if [ "$verdict" = "REGRESSED" ]; then
+        regressions=$((regressions + 1))
+      fi
+    fi
+  else
+    echo "  p99_latency: no committed baseline or no fresh run - skipping"
+  fi
+
   if [ "$regressions" -ne 0 ]; then
     echo "bench.sh: $regressions tracked rate(s) regressed >25%" >&2
     exit 1

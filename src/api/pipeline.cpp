@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/bitmaps.hpp"
 #include "query/compile.hpp"
 #include "query/parse.hpp"
 #include "system/sharded.hpp"
@@ -134,8 +135,8 @@ struct pipeline::impl {
   // engines' framing automaton (a separator inside a JSON string literal
   // never ends a record; a '"' separator is always masked).
   std::mutex router_mutex;
-  bool router_in_string = false;
-  bool router_escaped = false;
+  core::framing_state router_state;  // string/escape carry across offers
+  core::bitmap_pass router_pass;     // reused buffer-at-a-time sweep
   std::string router_carry;          // partial record, no boundary yet
   std::size_t router_next_shard = 0;
 
@@ -145,6 +146,7 @@ struct pipeline::impl {
   std::vector<std::unique_ptr<core::filter_engine>> lanes;
   std::vector<std::uint64_t> lane_bytes;
   std::string pending;               // in-flight record (system dealing)
+  std::size_t accounted = 0;         // records dealt for lane accounting
   std::vector<bool> dealt;           // system-backend decisions
   std::uint64_t offered = 0;
 
@@ -171,6 +173,8 @@ struct pipeline::impl {
         // filter_system semantics: compile once, clone every further lane.
         lanes.push_back(
             core::make_filter_engine(opts.engine, expr, opts.filter));
+        if (opts.engine == core::engine_kind::chunked)
+          lanes.front()->collect_record_sizes(true);  // lane accounting
         for (int lane = 1; lane < opts.lanes; ++lane)
           lanes.push_back(lanes.front()->clone());
         lane_bytes.assign(static_cast<std::size_t>(opts.lanes), 0);
@@ -197,6 +201,22 @@ struct pipeline::impl {
     const std::size_t lane = dealt.size() % lanes.size();
     lane_bytes[lane] += record.size() + 1;  // + separator byte
     dealt.push_back(lanes[lane]->accepts(record));
+  }
+
+  // Chunked-engine record routing: whole chunks flow through lane 0's
+  // buffer-at-a-time bitmap pipeline (one structural classification per
+  // ingest buffer) instead of one accepts() call per record, which would
+  // stand up a fresh bitmap pass per record. Decisions land in `dealt` in
+  // record order - the same order per-record dealing produces, since every
+  // lane runs the identical compiled filter. The round-robin lane byte
+  // accounting the cycle model consumes comes from the engine's framing
+  // telemetry (record_sizes), so no second separator walk of the stream.
+  void drain_router() {
+    for (const bool d : lanes.front()->take_decisions()) dealt.push_back(d);
+    for (const std::uint32_t n : lanes.front()->take_record_sizes()) {
+      lane_bytes[accounted % lanes.size()] += n + 1;  // + separator byte
+      ++accounted;
+    }
   }
 
   void deal_chunk(std::string_view chunk) {
@@ -227,7 +247,12 @@ struct pipeline::impl {
         offered += bytes.size();
         break;
       case backend_kind::system:
-        deal_chunk(bytes);
+        if (opts.engine == core::engine_kind::chunked) {
+          lanes.front()->scan_chunk(bytes);
+          drain_router();
+        } else {
+          deal_chunk(bytes);
+        }
         offered += bytes.size();
         break;
       case backend_kind::sharded: {
@@ -269,7 +294,10 @@ struct pipeline::impl {
         engine->finish();
         break;
       case backend_kind::system:
-        if (!pending.empty()) {
+        if (opts.engine == core::engine_kind::chunked) {
+          lanes.front()->finish();
+          drain_router();
+        } else if (!pending.empty()) {
           deal_record(pending);
           pending.clear();
         }
@@ -340,33 +368,30 @@ struct pipeline::impl {
   std::vector<std::string> route_records(std::string_view bytes) {
     std::vector<std::string> batches(streams.size());
     const char sep = static_cast<char>(opts.filter.separator);
+    // One vectored sweep materialises the boundary bitmap for the whole
+    // offer; dealing is then a ctz walk of set bits instead of a byte
+    // loop. A '"' separator yields zero boundaries (always masked), so
+    // everything lands in router_carry - same as the byte automaton.
+    router_pass.compute(reinterpret_cast<const unsigned char*>(bytes.data()),
+                        bytes.size(), opts.filter.separator, router_state,
+                        core::simd::resolve(opts.filter.simd));
     std::size_t start = 0;
-    for (std::size_t i = 0; i < bytes.size(); ++i) {
-      const char c = bytes[i];
-      if (router_in_string) {
-        if (router_escaped)
-          router_escaped = false;
-        else if (c == '\\')
-          router_escaped = true;
-        else if (c == '"')
-          router_in_string = false;
-      } else if (c == sep && opts.filter.separator != '"') {
-        // Boundary. Empty records (consecutive separators) deal no bytes:
-        // they produce no decision on any path.
-        if (!router_carry.empty() || i > start) {
-          std::string& batch = batches[router_next_shard];
-          batch.append(router_carry);
-          batch.append(bytes.substr(start, i - start));
-          batch.push_back(sep);
-          router_carry.clear();
-          router_next_shard = (router_next_shard + 1) % streams.size();
-        }
-        start = i + 1;
-      } else if (c == '"') {
-        router_in_string = true;
+    for (std::size_t b = router_pass.next_boundary(0); b != core::simd::npos;
+         b = router_pass.next_boundary(b + 1)) {
+      // Empty records (consecutive separators) deal no bytes: they
+      // produce no decision on any path.
+      if (!router_carry.empty() || b > start) {
+        std::string& batch = batches[router_next_shard];
+        batch.append(router_carry);
+        batch.append(bytes.substr(start, b - start));
+        batch.push_back(sep);
+        router_carry.clear();
+        router_next_shard = (router_next_shard + 1) % streams.size();
       }
+      start = b + 1;
     }
     router_carry.append(bytes.substr(start));
+    router_state = router_pass.end_state();
     return batches;
   }
 
@@ -748,6 +773,7 @@ struct pipeline_builder::state {
   bool duplicate_query = false;
   bool consumed = false;    // build() succeeded; the builder is spent
   bool shards_set = false;  // shards() called explicitly
+  std::optional<std::string> bad_simd;  // unparseable simd("...") argument
   std::string qtext;
   query::data_model qmodel = query::data_model::flat;
   std::optional<query::query> parsed;
@@ -849,6 +875,20 @@ pipeline_builder& pipeline_builder::separator(unsigned char s) {
 
 pipeline_builder& pipeline_builder::simd(core::simd::simd_level level) {
   state_->opts.filter.simd = level;
+  state_->bad_simd.reset();
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::simd(std::string_view level) {
+  // Unknown names are diagnosed at build(), keeping the fluent chain
+  // noexcept like every other setter.
+  const auto parsed = core::simd::parse_level(level);
+  if (parsed.has_value()) {
+    state_->opts.filter.simd = *parsed;
+    state_->bad_simd.reset();
+  } else {
+    state_->bad_simd = std::string(level);
+  }
   return *this;
 }
 
@@ -916,6 +956,9 @@ expected<pipeline> pipeline_builder::build() {
     return unexpected("pipeline: clock_mhz must be positive");
   if (s.opts.block < 0)
     return unexpected("pipeline: negative block length");
+  if (s.bad_simd)
+    return unexpected("pipeline: unknown simd level \"" + *s.bad_simd +
+                      "\" - one of automatic / scalar / sse2 / avx2 / avx512");
   if (s.opts.backend == backend_kind::system && s.opts.lanes < 1)
     return unexpected("pipeline: the system backend needs at least one lane");
   for (const input_spec& in : s.inputs)

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/bitmaps.hpp"
 #include "core/raw_filter.hpp"
 #include "core/structure.hpp"
+#include "numrange/builder.hpp"
 #include "util/error.hpp"
 
 namespace jrf::core {
@@ -122,17 +124,30 @@ class scalar_filter_engine final : public filter_engine {
 };
 
 // ---------------------------------------------------------------------------
-// Chunked engine: batched framing + bulk per-record evaluation.
+// Chunked engine: buffer-at-a-time bitmap pipeline.
+//
+// One core::bitmap_pass sweep per ingest buffer materialises the string
+// mask, the record boundaries and the structural events as bitmaps
+// (core/bitmaps.hpp); everything downstream is a bit-scan walk:
+//
+//   framing      = ctz walk of the boundary bitmap,
+//   group events = expand of the structural bitmap restricted to the
+//                  record's bit range (positions already unmasked, so the
+//                  per-event structure_state is a pure depth automaton),
+//   leaves       = primitive_engine::fires_in bulk scans over the record
+//                  bytes (unchanged - their pulses don't depend on
+//                  structure).
 //
 // Decision-identity with the scalar path rests on three observations:
 //
 //  1. Framing. A byte is a record boundary iff it equals the separator and
-//     is not masked by the JSON string-literal automaton, and masking
-//     depends only on that automaton (quotes and backslash escapes). The
-//     framing scan advances the same automaton but jumps with memchr
-//     between the only bytes that can change it ('"', '\\') or end a
-//     record (the separator), so it finds exactly the boundaries push()
-//     would.
+//     is not masked by the JSON string-literal automaton; the bitmap pass
+//     computes exactly that automaton (speculatively per 64-byte block,
+//     with a scalar per-word fallback for non-JSON backslash placement),
+//     so the boundary bitmap holds exactly the boundaries push() would
+//     find. A record assembled across buffers (carry) starts right after a
+//     boundary, so its record-local pass starts from the fresh state and
+//     reproduces the stream automaton exactly.
 //
 //  2. Bare leaves. The record decision samples sticky per-record latches,
 //     so a bare leaf contributes exactly "did the engine pulse anywhere in
@@ -146,7 +161,9 @@ class scalar_filter_engine final : public filter_engine {
 //     value that is only read at arming time). Replaying the tracker over
 //     just those bytes - with the exact structure_state each one had - is
 //     therefore state-identical, and the group latch is "did the tracker
-//     pulse at any sample point".
+//     pulse at any sample point". The structural bitmap excludes masked
+//     bytes by construction, so the per-event state needs no string
+//     automaton at all - only the saturating depth counter.
 // ---------------------------------------------------------------------------
 
 class chunked_filter_engine final : public filter_engine {
@@ -155,49 +172,63 @@ class chunked_filter_engine final : public filter_engine {
       : filter_engine(std::move(expr), options),
         level_(simd::resolve(options.simd)),
         layout_(compiled_layout::compile(*expr_, options.simd)),
-        tracker_(options.depth_bits) {
-    for (const compiled_layout::group_info& g : layout_.groups)
-      trackers_.emplace_back(g.kind, static_cast<int>(g.last - g.first));
+        max_depth_(structure_tracker(options.depth_bits).max_depth()) {
     std::size_t max_members = 0;
     for (const compiled_layout::group_info& g : layout_.groups)
       max_members = std::max(max_members, g.last - g.first);
-    member_fires_.resize(max_members);
     fire_cursor_.resize(max_members);
     fire_lists_.resize(max_members);
+    run_capable_.reserve(layout_.engines.size());
+    run_slot_.reserve(layout_.engines.size());
+    std::size_t slots = 0;
+    for (const auto& engine : layout_.engines) {
+      // Engines past the 64-bit verdict mask fall back to the generic
+      // bulk paths (a query would need >64 value primitives to get there).
+      const bool capable = engine->supports_token_runs() && slots < 64;
+      run_capable_.push_back(capable ? 1 : 0);
+      run_slot_.push_back(capable ? slots++ : 0);
+    }
     std::size_t leaf_cursor = 0;
     std::size_t group_cursor = 0;
     root_ = build_eval_tree(*expr_, leaf_cursor, group_cursor);
   }
 
   void reset() override {
-    in_string_ = false;
-    escaped_ = false;
+    state_ = {};
     carry_.clear();
   }
 
   void scan_chunk(std::span<const unsigned char> chunk) override {
+    if (chunk.empty()) return;
+    pass_.compute(chunk.data(), chunk.size(), options_.separator, state_,
+                  level_);
     std::size_t pos = 0;
-    while (pos < chunk.size()) {
-      const std::size_t boundary = find_boundary(chunk, pos);
-      if (boundary == npos) {
-        carry_.insert(carry_.end(), chunk.begin() + static_cast<std::ptrdiff_t>(pos),
-                      chunk.end());
-        return;
-      }
+    std::size_t boundary = pass_.next_boundary(0);
+    while (boundary != npos) {
       if (!carry_.empty()) {
-        carry_.insert(carry_.end(), chunk.begin() + static_cast<std::ptrdiff_t>(pos),
+        carry_.insert(carry_.end(),
+                      chunk.begin() + static_cast<std::ptrdiff_t>(pos),
                       chunk.begin() + static_cast<std::ptrdiff_t>(boundary));
-        decisions_.push_back(evaluate_record({carry_.data(), carry_.size()}));
+        decisions_.push_back(evaluate_carry());
+        if (sizes_enabled_)
+          record_sizes_.push_back(static_cast<std::uint32_t>(carry_.size()));
         carry_.clear();
       } else if (boundary > pos) {
-        decisions_.push_back(evaluate_record(chunk.subspan(pos, boundary - pos)));
+        decisions_.push_back(
+            evaluate_record(chunk.subspan(pos, boundary - pos), pass_, pos));
+        if (sizes_enabled_)
+          record_sizes_.push_back(static_cast<std::uint32_t>(boundary - pos));
       }
       // Empty records (consecutive separators) produce no decision, exactly
       // like filter_stream's pending-byte bookkeeping.
       pos = boundary + 1;
-      in_string_ = false;
-      escaped_ = false;
+      boundary = pass_.next_boundary(pos);
     }
+    if (pos < chunk.size())
+      carry_.insert(carry_.end(),
+                    chunk.begin() + static_cast<std::ptrdiff_t>(pos),
+                    chunk.end());
+    state_ = pass_.end_state();
   }
 
   void finish() override {
@@ -206,33 +237,31 @@ class chunked_filter_engine final : public filter_engine {
     // the trailing record left the string automaton open (or the separator
     // is the quote byte itself) that separator is masked, no boundary
     // occurs, and the flushed decision is unconditionally false.
-    const bool masked = in_string_ || options_.separator == '"';
-    decisions_.push_back(masked ? false
-                                : evaluate_record({carry_.data(), carry_.size()}));
+    const bool masked = state_.in_string || options_.separator == '"';
+    decisions_.push_back(masked ? false : evaluate_carry());
+    if (sizes_enabled_)
+      record_sizes_.push_back(static_cast<std::uint32_t>(carry_.size()));
     carry_.clear();
-    in_string_ = false;
-    escaped_ = false;
+    state_ = {};
   }
 
   bool accepts(std::string_view record) override {
     reset();
     // accepts() == decision of the final (possibly empty) segment: push()
     // discards the state of every earlier segment at its boundary.
-    const std::span<const unsigned char> bytes{
-        reinterpret_cast<const unsigned char*>(record.data()), record.size()};
+    const auto* data = reinterpret_cast<const unsigned char*>(record.data());
+    const std::size_t n = record.size();
+    record_pass_.compute(data, n, options_.separator, {}, level_);
     std::size_t last_start = 0;
-    std::size_t pos = 0;
-    while (pos < bytes.size()) {
-      const std::size_t boundary = find_boundary(bytes, pos);
-      if (boundary == npos) break;
-      last_start = boundary + 1;
-      pos = boundary + 1;
-      in_string_ = false;
-      escaped_ = false;
-    }
-    const bool masked = in_string_ || options_.separator == '"';
+    for (std::size_t b = record_pass_.next_boundary(0); b != npos;
+         b = record_pass_.next_boundary(b + 1))
+      last_start = b + 1;
+    const bool masked =
+        record_pass_.end_state().in_string || options_.separator == '"';
     const bool decision =
-        masked ? false : evaluate_record(bytes.subspan(last_start));
+        masked ? false
+               : evaluate_record({data + last_start, n - last_start},
+                                 record_pass_, last_start);
     reset();
     return decision;
   }
@@ -257,14 +286,13 @@ class chunked_filter_engine final : public filter_engine {
       : filter_engine(other.expr_, other.options_),
         level_(other.level_),
         layout_(other.layout_.clone()),
-        tracker_(other.options_.depth_bits),
-        trackers_(other.trackers_),
+        max_depth_(other.max_depth_),
+        run_capable_(other.run_capable_),
+        run_slot_(other.run_slot_),
         root_(other.root_),
-        member_fires_(other.member_fires_.size()),
         fire_cursor_(other.fire_cursor_.size()),
-        fire_lists_(other.fire_lists_.size()) {
-    for (auto& tracker : trackers_) tracker.reset();
-  }
+        fire_lists_(other.fire_lists_.size()),
+        memo_(other.memo_) {}  // a warm memo carries over: pure function
 
   eval_node build_eval_tree(const filter_expr& e, std::size_t& leaf_cursor,
                             std::size_t& group_cursor) const {
@@ -291,58 +319,36 @@ class chunked_filter_engine final : public filter_engine {
     return node;
   }
 
-  /// Advance the string-mask automaton from `pos` and return the position
-  /// of the next unmasked separator, or npos when the chunk ends first.
-  /// Only '"' and '\\' can change the mask, so the scan jumps with the
-  /// vectored two-byte search between the bytes that matter for the
-  /// current automaton state.
-  std::size_t find_boundary(std::span<const unsigned char> chunk,
-                            std::size_t pos) {
-    const unsigned char sep = options_.separator;
-    const unsigned char* data = chunk.data();
-    const std::size_t size = chunk.size();
-    while (pos < size) {
-      if (in_string_) {
-        if (escaped_) {
-          escaped_ = false;
-          ++pos;
-          continue;
-        }
-        const std::size_t at =
-            simd::find_first_of2(data + pos, size - pos, '"', '\\', level_);
-        if (at == simd::npos) return npos;  // chunk ends inside the literal
-        pos += at + 1;
-        if (data[pos - 1] == '\\') {
-          escaped_ = true;
-        } else {
-          in_string_ = false;
-        }
-      } else {
-        // A separator of '"' is always masked (it opens a string), so it
-        // can never be a boundary; every other separator candidate holds
-        // unless a quote opens a string before it.
-        const std::size_t at =
-            sep == '"'
-                ? simd::find_byte(data + pos, size - pos, '"', level_)
-                : simd::find_first_of2(data + pos, size - pos, sep, '"',
-                                       level_);
-        if (at == simd::npos) return npos;
-        if (data[pos + at] != '"') return pos + at;
-        in_string_ = true;
-        pos += at + 1;
-      }
-    }
-    return npos;
+  /// A carried record always starts right after a boundary (or the stream
+  /// start), so its record-local bitmap pass starts from the fresh state
+  /// and reproduces the stream automaton over those bytes exactly.
+  bool evaluate_carry() {
+    record_pass_.compute(carry_.data(), carry_.size(), options_.separator,
+                         framing_state{}, level_);
+    return evaluate_record({carry_.data(), carry_.size()}, record_pass_, 0);
   }
 
-  bool evaluate_record(std::span<const unsigned char> record) {
+  /// Evaluate one record against the bitmaps of the pass that framed it;
+  /// `offset` is the record's first byte as a bit position in `pass`.
+  bool evaluate_record(std::span<const unsigned char> record,
+                       const bitmap_pass& pass, std::size_t offset) {
     events_ready_ = false;
+    positions_ready_ = false;
+    pair_bounds_ready_ = false;
+    runs_ready_ = false;
+    verdicts_ready_ = false;
+    cur_pass_ = &pass;
+    cur_offset_ = offset;
     return eval(root_, record);
   }
 
   bool eval(const eval_node& node, std::span<const unsigned char> record) {
     switch (node.k) {
       case eval_node::kind::leaf:
+        if (run_capable_[node.index]) {
+          ensure_run_verdicts(record);
+          return (any_mask_ >> run_slot_[node.index]) & 1;
+        }
         return layout_.engines[node.index]->fires_in(record,
                                                      options_.separator);
       case eval_node::kind::group:
@@ -365,140 +371,519 @@ class chunked_filter_engine final : public filter_engine {
     structure_state st;
   };
 
-  /// Collect the record's structural events by stepping the tracker only
-  /// at bytes that can change it: the six structural candidates plus
-  /// backslash (one vectored chunk classification, then a bit walk -
-  /// structural bytes are too dense in real JSON for per-byte jump scans
-  /// to amortize). Every skipped byte is a tracker no-op with no event:
-  /// outside a literal only the candidate set reacts, inside a literal
-  /// only '"' and '\\' do - except the one byte after a backslash, which
-  /// clears the escape flag whatever it is, so it is stepped inline and
-  /// excluded from the walk. The event list and final tracker state are
-  /// identical to stepping every byte.
+  /// structure_tracker::step for a byte known to be outside any string
+  /// literal - a pure function of the byte and the saturating depth
+  /// counter. Every bit of the structural bitmap is unmasked by
+  /// construction, so this is the only automaton the event walk needs.
+  structure_state step_unmasked(unsigned char byte, int depth) const {
+    structure_state st;
+    st.depth_before = depth;
+    if (byte == '"') {
+      st.masked = true;  // only reachable via a '"' separator flush step
+    } else if (byte == '{' || byte == '[') {
+      st.scope_open = true;
+      depth = std::min(depth + 1, max_depth_);
+    } else if (byte == '}' || byte == ']') {
+      st.scope_close = true;
+      st.pair_boundary = true;
+      depth = std::max(depth - 1, 0);
+    } else if (byte == ',') {
+      st.pair_boundary = true;
+    }
+    st.depth = depth;
+    return st;
+  }
+
+  /// One expand of the structural bitmap over the record's bit range: the
+  /// record-relative positions of every unmasked structural byte.
+  void ensure_event_positions(std::span<const unsigned char> record) {
+    if (positions_ready_) return;
+    event_positions_.clear();
+    collect_bits(cur_pass_->structural(), cur_offset_,
+                 cur_offset_ + record.size(), level_, event_positions_);
+    if (cur_offset_ != 0)
+      for (std::uint32_t& pos : event_positions_)
+        pos -= static_cast<std::uint32_t>(cur_offset_);
+    positions_ready_ = true;
+  }
+
+  /// Collect the record's structural events from the bitmap pass: the
+  /// structural positions, then the depth automaton over just those
+  /// positions. The pass already resolved string masking and escapes, so
+  /// the event list and the synthesized separator step are identical to
+  /// stepping the full tracker over every byte (the record ends outside
+  /// any literal whenever this is called - masked flushes never evaluate).
   void ensure_events(std::span<const unsigned char> record) {
     if (events_ready_) return;
+    ensure_event_positions(record);
     events_.clear();
-    tracker_.reset();
-    const unsigned char* data = record.data();
-    const std::size_t n = record.size();
-    const std::size_t width = simd::chunk_width(level_);
-    std::size_t consumed = 0;  // bound of positions stepped inline
-    for (std::size_t base = 0; base < n; base += width) {
-      std::uint32_t mask = simd::structural_mask(data + base, n - base, level_);
-      while (mask != 0) {
-        const auto bit = static_cast<unsigned>(std::countr_zero(mask));
-        mask &= mask - 1;
-        const std::size_t pos = base + bit;
-        if (pos < consumed) continue;  // was an escape payload
-        const structure_state st = tracker_.step(data[pos]);
-        if (st.scope_open || st.scope_close || st.pair_boundary)
-          events_.push_back({static_cast<std::uint32_t>(pos), st});
-        if (tracker_.escaped() && pos + 1 < n) {
-          tracker_.step(data[pos + 1]);  // escape payload clears the flag
-          consumed = pos + 2;
-        }
-        // A record-final backslash leaves the flag armed for the
-        // separator step, exactly like the scalar walk.
-      }
+    int depth = 0;
+    for (const std::uint32_t pos : event_positions_) {
+      const structure_state st = step_unmasked(record[pos], depth);
+      depth = st.depth;
+      events_.push_back({pos, st});
     }
-    separator_st_ = tracker_.step(options_.separator);
+    separator_st_ = step_unmasked(options_.separator, depth);
     events_ready_ = true;
+  }
+
+  /// Pair-boundary positions of the record: the unmasked ',' '}' ']'
+  /// bytes, the only sample triggers a pair group reacts to besides the
+  /// final separator.
+  void ensure_pair_bounds(std::span<const unsigned char> record) {
+    if (pair_bounds_ready_) return;
+    ensure_event_positions(record);
+    pair_bounds_.clear();
+    for (const std::uint32_t pos : event_positions_) {
+      const unsigned char b = record[pos];
+      if (b != '{' && b != '[') pair_bounds_.push_back(pos);
+    }
+    pair_bounds_ready_ = true;
+  }
+
+  /// Maximal numeric-token runs of the record, shared by every
+  /// run-capable value engine. Extracted from the ingest pass's token
+  /// bitmap (word ops over cached classification) instead of
+  /// re-classifying the record's bytes.
+  void ensure_token_runs(std::span<const unsigned char> record) {
+    if (runs_ready_) return;
+    bit_runs_in(cur_pass_->token(), cur_offset_, cur_offset_ + record.size(),
+                runs_);
+    runs_ready_ = true;
+  }
+
+  /// Verdict mask of one token run: bit run_slot_[e] set iff engine e
+  /// pulses at the run's end. Pure function of the run's bytes (the
+  /// end-of-stream edge is handled by the caller).
+  std::uint64_t compute_run_mask(std::span<const unsigned char> record,
+                                 const simd::token_run& run) {
+    std::uint64_t mask = 0;
+    for (std::size_t e = 0; e < layout_.engines.size(); ++e) {
+      if (!run_capable_[e]) continue;
+      if (layout_.engines[e]->fires_in_any_run(record, options_.separator,
+                                               {&run, 1}))
+        mask |= std::uint64_t{1} << run_slot_[e];
+    }
+    return mask;
+  }
+
+  /// Verdict masks for every token run of the record, memoized across
+  /// records: a run-capable engine's pulse is a pure function of the run's
+  /// bytes, and data streams repeat the same numerals constantly, so one
+  /// DFA walk per distinct numeral (per engine) serves the whole stream.
+  /// The memo is 2-way set-associative with the bytes themselves as the
+  /// tag; a double collision just recomputes.
+  void ensure_run_verdicts(std::span<const unsigned char> record) {
+    if (verdicts_ready_) return;
+    ensure_token_runs(record);
+    const std::size_t n = runs_.size();
+    run_masks_.clear();
+    any_mask_ = 0;
+    probes_.resize(n);
+    const bool token_separator = numrange::is_token_byte(options_.separator);
+    // Pass 1: pack every run's key and prefetch its memo set, so the
+    // probe pass below finds the slots already in flight instead of
+    // stalling on one dependent cache miss per run.
+    for (std::size_t i = 0; i < n; ++i) {
+      const simd::token_run& run = runs_[i];
+      memo_probe& p = probes_[i];
+      if (run.end == record.size() && token_separator) {
+        // The stream ends mid-token: the run is never sampled, no engine
+        // pulses - and the verdict is position-dependent, so no memo.
+        p.kind = memo_probe::edge;
+        continue;
+      }
+      const std::size_t len = run.end - run.begin;
+      if (len > numeral_memo::kMaxLen) {
+        p.kind = memo_probe::oversize;
+        continue;
+      }
+      // Pack the numeral into two words, zero-padded past `len`. The wide
+      // loads are safe whenever 16 bytes exist after run.begin; near the
+      // record end a zeroed bounce buffer keeps the key identical.
+      std::uint64_t key0, key1;
+      if (run.begin + 16 <= record.size()) {
+        std::memcpy(&key0, record.data() + run.begin, 8);
+        std::memcpy(&key1, record.data() + run.begin + 8, 8);
+        if (len < 8) {
+          key0 &= (std::uint64_t{1} << (8 * len)) - 1;
+          key1 = 0;
+        } else if (len < 16) {
+          key1 &= len == 8 ? 0 : (std::uint64_t{1} << (8 * (len - 8))) - 1;
+        }
+      } else {
+        unsigned char buf[16] = {};
+        std::memcpy(buf, record.data() + run.begin, len);
+        std::memcpy(&key0, buf, 8);
+        std::memcpy(&key1, buf + 8, 8);
+      }
+      const std::uint64_t h =
+          (key0 ^ (key1 * 0x9E3779B97F4A7C15ull) ^ len) * 0x2545F4914F6CDD1Dull;
+      p.kind = memo_probe::keyed;
+      p.key0 = key0;
+      p.key1 = key1;
+      p.len = static_cast<std::uint8_t>(len);
+      p.set = static_cast<std::uint32_t>((h >> 48) & ~std::uint64_t{1});
+      __builtin_prefetch(&memo_.slots[p.set]);
+      __builtin_prefetch(&memo_.slots[p.set + 1]);
+    }
+    // Pass 2: probe. 2-way set: two colliding numerals that both recur
+    // (the common case on replicated streams) coexist instead of evicting
+    // each other every record. The MRU entry sits first; a hit in the
+    // second way swaps it forward, a miss evicts the LRU (second) way.
+    for (std::size_t i = 0; i < n; ++i) {
+      const memo_probe& p = probes_[i];
+      if (p.kind == memo_probe::edge) {
+        run_masks_.push_back(0);
+        continue;
+      }
+      if (p.kind == memo_probe::oversize) {
+        run_masks_.push_back(compute_run_mask(record, runs_[i]));
+        continue;
+      }
+      numeral_memo::entry* way = &memo_.slots[p.set];
+      if (way[0].len == p.len && way[0].key0 == p.key0 &&
+          way[0].key1 == p.key1) {
+        run_masks_.push_back(way[0].mask);
+        continue;
+      }
+      if (way[1].len == p.len && way[1].key0 == p.key0 &&
+          way[1].key1 == p.key1) {
+        std::swap(way[0], way[1]);
+        run_masks_.push_back(way[0].mask);
+        continue;
+      }
+      const std::uint64_t mask = compute_run_mask(record, runs_[i]);
+      way[1] = way[0];
+      way[0].key0 = p.key0;
+      way[0].key1 = p.key1;
+      way[0].len = p.len;
+      way[0].mask = mask;
+      run_masks_.push_back(mask);
+    }
+    for (const std::uint64_t mask : run_masks_) any_mask_ |= mask;
+    verdicts_ready_ = true;
+  }
+
+  /// Pair-group fast path. A pair tracker samples at every pair boundary
+  /// and the separator, with no depth dependence at all, so the group
+  /// fires iff some sampling segment (prev sample, sample] contains at
+  /// least one pulse of every member. Only segments holding a pulse of the
+  /// first non-run member (the anchor) can qualify, so the anchor streams
+  /// its pulses (scan_fires) and each pulse's segment is tested on the
+  /// spot: the other listed members by cursor merge over their sorted fire
+  /// lists, run-capable value members lazily by walking the shared token
+  /// runs of just that segment (token bytes are never pair boundaries, so
+  /// no run straddles a segment). The scan stops at the first qualifying
+  /// segment - most records are decided within their first few pulses.
+  bool pair_group_fires(const compiled_layout::group_info& info,
+                        std::span<const unsigned char> record) {
+    const std::size_t members = info.last - info.first;
+    bool any_run_members = false;
+    std::size_t anchor = members;  // first non-run member, streamed
+    for (std::size_t m = 0; m < members; ++m) {
+      if (run_capable_[info.first + m]) {
+        any_run_members = true;
+        continue;
+      }
+      if (anchor == members) {
+        anchor = m;
+        continue;
+      }
+      fire_lists_[m].clear();
+      layout_.engines[info.first + m]->fire_positions(
+          record, options_.separator, fire_lists_[m]);
+      // A member that never pulses can never be latched at a sample.
+      if (fire_lists_[m].empty()) return false;
+    }
+    if (any_run_members) {
+      ensure_run_verdicts(record);
+      for (std::size_t m = 0; m < members; ++m)
+        if (run_capable_[info.first + m] &&
+            !((any_mask_ >> run_slot_[info.first + m]) & 1))
+          return false;  // member never pulses anywhere in the record
+    }
+    ensure_pair_bounds(record);
+
+    std::fill(fire_cursor_.begin(),
+              fire_cursor_.begin() + static_cast<std::ptrdiff_t>(members), 0);
+
+    if (anchor == members) {
+      // Every member is run-capable: walk the segments in order, testing
+      // each member against the ORed verdict mask of the segment's runs.
+      std::size_t run_lo = 0;  // first token run not consumed by a segment
+      const auto segment_fires = [&](std::uint32_t bound) {
+        std::uint64_t seg_mask = 0;
+        while (run_lo < runs_.size() && runs_[run_lo].end <= bound)
+          seg_mask |= run_masks_[run_lo++];
+        bool all = true;
+        for (std::size_t m = 0; m < members && all; ++m)
+          all = (seg_mask >> run_slot_[info.first + m]) & 1;
+        return all;
+      };
+      for (const std::uint32_t bound : pair_bounds_)
+        if (segment_fires(bound)) return true;
+      return segment_fires(static_cast<std::uint32_t>(record.size()));
+    }
+
+    bool found = false;
+    std::size_t seg = 0;                          // anchor's segment index
+    std::size_t tested = pair_bounds_.size() + 1;  // last segment tested
+    std::size_t run_lo = 0;  // first token run at or past the segment start
+    auto on_fire = [&](std::uint32_t fire) -> bool {
+      while (seg < pair_bounds_.size() && pair_bounds_[seg] < fire) ++seg;
+      if (seg == tested) return true;  // segment already failed; next pulse
+      tested = seg;
+      const std::uint32_t bound =
+          seg < pair_bounds_.size()
+              ? pair_bounds_[seg]
+              : static_cast<std::uint32_t>(record.size());
+      const std::uint32_t low = seg > 0 ? pair_bounds_[seg - 1] + 1 : 0;
+      for (std::size_t m = 0; m < members; ++m) {
+        if (m == anchor || run_capable_[info.first + m]) continue;
+        const std::vector<std::uint32_t>& list = fire_lists_[m];
+        std::size_t& cursor = fire_cursor_[m];
+        while (cursor < list.size() && list[cursor] < low) ++cursor;
+        if (cursor == list.size() || list[cursor] > bound)
+          return true;  // member silent in this segment; keep scanning
+      }
+      if (any_run_members) {
+        while (run_lo < runs_.size() && runs_[run_lo].end < low) ++run_lo;
+        std::uint64_t seg_mask = 0;
+        for (std::size_t r = run_lo;
+             r < runs_.size() && runs_[r].end <= bound; ++r)
+          seg_mask |= run_masks_[r];
+        for (std::size_t m = 0; m < members; ++m)
+          if (run_capable_[info.first + m] &&
+              !((seg_mask >> run_slot_[info.first + m]) & 1))
+            return true;  // keep scanning
+      }
+      found = true;
+      return false;  // stop the scan: the latch is sticky
+    };
+    using on_fire_t = decltype(on_fire);
+    layout_.engines[info.first + anchor]->scan_fires(
+        record, options_.separator,
+        [](void* ctx, std::uint32_t pos) {
+          return (*static_cast<on_fire_t*>(ctx))(pos);
+        },
+        &on_fire);
+    return found;
   }
 
   bool group_fires(std::size_t group, std::span<const unsigned char> record) {
     const compiled_layout::group_info& info = layout_.groups[group];
     const std::size_t members = info.last - info.first;
 
+    if (info.kind == group_kind::pair) return pair_group_fires(info, record);
+
     // Necessary condition first: a member that never pulses can never be
-    // latched at a sample point, so the group cannot fire.
+    // latched at a sample point, so the group cannot fire. Run-capable
+    // members answer from one bit of the record-wide verdict union -
+    // testing them before any string scan rejects most non-matching
+    // records without touching the record bytes again.
+    bool any_run_members = false;
+    for (std::size_t m = 0; m < members; ++m)
+      if (run_capable_[info.first + m]) any_run_members = true;
+    if (any_run_members) {
+      ensure_run_verdicts(record);
+      for (std::size_t m = 0; m < members; ++m)
+        if (run_capable_[info.first + m] &&
+            !((any_mask_ >> run_slot_[info.first + m]) & 1))
+          return false;
+    }
+    // First-window fast path. The replay below arms at p = min over
+    // members of the FIRST pulse, so every member's first pulse is inside
+    // [p, c] iff max(first pulses) <= c - the first window's verdict needs
+    // only one pulse per member. Those come from early-exit scans (no fire
+    // lists, no full-record sweeps): most accepting records are decided
+    // here, and a member that never pulses rejects without being scanned
+    // past its (absent) first occurrence.
+    const auto separator_pos = static_cast<std::uint32_t>(record.size());
+    constexpr std::uint32_t no_fire = ~std::uint32_t{0};
+    std::uint32_t first_min = no_fire;
+    std::uint32_t first_max = 0;
     for (std::size_t m = 0; m < members; ++m) {
-      fire_lists_[m].clear();
-      layout_.engines[info.first + m]->fire_positions(
-          record, options_.separator, fire_lists_[m]);
-      if (fire_lists_[m].empty()) return false;
+      std::uint32_t first = no_fire;
+      if (run_capable_[info.first + m]) {
+        const std::uint64_t bit = std::uint64_t{1}
+                                  << run_slot_[info.first + m];
+        for (std::size_t r = 0; r < runs_.size(); ++r)
+          if (run_masks_[r] & bit) {
+            first = runs_[r].end;
+            break;
+          }
+      } else {
+        layout_.engines[info.first + m]->scan_fires(
+            record, options_.separator,
+            [](void* ctx, std::uint32_t pos) {
+              *static_cast<std::uint32_t*>(ctx) = pos;
+              return false;  // the first pulse decides the first window
+            },
+            &first);
+      }
+      if (first == no_fire) return false;  // never latched, never fires
+      first_min = std::min(first_min, first);
+      first_max = std::max(first_max, first);
+    }
+    ensure_events(record);
+    {
+      int depth0 = 0;
+      std::size_t ei0 = 0;
+      while (ei0 < events_.size() && events_[ei0].pos < first_min) {
+        depth0 = events_[ei0].st.depth;
+        ++ei0;
+      }
+      std::uint32_t c0 = separator_pos;
+      for (std::size_t ej = ei0; ej < events_.size(); ++ej) {
+        const struct_event& ev = events_[ej];
+        if (ev.st.scope_close && ev.st.depth_before <= depth0) {
+          c0 = ev.pos;
+          break;
+        }
+      }
+      if (first_max <= c0) return true;
     }
 
-    ensure_events(record);
+    // First window did not fire: materialise the full pulse lists and run
+    // the general replay (the minority path).
+    for (std::size_t m = 0; m < members; ++m) {
+      fire_lists_[m].clear();
+      if (run_capable_[info.first + m]) continue;
+      layout_.engines[info.first + m]->fire_positions(
+          record, options_.separator, fire_lists_[m]);
+    }
+    // Only now materialise the run members' pulse lists off the masks.
+    for (std::size_t m = 0; m < members; ++m) {
+      if (!run_capable_[info.first + m]) continue;
+      fire_lists_[m].clear();
+      const std::uint64_t bit = std::uint64_t{1} << run_slot_[info.first + m];
+      for (std::size_t r = 0; r < runs_.size(); ++r)
+        if (run_masks_[r] & bit) fire_lists_[m].push_back(runs_[r].end);
+    }
 
-    // Event-driven replay: step the tracker only at bytes where its state
-    // can change, in position order, merging member pulses with
-    // structural events. While the tracker is unarmed every structural
-    // event with no member pulse is a state no-op that cannot fire
-    // (sampling clears latches that are already clear), so the replay
-    // fast-forwards straight to the next member pulse, consuming skipped
-    // events only for their depth. The final separator byte always
-    // samples.
-    group_tracker& tracker = trackers_[group];
-    tracker.reset();
+    // Windowed replay of the scope tracker. The tracker arms at the first
+    // member pulse after a clear, freezing the nesting depth of that byte,
+    // and samples (fire iff every member latched, then clear) at the next
+    // scope close back at or below that depth - or at the final
+    // separator, which always samples. Closes while unarmed are state
+    // no-ops, and closes deeper than the armed depth neither fire nor
+    // clear, so the whole byte-serial automaton collapses to: per window,
+    // find the arming pulse p (earliest remaining pulse of any member),
+    // its depth, the qualifying close c, and test whether every member
+    // pulses within [p, c]. Each event and pulse is visited O(1) times.
     std::fill(fire_cursor_.begin(), fire_cursor_.begin() +
               static_cast<std::ptrdiff_t>(members), 0);
-    std::size_t event_cursor = 0;
-    const auto separator_pos = static_cast<std::uint32_t>(record.size());
-    int depth = 0;  // nesting level after the last structural event
+    std::size_t ei = 0;  // events consumed up to the current arming pulse
+    int depth = 0;       // nesting level after events_[0 .. ei)
 
     for (;;) {
-      // Next position where anything can happen: member pulses (and, only
-      // while armed, structural events).
-      std::uint32_t pos = separator_pos;
+      // Arming pulse: earliest remaining pulse of any member. Pulses at
+      // or before the previous sample were consumed by earlier windows.
+      std::uint32_t p = separator_pos;
+      bool any_left = false;
       for (std::size_t m = 0; m < members; ++m)
-        if (fire_cursor_[m] < fire_lists_[m].size())
-          pos = std::min(pos, fire_lists_[m][fire_cursor_[m]]);
-      if (tracker.armed()) {
-        if (event_cursor < events_.size())
-          pos = std::min(pos, events_[event_cursor].pos);
-      } else {
-        while (event_cursor < events_.size() &&
-               events_[event_cursor].pos < pos) {
-          depth = events_[event_cursor].st.depth;
-          ++event_cursor;
+        if (fire_cursor_[m] < fire_lists_[m].size()) {
+          any_left = true;
+          p = std::min(p, fire_lists_[m][fire_cursor_[m]]);
+        }
+      if (!any_left) return false;  // nothing left to arm on
+
+      // Depth the tracker would freeze: the nesting level before byte p.
+      while (ei < events_.size() && events_[ei].pos < p) {
+        depth = events_[ei].st.depth;
+        ++ei;
+      }
+      const int armed_depth = depth;
+
+      // Sample position: first scope close at or after p whose
+      // depth_before is back at or below the armed depth.
+      std::uint32_t c = separator_pos;
+      for (std::size_t ej = ei; ej < events_.size(); ++ej) {
+        const struct_event& ev = events_[ej];
+        if (ev.st.scope_close && ev.st.depth_before <= armed_depth) {
+          c = ev.pos;
+          break;
         }
       }
 
-      structure_state st;
-      if (event_cursor < events_.size() && events_[event_cursor].pos == pos) {
-        st = events_[event_cursor].st;
-        depth = st.depth;
-        ++event_cursor;
-      } else if (pos == separator_pos) {
-        st = separator_st_;
-      } else {
-        st.depth_before = depth;
-        st.depth = depth;
-      }
-
+      // Fire iff every member pulses inside the window [p, c]; consume
+      // the window's pulses either way (the sample clears all latches).
+      bool all = true;
       for (std::size_t m = 0; m < members; ++m) {
-        const bool fired = fire_cursor_[m] < fire_lists_[m].size() &&
-                           fire_lists_[m][fire_cursor_[m]] == pos;
-        member_fires_[m] = fired ? 1 : 0;
-        if (fired) ++fire_cursor_[m];
+        const std::vector<std::uint32_t>& list = fire_lists_[m];
+        std::size_t& cursor = fire_cursor_[m];
+        all = all && cursor < list.size() && list[cursor] <= c;
+        while (cursor < list.size() && list[cursor] <= c) ++cursor;
       }
-
-      const bool separator = pos == separator_pos;
-      if (tracker.step(st, separator,
-                       {member_fires_.data(), members}))
-        return true;  // latch is sticky: one pulse decides the record
-      if (separator) return false;
+      if (all) return true;  // latch is sticky: one pulse decides
+      if (c == separator_pos) return false;
     }
   }
 
-  simd::simd_level level_;               // resolved vector tier (framing/events)
+  /// Cross-record memo of token-run verdict masks (see
+  /// ensure_run_verdicts). 2-way set-associative (adjacent slot pairs,
+  /// MRU first); the tag is the numeral itself, packed little-endian into
+  /// two words so probe and compare are a pair of integer compares
+  /// instead of a byte loop. Numerals longer than 16 bytes skip the memo
+  /// (vanishingly rare in real streams).
+  struct numeral_memo {
+    static constexpr std::size_t kSlots = 65536;  // power of two
+    static constexpr std::size_t kMaxLen = 16;
+    struct entry {
+      std::uint64_t key0 = 0;
+      std::uint64_t key1 = 0;
+      std::uint8_t len = 0;  // 0 = empty slot (runs are never empty)
+      std::uint64_t mask = 0;
+    };
+    std::vector<entry> slots = std::vector<entry>(kSlots);
+  };
+
+  /// Per-run key/slot scratch of ensure_run_verdicts' prefetch pass.
+  struct memo_probe {
+    enum probe_kind : std::uint8_t { edge, oversize, keyed };
+    std::uint64_t key0 = 0;
+    std::uint64_t key1 = 0;
+    std::uint32_t set = 0;
+    std::uint8_t len = 0;
+    probe_kind kind = edge;
+  };
+
+  simd::simd_level level_;               // resolved vector tier
   compiled_layout layout_;
-  structure_tracker tracker_;            // record-scoped event collection
-  std::vector<group_tracker> trackers_;  // replay state, one per group
+  int max_depth_;                        // saturation bound (depth_bits)
+  std::vector<char> run_capable_;        // engine order: token-run bulk path
+  std::vector<std::size_t> run_slot_;    // engine order: verdict-mask bit
   eval_node root_;
 
   // Framing state (persists across scan_chunk calls).
-  bool in_string_ = false;
-  bool escaped_ = false;
+  framing_state state_;
   std::vector<unsigned char> carry_;  // partial record awaiting its boundary
 
+  // Bitmap passes: one per ingest buffer, one per carried/standalone
+  // record. Both reuse their word storage across compute() calls.
+  bitmap_pass pass_;
+  bitmap_pass record_pass_;
+
   // Per-record scratch, reused across records.
+  const bitmap_pass* cur_pass_ = nullptr;  // pass that framed the record
+  std::size_t cur_offset_ = 0;             // record start bit in cur_pass_
   bool events_ready_ = false;
+  bool positions_ready_ = false;
+  bool pair_bounds_ready_ = false;
+  bool runs_ready_ = false;
+  bool verdicts_ready_ = false;
+  std::vector<std::uint32_t> event_positions_;  // record-relative
   std::vector<struct_event> events_;
+  std::vector<std::uint32_t> pair_bounds_;   // ',' '}' ']' positions
+  std::vector<simd::token_run> runs_;        // shared token segmentation
+  std::vector<memo_probe> probes_;           // per run: key + memo set
+  std::vector<std::uint64_t> run_masks_;     // per run: engine verdict bits
+  std::uint64_t any_mask_ = 0;               // union of run_masks_
   structure_state separator_st_;
-  std::vector<char> member_fires_;
   std::vector<std::size_t> fire_cursor_;
   std::vector<std::vector<std::uint32_t>> fire_lists_;
+  numeral_memo memo_;  // persists across records and chunks
 };
 
 }  // namespace

@@ -118,6 +118,21 @@ class filter_engine {
   /// reset + scan + finish; identical to raw_filter::filter_stream.
   std::vector<bool> filter_stream(std::string_view stream);
 
+  /// Opt-in framing telemetry: when enabled, the chunked engine appends
+  /// the byte length of every record it decides (parallel to decisions(),
+  /// same skip-empty-records rule). The record router of the api layer
+  /// consumes this for lane byte accounting instead of re-framing the
+  /// stream itself. The scalar byte path does not implement it.
+  void collect_record_sizes(bool on) {
+    sizes_enabled_ = on;
+    record_sizes_.clear();
+  }
+  std::vector<std::uint32_t> take_record_sizes() {
+    std::vector<std::uint32_t> out;
+    out.swap(record_sizes_);
+    return out;
+  }
+
   /// Per-record decisions accumulated since the last clear.
   const std::vector<bool>& decisions() const noexcept { return decisions_; }
   std::vector<bool> take_decisions() {
@@ -136,6 +151,8 @@ class filter_engine {
   expr_ptr expr_;
   filter_options options_;
   std::vector<bool> decisions_;
+  bool sizes_enabled_ = false;
+  std::vector<std::uint32_t> record_sizes_;
 };
 
 enum class engine_kind {

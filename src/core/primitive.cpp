@@ -66,6 +66,27 @@ void primitive_engine::fire_positions(std::span<const unsigned char> record,
   reset();
 }
 
+void primitive_engine::scan_fires(std::span<const unsigned char> record,
+                                  unsigned char terminator, fire_sink sink,
+                                  void* ctx) {
+  std::vector<std::uint32_t> fires;
+  fire_positions(record, terminator, fires);
+  for (const std::uint32_t pos : fires)
+    if (!sink(ctx, pos)) return;
+}
+
+void primitive_engine::fire_positions_over_runs(
+    std::span<const unsigned char>, unsigned char,
+    std::span<const simd::token_run>, std::vector<std::uint32_t>&) {
+  throw error("primitive engine: token-run bulk path not supported");
+}
+
+bool primitive_engine::fires_in_any_run(std::span<const unsigned char>,
+                                        unsigned char,
+                                        std::span<const simd::token_run>) {
+  throw error("primitive engine: token-run bulk path not supported");
+}
+
 namespace {
 
 void validate_search_string(const string_spec& spec) {
@@ -144,6 +165,14 @@ class substring_engine final : public primitive_engine {
     });
   }
 
+  void scan_fires(std::span<const unsigned char> record,
+                  unsigned char terminator, fire_sink sink,
+                  void* ctx) override {
+    scan(record, terminator, [&](std::size_t pos) {
+      return sink(ctx, static_cast<std::uint32_t>(pos));
+    });
+  }
+
   bool step(unsigned char byte) override {
     // buffer_[0] is the newest byte after the shift.
     for (std::size_t i = buffer_.size(); i-- > 1;) buffer_[i] = buffer_[i - 1];
@@ -210,16 +239,22 @@ class substring_engine final : public primitive_engine {
   /// each candidate with the scalar window compare, and resets the counter
   /// across skipped positions (which are all misses). Pulse-for-pulse
   /// identical to stepping every position: misses cannot fire (threshold
-  /// >= 1) and candidate order is preserved.
+  /// >= 1) and candidate order is preserved. B = 1 takes the run-length
+  /// path: membership is the whole compare, so whole runs of set mask
+  /// bits advance the counter at once.
   template <typename OnFire>
   void scan(std::span<const unsigned char> record, unsigned char terminator,
             OnFire&& on_fire) const {
+    if (spec_.block == 1) {
+      scan_b1(record, terminator, on_fire);
+      return;
+    }
     const std::size_t n = record.size();
     const std::size_t width = simd::chunk_width(level_);
     unsigned counter = 0;
     std::size_t next_pos = 0;  // first position the counter has not seen
     for (std::size_t base = 0; base < n; base += width) {
-      std::uint32_t mask =
+      std::uint64_t mask =
           simd::match_mask(record.data() + base, n - base, last_bytes_, level_);
       while (mask != 0) {
         const auto bit = static_cast<unsigned>(std::countr_zero(mask));
@@ -237,6 +272,101 @@ class substring_engine final : public primitive_engine {
       if (n != next_pos) counter = 0;
       counter = hit_at(record, terminator, n) ? ((counter + 1) & mask_) : 0;
       if (counter == static_cast<unsigned>(threshold_)) on_fire(n);
+    }
+  }
+
+  /// B = 1 run-length replay. A hit at a position is exactly byte-set
+  /// membership (the window compare degenerates to the bitmap test), so a
+  /// run of L consecutive set mask bits advances the wrap-around counter
+  /// by L in one step instead of L confirms. With counter value v at the
+  /// run start, 1-based run offset j fires iff (v + j) mod 2^w ==
+  /// threshold (w = the hardware counter width), so the fires inside a run
+  /// are j0, j0 + 2^w, ... with j0 = ((threshold - v) mod 2^w, or 2^w when
+  /// that is 0). Work per chunk is O(runs + fires), not O(member bytes) -
+  /// the payoff on dense member sets (a one-char gram's last-byte set, or
+  /// any B = 1 spec whose alphabet covers much of the record). The counter
+  /// value, wrap behaviour and emitted pulses match the scalar step()
+  /// exactly, including the fire-every-2^w-bytes cadence inside runs
+  /// longer than the threshold.
+  template <typename OnFire>
+  void scan_b1(std::span<const unsigned char> record, unsigned char terminator,
+               OnFire&& on_fire) const {
+    const std::size_t n = record.size();
+    const std::size_t width = simd::chunk_width(level_);
+    const unsigned modulus = mask_ + 1;
+    const auto thr = static_cast<unsigned>(threshold_);
+    unsigned counter = 0;
+    for (std::size_t base = 0; base < n; base += width) {
+      const std::uint64_t m =
+          simd::match_mask(record.data() + base, n - base, last_bytes_, level_);
+      const std::size_t valid = std::min(width, n - base);
+      if (m == 0) {
+        counter = 0;
+        continue;
+      }
+      if (valid == width) {
+        // No-fire fast test. The counter resets on every gap, so a full
+        // chunk can only fire if the carried-in run reaches its next wrap
+        // offset inside the chunk's leading ones, or some interior run is
+        // at least `threshold` long (shift-AND ladder). When neither
+        // holds, the whole run walk collapses to the carry update.
+        bool walk = false;
+        if (counter != 0) {
+          std::size_t j0 = (thr - counter) & mask_;
+          if (j0 == 0) j0 = modulus;
+          walk = static_cast<std::size_t>(std::countr_one(m)) >= j0;
+        }
+        if (!walk) {
+          std::uint64_t ladder = m;
+          std::size_t len = 1;
+          while (len < thr && ladder != 0) {
+            const std::size_t step = std::min(len, thr - len);
+            ladder &= ladder << step;
+            len += step;
+          }
+          walk = ladder != 0;
+        }
+        if (!walk) {
+          const std::uint64_t full =
+              width == 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << width) - 1;
+          counter = m == full
+                        ? (counter + static_cast<unsigned>(width)) & mask_
+                        : static_cast<unsigned>(
+                              std::countl_one(m << (64 - width))) &
+                              mask_;
+          continue;
+        }
+      }
+      std::size_t pos = 0;
+      while (pos < valid) {
+        const std::uint64_t rest = m >> pos;
+        if ((rest & 1) == 0) {
+          if (rest == 0) {
+            counter = 0;  // the chunk ends in misses
+            break;
+          }
+          pos += static_cast<unsigned>(std::countr_zero(rest));
+          counter = 0;  // the gap before the run is all misses
+          continue;
+        }
+        const std::uint64_t inv = ~rest;
+        std::size_t len = inv == 0 ? 64 - pos
+                                   : static_cast<unsigned>(std::countr_zero(inv));
+        len = std::min(len, valid - pos);
+        std::size_t j0 = (thr - counter) & mask_;
+        if (j0 == 0) j0 = modulus;
+        for (std::size_t j = j0; j <= len; j += modulus)
+          if (!on_fire(base + pos + j - 1)) return;
+        counter = (counter + static_cast<unsigned>(len)) & mask_;
+        pos += len;
+      }
+    }
+    // Position n: the appended terminator byte. A miss-final chunk left
+    // the counter at zero, exactly like the per-position replay.
+    if (last_bytes_.contains(terminator)) {
+      counter = (counter + 1) & mask_;
+      if (counter == thr) on_fire(n);
     }
   }
 
@@ -332,6 +462,21 @@ class dfa_string_engine final : public primitive_engine {
     }
     if (ends_at_terminator(record, terminator))
       out.push_back(static_cast<std::uint32_t>(record.size()));
+  }
+
+  void scan_fires(std::span<const unsigned char> record,
+                  unsigned char terminator, fire_sink sink,
+                  void* ctx) override {
+    const std::size_t n = spec_.text.size();
+    for (std::size_t from = 0; from <= record.size();) {
+      const std::size_t at = simd::find_substring(
+          record.data() + from, record.size() - from, text_data(), n, level_);
+      if (at == simd::npos) break;
+      if (!sink(ctx, static_cast<std::uint32_t>(from + at + n - 1))) return;
+      from += at + 1;  // overlapping occurrences pulse too
+    }
+    if (ends_at_terminator(record, terminator))
+      sink(ctx, static_cast<std::uint32_t>(record.size()));
   }
 
   elaborated_primitive elaborate(network& net, const bus& byte,
@@ -437,6 +582,39 @@ class value_engine final : public primitive_engine {
     });
   }
 
+  void scan_fires(std::span<const unsigned char> record,
+                  unsigned char terminator, fire_sink sink,
+                  void* ctx) override {
+    scan(record, terminator, [&](std::size_t pos) {
+      return sink(ctx, static_cast<std::uint32_t>(pos));
+    });
+  }
+
+  // Token-run bulk path. With a non-accepting start state a pulse can only
+  // occur on the first non-token byte after a maximal token run whose DFA
+  // walk ends accepting, so walking precomputed runs reproduces scan()
+  // exactly; an accepting start state would also pulse on every non-token
+  // byte, which runs alone cannot express, hence the guard.
+  bool supports_token_runs() const override {
+    return !compiled_->start_accepting;
+  }
+
+  void fire_positions_over_runs(std::span<const unsigned char> record,
+                                unsigned char terminator,
+                                std::span<const simd::token_run> runs,
+                                std::vector<std::uint32_t>& out) override {
+    for (const simd::token_run& run : runs)
+      if (run_accepts(record, terminator, run)) out.push_back(run.end);
+  }
+
+  bool fires_in_any_run(std::span<const unsigned char> record,
+                        unsigned char terminator,
+                        std::span<const simd::token_run> runs) override {
+    for (const simd::token_run& run : runs)
+      if (run_accepts(record, terminator, run)) return true;
+    return false;
+  }
+
   elaborated_primitive elaborate(network& net, const bus& byte,
                                  node_id record_reset,
                                  const std::string& prefix) const override {
@@ -527,6 +705,24 @@ class value_engine final : public primitive_engine {
         i = next_token(i);
       }
     }
+  }
+
+  /// DFA walk of one maximal token run; true iff the pulse scan() would
+  /// emit at run.end occurs. A run that reaches record.size() with a
+  /// token-class terminator never samples (the stream ends mid-token).
+  bool run_accepts(std::span<const unsigned char> record,
+                   unsigned char terminator,
+                   const simd::token_run& run) const {
+    const regex::dfa& dfa = compiled_->dfa;
+    int state = dfa.start();
+    for (std::uint32_t i = run.begin; i < run.end; ++i) {
+      if (compiled_->dead[static_cast<std::size_t>(state)]) return false;
+      state = dfa.step(state, record[i]);
+    }
+    if (run.end == record.size() &&
+        numrange::is_token_byte(terminator))
+      return false;
+    return dfa.accepting(state);
   }
 
   value_spec spec_;

@@ -112,6 +112,40 @@ class primitive_engine {
                               unsigned char terminator,
                               std::vector<std::uint32_t>& out);
 
+  /// Callback for scan_fires; return false to stop the scan early.
+  using fire_sink = bool (*)(void* ctx, std::uint32_t pos);
+
+  /// Bulk path: stream every fire pulse position (ascending, position
+  /// record.size() = the terminator byte) into `sink` until it returns
+  /// false. Lets a caller stop mid-record once a pulse decided the
+  /// outcome - the early-exit shape fires_in has, but with positions.
+  /// Engines with native early-exit scans override this; the default
+  /// materialises fire_positions first.
+  virtual void scan_fires(std::span<const unsigned char> record,
+                          unsigned char terminator, fire_sink sink, void* ctx);
+
+  /// True when this engine's pulses are a pure function of the maximal
+  /// numeric-token runs of the record (simd::token_runs), letting one
+  /// shared segmentation replace the engine's own boundary scans. Value
+  /// engines whose DFA rejects the empty token qualify; everything else
+  /// answers false and the run-based bulk paths below must not be called.
+  virtual bool supports_token_runs() const { return false; }
+
+  /// Run-based fire_positions: identical pulses, but the caller supplies
+  /// the record's maximal token runs. Precondition: supports_token_runs()
+  /// and `runs` == simd::token_runs(record).
+  virtual void fire_positions_over_runs(std::span<const unsigned char> record,
+                                        unsigned char terminator,
+                                        std::span<const simd::token_run> runs,
+                                        std::vector<std::uint32_t>& out);
+
+  /// True when at least one pulse occurs whose position falls at the end
+  /// of one of `runs` (any subrange of the record's maximal token runs).
+  /// Same precondition as fire_positions_over_runs.
+  virtual bool fires_in_any_run(std::span<const unsigned char> record,
+                                unsigned char terminator,
+                                std::span<const simd::token_run> runs);
+
   /// Elaborate into the network. `byte` is the stream input; `record_reset`
   /// is a combinational line that is high on record-boundary bytes. The
   /// fire output is combinational for the byte currently applied.

@@ -22,6 +22,7 @@ const char* to_string(simd_level level) noexcept {
     case simd_level::scalar: return "scalar";
     case simd_level::sse2: return "sse2";
     case simd_level::avx2: return "avx2";
+    case simd_level::avx512: return "avx512";
   }
   return "?";
 }
@@ -31,6 +32,7 @@ std::optional<simd_level> parse_level(std::string_view text) noexcept {
   if (text == "scalar") return simd_level::scalar;
   if (text == "sse2") return simd_level::sse2;
   if (text == "avx2") return simd_level::avx2;
+  if (text == "avx512") return simd_level::avx512;
   return std::nullopt;
 }
 
@@ -41,10 +43,31 @@ int rank(simd_level level) noexcept { return static_cast<int>(level); }
 simd_level probe_cpu() noexcept {
 #if JRF_SIMD_X86 && defined(__GNUC__)
   __builtin_cpu_init();
+  // The avx512 tier needs byte compares into mask registers (BW) and the
+  // 128/256-bit forms (VL) on top of the foundation.
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl"))
+    return simd_level::avx512;
   if (__builtin_cpu_supports("avx2")) return simd_level::avx2;
   if (__builtin_cpu_supports("sse2")) return simd_level::sse2;
 #endif
   return simd_level::scalar;
+}
+
+/// vpcompressb needs AVX-512 VBMI2 on top of the tier's baseline; probed
+/// separately so the avx512 tier still runs (with a scalar bit walk for
+/// expand_bits) on F+BW+VL-only parts.
+bool probe_vbmi2() noexcept {
+#if JRF_SIMD_X86 && defined(__GNUC__)
+  return __builtin_cpu_supports("avx512vbmi2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool has_vbmi2() noexcept {
+  static const bool ok = probe_vbmi2();
+  return ok;
 }
 
 /// True unless the variable is unset, empty, "0" or "OFF".
@@ -94,6 +117,8 @@ std::vector<simd_level> available_levels() {
     out.push_back(simd_level::sse2);
   if (rank(detected_level()) >= rank(simd_level::avx2))
     out.push_back(simd_level::avx2);
+  if (rank(detected_level()) >= rank(simd_level::avx512))
+    out.push_back(simd_level::avx512);
   return out;
 }
 
@@ -146,11 +171,11 @@ constexpr bool is_structural_scalar(unsigned char b) noexcept {
   return b == '"' || b == '{' || b == '}' || b == '[' || b == ']' || b == ',';
 }
 
-std::uint32_t match_mask_scalar(const unsigned char* data, std::size_t size,
+std::uint64_t match_mask_scalar(const unsigned char* data, std::size_t size,
                                 const byte_set& set) noexcept {
-  std::uint32_t mask = 0;
+  std::uint64_t mask = 0;
   for (std::size_t i = 0; i < size; ++i)
-    mask |= static_cast<std::uint32_t>(set.contains(data[i]) ? 1u : 0u) << i;
+    mask |= static_cast<std::uint64_t>(set.contains(data[i]) ? 1u : 0u) << i;
   return mask;
 }
 
@@ -171,13 +196,38 @@ std::size_t find_first_of2_scalar(const unsigned char* data, std::size_t size,
   return npos;
 }
 
-std::uint32_t structural_mask_scalar(const unsigned char* data,
+std::uint64_t structural_mask_scalar(const unsigned char* data,
                                      std::size_t size) noexcept {
-  std::uint32_t mask = 0;
+  std::uint64_t mask = 0;
   for (std::size_t i = 0; i < size; ++i)
     if (is_structural_scalar(data[i]) || data[i] == '\\')
-      mask |= std::uint32_t{1} << i;
+      mask |= std::uint64_t{1} << i;
   return mask;
+}
+
+block_class classify_block_scalar(const unsigned char* data, std::size_t size,
+                                  unsigned char separator) noexcept {
+  block_class c;
+  const std::size_t n = std::min<std::size_t>(size, 64);
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char b = data[i];
+    const std::uint64_t bit = std::uint64_t{1} << i;
+    if (b == '\\') c.backslash |= bit;
+    if (b == '"') c.quote |= bit;
+    if (b == separator) c.separator |= bit;
+    if (b == '{' || b == '}' || b == '[' || b == ']' || b == ',')
+      c.structural |= bit;
+    if (is_token_scalar(b)) c.token |= bit;
+  }
+  return c;
+}
+
+void expand_bits_scalar(std::uint64_t mask, std::uint32_t base,
+                        std::vector<std::uint32_t>& out) {
+  while (mask != 0) {
+    out.push_back(base + static_cast<std::uint32_t>(std::countr_zero(mask)));
+    mask &= mask - 1;
+  }
 }
 
 std::size_t find_token_scalar(const unsigned char* data,
@@ -192,6 +242,14 @@ std::size_t find_non_token_scalar(const unsigned char* data,
   for (std::size_t i = 0; i < size; ++i)
     if (!is_token_scalar(data[i])) return i;
   return npos;
+}
+
+std::uint64_t token_chunk_scalar(const unsigned char* data,
+                                 std::size_t size) noexcept {
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < size; ++i)
+    if (is_token_scalar(data[i])) mask |= std::uint64_t{1} << i;
+  return mask;
 }
 
 std::size_t find_substring_scalar(const unsigned char* hay, std::size_t n,
@@ -217,7 +275,7 @@ std::size_t find_substring_scalar(const unsigned char* hay, std::size_t n,
 // finishes with the scalar reference over the tail.
 // ---------------------------------------------------------------------------
 
-__attribute__((target("sse2"))) std::uint32_t match_mask_sse2(
+__attribute__((target("sse2"))) std::uint64_t match_mask_sse2(
     const unsigned char* data, std::size_t size, const byte_set& set) noexcept {
   // Partial chunks take the scalar path (a full 16-byte load would read
   // past the buffer); sets beyond the compare budget fall back too, capped
@@ -229,6 +287,47 @@ __attribute__((target("sse2"))) std::uint32_t match_mask_sse2(
   for (const unsigned char b : set.bytes())
     acc = _mm_or_si128(acc, _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(b))));
   return static_cast<std::uint32_t>(_mm_movemask_epi8(acc)) & 0xFFFFu;
+}
+
+__attribute__((target("sse2"))) __m128i token_mask_sse2(__m128i v) noexcept;
+
+__attribute__((target("sse2"))) block_class classify_block_sse2(
+    const unsigned char* data, std::size_t size,
+    unsigned char separator) noexcept {
+  if (size < 64) return classify_block_scalar(data, size, separator);
+  block_class c;
+  const __m128i bs = _mm_set1_epi8('\\');
+  const __m128i qt = _mm_set1_epi8('"');
+  const __m128i sep = _mm_set1_epi8(static_cast<char>(separator));
+  const __m128i brace = _mm_set1_epi8('{');
+  const __m128i close = _mm_set1_epi8('}');
+  const __m128i comma = _mm_set1_epi8(',');
+  for (unsigned k = 0; k < 4; ++k) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * k));
+    const __m128i folded = _mm_or_si128(v, _mm_set1_epi8(0x20));
+    const unsigned shift = 16 * k;
+    c.backslash |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                       _mm_movemask_epi8(_mm_cmpeq_epi8(v, bs))))
+                   << shift;
+    c.quote |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                   _mm_movemask_epi8(_mm_cmpeq_epi8(v, qt))))
+               << shift;
+    c.separator |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                       _mm_movemask_epi8(_mm_cmpeq_epi8(v, sep))))
+                   << shift;
+    const __m128i st = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(folded, brace),
+                     _mm_cmpeq_epi8(folded, close)),
+        _mm_cmpeq_epi8(v, comma));
+    c.structural |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                        _mm_movemask_epi8(st)))
+                    << shift;
+    c.token |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                   _mm_movemask_epi8(token_mask_sse2(v))))
+               << shift;
+  }
+  return c;
 }
 
 __attribute__((target("sse2"))) std::size_t find_byte_sse2(
@@ -269,7 +368,7 @@ __attribute__((target("sse2"))) std::size_t find_first_of2_sse2(
 /// Structural candidates plus backslash. ORing 0x20 folds '{'/'[' and
 /// '}'/']' onto single compares ('[' | 0x20 == '{', ']' | 0x20 == '}',
 /// and no other byte folds onto either).
-__attribute__((target("sse2"))) std::uint32_t structural_mask_sse2(
+__attribute__((target("sse2"))) std::uint64_t structural_mask_sse2(
     const unsigned char* data, std::size_t size) noexcept {
   if (size < 16) return structural_mask_scalar(data, size);
   const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data));
@@ -328,6 +427,14 @@ __attribute__((target("sse2"))) std::size_t find_non_token_sse2(
   return tail == npos ? npos : i + tail;
 }
 
+/// Token-class bitmask of one full 16-byte chunk.
+__attribute__((target("sse2"))) std::uint64_t token_chunk_sse2(
+    const unsigned char* data) noexcept {
+  const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data));
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(token_mask_sse2(v))) &
+         0xFFFFu;
+}
+
 /// First+last byte candidate compare, memcmp confirm (Mula's SIMD-friendly
 /// substring scheme). Both loads stay inside hay[0, n): the block at
 /// offset i reads [i, i+16) and [i+m-1, i+m+15), bounded by the loop
@@ -364,7 +471,7 @@ __attribute__((target("sse2"))) std::size_t find_substring_sse2(
 // AVX2 tier (256-bit).
 // ---------------------------------------------------------------------------
 
-__attribute__((target("avx2"))) std::uint32_t match_mask_avx2(
+__attribute__((target("avx2"))) std::uint64_t match_mask_avx2(
     const unsigned char* data, std::size_t size, const byte_set& set) noexcept {
   if (size < 32) return match_mask_scalar(data, size, set);
   const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
@@ -396,6 +503,47 @@ __attribute__((target("avx2"))) std::uint32_t match_mask_avx2(
     return ~static_cast<std::uint32_t>(_mm256_movemask_epi8(member));
   }
   return match_mask_scalar(data, std::min<std::size_t>(size, 32), set);
+}
+
+__attribute__((target("avx2"))) __m256i token_mask_avx2(__m256i v) noexcept;
+
+__attribute__((target("avx2"))) block_class classify_block_avx2(
+    const unsigned char* data, std::size_t size,
+    unsigned char separator) noexcept {
+  if (size < 64) return classify_block_scalar(data, size, separator);
+  block_class c;
+  const __m256i bs = _mm256_set1_epi8('\\');
+  const __m256i qt = _mm256_set1_epi8('"');
+  const __m256i sep = _mm256_set1_epi8(static_cast<char>(separator));
+  const __m256i brace = _mm256_set1_epi8('{');
+  const __m256i close = _mm256_set1_epi8('}');
+  const __m256i comma = _mm256_set1_epi8(',');
+  for (unsigned k = 0; k < 2; ++k) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + 32 * k));
+    const __m256i folded = _mm256_or_si256(v, _mm256_set1_epi8(0x20));
+    const unsigned shift = 32 * k;
+    c.backslash |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                       _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, bs))))
+                   << shift;
+    c.quote |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                   _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, qt))))
+               << shift;
+    c.separator |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                       _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, sep))))
+                   << shift;
+    const __m256i st = _mm256_or_si256(
+        _mm256_or_si256(_mm256_cmpeq_epi8(folded, brace),
+                        _mm256_cmpeq_epi8(folded, close)),
+        _mm256_cmpeq_epi8(v, comma));
+    c.structural |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                        _mm256_movemask_epi8(st)))
+                    << shift;
+    c.token |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                   _mm256_movemask_epi8(token_mask_avx2(v))))
+               << shift;
+  }
+  return c;
 }
 
 __attribute__((target("avx2"))) std::size_t find_byte_avx2(
@@ -433,7 +581,7 @@ __attribute__((target("avx2"))) std::size_t find_first_of2_avx2(
 }
 
 
-__attribute__((target("avx2"))) std::uint32_t structural_mask_avx2(
+__attribute__((target("avx2"))) std::uint64_t structural_mask_avx2(
     const unsigned char* data, std::size_t size) noexcept {
   if (size < 32) return structural_mask_scalar(data, size);
   const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
@@ -492,6 +640,13 @@ __attribute__((target("avx2"))) std::size_t find_non_token_avx2(
   return tail == npos ? npos : i + tail;
 }
 
+/// Token-class bitmask of one full 32-byte chunk.
+__attribute__((target("avx2"))) std::uint64_t token_chunk_avx2(
+    const unsigned char* data) noexcept {
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+  return static_cast<std::uint32_t>(_mm256_movemask_epi8(token_mask_avx2(v)));
+}
+
 __attribute__((target("avx2"))) std::size_t find_substring_avx2(
     const unsigned char* hay, std::size_t n, const unsigned char* needle,
     std::size_t m) noexcept {
@@ -520,23 +675,232 @@ __attribute__((target("avx2"))) std::size_t find_substring_avx2(
   return tail == npos ? npos : i + tail;
 }
 
+// ---------------------------------------------------------------------------
+// AVX-512 tier (512-bit). Byte compares write mask registers directly
+// (vpcmpb / vpmovb2m), so every classification covers 64 bytes and the
+// movemask step disappears; partial blocks take the scalar path like the
+// narrower tiers (no masked loads - keeps every read trivially in bounds
+// for the sanitizers).
+// ---------------------------------------------------------------------------
+
+#define JRF_AVX512_TARGET "avx512f,avx512bw,avx512vl"
+
+/// Replicate a 16-byte nibble table across all four 128-bit lanes. A
+/// memory round-trip instead of _mm512_broadcast_i32x4: GCC implements the
+/// broadcast intrinsic on top of _mm512_undefined_epi32, which trips
+/// -Wmaybe-uninitialized under -Werror.
+__attribute__((target(JRF_AVX512_TARGET))) inline __m512i
+replicate_table_avx512(const unsigned char* tbl) noexcept {
+  alignas(64) unsigned char rep[64];
+  for (int lane = 0; lane < 4; ++lane) std::memcpy(rep + 16 * lane, tbl, 16);
+  return _mm512_load_si512(rep);
+}
+
+__attribute__((target(JRF_AVX512_TARGET))) std::uint64_t match_mask_avx512(
+    const unsigned char* data, std::size_t size, const byte_set& set) noexcept {
+  if (size < 64) return match_mask_scalar(data, size, set);
+  const __m512i v = _mm512_loadu_si512(data);
+  if (set.size() <= 4) {
+    __mmask64 acc = 0;
+    for (const unsigned char b : set.bytes())
+      acc |= _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8(static_cast<char>(b)));
+    return acc;
+  }
+  if (set.nibble_classifiable()) {
+    const __m512i lo_tbl = replicate_table_avx512(set.lo_table().data());
+    const __m512i hi_tbl = replicate_table_avx512(set.hi_table().data());
+    const __m512i low_nibbles = _mm512_and_si512(v, _mm512_set1_epi8(0x0F));
+    const __m512i high_nibbles = _mm512_and_si512(
+        _mm512_srli_epi16(v, 4), _mm512_set1_epi8(0x0F));
+    const __m512i lo_bits = _mm512_shuffle_epi8(lo_tbl, low_nibbles);
+    const __m512i hi_bits = _mm512_shuffle_epi8(hi_tbl, high_nibbles);
+    // Member iff lo_bits & hi_bits != 0 - vptestmb answers that directly.
+    return _mm512_test_epi8_mask(lo_bits, hi_bits);
+  }
+  return match_mask_scalar(data, 64, set);
+}
+
+__attribute__((target(JRF_AVX512_TARGET))) std::size_t find_byte_avx512(
+    const unsigned char* data, std::size_t size, unsigned char b) noexcept {
+  const __m512i vb = _mm512_set1_epi8(static_cast<char>(b));
+  std::size_t i = 0;
+  for (; i + 64 <= size; i += 64) {
+    const __mmask64 mask =
+        _mm512_cmpeq_epi8_mask(_mm512_loadu_si512(data + i), vb);
+    if (mask != 0)
+      return i + static_cast<std::size_t>(
+                     std::countr_zero(static_cast<std::uint64_t>(mask)));
+  }
+  const std::size_t tail = find_byte_scalar(data + i, size - i, b);
+  return tail == npos ? npos : i + tail;
+}
+
+__attribute__((target(JRF_AVX512_TARGET))) std::size_t find_first_of2_avx512(
+    const unsigned char* data, std::size_t size, unsigned char a,
+    unsigned char b) noexcept {
+  const __m512i va = _mm512_set1_epi8(static_cast<char>(a));
+  const __m512i vb = _mm512_set1_epi8(static_cast<char>(b));
+  std::size_t i = 0;
+  for (; i + 64 <= size; i += 64) {
+    const __m512i v = _mm512_loadu_si512(data + i);
+    const __mmask64 mask =
+        _mm512_cmpeq_epi8_mask(v, va) | _mm512_cmpeq_epi8_mask(v, vb);
+    if (mask != 0)
+      return i + static_cast<std::size_t>(
+                     std::countr_zero(static_cast<std::uint64_t>(mask)));
+  }
+  const std::size_t tail = find_first_of2_scalar(data + i, size - i, a, b);
+  return tail == npos ? npos : i + tail;
+}
+
+__attribute__((target(JRF_AVX512_TARGET))) std::uint64_t structural_mask_avx512(
+    const unsigned char* data, std::size_t size) noexcept {
+  if (size < 64) return structural_mask_scalar(data, size);
+  const __m512i v = _mm512_loadu_si512(data);
+  const __m512i folded = _mm512_or_si512(v, _mm512_set1_epi8(0x20));
+  return _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8('"')) |
+         _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8(',')) |
+         _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8('\\')) |
+         _mm512_cmpeq_epi8_mask(folded, _mm512_set1_epi8('{')) |
+         _mm512_cmpeq_epi8_mask(folded, _mm512_set1_epi8('}'));
+}
+
+__attribute__((target(JRF_AVX512_TARGET))) __mmask64 token_mask_avx512(
+    __m512i v) noexcept;
+
+__attribute__((target(JRF_AVX512_TARGET))) block_class classify_block_avx512(
+    const unsigned char* data, std::size_t size,
+    unsigned char separator) noexcept {
+  if (size < 64) return classify_block_scalar(data, size, separator);
+  const __m512i v = _mm512_loadu_si512(data);
+  const __m512i folded = _mm512_or_si512(v, _mm512_set1_epi8(0x20));
+  block_class c;
+  c.backslash = _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8('\\'));
+  c.quote = _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8('"'));
+  c.separator =
+      _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8(static_cast<char>(separator)));
+  c.structural = _mm512_cmpeq_epi8_mask(folded, _mm512_set1_epi8('{')) |
+                 _mm512_cmpeq_epi8_mask(folded, _mm512_set1_epi8('}')) |
+                 _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8(','));
+  c.token = static_cast<std::uint64_t>(token_mask_avx512(v));
+  return c;
+}
+
+__attribute__((target(JRF_AVX512_TARGET))) __mmask64 token_mask_avx512(
+    __m512i v) noexcept {
+  const __mmask64 digit =
+      _mm512_cmpgt_epi8_mask(v, _mm512_set1_epi8('0' - 1)) &
+      _mm512_cmplt_epi8_mask(v, _mm512_set1_epi8('9' + 1));
+  const __mmask64 e_fold = _mm512_cmpeq_epi8_mask(
+      _mm512_or_si512(v, _mm512_set1_epi8(0x20)), _mm512_set1_epi8('e'));
+  const __mmask64 signs = _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8('+')) |
+                          _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8('-'));
+  const __mmask64 dot = _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8('.'));
+  return digit | e_fold | signs | dot;
+}
+
+__attribute__((target(JRF_AVX512_TARGET))) std::size_t find_token_avx512(
+    const unsigned char* data, std::size_t size) noexcept {
+  std::size_t i = 0;
+  for (; i + 64 <= size; i += 64) {
+    const __mmask64 mask = token_mask_avx512(_mm512_loadu_si512(data + i));
+    if (mask != 0)
+      return i + static_cast<std::size_t>(
+                     std::countr_zero(static_cast<std::uint64_t>(mask)));
+  }
+  const std::size_t tail = find_token_scalar(data + i, size - i);
+  return tail == npos ? npos : i + tail;
+}
+
+__attribute__((target(JRF_AVX512_TARGET))) std::size_t find_non_token_avx512(
+    const unsigned char* data, std::size_t size) noexcept {
+  std::size_t i = 0;
+  for (; i + 64 <= size; i += 64) {
+    const __mmask64 mask =
+        ~token_mask_avx512(_mm512_loadu_si512(data + i));
+    if (mask != 0)
+      return i + static_cast<std::size_t>(
+                     std::countr_zero(static_cast<std::uint64_t>(mask)));
+  }
+  const std::size_t tail = find_non_token_scalar(data + i, size - i);
+  return tail == npos ? npos : i + tail;
+}
+
+/// Token-class bitmask of one full 64-byte chunk.
+__attribute__((target(JRF_AVX512_TARGET))) std::uint64_t token_chunk_avx512(
+    const unsigned char* data) noexcept {
+  return static_cast<std::uint64_t>(
+      token_mask_avx512(_mm512_loadu_si512(data)));
+}
+
+__attribute__((target(JRF_AVX512_TARGET))) std::size_t find_substring_avx512(
+    const unsigned char* hay, std::size_t n, const unsigned char* needle,
+    std::size_t m) noexcept {
+  if (m == 0) return 0;
+  if (m > n) return npos;
+  if (m == 1) return find_byte_avx512(hay, n, needle[0]);
+  const __m512i first = _mm512_set1_epi8(static_cast<char>(needle[0]));
+  const __m512i last = _mm512_set1_epi8(static_cast<char>(needle[m - 1]));
+  std::size_t i = 0;
+  for (; i + m + 63 <= n; i += 64) {
+    const __m512i block_first = _mm512_loadu_si512(hay + i);
+    const __m512i block_last = _mm512_loadu_si512(hay + i + m - 1);
+    std::uint64_t mask = _mm512_cmpeq_epi8_mask(block_first, first) &
+                         _mm512_cmpeq_epi8_mask(block_last, last);
+    while (mask != 0) {
+      const auto bit = static_cast<unsigned>(std::countr_zero(mask));
+      mask &= mask - 1;
+      if (std::memcmp(hay + i + bit + 1, needle + 1, m - 2) == 0)
+        return i + bit;
+    }
+  }
+  const std::size_t tail = find_substring_scalar(hay + i, n - i, needle, m);
+  return tail == npos ? npos : i + tail;
+}
+
+/// vpcompressb turns the serial ctz/clear-lowest-bit walk into one
+/// compress of the iota byte vector: the compressed prefix holds the
+/// set-bit offsets in ascending order.
+__attribute__((target(JRF_AVX512_TARGET ",avx512vbmi2"))) void
+expand_bits_vbmi2(std::uint64_t mask, std::uint32_t base,
+                  std::vector<std::uint32_t>& out) {
+  if (mask == 0) return;
+  alignas(64) static constexpr unsigned char iota[64] = {
+      0,  1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,
+      16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31,
+      32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47,
+      48, 49, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60, 61, 62, 63};
+  alignas(64) unsigned char offs[64];
+  _mm512_store_si512(offs, _mm512_maskz_compress_epi8(
+                               mask, _mm512_load_si512(iota)));
+  const int count = std::popcount(mask);
+  const std::size_t old = out.size();
+  out.resize(old + static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) out[old + k] = base + offs[k];
+}
+
 #endif  // JRF_SIMD_X86
 
 }  // namespace
 
 std::size_t chunk_width(simd_level level) noexcept {
 #if JRF_SIMD_X86
-  if (level == simd_level::sse2) return 16;
+  switch (level) {
+    case simd_level::sse2: return 16;
+    case simd_level::avx2: return 32;
+    default: break;
+  }
 #else
   (void)level;
 #endif
-  return 32;
+  return 64;
 }
 
-std::uint32_t match_mask(const unsigned char* data, std::size_t size,
+std::uint64_t match_mask(const unsigned char* data, std::size_t size,
                          const byte_set& set, simd_level level) noexcept {
 #if JRF_SIMD_X86
   switch (level) {
+    case simd_level::avx512: return match_mask_avx512(data, size, set);
     case simd_level::avx2: return match_mask_avx2(data, size, set);
     case simd_level::sse2: return match_mask_sse2(data, size, set);
     default: break;
@@ -549,6 +913,7 @@ std::size_t find_byte(const unsigned char* data, std::size_t size,
                       unsigned char b, simd_level level) noexcept {
 #if JRF_SIMD_X86
   switch (level) {
+    case simd_level::avx512: return find_byte_avx512(data, size, b);
     case simd_level::avx2: return find_byte_avx2(data, size, b);
     case simd_level::sse2: return find_byte_sse2(data, size, b);
     default: break;
@@ -563,6 +928,7 @@ std::size_t find_first_of2(const unsigned char* data, std::size_t size,
                            simd_level level) noexcept {
 #if JRF_SIMD_X86
   switch (level) {
+    case simd_level::avx512: return find_first_of2_avx512(data, size, a, b);
     case simd_level::avx2: return find_first_of2_avx2(data, size, a, b);
     case simd_level::sse2: return find_first_of2_sse2(data, size, a, b);
     default: break;
@@ -573,10 +939,11 @@ std::size_t find_first_of2(const unsigned char* data, std::size_t size,
 }
 
 
-std::uint32_t structural_mask(const unsigned char* data, std::size_t size,
+std::uint64_t structural_mask(const unsigned char* data, std::size_t size,
                               simd_level level) noexcept {
 #if JRF_SIMD_X86
   switch (level) {
+    case simd_level::avx512: return structural_mask_avx512(data, size);
     case simd_level::avx2: return structural_mask_avx2(data, size);
     case simd_level::sse2: return structural_mask_sse2(data, size);
     default: break;
@@ -585,10 +952,38 @@ std::uint32_t structural_mask(const unsigned char* data, std::size_t size,
   return structural_mask_scalar(data, std::min(size, chunk_width(level)));
 }
 
+block_class classify_block(const unsigned char* data, std::size_t size,
+                           unsigned char separator,
+                           simd_level level) noexcept {
+#if JRF_SIMD_X86
+  switch (level) {
+    case simd_level::avx512: return classify_block_avx512(data, size, separator);
+    case simd_level::avx2: return classify_block_avx2(data, size, separator);
+    case simd_level::sse2: return classify_block_sse2(data, size, separator);
+    default: break;
+  }
+#endif
+  (void)level;
+  return classify_block_scalar(data, size, separator);
+}
+
+void expand_bits(std::uint64_t mask, std::uint32_t base,
+                 std::vector<std::uint32_t>& out, simd_level level) {
+#if JRF_SIMD_X86
+  if (level == simd_level::avx512 && has_vbmi2()) {
+    expand_bits_vbmi2(mask, base, out);
+    return;
+  }
+#endif
+  (void)level;
+  expand_bits_scalar(mask, base, out);
+}
+
 std::size_t find_token(const unsigned char* data, std::size_t size,
                        simd_level level) noexcept {
 #if JRF_SIMD_X86
   switch (level) {
+    case simd_level::avx512: return find_token_avx512(data, size);
     case simd_level::avx2: return find_token_avx2(data, size);
     case simd_level::sse2: return find_token_sse2(data, size);
     default: break;
@@ -602,6 +997,7 @@ std::size_t find_non_token(const unsigned char* data, std::size_t size,
                            simd_level level) noexcept {
 #if JRF_SIMD_X86
   switch (level) {
+    case simd_level::avx512: return find_non_token_avx512(data, size);
     case simd_level::avx2: return find_non_token_avx2(data, size);
     case simd_level::sse2: return find_non_token_sse2(data, size);
     default: break;
@@ -611,11 +1007,64 @@ std::size_t find_non_token(const unsigned char* data, std::size_t size,
   return find_non_token_scalar(data, size);
 }
 
+void token_runs(const unsigned char* data, std::size_t size, simd_level level,
+                std::vector<token_run>& out) {
+  out.clear();
+  const std::size_t width = chunk_width(level);
+  bool open = false;
+  std::uint32_t start = 0;
+  for (std::size_t off = 0; off < size; off += width) {
+    const std::size_t valid = std::min(width, size - off);
+    std::uint64_t mask;
+    if (valid < width) {
+      mask = token_chunk_scalar(data + off, valid);
+    } else {
+#if JRF_SIMD_X86
+      switch (level) {
+        case simd_level::avx512: mask = token_chunk_avx512(data + off); break;
+        case simd_level::avx2: mask = token_chunk_avx2(data + off); break;
+        case simd_level::sse2: mask = token_chunk_sse2(data + off); break;
+        default: mask = token_chunk_scalar(data + off, valid); break;
+      }
+#else
+      mask = token_chunk_scalar(data + off, valid);
+#endif
+    }
+    // Run-length walk of the chunk mask. Bits >= valid are zero, so a run
+    // reaching the end of a partial chunk closes via the trailing flush.
+    std::size_t pos = 0;
+    while (pos < valid) {
+      if (!open) {
+        const std::uint64_t rest = mask >> pos;
+        if (rest == 0) break;
+        pos += static_cast<std::size_t>(std::countr_zero(rest));
+        start = static_cast<std::uint32_t>(off + pos);
+        open = true;
+      } else {
+        // countr_zero(~mask >> pos) == 64 - pos when every remaining bit
+        // is set: the run continues into the next chunk.
+        const std::uint64_t inv = ~mask >> pos;
+        const std::size_t gap =
+            pos + static_cast<std::size_t>(std::countr_zero(inv));
+        if (gap >= valid) {
+          pos = valid;
+          break;
+        }
+        out.push_back({start, static_cast<std::uint32_t>(off + gap)});
+        open = false;
+        pos = gap;
+      }
+    }
+  }
+  if (open) out.push_back({start, static_cast<std::uint32_t>(size)});
+}
+
 std::size_t find_substring(const unsigned char* hay, std::size_t n,
                            const unsigned char* needle, std::size_t m,
                            simd_level level) noexcept {
 #if JRF_SIMD_X86
   switch (level) {
+    case simd_level::avx512: return find_substring_avx512(hay, n, needle, m);
     case simd_level::avx2: return find_substring_avx2(hay, n, needle, m);
     case simd_level::sse2: return find_substring_sse2(hay, n, needle, m);
     default: break;

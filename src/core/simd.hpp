@@ -15,8 +15,10 @@
 //   match_mask                  - per-chunk membership bitmask against a
 //                                 prepared byte_set (gram candidate scan).
 //
-// Three tiers exist for every kernel - scalar, SSE2 (128-bit) and AVX2
-// (256-bit) - selected by an explicit simd_level argument so a caller can
+// Four tiers exist for every kernel - scalar, SSE2 (128-bit), AVX2
+// (256-bit) and AVX-512 (64-byte mask registers: vpcmpb/vpmovb2m
+// classification, vpcompressb fire-position extraction where VBMI2 is
+// available) - selected by an explicit simd_level argument so a caller can
 // pin a tier for testing. Tier selection never changes *what* is found:
 // every kernel returns positions/masks byte-identical to the scalar tier,
 // and the engines built on top confirm candidates with the scalar
@@ -47,11 +49,12 @@ enum class simd_level : int {
   scalar = 1,     // portable per-byte loops (SWAR-free reference tier)
   sse2 = 2,       // 128-bit vectors, baseline on every x86-64
   avx2 = 3,       // 256-bit vectors
+  avx512 = 4,     // 512-bit vectors + mask registers (needs F+BW+VL)
 };
 
 const char* to_string(simd_level level) noexcept;
 
-/// Parse "scalar" / "sse2" / "avx2" / "auto" (case-sensitive);
+/// Parse "scalar" / "sse2" / "avx2" / "avx512" / "auto" (case-sensitive);
 /// nullopt on anything else.
 std::optional<simd_level> parse_level(std::string_view text) noexcept;
 
@@ -112,13 +115,14 @@ class byte_set {
   bool nibble_ok_ = false;
 };
 
-/// Chunk width match_mask classifies per call at this tier (scalar 32,
-/// SSE2 16, AVX2 32). Never exceeds 32 so masks fit std::uint32_t.
+/// Chunk width match_mask classifies per call at this tier (scalar 64,
+/// SSE2 16, AVX2 32, AVX-512 64). Never exceeds 64 so masks fit
+/// std::uint64_t.
 std::size_t chunk_width(simd_level level) noexcept;
 
 /// Membership bitmask of the first min(size, chunk_width(level)) bytes:
 /// bit i set iff data[i] is in `set`.
-std::uint32_t match_mask(const unsigned char* data, std::size_t size,
+std::uint64_t match_mask(const unsigned char* data, std::size_t size,
                          const byte_set& set, simd_level level) noexcept;
 
 /// Index of the first occurrence of `b`, or npos.
@@ -135,8 +139,33 @@ std::size_t find_first_of2(const unsigned char* data, std::size_t size,
 /// six structural candidates plus '\\' (the escape arm). One vector
 /// classification per chunk - the profitable shape when structural bytes
 /// are dense (real JSON: one per ~7 bytes).
-std::uint32_t structural_mask(const unsigned char* data, std::size_t size,
+std::uint64_t structural_mask(const unsigned char* data, std::size_t size,
                               simd_level level) noexcept;
+
+/// Per-class bitmasks of one <= 64-byte block, the raw material of the
+/// bitmap pass (core/bitmaps.hpp). Bit i of each mask refers to data[i];
+/// bits >= size are zero in every mask. `structural` covers the four
+/// scope bytes plus ',' (the pair boundary) - the quote is reported
+/// separately because the string mask consumes it first.
+struct block_class {
+  std::uint64_t backslash = 0;   // '\\'
+  std::uint64_t quote = 0;       // '"'
+  std::uint64_t separator = 0;   // the configured record separator byte
+  std::uint64_t structural = 0;  // '{' '}' '[' ']' ','
+  std::uint64_t token = 0;       // numeric-token class, raw (not masked)
+};
+
+/// Classify min(size, 64) bytes in one sweep (one 512-bit compare group
+/// on the avx512 tier, 2x256 / 4x128 below, a byte loop on scalar).
+block_class classify_block(const unsigned char* data, std::size_t size,
+                           unsigned char separator,
+                           simd_level level) noexcept;
+
+/// Append the positions of the set bits of `mask` (plus `base`) to `out`
+/// in ascending order. The avx512 tier uses vpcompressb (AVX-512 VBMI2)
+/// where the CPU has it; every tier appends the identical positions.
+void expand_bits(std::uint64_t mask, std::uint32_t base,
+                 std::vector<std::uint32_t>& out, simd_level level);
 
 /// First byte of the numeric-token class ('0'-'9', '.', '+', '-', 'e',
 /// 'E'; numrange::is_token_byte). npos when none.
@@ -146,6 +175,21 @@ std::size_t find_token(const unsigned char* data, std::size_t size,
 /// First byte NOT of the numeric-token class. npos when none.
 std::size_t find_non_token(const unsigned char* data, std::size_t size,
                            simd_level level) noexcept;
+
+/// One maximal run of consecutive numeric-token-class bytes: half-open
+/// positions [begin, end) into the scanned buffer.
+struct token_run {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
+/// All maximal numeric-token runs of data[0..size), ascending, replacing
+/// `out`. One vector classification per chunk instead of one find_token /
+/// find_non_token dispatch per run boundary - the shape that lets every
+/// value engine of a query share a single segmentation of the record.
+/// Runs are identical at every tier.
+void token_runs(const unsigned char* data, std::size_t size,
+                simd_level level, std::vector<token_run>& out);
 
 /// Index of the first occurrence of needle[0..m) in hay[0..n), or npos.
 /// Exact search (no false positives/negatives at any tier). m == 0

@@ -24,6 +24,17 @@
 
 namespace jrf::core {
 
+/// The unmasked byte classes the tracker reacts to, as standalone
+/// predicates - the single definition the bitmap pass (core/bitmaps.hpp),
+/// the vector classifiers and their tests restate the tracker's byte
+/// classification from.
+constexpr bool is_scope_byte(unsigned char b) noexcept {
+  return b == '{' || b == '}' || b == '[' || b == ']';
+}
+constexpr bool is_structural_byte(unsigned char b) noexcept {
+  return is_scope_byte(b) || b == ',';
+}
+
 /// Facts about the byte just consumed. `depth` is the nesting level *after*
 /// the byte took effect, so a primitive firing on a closing bracket (e.g. a
 /// number token sampled at '}') is still attributed to the scope that

@@ -93,8 +93,10 @@ void synthetic_rate_source::consume(std::size_t bytes) {
 concurrent_runner::concurrent_runner(sharded_filter_system& system,
                                      std::size_t burst_bytes)
     : system_(system),
-      burst_bytes_(burst_bytes == 0 ? system.options().dma_burst_bytes
-                                    : burst_bytes),
+      burst_bytes_(burst_bytes != 0 ? burst_bytes
+                   : system.options().pump_burst_bytes != 0
+                       ? system.options().pump_burst_bytes
+                       : system.options().dma_burst_bytes),
       sources_(system.shard_count()) {}
 
 void concurrent_runner::bind(std::size_t shard,

@@ -116,7 +116,8 @@ class synthetic_rate_source final : public ingest_source {
 class concurrent_runner {
  public:
   /// `burst_bytes` caps bytes offered per source and pumped per lane each
-  /// round (0 = the system's dma_burst_bytes).
+  /// round (0 = the system's pump_burst_bytes, falling back to
+  /// dma_burst_bytes when that is 0 too).
   explicit concurrent_runner(sharded_filter_system& system,
                              std::size_t burst_bytes = 0);
 

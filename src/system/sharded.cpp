@@ -200,7 +200,9 @@ sharded_report sharded_filter_system::run(
 
   // run() is one policy over the ingest machinery: a memory source per
   // stream, burst-sliced offers with pump() interleaved, finish, report.
-  concurrent_runner runner(*this, options_.dma_burst_bytes);
+  // Burst 0 = the options' software pump burst, so the bitmap pass gets
+  // whole pump-sized buffers regardless of the modeled DMA descriptor.
+  concurrent_runner runner(*this, 0);
   for (std::size_t s = 0; s < streams.size(); ++s)
     runner.bind(s, std::make_unique<memory_source>(streams[s]));
   return runner.run();

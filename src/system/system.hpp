@@ -33,6 +33,12 @@ struct system_options {
   std::size_t dma_burst_bytes = 4096;  // bytes moved per DMA descriptor
   int dma_setup_cycles = 12;        // descriptor setup / bus arbitration
   std::size_t lane_fifo_bytes = 8192;  // per-lane input FIFO
+  // Bytes the software pump hands a lane per drain round (0 = follow
+  // dma_burst_bytes). Distinct from the modeled DMA burst: the cycle
+  // accounting always uses dma_burst_bytes, while bigger software bursts
+  // only let the buffer-at-a-time bitmap pass amortise over more bytes -
+  // decisions and the modeled report are identical for every value.
+  std::size_t pump_burst_bytes = 1u << 16;
   // Host worker threads the sharded system pumps its lanes on (0 or 1 =
   // the calling thread). Decisions and the cycle-quantized accounting are
   // identical for every value; only host wall-clock differs.

@@ -119,6 +119,38 @@ TEST(ChunkedEquivalence, DfaTechniqueAndFullCompare) {
   }
 }
 
+TEST(ChunkedEquivalence, BufferBoundaryChunkWidths) {
+  // Feed the stream through scan_chunk in buffers of the widths around the
+  // bitmap pass's 64-byte block size, so records (and escape sequences)
+  // straddle buffer boundaries in every alignment; decisions must match
+  // the scalar reference and the one-shot feed exactly.
+  const query::query q = query::riotbench::qs0();
+  const core::expr_ptr expr = query::compile_default(q);
+  const std::string stream = data::smartcity_generator().stream(120);
+  core::raw_filter reference(expr);
+  const std::vector<bool> expected = reference.filter_stream(stream);
+
+  for (const std::size_t width : {std::size_t{1}, std::size_t{63},
+                                  std::size_t{64}, std::size_t{65},
+                                  std::size_t{257}}) {
+    for (const core::simd::simd_level level : core::simd::available_levels()) {
+      core::filter_options options;
+      options.simd = level;
+      auto chunked =
+          core::make_filter_engine(core::engine_kind::chunked, expr, options);
+      for (std::size_t off = 0; off < stream.size(); off += width)
+        chunked->scan_chunk(std::string_view(stream).substr(off, width));
+      chunked->finish();
+      const std::vector<bool> actual = chunked->take_decisions();
+      const std::string where = "width=" + std::to_string(width) +
+                                " simd=" + core::simd::to_string(level);
+      ASSERT_EQ(actual.size(), expected.size()) << where;
+      for (std::size_t i = 0; i < expected.size(); ++i)
+        ASSERT_EQ(actual[i], expected[i]) << where << " record " << i;
+    }
+  }
+}
+
 TEST(ChunkedEquivalence, InflatedStreamWithTrailingRecord) {
   // The system-bench shape: an inflated stream, final record unterminated.
   const query::query q = query::riotbench::qs0();

@@ -67,7 +67,7 @@ TEST(SimdDispatch, ResolveClampsToDetected) {
 TEST(SimdDispatch, ParseAndPrintRoundTrip) {
   for (const simd_level level :
        {simd_level::automatic, simd_level::scalar, simd_level::sse2,
-        simd_level::avx2}) {
+        simd_level::avx2, simd_level::avx512}) {
     const auto parsed = parse_level(to_string(level));
     ASSERT_TRUE(parsed.has_value()) << to_string(level);
     EXPECT_EQ(*parsed, level);
@@ -147,10 +147,10 @@ TEST(SimdKernels, StructuralMaskAndTokenClassesMatchScalar) {
                   want_non);
         // structural_mask against the restated spec, chunk by chunk.
         const std::size_t width = chunk_width(level);
-        std::uint32_t expected = 0;
+        std::uint64_t expected = 0;
         for (std::size_t i = 0; i < std::min(n - from, width); ++i)
           if (ref_structural_or_escape(data[from + i]))
-            expected |= std::uint32_t{1} << i;
+            expected |= std::uint64_t{1} << i;
         EXPECT_EQ(structural_mask(data.data() + from, n - from, level),
                   expected)
             << "n=" << n << " from=" << from << " level=" << to_string(level);
@@ -188,15 +188,76 @@ TEST(SimdKernels, MatchMaskAgreesAcrossLevelsAndSetShapes) {
         const std::size_t width = chunk_width(level);
         for (std::size_t base = 0; base < n; base += width) {
           const std::size_t len = n - base;
-          std::uint32_t expected = 0;
+          std::uint64_t expected = 0;
           for (std::size_t i = 0; i < std::min(len, width); ++i)
             if (set.contains(data[base + i]))
-              expected |= std::uint32_t{1} << i;
+              expected |= std::uint64_t{1} << i;
           EXPECT_EQ(match_mask(data.data() + base, len, set, level), expected)
               << "set=" << shape.size() << "B n=" << n << " base=" << base
               << " level=" << to_string(level);
         }
       }
+    }
+  }
+}
+
+TEST(SimdKernels, ClassifyBlockMatchesScalarAtEveryLevel) {
+  // Random bytes plus planted JSON structure so every output mask is
+  // non-trivial, at block-boundary sizes and for both common separators.
+  for (const unsigned char sep : {'\n', ','}) {
+    for (const std::size_t n : boundary_sizes()) {
+      auto data = random_bytes(n, 131u + static_cast<unsigned>(n));
+      const std::string plant = "{\"a\\\":1,\"b\":[2]}\n";
+      for (std::size_t i = 0; i < n; ++i)
+        if (i % 3 == 0) data[i] = static_cast<unsigned char>(plant[i % plant.size()]);
+      const block_class expected =
+          classify_block(data.data(), n, sep, simd_level::scalar);
+      std::uint64_t check_bs = 0, check_q = 0, check_sep = 0, check_st = 0;
+      for (std::size_t i = 0; i < std::min<std::size_t>(n, 64); ++i) {
+        const unsigned char b = data[i];
+        const std::uint64_t bit = std::uint64_t{1} << i;
+        if (b == '\\') check_bs |= bit;
+        if (b == '"') check_q |= bit;
+        if (b == sep) check_sep |= bit;
+        if (b == '{' || b == '}' || b == '[' || b == ']' || b == ',')
+          check_st |= bit;
+      }
+      EXPECT_EQ(expected.backslash, check_bs) << n;
+      EXPECT_EQ(expected.quote, check_q) << n;
+      EXPECT_EQ(expected.separator, check_sep) << n;
+      EXPECT_EQ(expected.structural, check_st) << n;
+      for (const simd_level level : available_levels()) {
+        const block_class got = classify_block(data.data(), n, sep, level);
+        EXPECT_EQ(got.backslash, expected.backslash)
+            << "n=" << n << " level=" << to_string(level);
+        EXPECT_EQ(got.quote, expected.quote) << n << " " << to_string(level);
+        EXPECT_EQ(got.separator, expected.separator)
+            << n << " " << to_string(level);
+        EXPECT_EQ(got.structural, expected.structural)
+            << n << " " << to_string(level);
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ExpandBitsMatchesScalarAtEveryLevel) {
+  std::mt19937 rng(2024);
+  std::uniform_int_distribution<std::uint64_t> dist;
+  std::vector<std::uint64_t> masks = {0,    1,    0x8000000000000000ULL,
+                                      ~0ULL, 0xAAAAAAAAAAAAAAAAULL,
+                                      0x0000000100000001ULL};
+  for (int i = 0; i < 64; ++i) masks.push_back(dist(rng));
+  for (const std::uint64_t mask : masks) {
+    std::vector<std::uint32_t> expected;
+    expand_bits(mask, 1000, expected, simd_level::scalar);
+    for (const simd_level level : available_levels()) {
+      std::vector<std::uint32_t> got = {7u};  // append semantics preserved
+      expand_bits(mask, 1000, got, level);
+      ASSERT_EQ(got.size(), expected.size() + 1) << to_string(level);
+      EXPECT_EQ(got.front(), 7u);
+      for (std::size_t k = 0; k < expected.size(); ++k)
+        EXPECT_EQ(got[k + 1], expected[k])
+            << "mask=" << mask << " k=" << k << " level=" << to_string(level);
     }
   }
 }
