@@ -8,6 +8,9 @@
 #     GB/s per lane count, host wall-clock MB/s for the scalar push() path
 #     vs the chunked filter-engine path (the tracked speedup), the sharded
 #     multi-stream run, and the concurrent worker-pool scaling rows.
+#   * bench_ext_query_fleet writes its own JSON (--json): the throughput
+#     sweep over resident-query count (1..10k) with the fleet_1k_mbps gate
+#     key (the 1000-query row's wall rate).
 #   * bench_micro_primitives emits the Google Benchmark JSON report.
 #   * service_latency (the loadgen example, picked up when examples were
 #     built) replays records over a Unix-socket filter_service and writes
@@ -28,7 +31,11 @@
 #               than one CPU, since worker scaling on a 1-CPU container is
 #               pure scheduler noise). When the service-latency bench ran,
 #               its p99 is gated the same way: fresh p99 more than 25%
-#               above the committed baseline fails the compare.
+#               above the committed baseline fails the compare. The
+#               query-fleet bench gates fleet_1k_mbps (the 1000-query
+#               row) against its committed baseline too. A failing
+#               compare names every tripped metric with its committed
+#               and fresh values - never just a bare exit code.
 # Env:   BUILD=<dir>   build directory (default: build)
 set -eu
 
@@ -95,6 +102,7 @@ fi
 # overwrites the working-tree copy.
 BASELINE="$LOGS/system_throughput.baseline.json"
 LATENCY_BASELINE="$LOGS/service_latency.baseline.json"
+FLEET_BASELINE="$LOGS/ext_query_fleet.baseline.json"
 if [ "$COMPARE" -eq 1 ]; then
   if ! git show HEAD:BENCH_system_throughput.json > "$BASELINE" 2>/dev/null
   then
@@ -113,6 +121,15 @@ if [ "$COMPARE" -eq 1 ]; then
       cp BENCH_service_latency.json "$LATENCY_BASELINE"
     else
       : > "$LATENCY_BASELINE"
+    fi
+  fi
+  # Same optional-baseline rule for the query-fleet bench.
+  if ! git show HEAD:BENCH_ext_query_fleet.json > "$FLEET_BASELINE" 2>/dev/null
+  then
+    if [ -f BENCH_ext_query_fleet.json ]; then
+      cp BENCH_ext_query_fleet.json "$FLEET_BASELINE"
+    else
+      : > "$FLEET_BASELINE"
     fi
   fi
 fi
@@ -135,6 +152,10 @@ for bench in $BENCHES; do
   case "$name" in
     system_throughput)
       "$binary" --json BENCH_system_throughput.json \
+        > "$LOGS/$name.txt" 2>&1 || status=$?
+      ;;
+    ext_query_fleet)
+      "$binary" --json BENCH_ext_query_fleet.json \
         > "$LOGS/$name.txt" 2>&1 || status=$?
       ;;
     micro_primitives)
@@ -179,6 +200,9 @@ if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
   fi
   echo "compare: fresh $fresh vs committed baseline (tolerance 25%)"
   regressions=0
+  # One "metric:committed:fresh" triple per tripped gate, printed verbatim
+  # in the failure message so CI logs name the culprit without spelunking.
+  tripped=""
   for key in scalar_mbps chunked_mbps wall_mbps; do
     base=$(json_number "$BASELINE" "$key")
     new=$(json_number "$fresh" "$key")
@@ -191,6 +215,7 @@ if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
       "$key" "$base" "$new" "$verdict"
     if [ "$verdict" = "REGRESSED" ]; then
       regressions=$((regressions + 1))
+      tripped="$tripped $key:$base:$new"
     fi
   done
 
@@ -211,6 +236,7 @@ if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
         "threaded_best" "$base" "$new" "$verdict"
       if [ "$verdict" = "REGRESSED" ]; then
         regressions=$((regressions + 1))
+        tripped="$tripped threaded_best:$base:$new"
       fi
     fi
   fi
@@ -230,14 +256,44 @@ if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
         "p99_latency" "$base" "$new" "$verdict"
       if [ "$verdict" = "REGRESSED" ]; then
         regressions=$((regressions + 1))
+        tripped="$tripped p99_latency:$base:$new"
       fi
     fi
   else
     echo "  p99_latency: no committed baseline or no fresh run - skipping"
   fi
 
+  # Query-fleet throughput: the 1000-query row's wall rate - the number the
+  # tentpole exists for. Gated like the other wall rates; skipped when the
+  # fleet bench did not run or no baseline is committed yet.
+  fresh_fleet=BENCH_ext_query_fleet.json
+  if [ -s "$FLEET_BASELINE" ] && [ -f "$fresh_fleet" ]; then
+    base=$(json_number "$FLEET_BASELINE" fleet_1k_mbps)
+    new=$(json_number "$fresh_fleet" fleet_1k_mbps)
+    if [ -z "$base" ] || [ -z "$new" ]; then
+      echo "  fleet_1k_mbps: missing in baseline or fresh run - skipping"
+    else
+      verdict=$(awk "BEGIN { print ($new < 0.75 * $base) ? \"REGRESSED\" : \"ok\" }")
+      printf '  %-14s baseline %10s  fresh %10s  %s\n' \
+        "fleet_1k_mbps" "$base" "$new" "$verdict"
+      if [ "$verdict" = "REGRESSED" ]; then
+        regressions=$((regressions + 1))
+        tripped="$tripped fleet_1k_mbps:$base:$new"
+      fi
+    fi
+  else
+    echo "  fleet_1k_mbps: no committed baseline or no fresh run - skipping"
+  fi
+
   if [ "$regressions" -ne 0 ]; then
-    echo "bench.sh: $regressions tracked rate(s) regressed >25%" >&2
+    echo "bench.sh: $regressions tracked rate(s) regressed >25%:" >&2
+    for t in $tripped; do
+      metric=${t%%:*}
+      rest=${t#*:}
+      committed=${rest%%:*}
+      fresh_value=${rest#*:}
+      echo "  $metric: committed $committed -> fresh $fresh_value" >&2
+    done
     exit 1
   fi
 fi

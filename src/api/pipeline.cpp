@@ -106,9 +106,38 @@ std::string run_result::to_string() const {
 struct pipeline::impl {
   pipeline_options opts;
   std::optional<query::query> q;  // set when built from text / query
-  core::expr_ptr expr;
+  core::expr_ptr expr;            // query 0 (the primary source)
   decision_sink sink;
+  verdict_sink vsink;
   std::vector<input_spec> inputs;
+
+  // --- multi-tenant query registry ---------------------------------------
+  // qset names the resident queries (stable ids, dense order = bitmap bit
+  // order); every epoch of the set is frozen into an immutable
+  // query_registry snapshot so decision batches staged across a runtime
+  // add/remove stay paired with the id set they actually decided under.
+  // All mutation goes through mutation_mutex, which is never held while a
+  // query compiles under a stream gate - the whole point of the epoch
+  // scheme is that live traffic keeps flowing during the compile.
+  struct query_registry {
+    std::vector<core::query_id> ids;          // dense order
+    std::vector<decision_sink> query_sinks;   // parallel to ids; may be null
+    bool has_query_sinks = false;
+
+    std::size_t wpr() const noexcept { return (ids.size() + 63) / 64; }
+  };
+  using registry_ptr = std::shared_ptr<const query_registry>;
+
+  core::query_set qset;        // resident queries (mutation_mutex)
+  registry_ptr reg;            // current epoch snapshot (mutation_mutex)
+  mutable std::mutex mutation_mutex;
+  // Multi-tenant bookkeeping on: decision staging switches from the
+  // index-cursor over the engines' growing decision vectors to a consume
+  // stream (take_decisions + bitmap words) archived per stream. Off for
+  // plain single-query pipelines, whose hot path stays byte-identical to
+  // the pre-multi-tenant facade; flips on (never off) at the first
+  // mutation or when built with >1 query / a verdict sink.
+  std::atomic<bool> multi{false};
 
   enum class phase { idle, streaming, done };
   std::atomic<phase> state{phase::idle};
@@ -120,14 +149,47 @@ struct pipeline::impl {
   struct stream_state {
     std::mutex gate;
 
+    // Epoch of the engine currently resident on this stream and the count
+    // of records taken into the shard's history (both gate-guarded).
+    registry_ptr reg;
+    std::uint64_t archived = 0;
+
     std::mutex sink_mutex;         // guards the delivery fields below
     std::vector<bool> pending;     // staged, not yet handed to the sink
     std::size_t pending_head = 0;  // consumed prefix of `pending`
     std::uint64_t next_index = 0;  // record index of pending[pending_head]
     bool delivering = false;       // a flush loop is live for this shard
     std::uint64_t observed = 0;    // decisions staged so far (gate-guarded)
+
+    // Multi-tenant delivery row: one record's verdicts plus the epoch
+    // snapshot they decided under (so the verdict / per-query sinks see
+    // the right id set even across a concurrent add/remove).
+    struct verdict_row {
+      bool any = false;
+      std::uint64_t index = 0;  // per-shard record ordinal
+      registry_ptr reg;
+      std::vector<std::uint64_t> words;
+    };
+    std::vector<verdict_row> rows;  // staged multi-tenant deliveries
+    std::size_t rows_head = 0;      // consumed prefix of `rows`
   };
   std::vector<std::unique_ptr<stream_state>> streams;
+
+  // Multi-tenant mode archives every taken decision batch here (the
+  // engines' decision vectors become consume streams): the any-match
+  // column feeds collect()'s decisions, and the bitmap words - grouped
+  // into segments by epoch - expand into per-query columns at the end.
+  // Guarded by the owning stream's gate.
+  struct stream_history {
+    struct segment {
+      registry_ptr reg;
+      std::uint64_t first_record = 0;  // per-shard ordinal of row 0
+      std::vector<std::uint64_t> words;
+    };
+    std::vector<bool> any;
+    std::vector<segment> segments;
+  };
+  std::vector<stream_history> history;
 
   // Record router behind the shard-less offer(bytes) overload on a
   // multi-stream pipeline: deals complete records round-robin, carrying a
@@ -148,6 +210,9 @@ struct pipeline::impl {
   std::string pending;               // in-flight record (system dealing)
   std::size_t accounted = 0;         // records dealt for lane accounting
   std::vector<bool> dealt;           // system-backend decisions
+  std::vector<std::uint64_t> dealt_words;  // parallel bitmaps (multi only)
+  std::uint64_t dealt_count = 0;     // lifetime records dealt (lane cursor -
+                                     // `dealt` is consumed in multi mode)
   std::uint64_t offered = 0;
 
   // Sharded backend.
@@ -160,19 +225,21 @@ struct pipeline::impl {
 
   void ensure_exec(std::size_t shard_count) {
     if (engine || !lanes.empty() || sharded) return;
+    // One shared compile over the whole resident set (a one-element set is
+    // the plain single-query engine - byte- and performance-identical).
     switch (opts.backend) {
       case backend_kind::scalar:
-        engine = core::make_filter_engine(core::engine_kind::scalar, expr,
-                                          opts.filter);
+        engine = core::make_filter_engine(core::engine_kind::scalar,
+                                          qset.queries(), opts.filter);
         break;
       case backend_kind::chunked:
-        engine = core::make_filter_engine(core::engine_kind::chunked, expr,
-                                          opts.filter);
+        engine = core::make_filter_engine(core::engine_kind::chunked,
+                                          qset.queries(), opts.filter);
         break;
       case backend_kind::system:
         // filter_system semantics: compile once, clone every further lane.
-        lanes.push_back(
-            core::make_filter_engine(opts.engine, expr, opts.filter));
+        lanes.push_back(core::make_filter_engine(opts.engine, qset.queries(),
+                                                 opts.filter));
         if (opts.engine == core::engine_kind::chunked)
           lanes.front()->collect_record_sizes(true);  // lane accounting
         for (int lane = 1; lane < opts.lanes; ++lane)
@@ -181,7 +248,7 @@ struct pipeline::impl {
         break;
       case backend_kind::sharded:
         sharded = std::make_unique<system::sharded_filter_system>(
-            expr, shard_count,
+            qset.queries(), shard_count,
             to_system_options(opts, static_cast<int>(shard_count),
                               opts.engine));
         break;
@@ -189,8 +256,12 @@ struct pipeline::impl {
     const std::size_t n =
         opts.backend == backend_kind::sharded ? shard_count : 1;
     streams.reserve(n);
-    while (streams.size() < n)
-      streams.push_back(std::make_unique<stream_state>());
+    while (streams.size() < n) {
+      auto st = std::make_unique<stream_state>();
+      st->reg = reg;
+      streams.push_back(std::move(st));
+    }
+    if (history.size() < n) history.resize(n);
   }
 
   // One record complete: deal it to the next lane (round-robin, identical
@@ -198,9 +269,21 @@ struct pipeline::impl {
   // separator byte).
   void deal_record(std::string_view record) {
     if (record.empty()) return;  // split_records skips empty lines
-    const std::size_t lane = dealt.size() % lanes.size();
+    // dealt_count, not dealt.size(): `dealt` is a consume stream in
+    // multi-tenant mode, while the round-robin lane cursor must keep the
+    // lifetime record ordinal.
+    const std::size_t lane =
+        static_cast<std::size_t>(dealt_count) % lanes.size();
     lane_bytes[lane] += record.size() + 1;  // + separator byte
-    dealt.push_back(lanes[lane]->accepts(record));
+    ++dealt_count;
+    if (lanes.front()->query_count() > 1) {
+      const std::size_t wpr = lanes.front()->words_per_record();
+      dealt_words.resize(dealt_words.size() + wpr, 0);
+      dealt.push_back(lanes[lane]->accepts_bits(
+          record, dealt_words.data() + dealt_words.size() - wpr));
+    } else {
+      dealt.push_back(lanes[lane]->accepts(record));
+    }
   }
 
   // Chunked-engine record routing: whole chunks flow through lane 0's
@@ -212,7 +295,12 @@ struct pipeline::impl {
   // accounting the cycle model consumes comes from the engine's framing
   // telemetry (record_sizes), so no second separator walk of the stream.
   void drain_router() {
-    for (const bool d : lanes.front()->take_decisions()) dealt.push_back(d);
+    for (const bool d : lanes.front()->take_decisions()) {
+      dealt.push_back(d);
+      ++dealt_count;
+    }
+    for (const std::uint64_t w : lanes.front()->take_decision_words())
+      dealt_words.push_back(w);
     for (const std::uint32_t n : lanes.front()->take_record_sizes()) {
       lane_bytes[accounted % lanes.size()] += n + 1;  // + separator byte
       ++accounted;
@@ -321,11 +409,94 @@ struct pipeline::impl {
     throw error("pipeline: invalid backend");
   }
 
+  bool sinks_for(const query_registry& r) const {
+    return sink || vsink || r.has_query_sinks;
+  }
+
+  /// Append one taken decision batch to the shard's history and stage
+  /// delivery rows when any sink wants them. Caller holds the gate;
+  /// `any`/`words` are the engine's consume-stream batch, `reg_now` the
+  /// epoch those records decided under. Single-query engines emit no
+  /// words: bit 0 is synthesized from the any-match column (the epoch has
+  /// exactly one resident query by construction).
+  void archive_batch(std::size_t shard, const registry_ptr& reg_now,
+                     const std::vector<bool>& any,
+                     std::vector<std::uint64_t>&& words) {
+    if (any.empty()) return;
+    stream_state& st = *streams[shard];
+    const std::size_t wpr = reg_now->wpr();
+    if (words.empty()) {
+      words.assign(any.size() * wpr, 0);
+      for (std::size_t r = 0; r < any.size(); ++r)
+        if (any[r]) words[r * wpr] |= 1u;
+    }
+    const std::uint64_t base = st.archived;
+    st.archived += any.size();
+    stream_history& h = history[shard];
+    h.any.insert(h.any.end(), any.begin(), any.end());
+    // Records the legacy index-cursor already staged (the mode-switch
+    // prefix) must not reach the sinks a second time.
+    std::size_t skip = 0;
+    if (st.observed > base)
+      skip = static_cast<std::size_t>(
+          std::min<std::uint64_t>(st.observed - base, any.size()));
+    if (sinks_for(*reg_now) && skip < any.size()) {
+      std::lock_guard<std::mutex> lock(st.sink_mutex);
+      for (std::size_t r = skip; r < any.size(); ++r) {
+        stream_state::verdict_row row;
+        row.any = any[r];
+        row.index = base + r;
+        row.reg = reg_now;
+        row.words.assign(words.begin() + static_cast<std::ptrdiff_t>(r * wpr),
+                         words.begin() +
+                             static_cast<std::ptrdiff_t>((r + 1) * wpr));
+        st.rows.push_back(std::move(row));
+      }
+    }
+    if (!h.segments.empty() && h.segments.back().reg == reg_now) {
+      stream_history::segment& seg = h.segments.back();
+      seg.words.insert(seg.words.end(), words.begin(), words.end());
+    } else {
+      h.segments.push_back({reg_now, base, std::move(words)});
+    }
+  }
+
+  /// Multi-tenant staging: consume the engine's decision stream (any +
+  /// bitmap words) into the shard's history. Caller holds the gate.
+  std::uint64_t stage_multi(std::size_t shard) {
+    stream_state& st = *streams[shard];
+    std::vector<bool> any;
+    std::vector<std::uint64_t> words;
+    switch (opts.backend) {
+      case backend_kind::scalar:
+      case backend_kind::chunked:
+        any = engine->take_decisions();
+        words = engine->take_decision_words();
+        break;
+      case backend_kind::system:
+        any.swap(dealt);
+        words.swap(dealt_words);
+        break;
+      case backend_kind::sharded: {
+        auto taken = sharded->take_decisions(shard);
+        any = std::move(taken.any);
+        words = std::move(taken.words);
+        break;
+      }
+    }
+    const std::uint64_t base = st.archived;
+    archive_batch(shard, st.reg, any, std::move(words));
+    const std::uint64_t end = base + any.size();
+    const std::uint64_t seen = std::max<std::uint64_t>(st.observed, base);
+    return end > seen ? end - seen : 0;
+  }
+
   /// Stage decisions the sink has not seen yet. Caller holds the shard's
   /// gate (which keeps the lane quiescent, so reading decisions_of is
   /// safe); the sink is NOT invoked here - flush_decisions does that with
   /// no lock held. Returns how many new decisions were observed.
   std::uint64_t stage_decisions(std::size_t shard) {
+    if (multi.load(std::memory_order_relaxed)) return stage_multi(shard);
     stream_state& st = *streams[shard];
     const std::vector<bool>& all = decisions_of(shard);
     if (st.observed >= all.size()) return 0;
@@ -342,20 +513,47 @@ struct pipeline::impl {
   /// re-entrant one) returns immediately and the live loop picks up
   /// whatever it staged.
   void flush_decisions(std::size_t shard) {
-    if (!sink) return;
+    if (!sink && !multi.load(std::memory_order_relaxed)) return;
     stream_state& st = *streams[shard];
     std::unique_lock<std::mutex> lock(st.sink_mutex);
     if (st.delivering) return;
     st.delivering = true;
-    while (st.pending_head < st.pending.size()) {
-      const bool accepted = st.pending[st.pending_head++];
-      const std::uint64_t index = st.next_index++;
-      if (st.pending_head == st.pending.size()) {
-        st.pending.clear();
-        st.pending_head = 0;
+    // The legacy pending queue drains first: its entries predate every
+    // verdict row (rows only start once multi-tenant staging is on, and
+    // the mode-switch archives the legacy prefix before staging rows).
+    while (st.pending_head < st.pending.size() ||
+           st.rows_head < st.rows.size()) {
+      if (st.pending_head < st.pending.size()) {
+        const bool accepted = st.pending[st.pending_head++];
+        const std::uint64_t index = st.next_index++;
+        if (st.pending_head == st.pending.size()) {
+          st.pending.clear();
+          st.pending_head = 0;
+        }
+        lock.unlock();
+        sink(shard, index, accepted);
+        lock.lock();
+        continue;
+      }
+      stream_state::verdict_row row = std::move(st.rows[st.rows_head++]);
+      if (st.rows_head == st.rows.size()) {
+        st.rows.clear();
+        st.rows_head = 0;
       }
       lock.unlock();
-      sink(shard, index, accepted);
+      if (sink) sink(shard, row.index, row.any);
+      if (vsink)
+        vsink(shard, row.index,
+              std::span<const core::query_id>(row.reg->ids),
+              std::span<const std::uint64_t>(row.words));
+      if (row.reg->has_query_sinks) {
+        for (std::size_t qi = 0; qi < row.reg->ids.size(); ++qi) {
+          const decision_sink& qs = row.reg->query_sinks[qi];
+          if (qs)
+            qs(shard, row.index,
+               ((row.words[qi / 64] >> (qi % 64)) & 1u) != 0);
+        }
+      }
       lock.lock();
     }
     st.delivering = false;
@@ -395,15 +593,51 @@ struct pipeline::impl {
     return batches;
   }
 
+  /// Expand the per-epoch bitmap segments into one decision column per
+  /// query ever resident on each shard. Ids are never reused, so every
+  /// query's residency is one contiguous span and consecutive segments
+  /// containing the same id concatenate in record order.
+  std::vector<std::vector<query_column>> expand_columns() const {
+    std::vector<std::vector<query_column>> out(history.size());
+    for (std::size_t shard = 0; shard < history.size(); ++shard) {
+      std::vector<query_column>& cols = out[shard];
+      for (const stream_history::segment& seg : history[shard].segments) {
+        const std::size_t wpr = seg.reg->wpr();
+        const std::size_t rows = wpr == 0 ? 0 : seg.words.size() / wpr;
+        for (std::size_t qi = 0; qi < seg.reg->ids.size(); ++qi) {
+          const core::query_id id = seg.reg->ids[qi];
+          query_column* col = nullptr;
+          for (query_column& c : cols)
+            if (c.id == id) {
+              col = &c;
+              break;
+            }
+          if (col == nullptr) {
+            cols.push_back({id, seg.first_record, {}});
+            col = &cols.back();
+          }
+          for (std::size_t r = 0; r < rows; ++r)
+            col->decisions.push_back(
+                ((seg.words[r * wpr + qi / 64] >> (qi % 64)) & 1u) != 0);
+        }
+      }
+    }
+    return out;
+  }
+
   run_result collect() {
     run_result result;
+    const bool m = multi.load(std::memory_order_relaxed);
     switch (opts.backend) {
       case backend_kind::scalar:
       case backend_kind::chunked:
       case backend_kind::system: {
         const bool single = opts.backend != backend_kind::system;
-        const std::vector<bool>& decisions = single ? engine->decisions()
-                                                    : dealt;
+        // Multi-tenant mode drained every decision into the history (the
+        // engine vectors are consume streams); otherwise they still sit
+        // in the engine / the dealt vector.
+        const std::vector<bool>& decisions =
+            m ? history[0].any : (single ? engine->decisions() : dealt);
         std::uint64_t accepted = 0;
         for (const bool d : decisions) accepted += d ? 1 : 0;
         // Single-engine backends: the whole stream flows through one lane.
@@ -443,13 +677,18 @@ struct pipeline::impl {
         result.report.theoretical_gbps = sr.theoretical_gbps;
         result.shards = sr.shards;
         for (std::size_t shard = 0; shard < sharded->shard_count(); ++shard) {
-          result.shard_decisions.push_back(sharded->decisions(shard));
+          result.shard_decisions.push_back(m ? history[shard].any
+                                             : sharded->decisions(shard));
           result.decisions.insert(result.decisions.end(),
                                   result.shard_decisions.back().begin(),
                                   result.shard_decisions.back().end());
         }
         break;
       }
+    }
+    if (m) {
+      result.query_ids = reg->ids;
+      result.shard_query_columns = expand_columns();
     }
     return result;
   }
@@ -497,6 +736,180 @@ struct pipeline::impl {
       flush_decisions(shard);
     }
     return collect();
+  }
+
+  // --- runtime query management ------------------------------------------
+
+  /// Why this pipeline cannot swap engines mid-stream, or nullopt when it
+  /// can. Swapping needs an engine that surrenders its in-flight partial
+  /// record (take_carry): every chunked engine does; the system backend's
+  /// scalar lanes hold no cross-record state (the facade keeps the partial
+  /// record itself), so they swap trivially too.
+  std::optional<std::string> mutation_unsupported() const {
+    if (opts.backend == backend_kind::scalar)
+      return std::string(
+          "pipeline: runtime add/remove needs a batched engine - the "
+          "scalar backend replays one fixed byte-per-cycle pipeline");
+    if (opts.backend == backend_kind::sharded &&
+        opts.engine == core::engine_kind::scalar)
+      return std::string(
+          "pipeline: runtime add/remove on the sharded backend needs "
+          "engine(chunked) - scalar lanes cannot surrender an in-flight "
+          "record");
+    return std::nullopt;
+  }
+
+  /// New epoch snapshot for the current qset, carrying per-query sinks
+  /// over by id. Caller holds mutation_mutex.
+  std::shared_ptr<query_registry> snapshot_registry() const {
+    auto nreg = std::make_shared<query_registry>();
+    nreg->ids = qset.ids();
+    nreg->query_sinks.resize(nreg->ids.size());
+    if (reg) {
+      for (std::size_t qi = 0; qi < nreg->ids.size(); ++qi)
+        for (std::size_t old = 0; old < reg->ids.size(); ++old)
+          if (reg->ids[old] == nreg->ids[qi]) {
+            nreg->query_sinks[qi] = reg->query_sinks[old];
+            break;
+          }
+    }
+    for (const decision_sink& qs : nreg->query_sinks)
+      if (qs) {
+        nreg->has_query_sinks = true;
+        break;
+      }
+    return nreg;
+  }
+
+  /// Move every stream onto the `nreg` epoch - with freshly compiled
+  /// engines when `rebuild` (add/remove), or registry-only (sink attach).
+  /// Caller holds mutation_mutex. The compile happens OUTSIDE every stream
+  /// gate, so live traffic keeps flowing while the new plan builds; each
+  /// stream then pauses only for its own drain + carry replay. Decisions
+  /// taken during the swap archive under the OUTGOING epoch - those
+  /// records decided before the new set existed.
+  void swap_epoch(registry_ptr nreg, bool rebuild) {
+    std::unique_ptr<core::filter_engine> proto;
+    if (rebuild && opts.backend != backend_kind::sharded) {
+      const core::engine_kind kind =
+          opts.backend == backend_kind::chunked ? core::engine_kind::chunked
+                                                : opts.engine;
+      proto = core::make_filter_engine(kind, qset.queries(), opts.filter);
+    }
+    std::unique_ptr<core::filter_engine> sharded_proto;
+    if (rebuild && opts.backend == backend_kind::sharded)
+      sharded_proto = core::make_filter_engine(core::engine_kind::chunked,
+                                               qset.queries(), opts.filter);
+    // Flip to consume-stream staging BEFORE touching any stream: a
+    // producer racing the walk on a not-yet-swapped shard then stages
+    // take-style under its stream's (still old) epoch, which is exactly
+    // right; the `observed` cursor keeps the already-staged legacy prefix
+    // from reaching the sink twice.
+    multi.store(true, std::memory_order_relaxed);
+    for (std::size_t shard = 0; shard < streams.size(); ++shard) {
+      stream_state& st = *streams[shard];
+      std::lock_guard<std::mutex> gate(st.gate);
+      stage_decisions(shard);
+      if (rebuild) {
+        switch (opts.backend) {
+          case backend_kind::chunked: {
+            std::vector<unsigned char> carry = engine->take_carry();
+            engine = proto->clone();
+            // A record always starts from the power-on automaton state, so
+            // replaying the in-flight bytes reproduces the stream position
+            // exactly (no boundary hides in a carry by construction).
+            if (!carry.empty())
+              engine->scan_chunk(
+                  std::span<const unsigned char>{carry.data(), carry.size()});
+            break;
+          }
+          case backend_kind::system: {
+            std::vector<unsigned char> carry;
+            if (opts.engine == core::engine_kind::chunked)
+              carry = lanes.front()->take_carry();
+            lanes.clear();
+            lanes.push_back(proto->clone());
+            if (opts.engine == core::engine_kind::chunked)
+              lanes.front()->collect_record_sizes(true);
+            for (int lane = 1; lane < opts.lanes; ++lane)
+              lanes.push_back(lanes.front()->clone());
+            if (!carry.empty())
+              lanes.front()->scan_chunk(
+                  std::span<const unsigned char>{carry.data(), carry.size()});
+            break;
+          }
+          case backend_kind::sharded: {
+            // swap_shard drains the FIFO through the OLD engine first; its
+            // tail decisions belong to the outgoing epoch.
+            auto taken = sharded->swap_shard(shard, *sharded_proto);
+            archive_batch(shard, st.reg, taken.any, std::move(taken.words));
+            break;
+          }
+          case backend_kind::scalar:
+            break;  // unreachable: mutation_unsupported rejected it
+        }
+      }
+      st.reg = nreg;
+    }
+    reg = std::move(nreg);
+    for (std::size_t shard = 0; shard < streams.size(); ++shard)
+      flush_decisions(shard);
+  }
+
+  core::query_id add_query_impl(core::expr_ptr qexpr,
+                                decision_sink query_sink) {
+    if (!qexpr) throw error("pipeline: add_query(null expression)");
+    std::lock_guard<std::mutex> mu(mutation_mutex);
+    if (done()) throw error("pipeline: add_query() after finish()/run()");
+    if (auto why = mutation_unsupported()) throw error(*why);
+    const core::query_id id = qset.add(std::move(qexpr));
+    try {
+      auto nreg = snapshot_registry();
+      if (query_sink) {
+        nreg->query_sinks[qset.ordinal(id)] = std::move(query_sink);
+        nreg->has_query_sinks = true;
+      }
+      swap_epoch(std::move(nreg), true);
+    } catch (...) {
+      // A failed compile leaves every stream on the old epoch; drop the
+      // half-registered query so the set matches the engines again.
+      qset.remove(id);
+      throw;
+    }
+    return id;
+  }
+
+  void remove_query_impl(core::query_id id) {
+    std::lock_guard<std::mutex> mu(mutation_mutex);
+    if (done()) throw error("pipeline: remove_query() after finish()/run()");
+    if (auto why = mutation_unsupported()) throw error(*why);
+    if (!qset.contains(id))
+      throw error("pipeline: remove_query(" + std::to_string(id) +
+                  "): unknown query id");
+    if (qset.size() == 1)
+      throw error("pipeline: cannot remove the last resident query");
+    qset.remove(id);
+    swap_epoch(snapshot_registry(), true);
+  }
+
+  void attach_query_sink(core::query_id id, decision_sink s) {
+    std::lock_guard<std::mutex> mu(mutation_mutex);
+    if (done())
+      throw error("pipeline: on_query_decision() after finish()/run()");
+    if (!qset.contains(id))
+      throw error("pipeline: on_query_decision(" + std::to_string(id) +
+                  "): unknown query id");
+    auto nreg = snapshot_registry();
+    nreg->query_sinks[qset.ordinal(id)] = std::move(s);
+    nreg->has_query_sinks = false;
+    for (const decision_sink& qs : nreg->query_sinks)
+      if (qs) {
+        nreg->has_query_sinks = true;
+        break;
+      }
+    // Registry-only epoch: the engines already evaluate this query, only
+    // the delivery plan changes - every backend supports it.
+    swap_epoch(std::move(nreg), false);
   }
 
   /// Shared entry gate of the streaming calls: validate under state_mutex,
@@ -742,6 +1155,78 @@ expected<run_result> pipeline::finish() {
   }
 }
 
+namespace {
+
+core::expr_ptr compile_for(const pipeline_options& opts,
+                           const query::query& q) {
+  query::compile_options co;
+  co.group = opts.group;
+  return query::compile_default(q, opts.block, co);
+}
+
+}  // namespace
+
+expected<core::query_id> pipeline::add_query(core::expr_ptr expr,
+                                             decision_sink query_sink) {
+  try {
+    return impl_->add_query_impl(std::move(expr), std::move(query_sink));
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+expected<core::query_id> pipeline::add_query(std::string_view filter_expression,
+                                             decision_sink query_sink,
+                                             query::data_model model) {
+  try {
+    const query::query q =
+        query::parse_filter_expression(filter_expression, model);
+    return impl_->add_query_impl(compile_for(impl_->opts, q),
+                                 std::move(query_sink));
+  } catch (const parse_error& e) {
+    return unexpected(error_info::from(e));
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+expected<core::query_id> pipeline::add_jsonpath(std::string_view text,
+                                                decision_sink query_sink) {
+  try {
+    const query::query q = query::parse_jsonpath(text);
+    return impl_->add_query_impl(compile_for(impl_->opts, q),
+                                 std::move(query_sink));
+  } catch (const parse_error& e) {
+    return unexpected(error_info::from(e));
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+expected<bool> pipeline::remove_query(core::query_id id) {
+  try {
+    impl_->remove_query_impl(id);
+    return true;
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+expected<bool> pipeline::on_query_decision(core::query_id id,
+                                           decision_sink sink) {
+  try {
+    impl_->attach_query_sink(id, std::move(sink));
+    return true;
+  } catch (const std::exception& e) {
+    return unexpected(error_info::from(e));
+  }
+}
+
+std::vector<core::query_id> pipeline::query_ids() const {
+  std::lock_guard<std::mutex> mu(impl_->mutation_mutex);
+  return impl_->qset.ids();
+}
+
 expected<std::vector<system::shard_stats>> pipeline::stats() const {
   try {
     if (impl_->sharded) return impl_->sharded->report().shards;
@@ -755,6 +1240,14 @@ expected<std::vector<system::shard_stats>> pipeline::stats() const {
       const std::vector<bool>& decisions = impl_->decisions_of(0);
       stats.records = decisions.size();
       for (const bool d : decisions) stats.accepted += d ? 1 : 0;
+      if (impl_->multi.load(std::memory_order_relaxed) &&
+          !impl_->history.empty()) {
+        // Multi-tenant mode: decisions_of holds only the not-yet-taken
+        // tail; everything staged so far lives in the history.
+        stats.records += impl_->history[0].any.size();
+        for (const bool d : impl_->history[0].any)
+          stats.accepted += d ? 1 : 0;
+      }
     }
     return std::vector<system::shard_stats>{stats};
   } catch (const std::exception& e) {
@@ -779,8 +1272,20 @@ struct pipeline_builder::state {
   std::optional<query::query> parsed;
   core::expr_ptr expr;
 
+  // Additional resident queries beyond the primary source, in add order
+  // (ids are assigned in this order, primary first).
+  struct extra_query {
+    source_kind k = source_kind::none;
+    std::string text;
+    query::data_model model = query::data_model::flat;
+    std::optional<query::query> parsed;
+    core::expr_ptr expr;
+  };
+  std::vector<extra_query> extras;
+
   std::vector<input_spec> inputs;
   decision_sink sink;
+  verdict_sink vsink;
 
   void set_source(source_kind kind) {
     // Re-setting the same kind replaces it (the retry-after-parse-error
@@ -819,6 +1324,40 @@ pipeline_builder& pipeline_builder::from_query(query::query q) {
 pipeline_builder& pipeline_builder::raw_filter(core::expr_ptr expr) {
   state_->set_source(state::source_kind::expr);
   state_->expr = std::move(expr);
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::add_filter_expression(
+    std::string_view text, query::data_model model) {
+  state::extra_query ex;
+  ex.k = state::source_kind::filter_expr;
+  ex.text = std::string(text);
+  ex.model = model;
+  state_->extras.push_back(std::move(ex));
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::add_jsonpath(std::string_view text) {
+  state::extra_query ex;
+  ex.k = state::source_kind::jsonpath;
+  ex.text = std::string(text);
+  state_->extras.push_back(std::move(ex));
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::add_query(query::query q) {
+  state::extra_query ex;
+  ex.k = state::source_kind::parsed;
+  ex.parsed = std::move(q);
+  state_->extras.push_back(std::move(ex));
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::add_raw_filter(core::expr_ptr expr) {
+  state::extra_query ex;
+  ex.k = state::source_kind::expr;
+  ex.expr = std::move(expr);
+  state_->extras.push_back(std::move(ex));
   return *this;
 }
 
@@ -935,6 +1474,11 @@ pipeline_builder& pipeline_builder::on_decision(decision_sink sink) {
   return *this;
 }
 
+pipeline_builder& pipeline_builder::on_verdict(verdict_sink sink) {
+  state_->vsink = std::move(sink);
+  return *this;
+}
+
 expected<pipeline> pipeline_builder::build() {
   state& s = *state_;
   if (s.consumed)
@@ -964,6 +1508,9 @@ expected<pipeline> pipeline_builder::build() {
   for (const input_spec& in : s.inputs)
     if (in.k == input_spec::kind::custom && !in.source)
       return unexpected("pipeline: null ingest source bound");
+  for (const state::extra_query& ex : s.extras)
+    if (ex.k == state::source_kind::expr && !ex.expr)
+      return unexpected("pipeline: add_raw_filter(null expression)");
   if (s.opts.backend == backend_kind::sharded) {
     if (s.opts.lane_fifo_bytes == 0)
       return unexpected("pipeline: the sharded backend needs a non-zero "
@@ -986,6 +1533,7 @@ expected<pipeline> pipeline_builder::build() {
   auto impl = std::make_unique<pipeline::impl>();
   impl->opts = s.opts;
   impl->sink = s.sink;
+  impl->vsink = s.vsink;
   impl->inputs = std::move(s.inputs);
   try {
     switch (s.qsrc) {
@@ -1009,6 +1557,33 @@ expected<pipeline> pipeline_builder::build() {
       co.group = s.opts.group;
       impl->expr = query::compile_default(*impl->q, s.opts.block, co);
     }
+    // The resident query set: primary source first (query 0), then every
+    // add_* query in call order. A one-element set compiles to exactly
+    // the single-query engines - the multi-tenant bookkeeping stays off
+    // unless a second query or a bitmap sink asks for it.
+    impl->qset.add(impl->expr);
+    for (const state::extra_query& ex : s.extras) {
+      switch (ex.k) {
+        case state::source_kind::filter_expr:
+          impl->qset.add(compile_for(
+              s.opts, query::parse_filter_expression(ex.text, ex.model)));
+          break;
+        case state::source_kind::jsonpath:
+          impl->qset.add(compile_for(s.opts, query::parse_jsonpath(ex.text)));
+          break;
+        case state::source_kind::parsed:
+          impl->qset.add(compile_for(s.opts, *ex.parsed));
+          break;
+        case state::source_kind::expr:
+          impl->qset.add(ex.expr);
+          break;
+        case state::source_kind::none:
+          break;  // unreachable, extras always carry a kind
+      }
+    }
+    impl->reg = impl->snapshot_registry();
+    if (impl->qset.size() > 1 || impl->vsink)
+      impl->multi.store(true, std::memory_order_relaxed);
     // Stand the execution state up eagerly: engine compilation, lane
     // clones and the worker pool all belong to build(), so run()/offer()
     // spend their time on steady-state filtering only (the wall-clock

@@ -16,10 +16,17 @@
 //   if (!built) { /* built.error().message, built.error().offset */ }
 //   auto result = built->run();                 // expected<run_result>
 //
-// Query sources (exactly one): filter-expression text (Table VIII syntax),
-// JSONPath text (Listing 2), a parsed query::query, or a prebuilt
-// core::expr_ptr. Backends select the execution layer the decisions are
-// byte-identical to:
+// Query sources (exactly one primary): filter-expression text (Table VIII
+// syntax), JSONPath text (Listing 2), a parsed query::query, or a prebuilt
+// core::expr_ptr. A pipeline may additionally host a whole query FLEET:
+// add_filter_expression()/add_jsonpath()/add_query()/add_raw_filter()
+// append resident queries at build time, and add_query()/remove_query()
+// swap them in and out at runtime without stalling the stream. All
+// resident queries compile into ONE shared evaluation plan (single bitmap
+// pass and framing walk per ingest buffer, primitive engines interned by
+// spec key), each record gets a per-query decision bitmap, and the
+// any-match decision keeps its single-query meaning. Backends select the
+// execution layer the decisions are byte-identical to:
 //
 //   scalar  - one core::filter_engine(scalar): the paper-faithful
 //             byte-per-cycle reference path,
@@ -54,6 +61,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -61,6 +69,7 @@
 #include "api/result.hpp"
 #include "core/expr.hpp"
 #include "core/filter_engine.hpp"
+#include "core/query_set.hpp"
 #include "query/ir.hpp"
 #include "system/ingest.hpp"
 #include "util/error.hpp"
@@ -75,6 +84,17 @@ const char* to_string(backend_kind kind);
 /// stream, accepted).
 using decision_sink =
     std::function<void(std::size_t, std::uint64_t, bool)>;
+
+/// Per-record decision-bitmap callback of a multi-tenant pipeline:
+/// (shard, record index within that shard's stream, resident query ids in
+/// dense order, bitmap words - (ids.size() + 63) / 64 little-endian words,
+/// bit q = ids[q] accepted this record). The spans are valid only for the
+/// duration of the call; the id snapshot is the set the record actually
+/// decided under, so verdicts staged across a runtime add/remove carry
+/// their own epoch.
+using verdict_sink = std::function<void(
+    std::size_t, std::uint64_t, std::span<const core::query_id>,
+    std::span<const std::uint64_t>)>;
 
 struct pipeline_options {
   backend_kind backend = backend_kind::system;
@@ -122,6 +142,19 @@ class pipeline_builder {
   /// group options are ignored).
   pipeline_builder& raw_filter(core::expr_ptr expr);
 
+  // --- additional resident queries (multi-tenant query set) ---
+  // The primary source above is query 0; each add_* appends one more
+  // resident query, all compiled into ONE shared evaluation plan (one
+  // bitmap pass and framing walk per ingest buffer, primitive engines
+  // interned by spec key across queries). Ids are assigned in call order
+  // starting at 1; pipeline::query_ids() returns them after build.
+  pipeline_builder& add_filter_expression(
+      std::string_view text,
+      query::data_model model = query::data_model::flat);
+  pipeline_builder& add_jsonpath(std::string_view text);
+  pipeline_builder& add_query(query::query q);
+  pipeline_builder& add_raw_filter(core::expr_ptr expr);
+
   // --- compile options ---
   pipeline_builder& block(int b);
   pipeline_builder& group(core::group_kind kind);
@@ -157,8 +190,11 @@ class pipeline_builder {
   /// Custom pull-based producer.
   pipeline_builder& source(std::unique_ptr<system::ingest_source> src);
 
-  // --- decision push sink ---
+  // --- decision push sinks ---
   pipeline_builder& on_decision(decision_sink sink);
+  /// Per-record decision bitmap (multi-tenant): registering it switches
+  /// the pipeline into bitmap bookkeeping even with one resident query.
+  pipeline_builder& on_verdict(verdict_sink sink);
 
   /// Validate, parse and compile. All failures - malformed query text
   /// (with its parse_error byte offset), zero lanes/shards/FIFO/burst,
@@ -226,6 +262,36 @@ class pipeline {
   /// Flush trailing unterminated records, deliver the final verdicts and
   /// return the merged result. Ends the streaming surface.
   expected<run_result> finish();
+
+  // --- runtime query management (multi-tenant) ---
+  // add_query()/remove_query() swap every stream onto a freshly compiled
+  // shared plan WITHOUT stalling the stream: the new engine compiles
+  // outside every stream lock (live traffic keeps flowing), then each
+  // stream pauses only for its own drain + in-flight-record replay. Bytes
+  // offered before the swap decide under the outgoing query set, bytes
+  // after under the incoming one - never half-and-half. Requires an
+  // engine that can surrender its in-flight record: the chunked /
+  // system backends and sharded with engine(chunked); the scalar backend
+  // reports an error. The optional per-query sink receives (shard,
+  // per-shard record index, accepted) for THAT query only, while it is
+  // resident.
+  expected<core::query_id> add_query(core::expr_ptr expr,
+                                     decision_sink query_sink = nullptr);
+  /// Table VIII filter-expression text, compiled with the builder's
+  /// block/group options.
+  expected<core::query_id> add_query(
+      std::string_view filter_expression, decision_sink query_sink = nullptr,
+      query::data_model model = query::data_model::flat);
+  expected<core::query_id> add_jsonpath(std::string_view text,
+                                        decision_sink query_sink = nullptr);
+  /// Errors on an unknown id and on the last resident query (a pipeline
+  /// always evaluates at least one).
+  expected<bool> remove_query(core::query_id id);
+  /// Attach (or replace; nullptr detaches) the per-query sink of a
+  /// resident query. Works on every backend - no engine swap involved.
+  expected<bool> on_query_decision(core::query_id id, decision_sink sink);
+  /// Resident query ids, dense order == decision-bitmap bit order.
+  std::vector<core::query_id> query_ids() const;
 
   /// Live per-shard accounting snapshot (offered/filtered bytes, records,
   /// accepted, backpressure counters) - safe to call concurrently with

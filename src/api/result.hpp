@@ -11,10 +11,22 @@
 #include <string>
 #include <vector>
 
+#include "core/query_set.hpp"
 #include "system/sharded.hpp"
 #include "system/system.hpp"
 
 namespace jrf {
+
+/// One resident query's decision column on one shard of a multi-tenant
+/// pipeline. Ids are never reused, so every query has exactly one
+/// contiguous residency span: decisions[k] is the verdict of per-shard
+/// record first_record + k, from the record the query became resident
+/// until it was removed (or the stream ended).
+struct query_column {
+  core::query_id id = 0;
+  std::uint64_t first_record = 0;
+  std::vector<bool> decisions;
+};
 
 struct run_result {
   /// Merged cycle-quantized accounting (system::model_report semantics;
@@ -32,6 +44,18 @@ struct run_result {
   /// Merged decisions: shard_decisions concatenated in shard order (for
   /// single-stream backends this IS the stream order).
   std::vector<bool> decisions;
+
+  /// Multi-tenant pipelines only (more than one resident query, a verdict
+  /// or per-query sink, or any runtime add/remove): the query ids resident
+  /// when the stream ended, dense order == decision-bitmap bit order.
+  /// Empty for plain single-query pipelines.
+  std::vector<core::query_id> query_ids;
+
+  /// Per shard, one decision column per query ever resident on that
+  /// stream (including queries removed mid-stream), in order of first
+  /// residency. Parallel to shard_decisions: column bit k of query q is
+  /// that query's verdict on per-shard record q.first_record + k.
+  std::vector<std::vector<query_column>> shard_query_columns;
 
   std::uint64_t records() const noexcept { return report.records; }
   std::uint64_t accepted() const noexcept { return report.accepted; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 
 #include "core/bitmaps.hpp"
 #include "core/raw_filter.hpp"
@@ -15,29 +16,108 @@ compiled_layout compiled_layout::compile(const filter_expr& root,
                                          simd::simd_level level) {
   compiled_layout layout;
   const auto visit = [&layout, level](const filter_expr& e,
-                                      const auto& self) -> void {
+                                      const auto& self) -> plan_node {
+    plan_node node;
     switch (e.kind) {
       case expr_kind::primitive:
+        node.k = plan_node::kind::leaf;
+        node.index = layout.engines.size();
         layout.bare_engines.push_back(layout.engines.size());
+        layout.engine_keys.push_back(spec_key(e.prim));
         layout.engines.push_back(make_engine(e.prim, level));
         break;
       case expr_kind::group: {
         group_info info;
         info.kind = e.group;
-        info.first = layout.engines.size();
-        for (const primitive_spec& m : e.members)
+        for (const primitive_spec& m : e.members) {
+          info.members.push_back(layout.engines.size());
+          layout.engine_keys.push_back(spec_key(m));
           layout.engines.push_back(make_engine(m, level));
-        info.last = layout.engines.size();
-        layout.groups.push_back(info);
+        }
+        node.k = plan_node::kind::group;
+        node.index = layout.groups.size();
+        layout.groups.push_back(std::move(info));
         break;
       }
       case expr_kind::conjunction:
       case expr_kind::disjunction:
-        for (const expr_ptr& child : e.children) self(*child, self);
+        node.k = e.kind == expr_kind::conjunction ? plan_node::kind::conj
+                                                  : plan_node::kind::disj;
+        node.children.reserve(e.children.size());
+        for (const expr_ptr& child : e.children)
+          node.children.push_back(self(*child, self));
         break;
     }
+    return node;
   };
-  visit(root, visit);
+  layout.roots.push_back(visit(root, visit));
+  layout.engine_subscribers.assign(layout.engines.size(),
+                                   std::vector<std::size_t>{0});
+  return layout;
+}
+
+compiled_layout compiled_layout::compile_set(std::span<const expr_ptr> queries,
+                                             simd::simd_level level) {
+  if (queries.empty()) throw error("compile_set: empty query set");
+  compiled_layout layout;
+  std::unordered_map<std::string, std::size_t> engine_by_key;
+  std::unordered_map<std::string, std::size_t> group_by_key;
+  std::size_t q = 0;
+  const auto intern = [&](const primitive_spec& spec) -> std::size_t {
+    std::string key = spec_key(spec);
+    const auto [it, fresh] =
+        engine_by_key.try_emplace(std::move(key), layout.engines.size());
+    if (fresh) {
+      layout.engines.push_back(make_engine(spec, level));
+      layout.engine_keys.push_back(it->first);
+      layout.engine_subscribers.emplace_back();
+    }
+    std::vector<std::size_t>& subs = layout.engine_subscribers[it->second];
+    if (subs.empty() || subs.back() != q) subs.push_back(q);
+    return it->second;
+  };
+  const auto visit = [&](const filter_expr& e, const auto& self) -> plan_node {
+    plan_node node;
+    switch (e.kind) {
+      case expr_kind::primitive:
+        node.k = plan_node::kind::leaf;
+        node.index = intern(e.prim);
+        break;
+      case expr_kind::group: {
+        group_info info;
+        info.kind = e.group;
+        // Groups dedup on (kind, member engine indices): two queries with
+        // the same structural clause share one tracker replay per record.
+        std::string gkey(e.group == group_kind::scope ? "s" : "p");
+        for (const primitive_spec& m : e.members) {
+          const std::size_t idx = intern(m);
+          info.members.push_back(idx);
+          gkey += ':';
+          gkey += std::to_string(idx);
+        }
+        const auto [it, fresh] =
+            group_by_key.try_emplace(std::move(gkey), layout.groups.size());
+        if (fresh) layout.groups.push_back(std::move(info));
+        node.k = plan_node::kind::group;
+        node.index = it->second;
+        break;
+      }
+      case expr_kind::conjunction:
+      case expr_kind::disjunction:
+        node.k = e.kind == expr_kind::conjunction ? plan_node::kind::conj
+                                                  : plan_node::kind::disj;
+        node.children.reserve(e.children.size());
+        for (const expr_ptr& child : e.children)
+          node.children.push_back(self(*child, self));
+        break;
+    }
+    return node;
+  };
+  layout.roots.reserve(queries.size());
+  for (; q < queries.size(); ++q) {
+    if (!queries[q]) throw error("compile_set: null query expression");
+    layout.roots.push_back(visit(*queries[q], visit));
+  }
   return layout;
 }
 
@@ -45,14 +125,59 @@ compiled_layout compiled_layout::clone() const {
   compiled_layout copy;
   copy.engines.reserve(engines.size());
   for (const auto& engine : engines) copy.engines.push_back(engine->clone());
+  copy.engine_keys = engine_keys;
   copy.groups = groups;
   copy.bare_engines = bare_engines;
+  copy.roots = roots;
+  copy.engine_subscribers = engine_subscribers;
   return copy;
 }
 
 filter_engine::filter_engine(expr_ptr expr, filter_options options)
     : expr_(std::move(expr)), options_(options) {
   if (!expr_) throw error("filter engine: null expression");
+  queries_ = {expr_};
+}
+
+filter_engine::filter_engine(std::vector<expr_ptr> queries,
+                             filter_options options)
+    : queries_(std::move(queries)), options_(options) {
+  if (queries_.empty()) throw error("filter engine: empty query set");
+  for (const expr_ptr& q : queries_)
+    if (!q) throw error("filter engine: null expression");
+  expr_ = queries_.front();
+}
+
+bool filter_engine::accepts_bits(std::string_view record,
+                                 std::uint64_t* words) {
+  // Base default = the single-query mapping (bit 0 is the query);
+  // multi-query engines override with real per-query bits.
+  const bool accepted = accepts(record);
+  if (words != nullptr) {
+    std::fill_n(words, words_per_record(), std::uint64_t{0});
+    if (accepted) words[0] = 1;
+  }
+  return accepted;
+}
+
+std::vector<unsigned char> filter_engine::take_carry() {
+  throw error("filter engine: this engine cannot export its in-flight "
+              "record (scalar byte paths hold partial-match state inside "
+              "their primitives) - runtime query add/remove needs the "
+              "chunked engine");
+}
+
+std::vector<bool> filter_engine::decision_column(std::size_t q) const {
+  if (q >= queries_.size())
+    throw error("filter engine: query ordinal out of range");
+  if (queries_.size() == 1) return decisions_;
+  const std::size_t wpr = words_per_record();
+  const std::size_t records = decision_words_.size() / wpr;
+  std::vector<bool> out;
+  out.reserve(records);
+  for (std::size_t r = 0; r < records; ++r)
+    out.push_back((decision_words_[r * wpr + q / 64] >> (q % 64)) & 1);
+  return out;
 }
 
 std::vector<bool> filter_engine::filter_stream(std::string_view stream) {
@@ -124,6 +249,115 @@ class scalar_filter_engine final : public filter_engine {
 };
 
 // ---------------------------------------------------------------------------
+// Multi-query scalar engine: one raw_filter per resident query, stepped in
+// lockstep. Framing is query-independent (the separator/string-literal
+// automaton never consults the expression), so every filter reports the
+// same record boundaries and one engine can aggregate the per-query
+// accepts into the decision bitmap. No engine dedup here - this is the
+// paper-faithful reference the chunked multi-query path is tested against,
+// so it deliberately models N independent byte pipelines.
+// ---------------------------------------------------------------------------
+
+class multi_scalar_engine final : public filter_engine {
+ public:
+  multi_scalar_engine(std::vector<expr_ptr> queries, filter_options options)
+      : filter_engine(std::move(queries), options) {
+    filters_.reserve(queries_.size());
+    for (const expr_ptr& q : queries_) filters_.emplace_back(q, options);
+  }
+
+  void reset() override {
+    for (raw_filter& f : filters_) f.reset();
+    pending_ = false;
+  }
+
+  void scan_chunk(std::span<const unsigned char> chunk) override {
+    const std::size_t wpr = words_per_record();
+    for (const unsigned char byte : chunk) {
+      const raw_filter::step_result r0 = filters_[0].push(byte);
+      if (r0.record_boundary) {
+        word_scratch_.assign(wpr, 0);
+        bool any = r0.accept;
+        if (r0.accept) word_scratch_[0] |= 1;
+        for (std::size_t q = 1; q < filters_.size(); ++q) {
+          const raw_filter::step_result r = filters_[q].push(byte);
+          if (r.accept) {
+            any = true;
+            word_scratch_[q / 64] |= std::uint64_t{1} << (q % 64);
+          }
+        }
+        if (pending_) {
+          decisions_.push_back(any);
+          decision_words_.insert(decision_words_.end(), word_scratch_.begin(),
+                                 word_scratch_.end());
+        }
+        pending_ = false;
+      } else {
+        for (std::size_t q = 1; q < filters_.size(); ++q)
+          filters_[q].push(byte);
+        pending_ = true;
+      }
+    }
+  }
+
+  void finish() override {
+    if (!pending_) return;
+    const std::size_t wpr = words_per_record();
+    word_scratch_.assign(wpr, 0);
+    bool any = false;
+    bool boundary = false;
+    for (std::size_t q = 0; q < filters_.size(); ++q) {
+      const raw_filter::step_result r = filters_[q].push(options_.separator);
+      boundary = r.record_boundary;
+      if (r.accept) {
+        any = true;
+        word_scratch_[q / 64] |= std::uint64_t{1} << (q % 64);
+      }
+    }
+    decisions_.push_back(any);
+    decision_words_.insert(decision_words_.end(), word_scratch_.begin(),
+                           word_scratch_.end());
+    // Masked flush separator: no boundary, push() did not reset (see the
+    // single-query scalar engine).
+    if (!boundary)
+      for (raw_filter& f : filters_) f.reset();
+    pending_ = false;
+  }
+
+  bool accepts(std::string_view record) override {
+    return accepts_bits(record, nullptr);
+  }
+
+  bool accepts_bits(std::string_view record, std::uint64_t* words) override {
+    pending_ = false;
+    if (words != nullptr)
+      std::fill_n(words, words_per_record(), std::uint64_t{0});
+    bool any = false;
+    for (std::size_t q = 0; q < filters_.size(); ++q) {
+      if (filters_[q].accepts(record)) {
+        any = true;
+        if (words != nullptr)
+          words[q / 64] |= std::uint64_t{1} << (q % 64);
+      }
+    }
+    return any;
+  }
+
+  std::unique_ptr<filter_engine> clone() const override {
+    return std::unique_ptr<filter_engine>(new multi_scalar_engine(*this));
+  }
+
+ private:
+  multi_scalar_engine(const multi_scalar_engine& other)
+      : filter_engine(other.queries_, other.options_),
+        filters_(other.filters_) {}
+
+  std::vector<raw_filter> filters_;  // query order
+  std::vector<std::uint64_t> word_scratch_;
+  bool pending_ = false;  // bytes seen since the last boundary
+};
+
+// ---------------------------------------------------------------------------
 // Chunked engine: buffer-at-a-time bitmap pipeline.
 //
 // One core::bitmap_pass sweep per ingest buffer materialises the string
@@ -173,24 +407,20 @@ class chunked_filter_engine final : public filter_engine {
         level_(simd::resolve(options.simd)),
         layout_(compiled_layout::compile(*expr_, options.simd)),
         max_depth_(structure_tracker(options.depth_bits).max_depth()) {
-    std::size_t max_members = 0;
-    for (const compiled_layout::group_info& g : layout_.groups)
-      max_members = std::max(max_members, g.last - g.first);
-    fire_cursor_.resize(max_members);
-    fire_lists_.resize(max_members);
-    run_capable_.reserve(layout_.engines.size());
-    run_slot_.reserve(layout_.engines.size());
-    std::size_t slots = 0;
-    for (const auto& engine : layout_.engines) {
-      // Engines past the 64-bit verdict mask fall back to the generic
-      // bulk paths (a query would need >64 value primitives to get there).
-      const bool capable = engine->supports_token_runs() && slots < 64;
-      run_capable_.push_back(capable ? 1 : 0);
-      run_slot_.push_back(capable ? slots++ : 0);
-    }
-    std::size_t leaf_cursor = 0;
-    std::size_t group_cursor = 0;
-    root_ = build_eval_tree(*expr_, leaf_cursor, group_cursor);
+    init();
+  }
+
+  /// Multi-tenant lane: N > 1 queries interned into one shared layout
+  /// (engines and groups dedup'd by spec key); a one-element set compiles
+  /// through the single-query path above, byte-identical to it.
+  chunked_filter_engine(std::vector<expr_ptr> queries, filter_options options)
+      : filter_engine(std::move(queries), options),
+        level_(simd::resolve(options.simd)),
+        layout_(queries_.size() == 1
+                    ? compiled_layout::compile(*queries_.front(), options.simd)
+                    : compiled_layout::compile_set(queries_, options.simd)),
+        max_depth_(structure_tracker(options.depth_bits).max_depth()) {
+    init();
   }
 
   void reset() override {
@@ -209,13 +439,13 @@ class chunked_filter_engine final : public filter_engine {
         carry_.insert(carry_.end(),
                       chunk.begin() + static_cast<std::ptrdiff_t>(pos),
                       chunk.begin() + static_cast<std::ptrdiff_t>(boundary));
-        decisions_.push_back(evaluate_carry());
+        decisions_.push_back(evaluate_carry(next_words()));
         if (sizes_enabled_)
           record_sizes_.push_back(static_cast<std::uint32_t>(carry_.size()));
         carry_.clear();
       } else if (boundary > pos) {
-        decisions_.push_back(
-            evaluate_record(chunk.subspan(pos, boundary - pos), pass_, pos));
+        decisions_.push_back(evaluate_record(
+            chunk.subspan(pos, boundary - pos), pass_, pos, next_words()));
         if (sizes_enabled_)
           record_sizes_.push_back(static_cast<std::uint32_t>(boundary - pos));
       }
@@ -238,7 +468,12 @@ class chunked_filter_engine final : public filter_engine {
     // is the quote byte itself) that separator is masked, no boundary
     // occurs, and the flushed decision is unconditionally false.
     const bool masked = state_.in_string || options_.separator == '"';
-    decisions_.push_back(masked ? false : evaluate_carry());
+    if (masked) {
+      (void)next_words();  // zeroed bitmap row: no query accepts
+      decisions_.push_back(false);
+    } else {
+      decisions_.push_back(evaluate_carry(next_words()));
+    }
     if (sizes_enabled_)
       record_sizes_.push_back(static_cast<std::uint32_t>(carry_.size()));
     carry_.clear();
@@ -246,7 +481,13 @@ class chunked_filter_engine final : public filter_engine {
   }
 
   bool accepts(std::string_view record) override {
+    return accepts_bits(record, nullptr);
+  }
+
+  bool accepts_bits(std::string_view record, std::uint64_t* words) override {
     reset();
+    if (words != nullptr)
+      std::fill_n(words, words_per_record(), std::uint64_t{0});
     // accepts() == decision of the final (possibly empty) segment: push()
     // discards the state of every earlier segment at its boundary.
     const auto* data = reinterpret_cast<const unsigned char*>(record.data());
@@ -261,7 +502,7 @@ class chunked_filter_engine final : public filter_engine {
     const bool decision =
         masked ? false
                : evaluate_record({data + last_start, n - last_start},
-                                 record_pass_, last_start);
+                                 record_pass_, last_start, words);
     reset();
     return decision;
   }
@@ -270,68 +511,87 @@ class chunked_filter_engine final : public filter_engine {
     return std::unique_ptr<filter_engine>(new chunked_filter_engine(*this));
   }
 
+  std::vector<unsigned char> take_carry() override {
+    std::vector<unsigned char> out;
+    out.swap(carry_);
+    state_ = {};
+    return out;
+  }
+
  private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  /// Expression tree with pre-assigned engine/group indices so evaluation
-  /// can short-circuit without the cursor walk eval_node needs.
-  struct eval_node {
-    enum class kind { leaf, group, conj, disj };
-    kind k = kind::leaf;
-    std::size_t index = 0;  // engine index (leaf) or group ordinal (group)
-    std::vector<eval_node> children;
-  };
-
   chunked_filter_engine(const chunked_filter_engine& other)
-      : filter_engine(other.expr_, other.options_),
+      : filter_engine(other.queries_, other.options_),
         level_(other.level_),
         layout_(other.layout_.clone()),
         max_depth_(other.max_depth_),
+        multi_(other.multi_),
         run_capable_(other.run_capable_),
         run_slot_(other.run_slot_),
-        root_(other.root_),
         fire_cursor_(other.fire_cursor_.size()),
         fire_lists_(other.fire_lists_.size()),
+        leaf_epoch_(other.leaf_epoch_.size(), 0),
+        leaf_val_(other.leaf_val_.size(), 0),
+        group_epoch_(other.group_epoch_.size(), 0),
+        group_val_(other.group_val_.size(), 0),
         memo_(other.memo_) {}  // a warm memo carries over: pure function
 
-  eval_node build_eval_tree(const filter_expr& e, std::size_t& leaf_cursor,
-                            std::size_t& group_cursor) const {
-    eval_node node;
-    switch (e.kind) {
-      case expr_kind::primitive:
-        node.k = eval_node::kind::leaf;
-        node.index = layout_.bare_engines[leaf_cursor++];
-        break;
-      case expr_kind::group:
-        node.k = eval_node::kind::group;
-        node.index = group_cursor++;
-        break;
-      case expr_kind::conjunction:
-      case expr_kind::disjunction:
-        node.k = e.kind == expr_kind::conjunction ? eval_node::kind::conj
-                                                  : eval_node::kind::disj;
-        node.children.reserve(e.children.size());
-        for (const expr_ptr& child : e.children)
-          node.children.push_back(build_eval_tree(*child, leaf_cursor,
-                                                  group_cursor));
-        break;
+  void init() {
+    multi_ = layout_.query_count() > 1;
+    std::size_t max_members = 0;
+    for (const compiled_layout::group_info& g : layout_.groups)
+      max_members = std::max(max_members, g.members.size());
+    fire_cursor_.resize(max_members);
+    fire_lists_.resize(max_members);
+    run_capable_.reserve(layout_.engines.size());
+    run_slot_.reserve(layout_.engines.size());
+    std::size_t slots = 0;
+    for (const auto& engine : layout_.engines) {
+      // Engines past the 64-bit verdict mask fall back to the generic
+      // bulk paths (a query would need >64 value primitives to get there).
+      const bool capable = engine->supports_token_runs() && slots < 64;
+      run_capable_.push_back(capable ? 1 : 0);
+      run_slot_.push_back(capable ? slots++ : 0);
     }
-    return node;
+    if (multi_) {
+      leaf_epoch_.assign(layout_.engines.size(), 0);
+      leaf_val_.assign(layout_.engines.size(), 0);
+      group_epoch_.assign(layout_.groups.size(), 0);
+      group_val_.assign(layout_.groups.size(), 0);
+    }
+  }
+
+  /// Append one zeroed bitmap row to decision_words_ and return its
+  /// storage, or nullptr for single-query engines (which never emit
+  /// bitmaps - the pre-multi-tenant byte layout exactly).
+  std::uint64_t* next_words() {
+    if (!multi_) return nullptr;
+    const std::size_t wpr = words_per_record();
+    decision_words_.resize(decision_words_.size() + wpr, 0);
+    return decision_words_.data() + (decision_words_.size() - wpr);
   }
 
   /// A carried record always starts right after a boundary (or the stream
   /// start), so its record-local bitmap pass starts from the fresh state
   /// and reproduces the stream automaton over those bytes exactly.
-  bool evaluate_carry() {
+  bool evaluate_carry(std::uint64_t* words = nullptr) {
     record_pass_.compute(carry_.data(), carry_.size(), options_.separator,
                          framing_state{}, level_);
-    return evaluate_record({carry_.data(), carry_.size()}, record_pass_, 0);
+    return evaluate_record({carry_.data(), carry_.size()}, record_pass_, 0,
+                           words);
   }
 
   /// Evaluate one record against the bitmaps of the pass that framed it;
   /// `offset` is the record's first byte as a bit position in `pass`.
+  /// Returns the any-match verdict; when `words` is non-null (pre-zeroed,
+  /// words_per_record() entries) bit q is set for each accepting query.
+  /// The bitmap pass, event walks, token runs and run verdicts are shared
+  /// across every resident query's plan; leaf and group outcomes are
+  /// memoized per record so a dedup'd engine evaluates once and fans out.
   bool evaluate_record(std::span<const unsigned char> record,
-                       const bitmap_pass& pass, std::size_t offset) {
+                       const bitmap_pass& pass, std::size_t offset,
+                       std::uint64_t* words = nullptr) {
     events_ready_ = false;
     positions_ready_ = false;
     pair_bounds_ready_ = false;
@@ -339,26 +599,60 @@ class chunked_filter_engine final : public filter_engine {
     verdicts_ready_ = false;
     cur_pass_ = &pass;
     cur_offset_ = offset;
-    return eval(root_, record);
+    if (!multi_) {
+      const bool accepted = eval(layout_.roots[0], record);
+      if (accepted && words != nullptr) words[0] = 1;
+      return accepted;
+    }
+    ++record_epoch_;  // pre-increment: the zero-initialised stamps of a
+                      // fresh/cloned engine can never falsely hit
+    bool any = false;
+    for (std::size_t qi = 0; qi < layout_.roots.size(); ++qi) {
+      if (eval(layout_.roots[qi], record)) {
+        any = true;
+        if (words != nullptr)
+          words[qi / 64] |= std::uint64_t{1} << (qi % 64);
+      }
+    }
+    return any;
   }
 
-  bool eval(const eval_node& node, std::span<const unsigned char> record) {
+  bool eval(const compiled_layout::plan_node& node,
+            std::span<const unsigned char> record) {
+    using plan_node = compiled_layout::plan_node;
     switch (node.k) {
-      case eval_node::kind::leaf:
+      case plan_node::kind::leaf:
         if (run_capable_[node.index]) {
           ensure_run_verdicts(record);
           return (any_mask_ >> run_slot_[node.index]) & 1;
         }
+        if (multi_) {
+          if (leaf_epoch_[node.index] == record_epoch_)
+            return leaf_val_[node.index] != 0;
+          const bool fired = layout_.engines[node.index]->fires_in(
+              record, options_.separator);
+          leaf_epoch_[node.index] = record_epoch_;
+          leaf_val_[node.index] = fired ? 1 : 0;
+          return fired;
+        }
         return layout_.engines[node.index]->fires_in(record,
                                                      options_.separator);
-      case eval_node::kind::group:
+      case plan_node::kind::group:
+        if (multi_) {
+          if (group_epoch_[node.index] == record_epoch_)
+            return group_val_[node.index] != 0;
+          const bool fired = group_fires(node.index, record);
+          group_epoch_[node.index] = record_epoch_;
+          group_val_[node.index] = fired ? 1 : 0;
+          return fired;
+        }
         return group_fires(node.index, record);
-      case eval_node::kind::conj:
-        for (const eval_node& child : node.children)
+      case plan_node::kind::conj:
+        for (const plan_node& child : node.children)
           if (!eval(child, record)) return false;
         return true;
-      case eval_node::kind::disj:
-        for (const eval_node& child : node.children)
+      case plan_node::kind::disj:
+        for (const plan_node& child : node.children)
           if (eval(child, record)) return true;
         return false;
     }
@@ -578,11 +872,11 @@ class chunked_filter_engine final : public filter_engine {
   /// segment - most records are decided within their first few pulses.
   bool pair_group_fires(const compiled_layout::group_info& info,
                         std::span<const unsigned char> record) {
-    const std::size_t members = info.last - info.first;
+    const std::size_t members = info.members.size();
     bool any_run_members = false;
     std::size_t anchor = members;  // first non-run member, streamed
     for (std::size_t m = 0; m < members; ++m) {
-      if (run_capable_[info.first + m]) {
+      if (run_capable_[info.members[m]]) {
         any_run_members = true;
         continue;
       }
@@ -591,7 +885,7 @@ class chunked_filter_engine final : public filter_engine {
         continue;
       }
       fire_lists_[m].clear();
-      layout_.engines[info.first + m]->fire_positions(
+      layout_.engines[info.members[m]]->fire_positions(
           record, options_.separator, fire_lists_[m]);
       // A member that never pulses can never be latched at a sample.
       if (fire_lists_[m].empty()) return false;
@@ -599,8 +893,8 @@ class chunked_filter_engine final : public filter_engine {
     if (any_run_members) {
       ensure_run_verdicts(record);
       for (std::size_t m = 0; m < members; ++m)
-        if (run_capable_[info.first + m] &&
-            !((any_mask_ >> run_slot_[info.first + m]) & 1))
+        if (run_capable_[info.members[m]] &&
+            !((any_mask_ >> run_slot_[info.members[m]]) & 1))
           return false;  // member never pulses anywhere in the record
     }
     ensure_pair_bounds(record);
@@ -618,7 +912,7 @@ class chunked_filter_engine final : public filter_engine {
           seg_mask |= run_masks_[run_lo++];
         bool all = true;
         for (std::size_t m = 0; m < members && all; ++m)
-          all = (seg_mask >> run_slot_[info.first + m]) & 1;
+          all = (seg_mask >> run_slot_[info.members[m]]) & 1;
         return all;
       };
       for (const std::uint32_t bound : pair_bounds_)
@@ -640,7 +934,7 @@ class chunked_filter_engine final : public filter_engine {
               : static_cast<std::uint32_t>(record.size());
       const std::uint32_t low = seg > 0 ? pair_bounds_[seg - 1] + 1 : 0;
       for (std::size_t m = 0; m < members; ++m) {
-        if (m == anchor || run_capable_[info.first + m]) continue;
+        if (m == anchor || run_capable_[info.members[m]]) continue;
         const std::vector<std::uint32_t>& list = fire_lists_[m];
         std::size_t& cursor = fire_cursor_[m];
         while (cursor < list.size() && list[cursor] < low) ++cursor;
@@ -654,15 +948,15 @@ class chunked_filter_engine final : public filter_engine {
              r < runs_.size() && runs_[r].end <= bound; ++r)
           seg_mask |= run_masks_[r];
         for (std::size_t m = 0; m < members; ++m)
-          if (run_capable_[info.first + m] &&
-              !((seg_mask >> run_slot_[info.first + m]) & 1))
+          if (run_capable_[info.members[m]] &&
+              !((seg_mask >> run_slot_[info.members[m]]) & 1))
             return true;  // keep scanning
       }
       found = true;
       return false;  // stop the scan: the latch is sticky
     };
     using on_fire_t = decltype(on_fire);
-    layout_.engines[info.first + anchor]->scan_fires(
+    layout_.engines[info.members[anchor]]->scan_fires(
         record, options_.separator,
         [](void* ctx, std::uint32_t pos) {
           return (*static_cast<on_fire_t*>(ctx))(pos);
@@ -673,7 +967,7 @@ class chunked_filter_engine final : public filter_engine {
 
   bool group_fires(std::size_t group, std::span<const unsigned char> record) {
     const compiled_layout::group_info& info = layout_.groups[group];
-    const std::size_t members = info.last - info.first;
+    const std::size_t members = info.members.size();
 
     if (info.kind == group_kind::pair) return pair_group_fires(info, record);
 
@@ -684,12 +978,12 @@ class chunked_filter_engine final : public filter_engine {
     // records without touching the record bytes again.
     bool any_run_members = false;
     for (std::size_t m = 0; m < members; ++m)
-      if (run_capable_[info.first + m]) any_run_members = true;
+      if (run_capable_[info.members[m]]) any_run_members = true;
     if (any_run_members) {
       ensure_run_verdicts(record);
       for (std::size_t m = 0; m < members; ++m)
-        if (run_capable_[info.first + m] &&
-            !((any_mask_ >> run_slot_[info.first + m]) & 1))
+        if (run_capable_[info.members[m]] &&
+            !((any_mask_ >> run_slot_[info.members[m]]) & 1))
           return false;
     }
     // First-window fast path. The replay below arms at p = min over
@@ -705,16 +999,16 @@ class chunked_filter_engine final : public filter_engine {
     std::uint32_t first_max = 0;
     for (std::size_t m = 0; m < members; ++m) {
       std::uint32_t first = no_fire;
-      if (run_capable_[info.first + m]) {
+      if (run_capable_[info.members[m]]) {
         const std::uint64_t bit = std::uint64_t{1}
-                                  << run_slot_[info.first + m];
+                                  << run_slot_[info.members[m]];
         for (std::size_t r = 0; r < runs_.size(); ++r)
           if (run_masks_[r] & bit) {
             first = runs_[r].end;
             break;
           }
       } else {
-        layout_.engines[info.first + m]->scan_fires(
+        layout_.engines[info.members[m]]->scan_fires(
             record, options_.separator,
             [](void* ctx, std::uint32_t pos) {
               *static_cast<std::uint32_t*>(ctx) = pos;
@@ -749,15 +1043,15 @@ class chunked_filter_engine final : public filter_engine {
     // the general replay (the minority path).
     for (std::size_t m = 0; m < members; ++m) {
       fire_lists_[m].clear();
-      if (run_capable_[info.first + m]) continue;
-      layout_.engines[info.first + m]->fire_positions(
+      if (run_capable_[info.members[m]]) continue;
+      layout_.engines[info.members[m]]->fire_positions(
           record, options_.separator, fire_lists_[m]);
     }
     // Only now materialise the run members' pulse lists off the masks.
     for (std::size_t m = 0; m < members; ++m) {
-      if (!run_capable_[info.first + m]) continue;
+      if (!run_capable_[info.members[m]]) continue;
       fire_lists_[m].clear();
-      const std::uint64_t bit = std::uint64_t{1} << run_slot_[info.first + m];
+      const std::uint64_t bit = std::uint64_t{1} << run_slot_[info.members[m]];
       for (std::size_t r = 0; r < runs_.size(); ++r)
         if (run_masks_[r] & bit) fire_lists_[m].push_back(runs_[r].end);
     }
@@ -852,9 +1146,9 @@ class chunked_filter_engine final : public filter_engine {
   simd::simd_level level_;               // resolved vector tier
   compiled_layout layout_;
   int max_depth_;                        // saturation bound (depth_bits)
+  bool multi_ = false;                   // query_count() > 1
   std::vector<char> run_capable_;        // engine order: token-run bulk path
   std::vector<std::size_t> run_slot_;    // engine order: verdict-mask bit
-  eval_node root_;
 
   // Framing state (persists across scan_chunk calls).
   framing_state state_;
@@ -883,6 +1177,17 @@ class chunked_filter_engine final : public filter_engine {
   structure_state separator_st_;
   std::vector<std::size_t> fire_cursor_;
   std::vector<std::vector<std::uint32_t>> fire_lists_;
+
+  // Multi-query dedup memo (multi_ only): a shared engine or group
+  // evaluates once per record and every subscribing plan reads the cached
+  // outcome. Epoch stamps avoid clearing the vectors per record;
+  // record_epoch_ pre-increments so a fresh engine's zero stamps never hit.
+  std::uint64_t record_epoch_ = 0;
+  std::vector<std::uint64_t> leaf_epoch_;   // engine order
+  std::vector<char> leaf_val_;              // engine order
+  std::vector<std::uint64_t> group_epoch_;  // group order
+  std::vector<char> group_val_;             // group order
+
   numeral_memo memo_;  // persists across records and chunks
 };
 
@@ -894,6 +1199,19 @@ std::unique_ptr<filter_engine> make_filter_engine(engine_kind kind,
   if (kind == engine_kind::scalar)
     return std::make_unique<scalar_filter_engine>(std::move(expr), options);
   return std::make_unique<chunked_filter_engine>(std::move(expr), options);
+}
+
+std::unique_ptr<filter_engine> make_filter_engine(engine_kind kind,
+                                                  std::vector<expr_ptr> queries,
+                                                  filter_options options) {
+  if (queries.empty()) throw error("filter engine: empty query set");
+  // N=1 compiles to exactly the single-query engine: byte- and
+  // performance-identical to the pre-multi-tenant path by construction.
+  if (queries.size() == 1)
+    return make_filter_engine(kind, std::move(queries.front()), options);
+  if (kind == engine_kind::scalar)
+    return std::make_unique<multi_scalar_engine>(std::move(queries), options);
+  return std::make_unique<chunked_filter_engine>(std::move(queries), options);
 }
 
 }  // namespace jrf::core

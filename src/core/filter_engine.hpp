@@ -56,34 +56,76 @@ struct filter_options {
   simd::simd_level simd = simd::simd_level::automatic;
 };
 
-/// Engine complement of a compiled filter expression. Shared by raw_filter
-/// (scalar path) and the chunked engine so both instantiate primitives in
-/// the same leaf order with the same group spans.
+/// Engine complement of one or more compiled filter expressions. Shared by
+/// raw_filter (scalar path) and the chunked engine so both instantiate
+/// primitives in the same leaf order with the same group membership - and,
+/// since PR 8, by the multi-tenant query_set compiler, which interns N
+/// queries' primitives into one shared engine pool.
 struct compiled_layout {
   struct group_info {
     group_kind kind = group_kind::scope;
-    std::size_t first = 0;  // engine range [first, last)
-    std::size_t last = 0;
+    std::vector<std::size_t> members;  // engine indices, member order
+  };
+
+  /// Boolean plan of one query over the shared pools: a leaf names an
+  /// engine index, a group names a group ordinal. Pre-resolving the
+  /// indices lets evaluation short-circuit without a cursor walk over the
+  /// expression tree.
+  struct plan_node {
+    enum class kind { leaf, group, conj, disj };
+    kind k = kind::leaf;
+    std::size_t index = 0;  // engine index (leaf) or group ordinal (group)
+    std::vector<plan_node> children;
   };
 
   std::vector<std::unique_ptr<primitive_engine>> engines;  // leaf order
+  std::vector<std::string> engine_keys;                    // spec_key each
   std::vector<group_info> groups;                          // group order
   std::vector<std::size_t> bare_engines;  // bare-leaf cursor -> engine index
+  std::vector<plan_node> roots;           // one plan per query
+  /// engine index -> ordinals of the queries whose plan references it
+  /// (directly or through a group). The fan-out index of the dedup story:
+  /// one engine's fire pulses feed every subscriber's decision tree.
+  std::vector<std::vector<std::size_t>> engine_subscribers;
 
-  /// Instantiate every primitive of the expression (throws on null/invalid).
-  /// `level` pins the vector tier of the engines' bulk scans (automatic =
-  /// the runtime-dispatched host level).
+  std::size_t query_count() const noexcept { return roots.size(); }
+
+  /// Instantiate every primitive of the expression (throws on null/invalid),
+  /// one engine per leaf occurrence - today's single-query layout, byte-
+  /// and performance-identical to what PR 7 compiled. `level` pins the
+  /// vector tier of the engines' bulk scans (automatic = the
+  /// runtime-dispatched host level).
   static compiled_layout compile(
       const filter_expr& root,
       simd::simd_level level = simd::simd_level::automatic);
 
-  /// Fresh lane: engines cloned (sharing compiled artifacts), spans copied.
+  /// Multi-query compile: intern the primitives of every query by
+  /// spec_key, so identical substring/gram/DFA/value specs across the set
+  /// evaluate ONCE per record and fan out to each subscribing plan.
+  /// Structural groups dedup on (kind, member engine indices) the same
+  /// way. bare_engines stays empty - the scalar cursor walk is a
+  /// single-query concept; multi-query evaluation goes through `roots`.
+  static compiled_layout compile_set(
+      std::span<const expr_ptr> queries,
+      simd::simd_level level = simd::simd_level::automatic);
+
+  /// Fresh lane: engines cloned (sharing compiled artifacts), plans and
+  /// group membership copied.
   compiled_layout clone() const;
 };
 
 /// Abstract streaming filter lane. Decisions follow raw_filter semantics:
 /// one decision per non-empty record, records separated by an unmasked
 /// separator byte, all state reset at the boundary.
+///
+/// Multi-tenant surface: an engine built over N > 1 queries (the
+/// make_filter_engine overload taking a query vector) evaluates every
+/// resident query per record. decisions() then holds the any-match verdict
+/// and decision_words() the per-record decision bitmap - words_per_record()
+/// little-endian words per record, bit q set iff query q (dense order of
+/// the query vector) accepted. Single-query engines (query_count() == 1)
+/// never emit decision_words: they are byte- and performance-identical to
+/// the pre-multi-tenant engines.
 class filter_engine {
  public:
   virtual ~filter_engine() = default;
@@ -108,12 +150,29 @@ class filter_engine {
   virtual void finish() = 0;
 
   /// Decision for one standalone record, terminator supplied internally.
-  /// Restarts the stream (identical to raw_filter::accepts).
+  /// Restarts the stream (identical to raw_filter::accepts). Multi-query
+  /// engines answer the any-match verdict.
   virtual bool accepts(std::string_view record) = 0;
+
+  /// Multi-query accepts: fill `words` (words_per_record() entries, may be
+  /// null) with the record's decision bitmap and return the any-match
+  /// verdict. The base default serves single-query engines (bit 0 = the
+  /// query); multi-query engines override with the real per-query bits.
+  virtual bool accepts_bits(std::string_view record, std::uint64_t* words);
 
   /// Fresh engine for another lane: duplicates run state only, sharing the
   /// compiled query (expression tree, DFA tables, gram sets).
   virtual std::unique_ptr<filter_engine> clone() const = 0;
+
+  /// Live-swap support for runtime query add/remove: surrender the
+  /// buffered bytes of the in-flight record (everything since the last
+  /// boundary) and return to the power-on framing state, KEEPING decisions
+  /// already emitted. Re-scanning the returned bytes through a fresh
+  /// engine reproduces the stream position exactly, because a record
+  /// always starts from the power-on automaton state. Engines that cannot
+  /// export mid-record state (the scalar byte paths, whose primitives hold
+  /// partial-match registers) throw jrf::error.
+  virtual std::vector<unsigned char> take_carry();
 
   /// reset + scan + finish; identical to raw_filter::filter_stream.
   std::vector<bool> filter_stream(std::string_view stream);
@@ -133,24 +192,56 @@ class filter_engine {
     return out;
   }
 
-  /// Per-record decisions accumulated since the last clear.
+  /// Per-record decisions accumulated since the last clear (any-match for
+  /// multi-query engines).
   const std::vector<bool>& decisions() const noexcept { return decisions_; }
   std::vector<bool> take_decisions() {
     std::vector<bool> out;
     out.swap(decisions_);
     return out;
   }
-  void clear_decisions() { decisions_.clear(); }
+  void clear_decisions() {
+    decisions_.clear();
+    decision_words_.clear();
+  }
+
+  /// Resident queries, dense order (a single-query engine reports one).
+  const std::vector<expr_ptr>& queries() const noexcept { return queries_; }
+  std::size_t query_count() const noexcept { return queries_.size(); }
+  /// Bitmap words per record: ceil(query_count / 64).
+  std::size_t words_per_record() const noexcept {
+    return (queries_.size() + 63) / 64;
+  }
+
+  /// Per-record decision bitmaps, words_per_record() words per record,
+  /// parallel to decisions(). Populated ONLY by multi-query engines
+  /// (query_count() > 1); single-query engines leave it empty.
+  const std::vector<std::uint64_t>& decision_words() const noexcept {
+    return decision_words_;
+  }
+  std::vector<std::uint64_t> take_decision_words() {
+    std::vector<std::uint64_t> out;
+    out.swap(decision_words_);
+    return out;
+  }
+
+  /// Decision column of query `q` over the accumulated records: the
+  /// bitmap bit for multi-query engines, decisions() itself for q == 0 on
+  /// a single-query engine.
+  std::vector<bool> decision_column(std::size_t q) const;
 
   const expr_ptr& expression() const noexcept { return expr_; }
   const filter_options& options() const noexcept { return options_; }
 
  protected:
   filter_engine(expr_ptr expr, filter_options options);
+  filter_engine(std::vector<expr_ptr> queries, filter_options options);
 
-  expr_ptr expr_;
+  expr_ptr expr_;  // queries_[0]; the whole set for multi-query engines
+  std::vector<expr_ptr> queries_;
   filter_options options_;
   std::vector<bool> decisions_;
+  std::vector<std::uint64_t> decision_words_;
   bool sizes_enabled_ = false;
   std::vector<std::uint32_t> record_sizes_;
 };
@@ -165,5 +256,14 @@ const char* to_string(engine_kind kind);
 std::unique_ptr<filter_engine> make_filter_engine(engine_kind kind,
                                                   expr_ptr expr,
                                                   filter_options options = {});
+
+/// Multi-tenant overload: one engine evaluating every query of the set per
+/// record (shared framing, engines interned by spec_key, per-record
+/// decision bitmaps). A one-element vector compiles to exactly the
+/// single-query engine above - N=1 is byte- and performance-identical to
+/// the pre-multi-tenant path by construction.
+std::unique_ptr<filter_engine> make_filter_engine(
+    engine_kind kind, std::vector<expr_ptr> queries,
+    filter_options options = {});
 
 }  // namespace jrf::core

@@ -42,6 +42,21 @@ std::string to_string(const primitive_spec& spec) {
   return std::visit([](const auto& s) { return s.to_string(); }, spec);
 }
 
+std::string spec_key(const primitive_spec& spec) {
+  if (const auto* s = std::get_if<string_spec>(&spec)) {
+    // to_string already encodes technique + block; the text is embedded
+    // verbatim, so distinct texts can never collide.
+    return "s|" + s->to_string();
+  }
+  const auto& v = std::get<value_spec>(spec);
+  // range_spec::to_string covers kind (i/f) and both bounds; the build
+  // options alter the compiled token DFA, so they are part of identity.
+  std::string out = "v|" + v.range.to_string();
+  out += v.options.exponent_escape ? "|e1" : "|e0";
+  out += v.options.allow_leading_zeros ? "z1" : "z0";
+  return out;
+}
+
 bool primitive_engine::fires_in(std::span<const unsigned char> record,
                                 unsigned char terminator) {
   reset();

@@ -69,6 +69,14 @@ using primitive_spec = std::variant<string_spec, value_spec>;
 
 std::string to_string(const primitive_spec& spec);
 
+/// Canonical identity of a primitive spec: two specs with equal keys
+/// instantiate engines with identical pulse behaviour (string technique,
+/// block length and search text; value range kind and bounds plus the
+/// numrange build options, which change the compiled DFA). The query-set
+/// compiler dedups engines across resident queries on this key, so one
+/// engine's pulses fan out to every subscribing query's decision tree.
+std::string spec_key(const primitive_spec& spec);
+
 /// Result of elaborating a primitive into gates.
 struct elaborated_primitive {
   netlist::node_id fire = netlist::no_node;  // combinational pulse

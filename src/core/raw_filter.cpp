@@ -53,11 +53,15 @@ raw_filter::raw_filter(expr_ptr expr, filter_options options)
       tracker_(options.depth_bits) {
   if (!expr_) throw error("raw filter: null expression");
   layout_ = compiled_layout::compile(*expr_);
-  for (const compiled_layout::group_info& g : layout_.groups)
-    groups_.emplace_back(g.kind, static_cast<int>(g.last - g.first));
+  std::size_t max_members = 0;
+  for (const compiled_layout::group_info& g : layout_.groups) {
+    groups_.emplace_back(g.kind, static_cast<int>(g.members.size()));
+    max_members = std::max(max_members, g.members.size());
+  }
   leaf_latch_.resize(layout_.bare_engines.size(), 0);
   group_latch_.resize(layout_.groups.size(), 0);
   fires_.resize(layout_.engines.size(), 0);
+  member_scratch_.resize(max_members, 0);
 }
 
 raw_filter::raw_filter(const raw_filter& other)
@@ -68,7 +72,8 @@ raw_filter::raw_filter(const raw_filter& other)
       groups_(other.groups_),
       leaf_latch_(other.leaf_latch_.size(), 0),
       group_latch_(other.group_latch_.size(), 0),
-      fires_(other.fires_.size(), 0) {
+      fires_(other.fires_.size(), 0),
+      member_scratch_(other.member_scratch_.size(), 0) {
   for (auto& tracker : groups_) tracker.reset();
 }
 
@@ -117,8 +122,10 @@ raw_filter::step_result raw_filter::push(unsigned char byte) {
   // updates touch disjoint engine slots, so order does not matter.
   for (std::size_t g = 0; g < layout_.groups.size(); ++g) {
     const compiled_layout::group_info& info = layout_.groups[g];
-    const std::span<const char> member_fires{fires_.data() + info.first,
-                                             info.last - info.first};
+    for (std::size_t m = 0; m < info.members.size(); ++m)
+      member_scratch_[m] = fires_[info.members[m]];
+    const std::span<const char> member_fires{member_scratch_.data(),
+                                             info.members.size()};
     const bool fire = groups_[g].step(st, boundary, member_fires);
     group_latch_[g] = static_cast<char>(group_latch_[g] | fire);
   }

@@ -101,6 +101,7 @@ class raw_filter {
   std::vector<char> leaf_latch_;   // bare leaves, leaf order
   std::vector<char> group_latch_;  // group order
   std::vector<char> fires_;        // scratch, engine order
+  std::vector<char> member_scratch_;  // scratch, one group's member fires
 };
 
 /// Fraction of non-matching records the filter let through:

@@ -36,6 +36,9 @@ struct filter_service::impl {
 
   std::atomic<bool> stopping{false};
   std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> refused{0};      // shed by max_connections
+  std::atomic<std::uint64_t> idle_closed{0};  // closed by idle_timeout
+  std::atomic<std::size_t> live{0};           // producers still running
   bool shut_down = false;  // shutdown() ran (guarded by shutdown_mutex)
   std::mutex shutdown_mutex;
 
@@ -57,6 +60,14 @@ struct filter_service::impl {
   void deliver(std::size_t shard, std::uint64_t index, bool accepted_record) {
     if (opts.on_decision) opts.on_decision(shard, index, accepted_record);
     if (!opts.echo_decisions) return;
+    const char verdict = accepted_record ? '1' : '0';
+    echo_to_owner(shard, std::string_view(&verdict, 1));
+  }
+
+  // Find the shard's echo connection and write `payload` to it, dropping
+  // this connection's echo stream on the first failed write (peer stopped
+  // reading or vanished - ingest is unaffected).
+  void echo_to_owner(std::size_t shard, std::string_view payload) {
     connection* owner = nullptr;
     {
       std::lock_guard<std::mutex> lock(echo_mutex);
@@ -66,13 +77,28 @@ struct filter_service::impl {
     std::lock_guard<std::mutex> lock(owner->write_mutex);
     if (!owner->peer_writable) return;
     try {
-      const char verdict = accepted_record ? '1' : '0';
-      write_all(owner->source.descriptor(), std::string_view(&verdict, 1));
+      write_all(owner->source.descriptor(), payload);
     } catch (const std::exception&) {
-      // The peer stopped reading (or vanished): drop the echo stream for
-      // this connection, keep filtering - ingest is unaffected.
       owner->peer_writable = false;
     }
+  }
+
+  // The pipeline's verdict-bitmap sink (registered when the bitmap echo
+  // or an on_verdict callback is configured). One text line per record:
+  // a '1'/'0' per resident query in dense id order, '\n'-terminated - the
+  // line length is the epoch's query count, which is what keeps a reader
+  // in sync across runtime add/remove.
+  void deliver_bits(std::size_t shard, std::uint64_t index,
+                    std::span<const core::query_id> ids,
+                    std::span<const std::uint64_t> words) {
+    if (opts.on_verdict) opts.on_verdict(shard, index, ids, words);
+    if (!opts.echo_query_bitmaps) return;
+    std::string line;
+    line.reserve(ids.size() + 1);
+    for (std::size_t qi = 0; qi < ids.size(); ++qi)
+      line.push_back(((words[qi / 64] >> (qi % 64)) & 1u) != 0 ? '1' : '0');
+    line.push_back('\n');
+    echo_to_owner(shard, line);
   }
 
   // One producer thread per connection: pull from the socket, push with
@@ -80,8 +106,20 @@ struct filter_service::impl {
   // close or the drain path's shutdown_read) ends the loop; the bytes
   // already absorbed stay in the pipeline for finish().
   void serve(connection& c) {
+    const int idle_ms = static_cast<int>(opts.idle_timeout.count());
     try {
       while (!c.source.exhausted()) {
+        // serve() drains its chunk fully every round, so the source buffer
+        // is empty here and the next peek() would block in recv(): the
+        // idle guard bounds that wait. A drain's shutdown_read still wakes
+        // the poll immediately (EOF counts as readable).
+        if (idle_ms > 0 &&
+            !wait_readable(c.source.descriptor(), idle_ms)) {
+          idle_closed.fetch_add(1, std::memory_order_relaxed);
+          c.source.shutdown_read();
+          c.source.shutdown_write();
+          break;
+        }
         const std::string_view chunk = c.source.peek(opts.chunk_bytes);
         if (chunk.empty()) continue;  // EOF flips exhausted() next round
         std::string_view rest = chunk;
@@ -115,6 +153,14 @@ struct filter_service::impl {
       // client ever connects.
       socket_fd fd = accept_connection(listener, /*timeout_ms=*/100);
       if (!fd.valid()) continue;
+      // Connection cap: shed at accept time, before a byte is read. The
+      // socket closes immediately (RAII) - the peer sees EOF, the counter
+      // makes the shed observable, and live producers are untouched.
+      if (opts.max_connections > 0 &&
+          live.load(std::memory_order_acquire) >= opts.max_connections) {
+        refused.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       const std::size_t shard =
           accepted.load(std::memory_order_relaxed) % shards;
       auto conn = std::make_unique<connection>(shard, std::move(fd),
@@ -130,8 +176,12 @@ struct filter_service::impl {
       }
       // Publish before the producer starts: a client that connected and
       // observed this count has its shard mapping fixed.
+      live.fetch_add(1, std::memory_order_release);
       accepted.fetch_add(1, std::memory_order_release);
-      raw->producer = std::thread([this, raw] { serve(*raw); });
+      raw->producer = std::thread([this, raw] {
+        serve(*raw);
+        live.fetch_sub(1, std::memory_order_release);
+      });
     }
   }
 
@@ -199,6 +249,15 @@ expected<filter_service> filter_service::open(pipeline_builder builder,
       [raw](std::size_t shard, std::uint64_t index, bool accepted) {
         raw->deliver(shard, index, accepted);
       });
+  // The verdict slot is only claimed when something consumes it: an
+  // unconditional registration would flip single-query pipelines into
+  // multi-tenant bookkeeping for nothing.
+  if (raw->opts.echo_query_bitmaps || raw->opts.on_verdict)
+    builder.on_verdict([raw](std::size_t shard, std::uint64_t index,
+                             std::span<const core::query_id> ids,
+                             std::span<const std::uint64_t> words) {
+      raw->deliver_bits(shard, index, ids, words);
+    });
   auto built = builder.build();
   if (!built) return unexpected(built.error());
   im->pipe.emplace(std::move(*built));
@@ -223,6 +282,14 @@ std::size_t filter_service::shard_count() const noexcept {
 
 std::uint64_t filter_service::connections_accepted() const noexcept {
   return impl_->accepted.load(std::memory_order_acquire);
+}
+
+std::uint64_t filter_service::connections_refused() const noexcept {
+  return impl_->refused.load(std::memory_order_acquire);
+}
+
+std::uint64_t filter_service::connections_idle_closed() const noexcept {
+  return impl_->idle_closed.load(std::memory_order_acquire);
 }
 
 expected<std::vector<system::shard_stats>> filter_service::stats() const {

@@ -57,10 +57,36 @@ struct service_options {
   /// record order) to the shard's most recent connection.
   bool echo_decisions = false;
 
+  /// Echo each record's per-query decision BITMAP to the shard's most
+  /// recent connection: one text line per record - one '1'/'0' character
+  /// per resident query, dense id order (pipeline::query_ids()), then
+  /// '\n'. The line length IS the epoch's query count, so a reader stays
+  /// in sync across runtime add_query()/remove_query(). Independent of
+  /// echo_decisions (both on = a 1-byte verdict plus a bitmap line per
+  /// record).
+  bool echo_query_bitmaps = false;
+
   /// Per-record verdict callback (shard, per-shard index, accepted),
   /// invoked outside every pipeline lock. The service owns the builder's
   /// sink slot; register the application callback here instead.
   decision_sink on_decision;
+
+  /// Per-record decision-bitmap callback (multi-tenant pipelines); the
+  /// service owns the builder's verdict slot too.
+  verdict_sink on_verdict;
+
+  /// Close a connection whose peer sends nothing for this long (0 =
+  /// never). The slow-loris guard: an idle socket pins a producer thread
+  /// and a shard slot; past the timeout the connection is closed (both
+  /// directions), counted in connections_idle_closed(), and the bytes it
+  /// already delivered stay in the pipeline.
+  std::chrono::milliseconds idle_timeout{0};
+
+  /// Accept at most this many LIVE connections (0 = unlimited). Excess
+  /// sockets are shed at accept time - closed immediately, no byte read,
+  /// counted in connections_refused() - so an over-subscribed service
+  /// degrades by refusing new producers, never by starving live ones.
+  std::size_t max_connections = 0;
 
   /// Snapshot cadence for on_stats; zero disables the snapshot thread.
   std::chrono::milliseconds stats_period{0};
@@ -89,6 +115,12 @@ class filter_service {
   /// Connections accepted so far. Producers connecting sequentially can
   /// wait on this to get a deterministic connection->shard mapping.
   std::uint64_t connections_accepted() const noexcept;
+
+  /// Connections shed at accept time by the max_connections cap.
+  std::uint64_t connections_refused() const noexcept;
+
+  /// Connections closed by the idle_timeout slow-loris guard.
+  std::uint64_t connections_idle_closed() const noexcept;
 
   /// Live per-shard accounting (pipeline::stats passthrough) - safe while
   /// producers stream.

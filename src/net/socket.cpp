@@ -135,6 +135,16 @@ socket_fd accept_connection(const socket_fd& listener, int timeout_ms) {
   return socket_fd(fd);
 }
 
+bool wait_readable(const socket_fd& fd, int timeout_ms) {
+  pollfd pfd{fd.get(), POLLIN, 0};
+  while (true) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready > 0) return true;  // POLLIN/POLLHUP/POLLERR: the read resolves
+    if (ready == 0) return false;
+    if (errno != EINTR) fail("poll(connection)");
+  }
+}
+
 void write_all(const socket_fd& fd, std::string_view bytes) {
   while (!bytes.empty()) {
     // MSG_NOSIGNAL: a peer that disconnected mid-write must surface as an

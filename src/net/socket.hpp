@@ -81,6 +81,13 @@ socket_fd connect_to(const endpoint& ep);
 /// stop flag - and throws jrf::error on a listener error.
 socket_fd accept_connection(const socket_fd& listener, int timeout_ms);
 
+/// Wait up to `timeout_ms` for `fd` to become readable (data, EOF or a
+/// pending error all count - the subsequent read resolves which). Returns
+/// false on timeout, retries EINTR, throws jrf::error on a poll failure.
+/// The building block of the service's idle-connection guard: a bounded
+/// wait in front of a blocking read.
+bool wait_readable(const socket_fd& fd, int timeout_ms);
+
 /// Write the whole view, retrying partial sends and EINTR; SIGPIPE is
 /// suppressed (a vanished peer throws jrf::error instead of killing the
 /// process).

@@ -48,6 +48,28 @@ sharded_filter_system::sharded_filter_system(core::expr_ptr expr,
     pool_ = std::make_unique<util::thread_pool>(options_.worker_threads);
 }
 
+sharded_filter_system::sharded_filter_system(
+    std::vector<core::expr_ptr> queries, std::size_t shards,
+    system_options options)
+    : options_(options) {
+  if (shards < 1) throw error("sharded system: need at least one shard");
+  if (options_.lane_fifo_bytes == 0)
+    throw error("sharded system: zero lane FIFO size");
+  if (options_.dma_burst_bytes == 0)
+    throw error("sharded system: zero DMA burst size");
+  lanes_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s)
+    lanes_.push_back(std::make_unique<lane>());
+  // One shared multi-query compile, then cheap clones per shard.
+  lanes_.front()->engine = core::make_filter_engine(
+      options_.engine, std::move(queries), options_.filter);
+  expr_ = lanes_.front()->engine->expression();
+  for (std::size_t s = 1; s < shards; ++s)
+    lanes_[s]->engine = lanes_.front()->engine->clone();
+  if (options_.worker_threads > 1)
+    pool_ = std::make_unique<util::thread_pool>(options_.worker_threads);
+}
+
 sharded_filter_system::lane& sharded_filter_system::checked(std::size_t shard) {
   if (shard >= lanes_.size()) throw error("sharded system: shard out of range");
   return *lanes_[shard];
@@ -99,10 +121,13 @@ void sharded_filter_system::drain_locked(lane& l, std::size_t budget) {
   l.head += take;
   l.stats.bytes += take;
   // Count newly accepted records without rescanning the decision vector.
+  // Both counters update incrementally: decisions() is a consume stream
+  // once take_decisions / swap_shard are in play, so its size is not the
+  // lane's lifetime record count.
   const auto& decisions = l.engine->decisions();
   for (std::size_t i = before; i < decisions.size(); ++i)
     if (decisions[i]) ++l.stats.accepted;
-  l.stats.records = decisions.size();
+  l.stats.records += decisions.size() - before;
   if (l.head == l.fifo.size()) {
     l.fifo.clear();
     l.head = 0;
@@ -147,9 +172,41 @@ void sharded_filter_system::finish() {
     const auto& decisions = l.engine->decisions();
     for (std::size_t i = before; i < decisions.size(); ++i)
       if (decisions[i]) ++l.stats.accepted;
-    l.stats.records = decisions.size();
+    l.stats.records += decisions.size() - before;
     l.engine->reset();
   });
+}
+
+sharded_filter_system::taken_decisions sharded_filter_system::take_decisions(
+    std::size_t shard) {
+  lane& l = checked(shard);
+  std::lock_guard<std::mutex> lock(l.mutex);
+  taken_decisions out;
+  out.any = l.engine->take_decisions();
+  out.words = l.engine->take_decision_words();
+  return out;
+}
+
+sharded_filter_system::taken_decisions sharded_filter_system::swap_shard(
+    std::size_t shard, const core::filter_engine& prototype) {
+  lane& l = checked(shard);
+  std::lock_guard<std::mutex> lock(l.mutex);
+  // Everything buffered decides under the OUTGOING query set: those bytes
+  // were accepted into this epoch's stream.
+  drain_locked(l, 0);
+  taken_decisions out;
+  out.any = l.engine->take_decisions();
+  out.words = l.engine->take_decision_words();
+  // The in-flight partial record replays into the fresh engine: a record
+  // always starts from the power-on automaton state, so re-scanning its
+  // bytes reproduces the exact stream position (no boundary is inside a
+  // carry by construction, so no decision can fall out of the re-scan).
+  std::vector<unsigned char> carry = l.engine->take_carry();
+  l.engine = prototype.clone();
+  if (!carry.empty())
+    l.engine->scan_chunk(std::span<const unsigned char>{carry.data(),
+                                                        carry.size()});
+  return out;
 }
 
 const std::vector<bool>& sharded_filter_system::decisions(

@@ -85,7 +85,17 @@ class sharded_filter_system {
   sharded_filter_system(core::expr_ptr expr, std::size_t shards,
                         system_options options = {});
 
+  /// Multi-tenant lanes: every shard runs one shared engine layout
+  /// evaluating all N queries per record. Decision bitmaps ride along with
+  /// the any-match decisions (take_decisions). A one-element vector is
+  /// the single-query system exactly.
+  sharded_filter_system(std::vector<core::expr_ptr> queries,
+                        std::size_t shards, system_options options = {});
+
   std::size_t shard_count() const noexcept { return lanes_.size(); }
+  std::size_t query_count() const noexcept {
+    return lanes_.front()->engine->query_count();
+  }
 
   /// Non-blocking enqueue: append at most the free FIFO space of `shard`
   /// and return the number of bytes taken (0 = hard backpressure). An
@@ -110,6 +120,29 @@ class sharded_filter_system {
   /// Per-record decisions of `shard`, in that stream's record order.
   /// Requires quiescence (no pump/finish in flight).
   const std::vector<bool>& decisions(std::size_t shard) const;
+
+  /// One consume batch of a shard's decision stream: the any-match
+  /// decisions plus (multi-query lanes only) the parallel bitmap words,
+  /// words-per-record each. Taken under the lane lock, so a concurrent
+  /// pump appends either wholly before or wholly after the batch; stats
+  /// keep accumulating across takes.
+  struct taken_decisions {
+    std::vector<bool> any;
+    std::vector<std::uint64_t> words;  // empty for single-query lanes
+  };
+  taken_decisions take_decisions(std::size_t shard);
+
+  /// Live-swap one shard's engine for a clone of `prototype` (a
+  /// differently-compiled query set) WITHOUT losing stream position: the
+  /// FIFO drains through the old engine, the old engine surrenders its
+  /// in-flight partial record (take_carry - chunked engines only), the
+  /// fresh clone re-scans those bytes (reproducing the framing state
+  /// exactly, since a record always starts from the power-on state), and
+  /// the old engine's remaining decisions are returned for the caller to
+  /// pair with the outgoing query-set epoch. Offers racing the swap land
+  /// wholly in the old or wholly in the new engine.
+  taken_decisions swap_shard(std::size_t shard,
+                             const core::filter_engine& prototype);
 
   /// Merged accounting over everything filtered so far. A zero-byte run
   /// reports all-zero rates (no NaN/inf).

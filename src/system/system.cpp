@@ -71,6 +71,22 @@ filter_system::filter_system(core::expr_ptr expr, system_options options)
     lanes_.push_back(lanes_.front()->clone());
 }
 
+filter_system::filter_system(std::vector<core::expr_ptr> queries,
+                             system_options options)
+    : options_(options) {
+  if (options_.lanes < 1) throw error("filter system: need at least one lane");
+  if (options_.dma_burst_bytes == 0)
+    throw error("filter system: zero DMA burst size");
+  // One shared multi-query compile (engines interned by spec key), then
+  // cheap clones - exactly the single-query sharing story, N queries wide.
+  lanes_.push_back(
+      core::make_filter_engine(options_.engine, std::move(queries),
+                               options_.filter));
+  expr_ = lanes_.front()->expression();
+  for (int lane = 1; lane < options_.lanes; ++lane)
+    lanes_.push_back(lanes_.front()->clone());
+}
+
 throughput_report filter_system::run(std::string_view stream) {
   const auto records =
       json::split_records(stream, options_.filter.separator);
@@ -81,10 +97,16 @@ throughput_report filter_system::run(std::string_view stream) {
       static_cast<std::size_t>(options_.lanes), 0);
   std::uint64_t accepted = 0;
   decisions_.assign(records.size(), false);
+  const bool multi = query_count() > 1;
+  const std::size_t wpr = words_per_record();
+  decision_words_.assign(multi ? records.size() * wpr : 0, 0);
   for (std::size_t r = 0; r < records.size(); ++r) {
     const std::size_t lane = r % static_cast<std::size_t>(options_.lanes);
     lane_bytes[lane] += records[r].size() + 1;  // + separator byte
-    decisions_[r] = lanes_[lane]->accepts(records[r]);
+    decisions_[r] =
+        multi ? lanes_[lane]->accepts_bits(records[r],
+                                           decision_words_.data() + r * wpr)
+              : lanes_[lane]->accepts(records[r]);
     if (decisions_[r]) ++accepted;
   }
   const std::uint64_t slowest =

@@ -86,10 +86,33 @@ class filter_system {
  public:
   filter_system(core::expr_ptr expr, system_options options = {});
 
+  /// Multi-tenant deployment: every lane runs ONE shared engine layout
+  /// evaluating all N queries per record (engines interned by spec key).
+  /// decisions() stays the any-match verdict - `accepted` and the modeled
+  /// report keep their meaning of "records forwarded to the CPU" - and
+  /// decision_words() carries the per-record per-query bitmap. A
+  /// one-element vector is the single-query system exactly.
+  filter_system(std::vector<core::expr_ptr> queries,
+                system_options options = {});
+
   throughput_report run(std::string_view stream);
 
-  /// Per-record decisions of the last run (lane-merged, stream order).
+  /// Per-record decisions of the last run (lane-merged, stream order;
+  /// any-match for multi-query systems).
   const std::vector<bool>& decisions() const noexcept { return decisions_; }
+
+  /// Per-record decision bitmaps of the last run, words_per_record()
+  /// little-endian words per record, bit q = query q (dense order).
+  /// Empty for single-query systems.
+  const std::vector<std::uint64_t>& decision_words() const noexcept {
+    return decision_words_;
+  }
+  std::size_t query_count() const noexcept {
+    return lanes_.front()->query_count();
+  }
+  std::size_t words_per_record() const noexcept {
+    return lanes_.front()->words_per_record();
+  }
 
   const system_options& options() const noexcept { return options_; }
 
@@ -98,6 +121,7 @@ class filter_system {
   core::expr_ptr expr_;
   std::vector<std::unique_ptr<core::filter_engine>> lanes_;
   std::vector<bool> decisions_;
+  std::vector<std::uint64_t> decision_words_;
 };
 
 }  // namespace jrf::system

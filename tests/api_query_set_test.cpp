@@ -1,0 +1,558 @@
+// Multi-tenant surface of the jrf::pipeline facade (PR 8 tentpole):
+// builder-time query fleets, per-query decision columns in run_result,
+// verdict-bitmap sinks, and the runtime add_query()/remove_query() epoch
+// swap exercised mid-stream - on the chunked backend deterministically
+// (exact first_record accounting, including a swap landing inside a
+// record, which forces the carry replay) and on the sharded backend with
+// worker threads plus concurrent producers (the TSan target). Every
+// column is held byte-identical to running that query alone.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "core/filter_engine.hpp"
+#include "core/raw_filter.hpp"
+#include "data/smartcity.hpp"
+#include "data/stream.hpp"
+#include "query/compile.hpp"
+#include "query/riotbench.hpp"
+
+namespace {
+
+using namespace jrf;
+
+const std::string& telemetry() {
+  static const std::string stream = [] {
+    data::smartcity_generator city;
+    return city.stream(240);
+  }();
+  return stream;
+}
+
+core::expr_ptr primary_expr() {
+  return query::compile_default(query::riotbench::qs0());
+}
+
+core::expr_ptr second_expr() {
+  return query::compile_default(query::riotbench::qs1());
+}
+
+std::vector<bool> standalone(const core::expr_ptr& expr,
+                             std::string_view stream) {
+  return core::raw_filter(expr).filter_stream(stream);
+}
+
+std::vector<bool> slice(const std::vector<bool>& column, std::size_t from) {
+  return {column.begin() + static_cast<std::ptrdiff_t>(from), column.end()};
+}
+
+/// Byte offset just past record `count` of `stream` (separator '\n'; the
+/// smartcity generator never embeds the separator inside a string).
+std::size_t record_boundary(std::string_view stream, std::size_t count) {
+  std::size_t offset = 0;
+  for (std::size_t r = 0; r < count; ++r)
+    offset = stream.find('\n', offset) + 1;
+  return offset;
+}
+
+const query_column* find_column(const std::vector<query_column>& columns,
+                                core::query_id id) {
+  for (const query_column& column : columns)
+    if (column.id == id) return &column;
+  return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder-time fleets.
+
+TEST(ApiQuerySet, BuilderFleetColumnsMatchStandaloneRuns) {
+  const char* text = R"((0.7 <= "temperature" <= 35.1))";
+  auto single = pipeline::make()
+                    .filter_expression(text)
+                    .backend(backend_kind::chunked)
+                    .input(telemetry())
+                    .build();
+  ASSERT_TRUE(single.has_value()) << single.error().message;
+  auto single_run = single->run();
+  ASSERT_TRUE(single_run.has_value()) << single_run.error().message;
+  // Plain single-query pipelines carry no fleet bookkeeping at all.
+  EXPECT_TRUE(single_run->query_ids.empty());
+  EXPECT_TRUE(single_run->shard_query_columns.empty());
+
+  auto built = pipeline::make()
+                   .from_query(query::riotbench::qs0())
+                   .add_raw_filter(second_expr())
+                   .add_filter_expression(text)
+                   .backend(backend_kind::chunked)
+                   .input(telemetry())
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  const std::vector<core::query_id> ids = built->query_ids();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids, (std::vector<core::query_id>{1, 2, 3}));
+
+  auto result = built->run();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->query_ids, ids);
+  ASSERT_EQ(result->shard_query_columns.size(), 1u);
+  const auto& columns = result->shard_query_columns[0];
+  ASSERT_EQ(columns.size(), 3u);
+
+  const std::vector<std::vector<bool>> expected{
+      standalone(primary_expr(), telemetry()),
+      standalone(second_expr(), telemetry()),
+      single_run->decisions,
+  };
+  for (std::size_t q = 0; q < 3; ++q) {
+    const query_column* column = find_column(columns, ids[q]);
+    ASSERT_NE(column, nullptr) << "query " << q;
+    EXPECT_EQ(column->first_record, 0u);
+    EXPECT_EQ(column->decisions, expected[q]) << "query " << q;
+  }
+
+  // The any-match decision stream is the OR of the columns.
+  ASSERT_EQ(result->decisions.size(), expected[0].size());
+  for (std::size_t r = 0; r < result->decisions.size(); ++r)
+    EXPECT_EQ(result->decisions[r],
+              expected[0][r] || expected[1][r] || expected[2][r])
+        << "record " << r;
+}
+
+TEST(ApiQuerySet, VerdictSinkReceivesEpochConsistentBitmaps) {
+  struct verdict {
+    std::uint64_t index;
+    std::vector<core::query_id> ids;
+    std::uint64_t word;
+  };
+  std::vector<verdict> seen;
+  auto built = pipeline::make()
+                   .from_query(query::riotbench::qs0())
+                   .add_raw_filter(second_expr())
+                   .backend(backend_kind::chunked)
+                   .on_verdict([&](std::size_t shard, std::uint64_t index,
+                                   std::span<const core::query_id> ids,
+                                   std::span<const std::uint64_t> words) {
+                     EXPECT_EQ(shard, 0u);
+                     ASSERT_EQ(words.size(), 1u);
+                     seen.push_back(
+                         {index, {ids.begin(), ids.end()}, words[0]});
+                   })
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  ASSERT_TRUE(built->offer(telemetry()).has_value());
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  const std::vector<bool> col0 = standalone(primary_expr(), telemetry());
+  const std::vector<bool> col1 = standalone(second_expr(), telemetry());
+  ASSERT_EQ(seen.size(), col0.size());
+  for (std::size_t r = 0; r < seen.size(); ++r) {
+    EXPECT_EQ(seen[r].index, r);
+    EXPECT_EQ(seen[r].ids, (std::vector<core::query_id>{1, 2}));
+    EXPECT_EQ((seen[r].word >> 0) & 1u, col0[r] ? 1u : 0u) << "record " << r;
+    EXPECT_EQ((seen[r].word >> 1) & 1u, col1[r] ? 1u : 0u) << "record " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime add/remove mid-stream (the epoch swap).
+
+TEST(ApiQuerySet, RuntimeAddMidStreamOnChunkedBackend) {
+  const std::string& stream = telemetry();
+  const std::vector<bool> col_a = standalone(primary_expr(), stream);
+  const std::vector<bool> col_b = standalone(second_expr(), stream);
+  constexpr std::size_t kSwapRecord = 100;
+  const std::size_t cut = record_boundary(stream, kSwapRecord);
+
+  auto built = pipeline::make()
+                   .from_query(query::riotbench::qs0())
+                   .backend(backend_kind::chunked)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+
+  std::vector<std::uint64_t> sink_indices;
+  std::vector<bool> sink_decisions;
+  ASSERT_TRUE(built->offer(std::string_view(stream).substr(0, cut))
+                  .has_value());
+  auto added = built->add_query(
+      second_expr(), [&](std::size_t shard, std::uint64_t index,
+                         bool accepted) {
+        EXPECT_EQ(shard, 0u);
+        sink_indices.push_back(index);
+        sink_decisions.push_back(accepted);
+      });
+  ASSERT_TRUE(added.has_value()) << added.error().message;
+  EXPECT_EQ(built->query_ids(),
+            (std::vector<core::query_id>{1, *added}));
+  ASSERT_TRUE(built->offer(std::string_view(stream).substr(cut))
+                  .has_value());
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  // The primary decision stream is unbroken across the swap; the added
+  // query's column starts exactly at the swap record.
+  ASSERT_EQ(result->shard_query_columns.size(), 1u);
+  const auto& columns = result->shard_query_columns[0];
+  const query_column* a = find_column(columns, 1);
+  const query_column* b = find_column(columns, *added);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->first_record, 0u);
+  EXPECT_EQ(a->decisions, col_a);
+  EXPECT_EQ(b->first_record, kSwapRecord);
+  EXPECT_EQ(b->decisions, slice(col_b, kSwapRecord));
+
+  // The per-query sink saw the added query's records and no others.
+  ASSERT_EQ(sink_indices.size(), col_b.size() - kSwapRecord);
+  for (std::size_t k = 0; k < sink_indices.size(); ++k) {
+    EXPECT_EQ(sink_indices[k], kSwapRecord + k);
+    EXPECT_EQ(sink_decisions[k], col_b[kSwapRecord + k]) << "record " << k;
+  }
+}
+
+TEST(ApiQuerySet, RuntimeAddInsideARecordReplaysTheCarry) {
+  // The swap lands mid-record: the in-flight bytes must replay into the
+  // fresh engine, and the straddling record decides under the NEW epoch
+  // with its full content.
+  const std::string& stream = telemetry();
+  const std::vector<bool> col_a = standalone(primary_expr(), stream);
+  const std::vector<bool> col_b = standalone(second_expr(), stream);
+  constexpr std::size_t kSwapRecord = 60;
+  const std::size_t boundary = record_boundary(stream, kSwapRecord);
+  const std::size_t next = record_boundary(stream, kSwapRecord + 1);
+  const std::size_t cut = boundary + (next - boundary) / 2;  // mid-record
+  ASSERT_GT(cut, boundary);
+  ASSERT_LT(cut, next - 1);
+
+  auto built = pipeline::make()
+                   .from_query(query::riotbench::qs0())
+                   .backend(backend_kind::chunked)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  ASSERT_TRUE(built->offer(std::string_view(stream).substr(0, cut))
+                  .has_value());
+  auto added = built->add_query(second_expr());
+  ASSERT_TRUE(added.has_value()) << added.error().message;
+  ASSERT_TRUE(built->offer(std::string_view(stream).substr(cut))
+                  .has_value());
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  const auto& columns = result->shard_query_columns.at(0);
+  const query_column* a = find_column(columns, 1);
+  const query_column* b = find_column(columns, *added);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->decisions, col_a);
+  // Only kSwapRecord records were complete at the swap; the straddler
+  // belongs to the new epoch.
+  EXPECT_EQ(b->first_record, kSwapRecord);
+  EXPECT_EQ(b->decisions, slice(col_b, kSwapRecord));
+}
+
+TEST(ApiQuerySet, RuntimeRemoveMidStreamEndsTheColumn) {
+  const std::string& stream = telemetry();
+  const std::vector<bool> col_a = standalone(primary_expr(), stream);
+  const std::vector<bool> col_b = standalone(second_expr(), stream);
+  constexpr std::size_t kRemoveRecord = 150;
+  const std::size_t cut = record_boundary(stream, kRemoveRecord);
+
+  auto built = pipeline::make()
+                   .from_query(query::riotbench::qs0())
+                   .add_raw_filter(second_expr())
+                   .backend(backend_kind::chunked)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  ASSERT_TRUE(built->offer(std::string_view(stream).substr(0, cut))
+                  .has_value());
+  auto removed = built->remove_query(2);
+  ASSERT_TRUE(removed.has_value()) << removed.error().message;
+  EXPECT_EQ(built->query_ids(), (std::vector<core::query_id>{1}));
+  ASSERT_TRUE(built->offer(std::string_view(stream).substr(cut))
+                  .has_value());
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  EXPECT_EQ(result->query_ids, (std::vector<core::query_id>{1}));
+  const auto& columns = result->shard_query_columns.at(0);
+  const query_column* a = find_column(columns, 1);
+  const query_column* b = find_column(columns, 2);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->decisions, col_a);
+  EXPECT_EQ(b->first_record, 0u);
+  ASSERT_EQ(b->decisions.size(), kRemoveRecord);
+  EXPECT_EQ(b->decisions, std::vector<bool>(col_b.begin(),
+                                            col_b.begin() + kRemoveRecord));
+
+  // Any-match: OR of both queries while b was resident, a alone after.
+  ASSERT_EQ(result->decisions.size(), col_a.size());
+  for (std::size_t r = 0; r < result->decisions.size(); ++r)
+    EXPECT_EQ(result->decisions[r],
+              r < kRemoveRecord ? (col_a[r] || col_b[r]) : col_a[r])
+        << "record " << r;
+}
+
+TEST(ApiQuerySet, RuntimeMutationOnSystemBackend) {
+  // The system backend (replicated lanes, records dealt round-robin) also
+  // supports the swap; the any-match stream must stay consistent with the
+  // residency intervals.
+  const std::string& stream = telemetry();
+  const std::vector<bool> col_a = standalone(primary_expr(), stream);
+  const std::vector<bool> col_b = standalone(second_expr(), stream);
+  constexpr std::size_t kSwapRecord = 80;
+  const std::size_t cut = record_boundary(stream, kSwapRecord);
+
+  auto built = pipeline::make()
+                   .from_query(query::riotbench::qs0())
+                   .backend(backend_kind::system)
+                   .lanes(3)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  ASSERT_TRUE(built->offer(std::string_view(stream).substr(0, cut))
+                  .has_value());
+  auto added = built->add_query(second_expr());
+  ASSERT_TRUE(added.has_value()) << added.error().message;
+  ASSERT_TRUE(built->offer(std::string_view(stream).substr(cut))
+                  .has_value());
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  const auto& columns = result->shard_query_columns.at(0);
+  const query_column* a = find_column(columns, 1);
+  const query_column* b = find_column(columns, *added);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->decisions, col_a);
+  EXPECT_EQ(b->first_record, kSwapRecord);
+  EXPECT_EQ(b->decisions, slice(col_b, kSwapRecord));
+}
+
+TEST(ApiQuerySet, ShardedWorkersWithConcurrentProducers) {
+  // The TSan target: two producer threads stream their shards while the
+  // main thread adds a query at a barrier between the two halves. Timing
+  // of the per-shard swap is nondeterministic relative to lane drains, so
+  // the assertions are slice-based: every column must equal the standalone
+  // run over [first_record, end) of ITS shard, and the added query must
+  // cover at least the second half on every shard.
+  data::smartcity_generator gen_a(0xA11CE), gen_b(0xB0B);
+  const std::vector<std::string> shards{gen_a.stream(160), gen_b.stream(160)};
+  const std::size_t half_records = 80;
+
+  auto built = pipeline::make()
+                   .from_query(query::riotbench::qs0())
+                   .backend(backend_kind::sharded)
+                   .shards(2)
+                   .worker_threads(2)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+
+  std::barrier gate(3);
+  std::atomic<core::query_id> added_id{0};
+  std::atomic<bool> offer_failed{false};
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < shards.size(); ++s)
+    producers.emplace_back([&, s] {
+      // No gtest assertions off the main thread: failures set a flag.
+      const std::string_view stream = shards[s];
+      const std::size_t cut = record_boundary(stream, half_records);
+      std::string_view first = stream.substr(0, cut);
+      while (!first.empty()) {
+        const std::size_t step = std::min<std::size_t>(97, first.size());
+        if (!built->offer(s, first.substr(0, step)).has_value()) {
+          offer_failed.store(true);
+          break;
+        }
+        first.remove_prefix(step);
+      }
+      gate.arrive_and_wait();  // half offered on every shard
+      gate.arrive_and_wait();  // main thread swapped the epoch
+      std::string_view rest = stream.substr(cut);
+      while (!rest.empty()) {
+        const std::size_t step = std::min<std::size_t>(61, rest.size());
+        if (!built->offer(s, rest.substr(0, step)).has_value()) {
+          offer_failed.store(true);
+          break;
+        }
+        rest.remove_prefix(step);
+      }
+    });
+
+  gate.arrive_and_wait();
+  auto added = built->add_query(second_expr());
+  ASSERT_TRUE(added.has_value()) << added.error().message;
+  added_id.store(*added);
+  gate.arrive_and_wait();
+  for (auto& t : producers) t.join();
+  ASSERT_FALSE(offer_failed.load()) << "a producer offer() errored";
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  ASSERT_EQ(result->shard_query_columns.size(), shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const std::vector<bool> col_a = standalone(primary_expr(), shards[s]);
+    const std::vector<bool> col_b = standalone(second_expr(), shards[s]);
+    const auto& columns = result->shard_query_columns[s];
+    const query_column* a = find_column(columns, 1);
+    const query_column* b = find_column(columns, added_id.load());
+    ASSERT_NE(a, nullptr) << "shard " << s;
+    ASSERT_NE(b, nullptr) << "shard " << s;
+    EXPECT_EQ(a->first_record, 0u);
+    EXPECT_EQ(a->decisions, col_a) << "shard " << s;
+    // The swap happened after `half_records` complete records were
+    // offered and before any of the second half: the column starts
+    // somewhere in [0, half_records] and runs to the end of the stream.
+    EXPECT_LE(b->first_record, half_records) << "shard " << s;
+    EXPECT_EQ(b->first_record + b->decisions.size(), col_b.size())
+        << "shard " << s;
+    EXPECT_EQ(b->decisions, slice(col_b, b->first_record)) << "shard " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime sinks and error paths.
+
+TEST(ApiQuerySet, AttachQuerySinkMidStream) {
+  const std::string& stream = telemetry();
+  const std::vector<bool> col_a = standalone(primary_expr(), stream);
+  constexpr std::size_t kAttachRecord = 120;
+  const std::size_t cut = record_boundary(stream, kAttachRecord);
+
+  auto built = pipeline::make()
+                   .from_query(query::riotbench::qs0())
+                   .backend(backend_kind::chunked)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  ASSERT_TRUE(built->offer(std::string_view(stream).substr(0, cut))
+                  .has_value());
+  std::vector<std::uint64_t> indices;
+  auto attached = built->on_query_decision(
+      1, [&](std::size_t, std::uint64_t index, bool accepted) {
+        indices.push_back(index);
+        EXPECT_EQ(accepted, col_a[index]) << "record " << index;
+      });
+  ASSERT_TRUE(attached.has_value()) << attached.error().message;
+  ASSERT_TRUE(built->offer(std::string_view(stream).substr(cut))
+                  .has_value());
+  ASSERT_TRUE(built->finish().has_value());
+
+  ASSERT_EQ(indices.size(), col_a.size() - kAttachRecord);
+  EXPECT_EQ(indices.front(), kAttachRecord);
+  EXPECT_EQ(indices.back(), col_a.size() - 1);
+}
+
+TEST(ApiQuerySet, AttachQuerySinkWorksOnScalarBackend) {
+  // Sink attachment is registry-only (no engine swap), so even the scalar
+  // backend - which rejects add/remove - supports it.
+  auto built = pipeline::make()
+                   .from_query(query::riotbench::qs0())
+                   .backend(backend_kind::scalar)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  std::vector<bool> seen;
+  ASSERT_TRUE(built
+                  ->on_query_decision(
+                      1, [&](std::size_t, std::uint64_t, bool accepted) {
+                        seen.push_back(accepted);
+                      })
+                  .has_value());
+  ASSERT_TRUE(built->offer(telemetry()).has_value());
+  ASSERT_TRUE(built->finish().has_value());
+  EXPECT_EQ(seen, standalone(primary_expr(), telemetry()));
+}
+
+TEST(ApiQuerySet, MutationErrorPaths) {
+  // Scalar backend: no take_carry, so add/remove are diagnosed up front.
+  auto scalar = pipeline::make()
+                    .from_query(query::riotbench::qs0())
+                    .backend(backend_kind::scalar)
+                    .build();
+  ASSERT_TRUE(scalar.has_value()) << scalar.error().message;
+  EXPECT_FALSE(scalar->add_query(second_expr()).has_value());
+
+  auto sharded_scalar = pipeline::make()
+                            .from_query(query::riotbench::qs0())
+                            .backend(backend_kind::sharded)
+                            .engine(core::engine_kind::scalar)
+                            .build();
+  ASSERT_TRUE(sharded_scalar.has_value()) << sharded_scalar.error().message;
+  EXPECT_FALSE(sharded_scalar->add_query(second_expr()).has_value());
+
+  auto built = pipeline::make()
+                   .from_query(query::riotbench::qs0())
+                   .backend(backend_kind::chunked)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  // Null expression, malformed text, unknown ids, and the last resident
+  // query are all expected errors - never exceptions or aborts.
+  EXPECT_FALSE(built->add_query(core::expr_ptr{}).has_value());
+  EXPECT_FALSE(built->add_query("(((").has_value());
+  EXPECT_FALSE(built->remove_query(99).has_value());
+  EXPECT_FALSE(built->on_query_decision(99, nullptr).has_value());
+  EXPECT_FALSE(built->remove_query(1).has_value())
+      << "removing the last resident query must be refused";
+
+  // A failed add leaves the pipeline fully usable.
+  ASSERT_TRUE(built->offer(telemetry()).has_value());
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->decisions, standalone(primary_expr(), telemetry()));
+}
+
+TEST(ApiQuerySet, RuntimeJsonpathAndTextCompile) {
+  auto built = pipeline::make()
+                   .from_query(query::riotbench::qs0())
+                   .backend(backend_kind::chunked)
+                   .build();
+  ASSERT_TRUE(built.has_value()) << built.error().message;
+  auto by_text =
+      built->add_query(R"((0.7 <= "temperature" <= 35.1))");
+  ASSERT_TRUE(by_text.has_value()) << by_text.error().message;
+  auto by_path = built->add_jsonpath(
+      R"($.e[?(@.n=="temperature" & @.v >= 0.7 & @.v <= 35.1)])");
+  ASSERT_TRUE(by_path.has_value()) << by_path.error().message;
+  EXPECT_EQ(built->query_ids().size(), 3u);
+  ASSERT_TRUE(built->offer(telemetry()).has_value());
+  auto result = built->finish();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  // Each runtime-compiled query's column equals a single-query pipeline
+  // built from the same source text, starting at record 0 (nothing
+  // streamed before the adds).
+  const auto& columns = result->shard_query_columns.at(0);
+  const query_column* text_column = find_column(columns, *by_text);
+  const query_column* path_column = find_column(columns, *by_path);
+  ASSERT_NE(text_column, nullptr);
+  ASSERT_NE(path_column, nullptr);
+  EXPECT_EQ(text_column->first_record, 0u);
+  EXPECT_EQ(path_column->first_record, 0u);
+
+  auto text_alone = pipeline::make()
+                        .filter_expression(R"((0.7 <= "temperature" <= 35.1))")
+                        .backend(backend_kind::chunked)
+                        .input(telemetry())
+                        .build();
+  ASSERT_TRUE(text_alone.has_value()) << text_alone.error().message;
+  auto path_alone =
+      pipeline::make()
+          .jsonpath(R"($.e[?(@.n=="temperature" & @.v >= 0.7 & @.v <= 35.1)])")
+          .backend(backend_kind::chunked)
+          .input(telemetry())
+          .build();
+  ASSERT_TRUE(path_alone.has_value()) << path_alone.error().message;
+  auto text_run = text_alone->run();
+  auto path_run = path_alone->run();
+  ASSERT_TRUE(text_run.has_value()) << text_run.error().message;
+  ASSERT_TRUE(path_run.has_value()) << path_run.error().message;
+  EXPECT_EQ(text_column->decisions, text_run->decisions);
+  EXPECT_EQ(path_column->decisions, path_run->decisions);
+}

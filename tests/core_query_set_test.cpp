@@ -1,0 +1,257 @@
+// The multi-tenant query_set (PR 8 tentpole): registry semantics (stable
+// monotone ids, dense order, revision bumps), spec_key interning (K
+// duplicate queries share ONE engine pool and fan out through
+// engine_subscribers), and the acceptance gate - every member's decision
+// column byte-identical to running that query alone, across the riotbench
+// queries, all three datasets, and every SIMD tier this host executes
+// (the forced-scalar CI leg runs the same sweep with one available level).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/filter_engine.hpp"
+#include "core/query_set.hpp"
+#include "core/raw_filter.hpp"
+#include "core/simd.hpp"
+#include "data/smartcity.hpp"
+#include "data/stream.hpp"
+#include "data/taxi.hpp"
+#include "data/twitter.hpp"
+#include "query/compile.hpp"
+#include "query/riotbench.hpp"
+#include "util/error.hpp"
+
+namespace jrf {
+namespace {
+
+std::vector<std::string> evaluation_streams(int records) {
+  return {
+      data::smartcity_generator().stream(records),
+      data::taxi_generator().stream(records),
+      data::twitter_generator().stream(records),
+  };
+}
+
+std::vector<core::expr_ptr> riotbench_exprs() {
+  return {query::compile_default(query::riotbench::qs0()),
+          query::compile_default(query::riotbench::qs1()),
+          query::compile_default(query::riotbench::qt()),
+          query::compile_default(query::riotbench::q0())};
+}
+
+TEST(QuerySet, StableMonotoneIdsAndDenseOrder) {
+  core::query_set set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.revision(), 0u);
+
+  const auto exprs = riotbench_exprs();
+  const core::query_id a = set.add(exprs[0]);
+  const core::query_id b = set.add(exprs[1]);
+  const core::query_id c = set.add(exprs[2]);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.revision(), 3u);
+  EXPECT_EQ(set.ids(), (std::vector<core::query_id>{a, b, c}));
+  EXPECT_EQ(set.ordinal(b), 1u);
+  EXPECT_EQ(set.query(b), exprs[1]);
+
+  // Removal shifts later queries down one dense slot; the id never comes
+  // back even after the slot frees up.
+  EXPECT_TRUE(set.remove(b));
+  EXPECT_FALSE(set.remove(b));
+  EXPECT_FALSE(set.contains(b));
+  EXPECT_EQ(set.ids(), (std::vector<core::query_id>{a, c}));
+  EXPECT_EQ(set.ordinal(c), 1u);
+  const core::query_id d = set.add(exprs[3]);
+  EXPECT_GT(d, c);
+  EXPECT_EQ(set.revision(), 5u);
+
+  EXPECT_THROW((void)set.ordinal(b), jrf::error);
+  EXPECT_THROW((void)set.query(b), jrf::error);
+  EXPECT_THROW(set.add(nullptr), jrf::error);
+}
+
+TEST(QuerySet, EmptySetCannotCompile) {
+  core::query_set set;
+  EXPECT_THROW((void)set.compile(), jrf::error);
+  EXPECT_THROW((void)set.make_engine(core::engine_kind::chunked), jrf::error);
+}
+
+TEST(QuerySet, DuplicateQueriesInternToOneEnginePool) {
+  // K copies of the same query must compile to exactly the engine pool of
+  // ONE copy, with every copy subscribed to every engine it references.
+  const core::expr_ptr expr = query::compile_default(query::riotbench::qs0());
+  const core::compiled_layout one = core::compiled_layout::compile(*expr);
+
+  constexpr std::size_t kCopies = 7;
+  core::query_set set;
+  for (std::size_t i = 0; i < kCopies; ++i) set.add(expr);
+
+  const core::compiled_layout shared = set.compile();
+  EXPECT_EQ(shared.query_count(), kCopies);
+  EXPECT_EQ(shared.engines.size(), one.engines.size());
+  EXPECT_EQ(shared.engine_keys.size(), one.engines.size());
+  EXPECT_EQ(shared.groups.size(), one.groups.size());
+  for (const auto& subscribers : shared.engine_subscribers) {
+    ASSERT_EQ(subscribers.size(), kCopies);
+    for (std::size_t i = 0; i < kCopies; ++i) EXPECT_EQ(subscribers[i], i);
+  }
+
+  // And the K decision columns are identical to each other and to the
+  // standalone run.
+  const std::string stream = data::smartcity_generator().stream(200);
+  core::raw_filter reference(expr);
+  const std::vector<bool> expected = reference.filter_stream(stream);
+  auto engine = set.make_engine(core::engine_kind::chunked);
+  engine->filter_stream(stream);
+  for (std::size_t q = 0; q < kCopies; ++q)
+    EXPECT_EQ(engine->decision_column(q), expected) << "copy " << q;
+}
+
+TEST(QuerySet, DisjointQueriesKeepDisjointSubscriptions) {
+  core::query_set set;
+  set.add(core::string_leaf("temperature", 2));
+  set.add(core::string_leaf("humidity", 2));
+  const core::compiled_layout layout = set.compile();
+  ASSERT_EQ(layout.engines.size(), 2u);
+  EXPECT_EQ(layout.engine_subscribers[0],
+            (std::vector<std::size_t>{0}));
+  EXPECT_EQ(layout.engine_subscribers[1],
+            (std::vector<std::size_t>{1}));
+
+  // A third query referencing BOTH specs adds no engine - full interning.
+  set.add(core::conj({core::string_leaf("temperature", 2),
+                      core::string_leaf("humidity", 2)}));
+  const core::compiled_layout merged = set.compile();
+  EXPECT_EQ(merged.engines.size(), 2u);
+  EXPECT_EQ(merged.engine_subscribers[0],
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(merged.engine_subscribers[1],
+            (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(QuerySet, SingleQueryByteIdenticalToStandaloneEverywhere) {
+  // The N=1 acceptance gate: a one-query set IS the pre-multi-tenant
+  // engine, byte for byte, across riotbench x datasets x SIMD tiers and
+  // both engine kinds.
+  const auto streams = evaluation_streams(120);
+  for (const core::expr_ptr& expr : riotbench_exprs()) {
+    core::raw_filter reference(expr);
+    for (const std::string& stream : streams) {
+      const std::vector<bool> expected = reference.filter_stream(stream);
+      for (const core::simd::simd_level level :
+           core::simd::available_levels()) {
+        core::query_set set;
+        set.add(expr);
+        core::filter_options options;
+        options.simd = level;
+        for (const core::engine_kind kind :
+             {core::engine_kind::scalar, core::engine_kind::chunked}) {
+          auto engine = set.make_engine(kind, options);
+          EXPECT_EQ(engine->query_count(), 1u);
+          EXPECT_EQ(engine->filter_stream(stream), expected)
+              << core::to_string(kind)
+              << " simd=" << core::simd::to_string(level);
+          // Single-query engines never pay for bitmap words.
+          EXPECT_TRUE(engine->decision_words().empty());
+        }
+      }
+    }
+  }
+}
+
+TEST(QuerySet, MemberColumnsMatchStandaloneRuns) {
+  // The full fleet gate: every member's decision column equals running
+  // that query alone, for every dataset and SIMD tier, on the chunked AND
+  // the scalar multi-query engine.
+  const auto exprs = riotbench_exprs();
+  core::query_set set;
+  for (const core::expr_ptr& expr : exprs) set.add(expr);
+
+  for (const std::string& stream : evaluation_streams(120)) {
+    std::vector<std::vector<bool>> expected;
+    for (const core::expr_ptr& expr : exprs)
+      expected.push_back(core::raw_filter(expr).filter_stream(stream));
+
+    for (const core::simd::simd_level level :
+         core::simd::available_levels()) {
+      core::filter_options options;
+      options.simd = level;
+      for (const core::engine_kind kind :
+           {core::engine_kind::scalar, core::engine_kind::chunked}) {
+        auto engine = set.make_engine(kind, options);
+        const std::vector<bool> any = engine->filter_stream(stream);
+        ASSERT_EQ(any.size(), expected[0].size());
+        for (std::size_t q = 0; q < exprs.size(); ++q)
+          EXPECT_EQ(engine->decision_column(q), expected[q])
+              << core::to_string(kind) << " query " << q
+              << " simd=" << core::simd::to_string(level);
+        // The any-match verdict is the OR of the columns.
+        for (std::size_t r = 0; r < any.size(); ++r) {
+          bool expect_any = false;
+          for (const auto& column : expected) expect_any |= column[r];
+          ASSERT_EQ(any[r], expect_any) << "record " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(QuerySet, ChunkBoundariesDoNotDriftMultiQueryColumns) {
+  // Records straddling scan_chunk boundaries in every alignment around the
+  // 64-byte bitmap block must not move a single bit of any column.
+  const auto exprs = riotbench_exprs();
+  core::query_set set;
+  for (const core::expr_ptr& expr : exprs) set.add(expr);
+  const std::string stream = data::smartcity_generator().stream(120);
+
+  auto whole = set.make_engine(core::engine_kind::chunked);
+  whole->scan_chunk(std::string_view(stream));
+  whole->finish();
+
+  for (const std::size_t width : {std::size_t{1}, std::size_t{63},
+                                  std::size_t{64}, std::size_t{65},
+                                  std::size_t{257}}) {
+    auto engine = set.make_engine(core::engine_kind::chunked);
+    for (std::size_t off = 0; off < stream.size(); off += width)
+      engine->scan_chunk(std::string_view(stream).substr(off, width));
+    engine->finish();
+    ASSERT_EQ(engine->decisions(), whole->decisions())
+        << "width " << width;
+    ASSERT_EQ(engine->decision_words(), whole->decision_words())
+        << "width " << width;
+  }
+}
+
+TEST(QuerySet, WideSetsCrossTheWordBoundary) {
+  // 70 queries > 64 bits: two bitmap words per record, columns above bit
+  // 63 land in word 1. Pool-based queries keep the engine count small.
+  core::query_set set;
+  const std::vector<std::string> needles{"temperature", "humidity", "light",
+                                         "dust", "battery"};
+  std::vector<core::expr_ptr> members;
+  for (const std::string& needle : needles)
+    for (int block = 1; block <= 2; ++block)
+      members.push_back(core::string_leaf(needle, block));
+  for (std::size_t i = 0; i < 70; ++i)
+    set.add(core::conj({members[i % members.size()],
+                        members[(i * 3 + 1) % members.size()]}));
+
+  auto engine = set.make_engine(core::engine_kind::chunked);
+  EXPECT_EQ(engine->words_per_record(), 2u);
+  const std::string stream = data::smartcity_generator().stream(150);
+  const std::vector<bool> any = engine->filter_stream(stream);
+  ASSERT_EQ(engine->decision_words().size(), 2u * any.size());
+
+  for (const std::size_t q : {std::size_t{0}, std::size_t{63},
+                              std::size_t{64}, std::size_t{69}}) {
+    core::raw_filter alone(set.queries()[q]);
+    EXPECT_EQ(engine->decision_column(q), alone.filter_stream(stream))
+        << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace jrf

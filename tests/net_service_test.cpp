@@ -198,6 +198,180 @@ TEST(NetService, TcpEphemeralPortRoundTrip) {
                 ->filter_stream(telemetry()));
 }
 
+TEST(NetService, IdleConnectionTimedOutCountedAndDrained) {
+  // The slow-loris guard: a connection that goes quiet past idle_timeout
+  // is closed (both directions - the peer observes EOF), counted in
+  // connections_idle_closed(), and every byte it delivered before going
+  // idle is still filtered.
+  const std::string& stream = telemetry();
+  const std::size_t cut = stream.size() / 2;
+  const std::string sent = stream.substr(0, cut);
+
+  net::service_options options;
+  options.listen = unique_unix_endpoint();
+  options.idle_timeout = std::chrono::milliseconds(50);
+  auto service = net::filter_service::open(sharded_builder(1, 0), options);
+  ASSERT_TRUE(service.has_value()) << service.error().message;
+
+  net::socket_fd client = connect_and_wait(*service, 1);
+  net::write_all(client, sent);
+  // Go quiet, keeping the socket open: the service must cut us loose.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service->connections_idle_closed() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(service->connections_idle_closed(), 1u);
+
+  // The close is visible from the client side as EOF.
+  char buffer[64];
+  EXPECT_EQ(net::read_some(client, buffer, sizeof buffer), 0u);
+
+  auto result = service->shutdown();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  const core::expr_ptr rf = query::compile_default(query::riotbench::qs1());
+  EXPECT_EQ(result->decisions,
+            core::make_filter_engine(core::engine_kind::chunked, rf)
+                ->filter_stream(sent));
+}
+
+TEST(NetService, ActiveConnectionOutlivesIdleTimeout) {
+  // A producer that keeps sending - however slowly, as long as each gap
+  // stays under the timeout - is never cut.
+  net::service_options options;
+  options.listen = unique_unix_endpoint();
+  options.idle_timeout = std::chrono::milliseconds(250);
+  auto service = net::filter_service::open(sharded_builder(1, 0), options);
+  ASSERT_TRUE(service.has_value()) << service.error().message;
+
+  net::socket_fd client = connect_and_wait(*service, 1);
+  std::string_view rest = telemetry();
+  const std::size_t step = rest.size() / 4 + 1;
+  while (!rest.empty()) {
+    const std::size_t take = std::min(step, rest.size());
+    net::write_all(client, rest.substr(0, take));
+    rest.remove_prefix(take);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  client.shutdown_write();
+  auto result = service->shutdown();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(service->connections_idle_closed(), 0u);
+
+  const core::expr_ptr rf = query::compile_default(query::riotbench::qs1());
+  EXPECT_EQ(result->decisions,
+            core::make_filter_engine(core::engine_kind::chunked, rf)
+                ->filter_stream(telemetry()));
+}
+
+TEST(NetService, ConnectionCapShedsExcessAtAcceptTime) {
+  net::service_options options;
+  options.listen = unique_unix_endpoint();
+  options.max_connections = 1;
+  auto service = net::filter_service::open(sharded_builder(1, 0), options);
+  ASSERT_TRUE(service.has_value()) << service.error().message;
+
+  net::socket_fd first = connect_and_wait(*service, 1);
+
+  // A second connection is shed before a byte is read: the peer observes
+  // an immediate EOF and the refusal is counted. connections_accepted()
+  // never moves for a shed socket.
+  {
+    net::socket_fd excess = net::connect_to(service->where());
+    char buffer[8];
+    EXPECT_EQ(net::read_some(excess, buffer, sizeof buffer), 0u);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service->connections_refused() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GE(service->connections_refused(), 1u);
+  EXPECT_EQ(service->connections_accepted(), 1u);
+
+  // The live producer is untouched by the shed...
+  net::write_all(first, telemetry());
+  first.shutdown_write();
+
+  // ...and once it drains, the slot frees up for a new connection. A shed
+  // attempt turns readable immediately (EOF, the service never writes
+  // here); an accepted one stays silent, confirmed by the counter.
+  net::socket_fd replacement;
+  while (!replacement.valid() &&
+         std::chrono::steady_clock::now() < deadline) {
+    net::socket_fd attempt = net::connect_to(service->where());
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (net::wait_readable(attempt, 50)) break;  // EOF: shed - reconnect
+      if (service->connections_accepted() >= 2) {
+        replacement = std::move(attempt);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(service->connections_accepted(), 2u)
+      << "slot never freed after the first producer drained";
+
+  auto result = service->shutdown();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  const core::expr_ptr rf = query::compile_default(query::riotbench::qs1());
+  EXPECT_EQ(result->decisions,
+            core::make_filter_engine(core::engine_kind::chunked, rf)
+                ->filter_stream(telemetry()));
+}
+
+TEST(NetService, QueryBitmapEchoOneLinePerRecord) {
+  // The multi-tenant echo protocol: one text line per record, one '1'/'0'
+  // per resident query in dense id order, '\n'-terminated. Line length ==
+  // query count keeps a reader in sync.
+  auto builder = pipeline::make();
+  builder.from_query(query::riotbench::qs1())
+      .add_query(query::riotbench::qs0())
+      .backend(backend_kind::sharded)
+      .shards(1)
+      .worker_threads(0);
+
+  net::service_options options;
+  options.listen = unique_unix_endpoint();
+  options.echo_query_bitmaps = true;
+  auto service = net::filter_service::open(std::move(builder), options);
+  ASSERT_TRUE(service.has_value()) << service.error().message;
+
+  net::socket_fd client = connect_and_wait(*service, 1);
+  std::string echoed;
+  std::thread reader([&] {
+    char buffer[512];
+    while (true) {
+      const std::size_t n = net::read_some(client, buffer, sizeof buffer);
+      if (n == 0) break;
+      echoed.append(buffer, n);
+    }
+  });
+  net::write_all(client, telemetry());
+  client.shutdown_write();
+  auto result = service->shutdown();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  reader.join();
+
+  const auto col0 =
+      core::make_filter_engine(
+          core::engine_kind::chunked,
+          query::compile_default(query::riotbench::qs1()))
+          ->filter_stream(telemetry());
+  const auto col1 =
+      core::make_filter_engine(
+          core::engine_kind::chunked,
+          query::compile_default(query::riotbench::qs0()))
+          ->filter_stream(telemetry());
+  std::string expected;
+  for (std::size_t r = 0; r < col0.size(); ++r) {
+    expected += col0[r] ? '1' : '0';
+    expected += col1[r] ? '1' : '0';
+    expected += '\n';
+  }
+  EXPECT_EQ(echoed, expected);
+  EXPECT_EQ(result->records(), col0.size());
+}
+
 TEST(NetService, StatsSnapshotFiresWhileStreaming) {
   std::atomic<std::uint64_t> snapshots{0};
   std::atomic<std::uint64_t> records_seen{0};
