@@ -33,9 +33,16 @@
 #               its p99 is gated the same way: fresh p99 more than 25%
 #               above the committed baseline fails the compare. The
 #               query-fleet bench gates fleet_1k_mbps (the 1000-query
-#               row) against its committed baseline too. A failing
+#               row) against its committed baseline too. The projection
+#               bench carries two gates: overhead_low_sel_pct (QS1, the
+#               low-selectivity posture) is ABSOLUTE - projection must
+#               stay within 10% of filter-only wall rate no matter what
+#               history says - and project_qs1_mbps is the usual 25%
+#               baseline-relative wall-rate gate. A failing
 #               compare names every tripped metric with its committed
-#               and fresh values - never just a bare exit code.
+#               and fresh values - never just a bare exit code. A metric
+#               the fresh run emits but no committed baseline has yet is
+#               reported as new and ungated, not as an ambiguous skip.
 # Env:   BUILD=<dir>   build directory (default: build)
 set -eu
 
@@ -74,6 +81,18 @@ json_number() {
   sed -n 's/.*"'"$2"'": *\(-\{0,1\}[0-9][0-9.]*\).*/\1/p' "$1" | head -n 1
 }
 
+# A gate that cannot run names WHY: a value present in the fresh JSON but
+# absent from the committed baseline is a NEW metric (first PR emitting
+# it) - ungated by design, not an ambiguous "missing somewhere" skip.
+# $1 metric name, $2 baseline value (may be empty), $3 fresh value.
+skip_gate() {
+  if [ -n "$3" ] && [ -z "$2" ]; then
+    echo "  $1: new metric (no committed baseline) - ungated"
+  else
+    echo "  $1: missing in baseline or fresh run - skipping"
+  fi
+}
+
 # Largest "wall_mbps" value inside the "threaded" object (the best
 # worker-pool row - the one a threading regression actually moves).
 threaded_best() {
@@ -103,6 +122,7 @@ fi
 BASELINE="$LOGS/system_throughput.baseline.json"
 LATENCY_BASELINE="$LOGS/service_latency.baseline.json"
 FLEET_BASELINE="$LOGS/ext_query_fleet.baseline.json"
+PROJ_BASELINE="$LOGS/ext_projection.baseline.json"
 if [ "$COMPARE" -eq 1 ]; then
   if ! git show HEAD:BENCH_system_throughput.json > "$BASELINE" 2>/dev/null
   then
@@ -132,6 +152,15 @@ if [ "$COMPARE" -eq 1 ]; then
       : > "$FLEET_BASELINE"
     fi
   fi
+  # ... and for the projection bench.
+  if ! git show HEAD:BENCH_ext_projection.json > "$PROJ_BASELINE" 2>/dev/null
+  then
+    if [ -f BENCH_ext_projection.json ]; then
+      cp BENCH_ext_projection.json "$PROJ_BASELINE"
+    else
+      : > "$PROJ_BASELINE"
+    fi
+  fi
 fi
 
 failures=0
@@ -156,6 +185,10 @@ for bench in $BENCHES; do
       ;;
     ext_query_fleet)
       "$binary" --json BENCH_ext_query_fleet.json \
+        > "$LOGS/$name.txt" 2>&1 || status=$?
+      ;;
+    ext_projection)
+      "$binary" --json BENCH_ext_projection.json \
         > "$LOGS/$name.txt" 2>&1 || status=$?
       ;;
     micro_primitives)
@@ -207,7 +240,7 @@ if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
     base=$(json_number "$BASELINE" "$key")
     new=$(json_number "$fresh" "$key")
     if [ -z "$base" ] || [ -z "$new" ]; then
-      echo "  $key: missing in baseline or fresh run - skipping"
+      skip_gate "$key" "$base" "$new"
       continue
     fi
     verdict=$(awk "BEGIN { print ($new < 0.75 * $base) ? \"REGRESSED\" : \"ok\" }")
@@ -229,7 +262,7 @@ if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
     base=$(threaded_best "$BASELINE")
     new=$(threaded_best "$fresh")
     if [ -z "$base" ] || [ -z "$new" ]; then
-      echo "  threaded_best: missing in baseline or fresh run - skipping"
+      skip_gate threaded_best "$base" "$new"
     else
       verdict=$(awk "BEGIN { print ($new < 0.75 * $base) ? \"REGRESSED\" : \"ok\" }")
       printf '  %-14s baseline %10s  fresh %10s  %s\n' \
@@ -249,7 +282,7 @@ if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
     base=$(json_number "$LATENCY_BASELINE" p99)
     new=$(json_number "$fresh_lat" p99)
     if [ -z "$base" ] || [ -z "$new" ]; then
-      echo "  p99_latency: missing in baseline or fresh run - skipping"
+      skip_gate p99_latency "$base" "$new"
     else
       verdict=$(awk "BEGIN { print ($new > 1.25 * $base) ? \"REGRESSED\" : \"ok\" }")
       printf '  %-14s baseline %10s  fresh %10s  %s (us, lower is better)\n' \
@@ -271,7 +304,7 @@ if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
     base=$(json_number "$FLEET_BASELINE" fleet_1k_mbps)
     new=$(json_number "$fresh_fleet" fleet_1k_mbps)
     if [ -z "$base" ] || [ -z "$new" ]; then
-      echo "  fleet_1k_mbps: missing in baseline or fresh run - skipping"
+      skip_gate fleet_1k_mbps "$base" "$new"
     else
       verdict=$(awk "BEGIN { print ($new < 0.75 * $base) ? \"REGRESSED\" : \"ok\" }")
       printf '  %-14s baseline %10s  fresh %10s  %s\n' \
@@ -283,6 +316,42 @@ if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
     fi
   else
     echo "  fleet_1k_mbps: no committed baseline or no fresh run - skipping"
+  fi
+
+  # Projection cost: two gates. overhead_low_sel_pct (the QS1 row, the
+  # low-selectivity deployment posture) is ABSOLUTE - extracting fields
+  # of accepted records must cost <= 10% of filter-only wall rate
+  # regardless of history. project_qs1_mbps is the usual 25%
+  # baseline-relative wall-rate gate on the projecting run itself.
+  fresh_proj=BENCH_ext_projection.json
+  if [ -f "$fresh_proj" ]; then
+    ov=$(json_number "$fresh_proj" overhead_low_sel_pct)
+    if [ -z "$ov" ]; then
+      echo "  overhead_low_sel_pct: missing in fresh run - skipping"
+    else
+      verdict=$(awk "BEGIN { print ($ov > 10) ? \"REGRESSED\" : \"ok\" }")
+      printf '  %-20s threshold %8s  fresh %10s  %s (absolute, %%)\n' \
+        "overhead_low_sel_pct" "10" "$ov" "$verdict"
+      if [ "$verdict" = "REGRESSED" ]; then
+        regressions=$((regressions + 1))
+        tripped="$tripped overhead_low_sel_pct:10(abs):$ov"
+      fi
+    fi
+    base=$(json_number "$PROJ_BASELINE" project_qs1_mbps)
+    new=$(json_number "$fresh_proj" project_qs1_mbps)
+    if [ -z "$base" ] || [ -z "$new" ]; then
+      skip_gate project_qs1_mbps "$base" "$new"
+    else
+      verdict=$(awk "BEGIN { print ($new < 0.75 * $base) ? \"REGRESSED\" : \"ok\" }")
+      printf '  %-14s baseline %10s  fresh %10s  %s\n' \
+        "project_qs1_mbps" "$base" "$new" "$verdict"
+      if [ "$verdict" = "REGRESSED" ]; then
+        regressions=$((regressions + 1))
+        tripped="$tripped project_qs1_mbps:$base:$new"
+      fi
+    fi
+  else
+    echo "  projection: no fresh run - skipping"
   fi
 
   if [ "$regressions" -ne 0 ]; then

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/bitmaps.hpp"
+#include "project/tape.hpp"
 #include "query/compile.hpp"
 #include "query/parse.hpp"
 #include "system/sharded.hpp"
@@ -218,6 +219,90 @@ struct pipeline::impl {
   // Sharded backend.
   std::unique_ptr<system::sharded_filter_system> sharded;
 
+  // --- projection ---------------------------------------------------------
+  // One extraction lane per stream, driven by the engines' accepted-record
+  // hook. The hook fires under the stream gate (chunked/system) or the
+  // lane mutex (sharded) - the same lock that orders that shard's
+  // decisions - so batches flush, and the sink fires, strictly BEFORE any
+  // flush_decisions can deliver the verdicts of the records they contain.
+  // collect() runs quiescent (run()/finish() exclusivity), so the final
+  // partial-batch flush needs no extra lock; the pool-join / gate
+  // hand-offs of the backends give the happens-before edges.
+  bool project_enabled = false;
+  project::path_set paths;  // frozen at build(); runtime adds don't extend
+  projection_sink psink;
+  struct projection_state {
+    std::unique_ptr<project::extractor> extractor;
+    std::vector<project::field_ref> refs;  // one per path, reused
+    project::tape tape;
+    std::unique_ptr<project::column_builder> builder;
+    std::uint64_t base = 0;  // per-shard record index of engine ordinal 0
+    std::vector<project::column_batch> retained;  // no sink: run_result
+
+    explicit projection_state(const project::path_set& p,
+                              core::simd::simd_level level)
+        : extractor(std::make_unique<project::extractor>(p, level)),
+          refs(p.size()),
+          tape(p.size()),
+          builder(std::make_unique<project::column_builder>(p)) {}
+  };
+  std::vector<std::unique_ptr<projection_state>> projection;
+
+  /// The accepted-record hook body of one shard: extract onto the tape,
+  /// flush a batch every projection_batch_rows accepted records. Runs
+  /// under the shard's decision-ordering lock (see above).
+  void project_record(std::size_t shard, std::uint64_t ordinal,
+                      std::span<const unsigned char> record,
+                      const core::bitmap_pass& pass, std::size_t offset) {
+    projection_state& ps = *projection[shard];
+    ps.extractor->extract(record, pass, offset, ps.refs.data());
+    ps.tape.add_record(ps.base + ordinal, ps.refs, record);
+    if (ps.tape.rows() >= opts.projection_batch_rows)
+      flush_projection(shard);
+  }
+
+  /// Pivot the accumulated tape rows into one column batch and hand it to
+  /// the sink (or retain it for run_result::projection). No-op when
+  /// nothing accumulated - the final flush of an exactly-full stream.
+  void flush_projection(std::size_t shard) {
+    projection_state& ps = *projection[shard];
+    if (ps.tape.rows() == 0) return;
+    ps.builder->append(ps.tape);
+    ps.tape.clear();
+    project::column_batch batch = ps.builder->flush(shard);
+    if (psink)
+      psink(shard, batch);
+    else
+      ps.retained.push_back(std::move(batch));
+  }
+
+  /// (Re)install the hook on the engine currently serving `shard` - at
+  /// bring-up and after every engine rebuild (swap_epoch / swap_shard
+  /// replace the engine, and clones start bare by design).
+  void attach_projection(std::size_t shard) {
+    auto hook = [this, shard](std::uint64_t ordinal,
+                              std::span<const unsigned char> record,
+                              const core::bitmap_pass& pass,
+                              std::size_t offset) {
+      project_record(shard, ordinal, record, pass, offset);
+    };
+    switch (opts.backend) {
+      case backend_kind::chunked:
+        engine->set_accepted_hook(std::move(hook));
+        break;
+      case backend_kind::system:
+        // Every chunk routes through lane 0's bitmap pipeline
+        // (drain_router), so its decision stream covers all records.
+        lanes.front()->set_accepted_hook(std::move(hook));
+        break;
+      case backend_kind::sharded:
+        sharded->set_accepted_hook(shard, std::move(hook));
+        break;
+      case backend_kind::scalar:
+        break;  // unreachable: build() rejected projection on scalar
+    }
+  }
+
   std::size_t stream_count() const {
     if (opts.backend != backend_kind::sharded) return 1;
     return inputs.empty() ? opts.shards : inputs.size();
@@ -262,6 +347,13 @@ struct pipeline::impl {
       streams.push_back(std::move(st));
     }
     if (history.size() < n) history.resize(n);
+    if (project_enabled && projection.empty()) {
+      for (std::size_t shard = 0; shard < n; ++shard) {
+        projection.push_back(
+            std::make_unique<projection_state>(paths, opts.filter.simd));
+        attach_projection(shard);
+      }
+    }
   }
 
   // One record complete: deal it to the next lane (round-robin, identical
@@ -690,6 +782,19 @@ struct pipeline::impl {
       result.query_ids = reg->ids;
       result.shard_query_columns = expand_columns();
     }
+    if (project_enabled) {
+      // Quiescent by contract (run()/finish() exclusivity): flush each
+      // shard's partial tail batch, then surface everything a sink did
+      // not already consume.
+      for (std::size_t shard = 0; shard < projection.size(); ++shard) {
+        flush_projection(shard);
+        projection_state& ps = *projection[shard];
+        result.projection.insert(result.projection.end(),
+                                 std::make_move_iterator(ps.retained.begin()),
+                                 std::make_move_iterator(ps.retained.end()));
+        ps.retained.clear();
+      }
+    }
     return result;
   }
 
@@ -847,6 +952,16 @@ struct pipeline::impl {
           }
           case backend_kind::scalar:
             break;  // unreachable: mutation_unsupported rejected it
+        }
+        if (project_enabled && shard < projection.size()) {
+          // The rebuilt engine starts bare (clones never carry the hook)
+          // and its record ordinals restart at zero; everything decided so
+          // far was archived above (stage_decisions, plus swap_shard's
+          // drained tail), so the shard's record numbering continues at
+          // st.archived. The projected path set stays frozen - runtime
+          // adds decide normally but do not extend it.
+          attach_projection(shard);
+          projection[shard]->base = st.archived;
         }
       }
       st.reg = nreg;
@@ -1287,6 +1402,11 @@ struct pipeline_builder::state {
   decision_sink sink;
   verdict_sink vsink;
 
+  // Projection: project() / project(path_set) / on_projection().
+  bool project = false;
+  std::optional<project::path_set> project_paths;  // explicit targets
+  projection_sink psink;
+
   void set_source(source_kind kind) {
     // Re-setting the same kind replaces it (the retry-after-parse-error
     // flow); mixing kinds is the misuse the duplicate diagnosis catches.
@@ -1479,6 +1599,30 @@ pipeline_builder& pipeline_builder::on_verdict(verdict_sink sink) {
   return *this;
 }
 
+pipeline_builder& pipeline_builder::project() {
+  state_->project = true;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::project(project::path_set paths) {
+  state_->project = true;
+  state_->project_paths = std::move(paths);
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::projection_batch_rows(std::size_t rows) {
+  state_->opts.projection_batch_rows = rows;
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::on_projection(projection_sink sink) {
+  // A sink implies projection (derive mode unless project(path_set) also
+  // names the targets explicitly).
+  state_->project = true;
+  state_->psink = std::move(sink);
+  return *this;
+}
+
 expected<pipeline> pipeline_builder::build() {
   state& s = *state_;
   if (s.consumed)
@@ -1525,6 +1669,29 @@ expected<pipeline> pipeline_builder::build() {
                         " bound inputs - sharded mode binds one shard per "
                         "input");
   }
+  if (s.project) {
+    if (s.opts.backend == backend_kind::scalar)
+      return unexpected("pipeline: projection needs an engine that surfaces "
+                        "accepted records - the scalar backend cannot "
+                        "project (use chunked / system / sharded)");
+    if (s.opts.backend != backend_kind::chunked &&
+        s.opts.engine == core::engine_kind::scalar)
+      return unexpected("pipeline: projection needs the chunked engine - "
+                        "engine(core::engine_kind::scalar) cannot surface "
+                        "accepted records");
+    if (s.opts.projection_batch_rows == 0)
+      return unexpected("pipeline: projection_batch_rows must be non-zero");
+    // The extraction walk reads the records' structural bitmap; a record
+    // separator that IS a structural byte would fold separator hits into
+    // the walk's event stream.
+    if (std::string_view("{}[],\"").find(
+            static_cast<char>(s.opts.filter.separator)) !=
+        std::string_view::npos)
+      return unexpected("pipeline: projection cannot run with a JSON "
+                        "structural byte as the record separator");
+    if (s.project_paths && s.project_paths->empty())
+      return unexpected("pipeline: project(path_set) given an empty set");
+  }
 
   // --- parse + compile: the exception/expected boundary. parse_error byte
   // offsets cross it intact via error_info::offset. A failed build leaves
@@ -1562,24 +1729,53 @@ expected<pipeline> pipeline_builder::build() {
     // the single-query engines - the multi-tenant bookkeeping stays off
     // unless a second query or a bitmap sink asks for it.
     impl->qset.add(impl->expr);
+    // Projection derive mode reads the parsed query forms, so the extras
+    // loop keeps them alongside the compiled expressions. Raw expressions
+    // carry no attribute names - derive mode refuses them below.
+    std::vector<query::query> parsed_queries;
+    bool raw_expr_query = !impl->q;
+    if (impl->q) parsed_queries.push_back(*impl->q);
     for (const state::extra_query& ex : s.extras) {
       switch (ex.k) {
-        case state::source_kind::filter_expr:
-          impl->qset.add(compile_for(
-              s.opts, query::parse_filter_expression(ex.text, ex.model)));
+        case state::source_kind::filter_expr: {
+          query::query q = query::parse_filter_expression(ex.text, ex.model);
+          impl->qset.add(compile_for(s.opts, q));
+          parsed_queries.push_back(std::move(q));
           break;
-        case state::source_kind::jsonpath:
-          impl->qset.add(compile_for(s.opts, query::parse_jsonpath(ex.text)));
+        }
+        case state::source_kind::jsonpath: {
+          query::query q = query::parse_jsonpath(ex.text);
+          impl->qset.add(compile_for(s.opts, q));
+          parsed_queries.push_back(std::move(q));
           break;
+        }
         case state::source_kind::parsed:
           impl->qset.add(compile_for(s.opts, *ex.parsed));
+          parsed_queries.push_back(*ex.parsed);
           break;
         case state::source_kind::expr:
           impl->qset.add(ex.expr);
+          raw_expr_query = true;
           break;
         case state::source_kind::none:
           break;  // unreachable, extras always carry a kind
       }
+    }
+    if (s.project) {
+      if (s.project_paths) {
+        impl->paths = *s.project_paths;
+      } else {
+        if (raw_expr_query)
+          throw error("pipeline: projection cannot derive paths from a raw "
+                      "filter expression - name the targets with "
+                      "project(path_set)");
+        impl->paths = project::derive_paths(parsed_queries);
+      }
+      if (impl->paths.empty())
+        throw error("pipeline: projection derived no paths from the "
+                    "resident queries");
+      impl->project_enabled = true;
+      impl->psink = s.psink;
     }
     impl->reg = impl->snapshot_registry();
     if (impl->qset.size() > 1 || impl->vsink)

@@ -70,6 +70,8 @@
 #include "core/expr.hpp"
 #include "core/filter_engine.hpp"
 #include "core/query_set.hpp"
+#include "project/columns.hpp"
+#include "project/paths.hpp"
 #include "query/ir.hpp"
 #include "system/ingest.hpp"
 #include "util/error.hpp"
@@ -96,6 +98,18 @@ using verdict_sink = std::function<void(
     std::size_t, std::uint64_t, std::span<const core::query_id>,
     std::span<const std::uint64_t>)>;
 
+/// Projected-fields callback of a projecting pipeline: (shard, batch). The
+/// batch's `records` carry the same per-shard record indices the decision
+/// sink sees. UNLIKE the decision sinks, the projection sink is invoked
+/// SYNCHRONOUSLY inside the pipeline's internal locks, at the moment the
+/// accepted record is decided - that ordering guarantee (the batch for
+/// record k is delivered before any decision sink can report k) is what
+/// lets a consumer pair verdicts with fields without buffering. The sink
+/// must therefore NOT call back into the pipeline; distinct shards may
+/// invoke it concurrently, the same shard never does.
+using projection_sink =
+    std::function<void(std::size_t, const project::column_batch&)>;
+
 struct pipeline_options {
   backend_kind backend = backend_kind::system;
 
@@ -108,6 +122,12 @@ struct pipeline_options {
   double clock_mhz = 200.0;
   int dma_setup_cycles = 12;
   core::engine_kind engine = core::engine_kind::chunked;  // system/sharded
+
+  // Projection: accepted records per columnar batch. A registered
+  // on_projection sink receives a batch whenever a shard accumulates this
+  // many accepted records (plus one final partial batch at finish/run);
+  // without a sink the batches land in run_result::projection.
+  std::size_t projection_batch_rows = 1024;
 
   // Compilation (ignored when built from a prebuilt core::expr_ptr).
   int block = 1;                          // string-matcher block length B
@@ -195,6 +215,26 @@ class pipeline_builder {
   /// Per-record decision bitmap (multi-tenant): registering it switches
   /// the pipeline into bitmap bookkeeping even with one resident query.
   pipeline_builder& on_verdict(verdict_sink sink);
+
+  // --- projection (src/project/: structural-tape field extraction) ---
+  /// Extract the queried JSON paths of every ACCEPTED record into columnar
+  /// batches - rejected records cost nothing beyond the verdict. The
+  /// no-argument form derives the path targets from the resident queries
+  /// (every predicate attribute, deduped across the fleet; requires
+  /// parseable query sources, not raw expressions); the path_set overload
+  /// names them explicitly. The set is frozen at build(): queries added at
+  /// runtime decide normally but do NOT extend the projected paths.
+  /// Projection needs an engine that materialises bitmap passes: the
+  /// chunked backend, or system/sharded with engine(chunked) - the scalar
+  /// paths are rejected at build().
+  pipeline_builder& project();
+  pipeline_builder& project(project::path_set paths);
+  /// Accepted records per batch (default 1024; 1 = one batch per record).
+  pipeline_builder& projection_batch_rows(std::size_t rows);
+  /// Per-batch push sink (see projection_sink's ordering/locking
+  /// contract). Registering one implies project() if not already set;
+  /// without one, batches accumulate into run_result::projection.
+  pipeline_builder& on_projection(projection_sink sink);
 
   /// Validate, parse and compile. All failures - malformed query text
   /// (with its parse_error byte offset), zero lanes/shards/FIFO/burst,

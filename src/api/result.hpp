@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/query_set.hpp"
+#include "project/columns.hpp"
 #include "system/sharded.hpp"
 #include "system/system.hpp"
 
@@ -56,6 +57,14 @@ struct run_result {
   /// residency. Parallel to shard_decisions: column bit k of query q is
   /// that query's verdict on per-shard record q.first_record + k.
   std::vector<std::vector<query_column>> shard_query_columns;
+
+  /// Projecting pipelines without an on_projection sink: the columnar
+  /// batches of every accepted record's extracted paths, in shard order
+  /// and per shard in flush order (batch.shard names the stream; each
+  /// batch's `records` are that shard's per-record indices, matching
+  /// shard_decisions). Empty when projection is off or a sink consumed
+  /// the batches as they flushed.
+  std::vector<project::column_batch> projection;
 
   std::uint64_t records() const noexcept { return report.records; }
   std::uint64_t accepted() const noexcept { return report.accepted; }

@@ -167,6 +167,12 @@ std::vector<unsigned char> filter_engine::take_carry() {
               "chunked engine");
 }
 
+void filter_engine::set_accepted_hook(accepted_hook) {
+  throw error("filter engine: this engine cannot surface accepted records "
+              "(the scalar byte paths never materialise a bitmap pass) - "
+              "projection needs the chunked engine");
+}
+
 std::vector<bool> filter_engine::decision_column(std::size_t q) const {
   if (q >= queries_.size())
     throw error("filter engine: query ordinal out of range");
@@ -439,15 +445,37 @@ class chunked_filter_engine final : public filter_engine {
         carry_.insert(carry_.end(),
                       chunk.begin() + static_cast<std::ptrdiff_t>(pos),
                       chunk.begin() + static_cast<std::ptrdiff_t>(boundary));
-        decisions_.push_back(evaluate_carry(next_words()));
+        const bool accepted = evaluate_carry(next_words());
+        decisions_.push_back(accepted);
         if (sizes_enabled_)
           record_sizes_.push_back(static_cast<std::uint32_t>(carry_.size()));
+        // evaluate_carry computed record_pass_ over exactly the carried
+        // bytes, so the carried record projects off that pass at bit 0.
+        if (accepted && hook_)
+          hook_(ordinal_, {carry_.data(), carry_.size()}, record_pass_, 0);
+        ++ordinal_;
         carry_.clear();
       } else if (boundary > pos) {
-        decisions_.push_back(evaluate_record(
-            chunk.subspan(pos, boundary - pos), pass_, pos, next_words()));
+        const std::span<const unsigned char> record =
+            chunk.subspan(pos, boundary - pos);
+        const bool accepted = evaluate_record(record, pass_, pos, next_words());
+        decisions_.push_back(accepted);
         if (sizes_enabled_)
           record_sizes_.push_back(static_cast<std::uint32_t>(boundary - pos));
+        // In-chunk accepted records DEFER their hook (pass_ outlives the
+        // loop): running the projection walks back-to-back in small
+        // groups instead of interleaved per record keeps the walk's code
+        // and branch state warm, while flushing every few dozen records
+        // keeps the group's record bytes within the cache footprint the
+        // evaluation loop just touched. Every fire still lands inside
+        // this scan_chunk call, before take_decisions() - the ordering
+        // the facade relies on is unchanged.
+        if (accepted && hook_) {
+          deferred_hooks_.push_back({ordinal_, pos, boundary - pos});
+          if (deferred_hooks_.size() >= deferred_batch)
+            fire_deferred(chunk);
+        }
+        ++ordinal_;
       }
       // Empty records (consecutive separators) produce no decision, exactly
       // like filter_stream's pending-byte bookkeeping.
@@ -459,6 +487,7 @@ class chunked_filter_engine final : public filter_engine {
                     chunk.begin() + static_cast<std::ptrdiff_t>(pos),
                     chunk.end());
     state_ = pass_.end_state();
+    fire_deferred(chunk);
   }
 
   void finish() override {
@@ -472,8 +501,12 @@ class chunked_filter_engine final : public filter_engine {
       (void)next_words();  // zeroed bitmap row: no query accepts
       decisions_.push_back(false);
     } else {
-      decisions_.push_back(evaluate_carry(next_words()));
+      const bool accepted = evaluate_carry(next_words());
+      decisions_.push_back(accepted);
+      if (accepted && hook_)
+        hook_(ordinal_, {carry_.data(), carry_.size()}, record_pass_, 0);
     }
+    ++ordinal_;
     if (sizes_enabled_)
       record_sizes_.push_back(static_cast<std::uint32_t>(carry_.size()));
     carry_.clear();
@@ -516,6 +549,14 @@ class chunked_filter_engine final : public filter_engine {
     out.swap(carry_);
     state_ = {};
     return out;
+  }
+
+  /// Projection surface: fires synchronously from the stream-decision
+  /// paths for accepted records. `ordinal` counts EVERY decided record of
+  /// this instance's stream (monotonic, not reset by reset()/
+  /// take_decisions()); a fresh clone restarts at zero.
+  void set_accepted_hook(accepted_hook hook) override {
+    hook_ = std::move(hook);
   }
 
  private:
@@ -1153,6 +1194,23 @@ class chunked_filter_engine final : public filter_engine {
   // Framing state (persists across scan_chunk calls).
   framing_state state_;
   std::vector<unsigned char> carry_;  // partial record awaiting its boundary
+  std::uint64_t ordinal_ = 0;         // stream records decided (hook index)
+
+  // Accepted in-chunk records whose hook fire is deferred into small
+  // batched groups (never survives past its scan_chunk; see scan_chunk).
+  struct deferred_hook {
+    std::uint64_t ordinal;
+    std::size_t pos, len;
+  };
+  static constexpr std::size_t deferred_batch = 64;
+  std::vector<deferred_hook> deferred_hooks_;
+
+  void fire_deferred(std::span<const unsigned char> chunk) {
+    if (deferred_hooks_.empty()) return;
+    for (const deferred_hook& h : deferred_hooks_)
+      hook_(h.ordinal, chunk.subspan(h.pos, h.len), pass_, h.pos);
+    deferred_hooks_.clear();
+  }
 
   // Bitmap passes: one per ingest buffer, one per carried/standalone
   // record. Both reuse their word storage across compute() calls.

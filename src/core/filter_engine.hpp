@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -44,6 +45,8 @@
 #include "core/simd.hpp"
 
 namespace jrf::core {
+
+class bitmap_pass;
 
 struct filter_options {
   unsigned char separator = '\n';
@@ -230,6 +233,30 @@ class filter_engine {
   /// a single-query engine.
   std::vector<bool> decision_column(std::size_t q) const;
 
+  /// Opt-in projection surface: called for every ACCEPTED record of the
+  /// stream (any-match on multi-query engines), in record order and
+  /// synchronously WITHIN the scan_chunk()/finish() call that decided the
+  /// record - in-chunk records fire batched at the end of their scan (the
+  /// walks run back-to-back, cache-warm, instead of interleaved with
+  /// record evaluation), carried records at their decision. Either way
+  /// every fire precedes take_decisions() for that record.
+  /// `ordinal` counts every decided record of this engine's stream -
+  /// accepted or not - so the hook can index parallel decision storage;
+  /// `record` is the record's bytes, `pass` the structural bitmap pass
+  /// covering it and `pass_offset` the record's first byte as a bit
+  /// position in that pass (the exact arguments project::extractor wants).
+  /// The pass and record are only valid for the duration of the call.
+  /// Stream-decision paths only - accepts()/accepts_bits() probes never
+  /// fire it. clone() does NOT carry the hook (a fresh lane starts bare).
+  /// Implemented by the chunked engine; the scalar byte paths throw
+  /// jrf::error (they never materialise a bitmap pass).
+  using accepted_hook =
+      std::function<void(std::uint64_t ordinal,
+                         std::span<const unsigned char> record,
+                         const bitmap_pass& pass, std::size_t pass_offset)>;
+  virtual void set_accepted_hook(accepted_hook hook);
+  const accepted_hook& accepted_record_hook() const noexcept { return hook_; }
+
   const expr_ptr& expression() const noexcept { return expr_; }
   const filter_options& options() const noexcept { return options_; }
 
@@ -244,6 +271,7 @@ class filter_engine {
   std::vector<std::uint64_t> decision_words_;
   bool sizes_enabled_ = false;
   std::vector<std::uint32_t> record_sizes_;
+  accepted_hook hook_;  // empty unless set_accepted_hook installed one
 };
 
 enum class engine_kind {

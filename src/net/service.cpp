@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <string_view>
@@ -47,6 +48,18 @@ struct filter_service::impl {
   std::mutex echo_mutex;
   std::vector<connection*> echo_owner;  // per shard, latest connection wins
 
+  // echo_projection staging: the projection sink runs UNDER the pipeline's
+  // per-shard ordering lock (strictly before that record's decision sink
+  // can fire), so it only formats the line and parks it here; deliver() -
+  // which runs outside every pipeline lock - pops one line per accepted
+  // record and writes it. Each queue's mutex is a leaf: taken from both
+  // sides, ordered below everything else, nothing acquired inside it.
+  struct projection_queue {
+    std::mutex mutex;
+    std::deque<std::string> lines;
+  };
+  std::vector<std::unique_ptr<projection_queue>> proj_queues;  // per shard
+
   std::thread acceptor;
   std::thread stats_thread;
   std::mutex stats_mutex;
@@ -59,9 +72,45 @@ struct filter_service::impl {
   // streaming surface.
   void deliver(std::size_t shard, std::uint64_t index, bool accepted_record) {
     if (opts.on_decision) opts.on_decision(shard, index, accepted_record);
-    if (!opts.echo_decisions) return;
-    const char verdict = accepted_record ? '1' : '0';
-    echo_to_owner(shard, std::string_view(&verdict, 1));
+    if (opts.echo_decisions) {
+      const char verdict = accepted_record ? '1' : '0';
+      echo_to_owner(shard, std::string_view(&verdict, 1));
+    }
+    if (opts.echo_projection && accepted_record) {
+      // Pop unconditionally: a dropped client must not wedge the queue,
+      // so the line leaves the queue whether or not the write lands.
+      std::string line;
+      {
+        projection_queue& q = *proj_queues[shard];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.lines.empty()) {
+          line = std::move(q.lines.front());
+          q.lines.pop_front();
+        }
+      }
+      if (!line.empty()) echo_to_owner(shard, line);
+    }
+  }
+
+  // The pipeline's projection sink (echo_projection; batch size 1, so one
+  // batch = one accepted record). Runs under the pipeline's per-shard
+  // ordering lock - strictly before deliver() sees this record - so it
+  // must not write to the socket here (a slow peer would stall the filter
+  // lane): it formats the line and stages it for deliver() to pop.
+  void stage_projection(std::size_t shard,
+                        const project::column_batch& batch) {
+    for (std::size_t row = 0; row < batch.rows(); ++row) {
+      std::string line;
+      for (std::size_t col = 0; col < batch.columns.size(); ++col) {
+        if (col > 0) line.push_back('\t');
+        const std::string_view text = batch.columns[col].text_at(row);
+        line.append(text.data(), text.size());
+      }
+      line.push_back('\n');
+      projection_queue& q = *proj_queues[shard];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      q.lines.push_back(std::move(line));
+    }
   }
 
   // Find the shard's echo connection and write `payload` to it, dropping
@@ -258,9 +307,22 @@ expected<filter_service> filter_service::open(pipeline_builder builder,
                              std::span<const std::uint64_t> words) {
       raw->deliver_bits(shard, index, ids, words);
     });
+  // Projection echo: derive the paths from the builder's query sources,
+  // flush one batch per accepted record so each line can ride out with
+  // that record's verdict, and stage lines for deliver() to write.
+  if (raw->opts.echo_projection)
+    builder.project().projection_batch_rows(1).on_projection(
+        [raw](std::size_t shard, const project::column_batch& batch) {
+          raw->stage_projection(shard, batch);
+        });
   auto built = builder.build();
   if (!built) return unexpected(built.error());
   im->pipe.emplace(std::move(*built));
+  if (im->opts.echo_projection) {
+    im->proj_queues.reserve(im->pipe->shard_count());
+    for (std::size_t s = 0; s < im->pipe->shard_count(); ++s)
+      im->proj_queues.push_back(std::make_unique<impl::projection_queue>());
+  }
   try {
     im->listener = listen_on(im->opts.listen);
     im->bound = local_endpoint(im->listener, im->opts.listen);

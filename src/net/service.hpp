@@ -66,6 +66,19 @@ struct service_options {
   /// record).
   bool echo_query_bitmaps = false;
 
+  /// Echo each ACCEPTED record's projected fields to the shard's most
+  /// recent connection: one text line per accepted record - the queried
+  /// paths' values in path-ordinal order, tab-separated, '\n'-terminated
+  /// (strings unescaped, numbers and literals raw input text, a missing
+  /// path an empty field). Rejected records write no line. Lines ride the
+  /// decision stream: a record's projection line lands right after its
+  /// verdict byte (echo_decisions) and before its bitmap line
+  /// (echo_query_bitmaps), so all three modes compose on one socket.
+  /// Forces the pipeline into derive-mode projection with one batch per
+  /// record, so the builder needs parseable query sources and a
+  /// projection-capable engine (see pipeline_builder::project()).
+  bool echo_projection = false;
+
   /// Per-record verdict callback (shard, per-shard index, accepted),
   /// invoked outside every pipeline lock. The service owns the builder's
   /// sink slot; register the application callback here instead.

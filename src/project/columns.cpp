@@ -1,0 +1,92 @@
+#include "project/columns.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace jrf::project {
+
+namespace {
+
+void set_bit(std::vector<std::uint64_t>& words, std::size_t row) {
+  words[row >> 6] |= std::uint64_t{1} << (row & 63);
+}
+
+}  // namespace
+
+column_builder::column_builder(const path_set& paths) : paths_(paths) {
+  reset();
+}
+
+void column_builder::reset() {
+  batch_ = column_batch{};
+  batch_.columns.resize(paths_.size());
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    batch_.columns[i].name = paths_.at(i).attribute;
+    batch_.columns[i].model = paths_.at(i).model;
+    batch_.columns[i].offsets.push_back(0);
+  }
+}
+
+void column_builder::append(const tape& t) {
+  if (t.path_count() != paths_.size())
+    throw error("projection: tape/builder path count mismatch");
+  const std::size_t add = t.rows();
+  std::string scratch;  // unescape buffer, reused across the whole tape
+  for (std::size_t r = 0; r < add; ++r) {
+    const std::size_t row = batch_.records.size();
+    const std::size_t words = (row >> 6) + 1;
+    batch_.records.push_back(t.entry(r, 0).record);
+    for (std::size_t p = 0; p < paths_.size(); ++p) {
+      const tape_entry& e = t.entry(r, p);
+      column_data& col = batch_.columns[p];
+      col.present.resize(words, 0);
+      col.numeric.resize(words, 0);
+      col.types.push_back(e.type);
+      if (e.type != value_type::missing) set_bit(col.present, row);
+      // The textual value, semantically tape::text(e) but without the
+      // temporary string: strings drop their quotes and unescape only
+      // when a backslash is actually present; everything else is raw.
+      std::string_view body;
+      if (e.type == value_type::string) {
+        const std::string_view raw = t.raw(e);
+        body = raw.size() >= 2 ? raw.substr(1, raw.size() - 2)
+                               : std::string_view{};
+        if (body.find('\\') != std::string_view::npos) {
+          scratch.clear();
+          unescape_to(body, scratch);
+          body = scratch;
+        }
+      } else {
+        body = t.raw(e);
+      }
+      // Numeric view, semantically tape::number(e): JSON numbers and
+      // numeric strings (SenML quoted decimals) parse off `body`.
+      double v = 0;
+      bool is_numeric = false;
+      if ((e.type == value_type::number || e.type == value_type::string) &&
+          !body.empty()) {
+        const auto [pe, ec] =
+            std::from_chars(body.data(), body.data() + body.size(), v);
+        is_numeric = ec == std::errc{} && pe == body.data() + body.size();
+      }
+      if (is_numeric) {
+        set_bit(col.numeric, row);
+        col.numbers.push_back(v);
+      } else {
+        col.numbers.push_back(0.0);
+      }
+      col.text.append(body);
+      col.offsets.push_back(static_cast<std::uint32_t>(col.text.size()));
+    }
+  }
+}
+
+column_batch column_builder::flush(std::size_t shard) {
+  column_batch out = std::move(batch_);
+  out.shard = shard;
+  reset();
+  return out;
+}
+
+}  // namespace jrf::project

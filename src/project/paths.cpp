@@ -1,0 +1,42 @@
+#include "project/paths.hpp"
+
+#include "util/error.hpp"
+
+namespace jrf::project {
+
+std::string path_target::to_string() const {
+  return (model == query::data_model::senml ? std::string("senml:")
+                                            : std::string("flat:")) +
+         attribute;
+}
+
+std::size_t path_set::add(path_target target) {
+  if (target.attribute.empty())
+    throw error("projection: empty path attribute");
+  for (std::size_t i = 0; i < targets_.size(); ++i)
+    if (targets_[i] == target) return i;
+  targets_.push_back(std::move(target));
+  return targets_.size() - 1;
+}
+
+std::size_t path_set::add_query(const query::query& q) {
+  if (!q.root) throw error("projection: query without a predicate tree");
+  const std::size_t before = targets_.size();
+  for (const query::predicate& p : q.predicates())
+    add(path_target{q.model, p.attribute});
+  return targets_.size() - before;
+}
+
+const path_target& path_set::at(std::size_t ordinal) const {
+  if (ordinal >= targets_.size())
+    throw error("projection: path ordinal out of range");
+  return targets_[ordinal];
+}
+
+path_set derive_paths(const std::vector<query::query>& queries) {
+  path_set out;
+  for (const query::query& q : queries) out.add_query(q);
+  return out;
+}
+
+}  // namespace jrf::project

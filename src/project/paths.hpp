@@ -1,0 +1,71 @@
+// Projection path targets - WHICH fields the projection stage extracts.
+//
+// The filter decides accept/reject; the projection stage answers the next
+// question every downstream consumer asks: "give me the matching records'
+// fields". A path target names one queried attribute under one of the two
+// data models the query layer binds attributes with (query/ir.hpp):
+//
+//   flat  - the attribute is an object key anywhere in the record; the
+//           projected value is the first such member in document order
+//           (pre-order, matching query::eval's flat search order),
+//   senml - the attribute is the value of an "n" member; the projected
+//           value is the sibling "v" member of the same measurement
+//           object (Listing 1 of the paper). An object only matches when
+//           it carries BOTH the matching "n" and a "v".
+//
+// A path_set is the deduplicated, densely ordered target list of a whole
+// pipeline: multi-tenant query fleets share one extraction walk, so N
+// queries over "temperature" cost one target, not N - the ordinal of a
+// target is its column index in every tape row and columnar batch.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "query/ir.hpp"
+
+namespace jrf::project {
+
+/// One extracted field: the attribute name bound by a data model.
+struct path_target {
+  query::data_model model = query::data_model::flat;
+  std::string attribute;
+
+  friend bool operator==(const path_target&, const path_target&) = default;
+
+  /// Diagnostic rendering, e.g. senml:temperature or flat:fare_amount.
+  std::string to_string() const;
+};
+
+/// Deduplicated target list; ordinals are dense and stable (add order).
+class path_set {
+ public:
+  /// Append a target unless an identical one exists; returns its ordinal
+  /// either way. Empty attributes are rejected (jrf::error).
+  std::size_t add(path_target target);
+  std::size_t add(query::data_model model, std::string attribute) {
+    return add(path_target{model, std::move(attribute)});
+  }
+
+  /// Every predicate attribute of `q`, deduped into this set - the
+  /// queried-paths derivation of the compiled query. Returns how many
+  /// targets were new.
+  std::size_t add_query(const query::query& q);
+
+  std::size_t size() const noexcept { return targets_.size(); }
+  bool empty() const noexcept { return targets_.empty(); }
+  const path_target& at(std::size_t ordinal) const;
+  const std::vector<path_target>& targets() const noexcept { return targets_; }
+
+  friend bool operator==(const path_set&, const path_set&) = default;
+
+ private:
+  std::vector<path_target> targets_;
+};
+
+/// The shared target set of a query fleet: every query's predicate
+/// attributes, deduped across queries sharing a path.
+path_set derive_paths(const std::vector<query::query>& queries);
+
+}  // namespace jrf::project

@@ -202,11 +202,23 @@ sharded_filter_system::taken_decisions sharded_filter_system::swap_shard(
   // bytes reproduces the exact stream position (no boundary is inside a
   // carry by construction, so no decision can fall out of the re-scan).
   std::vector<unsigned char> carry = l.engine->take_carry();
+  core::filter_engine::accepted_hook hook = l.engine->accepted_record_hook();
   l.engine = prototype.clone();
+  // The projection hook survives the swap. Installed BEFORE the carry
+  // replay - which emits no decisions (no boundary is inside a carry) -
+  // so the fresh engine's record ordinals start at zero either way.
+  if (hook) l.engine->set_accepted_hook(std::move(hook));
   if (!carry.empty())
     l.engine->scan_chunk(std::span<const unsigned char>{carry.data(),
                                                         carry.size()});
   return out;
+}
+
+void sharded_filter_system::set_accepted_hook(
+    std::size_t shard, core::filter_engine::accepted_hook hook) {
+  lane& l = checked(shard);
+  std::lock_guard<std::mutex> lock(l.mutex);
+  l.engine->set_accepted_hook(std::move(hook));
 }
 
 const std::vector<bool>& sharded_filter_system::decisions(

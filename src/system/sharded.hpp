@@ -144,6 +144,17 @@ class sharded_filter_system {
   taken_decisions swap_shard(std::size_t shard,
                              const core::filter_engine& prototype);
 
+  /// Install (or clear, with an empty function) the accepted-record hook
+  /// on one shard's engine - the projection surface of the lane (see
+  /// core::filter_engine::set_accepted_hook). The hook fires under the
+  /// lane mutex from whichever thread drains the lane, so it must not
+  /// call back into this system. swap_shard carries the hook over to the
+  /// fresh engine (installed before the carry replay, which emits no
+  /// decisions, so the hook's record ordinals restart at zero with the
+  /// clone's decision stream).
+  void set_accepted_hook(std::size_t shard,
+                         core::filter_engine::accepted_hook hook);
+
   /// Merged accounting over everything filtered so far. A zero-byte run
   /// reports all-zero rates (no NaN/inf).
   sharded_report report() const;

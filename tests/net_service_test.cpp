@@ -10,6 +10,10 @@
 //   * a client dropping mid-record still gets every byte it sent before
 //     the drop filtered (graceful drain: EOF ends the connection, finish()
 //     flushes the trailing partial record - no lost records),
+//   * the projection echo (echo_projection) sends one tab-separated line
+//     of projected field values per ACCEPTED record, interleaved with the
+//     verdict/bitmap echoes in per-record order, and a vanished client
+//     never wedges the projection line queue,
 //   * the periodic stats snapshot fires while producers stream.
 //
 // Clients connect sequentially and wait on connections_accepted() so the
@@ -28,8 +32,11 @@
 #include "core/filter_engine.hpp"
 #include "data/smartcity.hpp"
 #include "data/stream.hpp"
+#include "json/parser.hpp"
+#include "json/value.hpp"
 #include "net/service.hpp"
 #include "net/socket.hpp"
+#include "project/paths.hpp"
 #include "query/compile.hpp"
 #include "query/riotbench.hpp"
 #include "system/sharded.hpp"
@@ -370,6 +377,185 @@ TEST(NetService, QueryBitmapEchoOneLinePerRecord) {
   }
   EXPECT_EQ(echoed, expected);
   EXPECT_EQ(result->records(), col0.size());
+}
+
+namespace {
+
+/// The SmartCity measurement value of `attr` in one parsed record (SenML:
+/// the "v" sibling of the matching "n" inside the "e" array) - the DOM
+/// reference for the projection echo's field text. Empty when absent.
+std::string senml_value(const json::value& doc, std::string_view attr) {
+  const json::value* e = doc.find("e");
+  if (e == nullptr || !e->is_array()) return {};
+  for (const json::value& m : e->as_array()) {
+    const json::value* n = m.find("n");
+    if (n == nullptr || !n->is_string() || n->as_string() != attr) continue;
+    const json::value* v = m.find("v");
+    if (v != nullptr && v->is_string()) return v->as_string();
+  }
+  return {};
+}
+
+/// One expected projection line per set bit of `decisions`: the derived
+/// paths' values, tab-separated, '\n'-terminated.
+std::string expected_projection_lines(const std::string& stream,
+                                      const std::vector<bool>& decisions,
+                                      const project::path_set& paths) {
+  std::string expected;
+  std::string_view rest = stream;
+  for (const bool accepted : decisions) {
+    const std::size_t nl = rest.find('\n');
+    const std::string_view record = rest.substr(0, nl);
+    rest.remove_prefix(nl == std::string_view::npos ? rest.size() : nl + 1);
+    if (!accepted) continue;
+    const json::value doc = json::parse(record);
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      if (p > 0) expected.push_back('\t');
+      expected += senml_value(doc, paths.at(p).attribute);
+    }
+    expected.push_back('\n');
+  }
+  return expected;
+}
+
+}  // namespace
+
+TEST(NetService, ProjectionEchoOneLinePerAcceptedRecord) {
+  // echo_projection alone: the socket carries nothing but the accepted
+  // records' projected fields, one line each, in per-shard record order.
+  net::service_options options;
+  options.listen = unique_unix_endpoint();
+  options.echo_projection = true;
+  auto service = net::filter_service::open(sharded_builder(1, 0), options);
+  ASSERT_TRUE(service.has_value()) << service.error().message;
+
+  net::socket_fd client = connect_and_wait(*service, 1);
+  std::string echoed;
+  std::thread reader([&] {
+    char buffer[512];
+    while (true) {
+      const std::size_t n = net::read_some(client, buffer, sizeof buffer);
+      if (n == 0) break;
+      echoed.append(buffer, n);
+    }
+  });
+  net::write_all(client, telemetry());
+  client.shutdown_write();
+  auto result = service->shutdown();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  reader.join();
+
+  const auto reference =
+      core::make_filter_engine(
+          core::engine_kind::chunked,
+          query::compile_default(query::riotbench::qs1()))
+          ->filter_stream(telemetry());
+  EXPECT_EQ(result->decisions, reference);
+  const project::path_set paths =
+      project::derive_paths({query::riotbench::qs1()});
+  EXPECT_EQ(echoed,
+            expected_projection_lines(telemetry(), reference, paths));
+}
+
+TEST(NetService, ProjectionEchoComposesWithVerdictAndBitmapEcho) {
+  // All three echo modes on one socket, two resident queries sharing the
+  // five SmartCity paths: per record a '1'/'0' verdict byte, then (when
+  // accepted) the projection line, then the bitmap line - the sink order
+  // the pipeline guarantees.
+  auto builder = pipeline::make();
+  builder.from_query(query::riotbench::qs1())
+      .add_query(query::riotbench::qs0())
+      .backend(backend_kind::sharded)
+      .shards(1)
+      .worker_threads(0);
+
+  net::service_options options;
+  options.listen = unique_unix_endpoint();
+  options.echo_decisions = true;
+  options.echo_query_bitmaps = true;
+  options.echo_projection = true;
+  auto service = net::filter_service::open(std::move(builder), options);
+  ASSERT_TRUE(service.has_value()) << service.error().message;
+
+  net::socket_fd client = connect_and_wait(*service, 1);
+  std::string echoed;
+  std::thread reader([&] {
+    char buffer[512];
+    while (true) {
+      const std::size_t n = net::read_some(client, buffer, sizeof buffer);
+      if (n == 0) break;
+      echoed.append(buffer, n);
+    }
+  });
+  net::write_all(client, telemetry());
+  client.shutdown_write();
+  auto result = service->shutdown();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  reader.join();
+
+  const auto col0 =
+      core::make_filter_engine(
+          core::engine_kind::chunked,
+          query::compile_default(query::riotbench::qs1()))
+          ->filter_stream(telemetry());
+  const auto col1 =
+      core::make_filter_engine(
+          core::engine_kind::chunked,
+          query::compile_default(query::riotbench::qs0()))
+          ->filter_stream(telemetry());
+  const project::path_set paths = project::derive_paths(
+      {query::riotbench::qs1(), query::riotbench::qs0()});
+  ASSERT_EQ(paths.size(), 5u);  // deduped across the fleet
+
+  std::string expected;
+  std::string_view rest = telemetry();
+  for (std::size_t r = 0; r < col0.size(); ++r) {
+    const std::size_t nl = rest.find('\n');
+    const std::string_view record = rest.substr(0, nl);
+    rest.remove_prefix(nl == std::string_view::npos ? rest.size() : nl + 1);
+    const bool any = col0[r] || col1[r];
+    expected += any ? '1' : '0';
+    if (any) {
+      const json::value doc = json::parse(record);
+      for (std::size_t p = 0; p < paths.size(); ++p) {
+        if (p > 0) expected.push_back('\t');
+        expected += senml_value(doc, paths.at(p).attribute);
+      }
+      expected.push_back('\n');
+    }
+    expected += col0[r] ? '1' : '0';
+    expected += col1[r] ? '1' : '0';
+    expected.push_back('\n');
+  }
+  EXPECT_EQ(echoed, expected);
+  EXPECT_EQ(result->records(), col0.size());
+}
+
+TEST(NetService, ProjectionEchoSurvivesClientDroppingMidRecord) {
+  // The client vanishes mid-record without ever reading its echo: failed
+  // echo writes drop the echo stream (never the ingest), the staged
+  // projection lines keep draining (popped whether or not the write
+  // lands), and the service still filters every byte that arrived.
+  const std::string& stream = telemetry();
+  const std::size_t cut = stream.size() / 2;
+  const std::string sent = stream.substr(0, cut);
+
+  net::service_options options;
+  options.listen = unique_unix_endpoint();
+  options.echo_projection = true;
+  auto service = net::filter_service::open(sharded_builder(1, 0), options);
+  ASSERT_TRUE(service.has_value()) << service.error().message;
+  {
+    net::socket_fd client = connect_and_wait(*service, 1);
+    net::write_all(client, sent);
+  }  // full close, echo lines now hit a dead peer
+
+  auto result = service->shutdown();
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  const core::expr_ptr rf = query::compile_default(query::riotbench::qs1());
+  EXPECT_EQ(result->decisions,
+            core::make_filter_engine(core::engine_kind::chunked, rf)
+                ->filter_stream(sent));
 }
 
 TEST(NetService, StatsSnapshotFiresWhileStreaming) {
