@@ -18,9 +18,15 @@
 //
 //   bench_ext_query_fleet [--json PATH] [--smoke]
 //
+// A second sweep (PR 10) runs a shared-prefix pool: every query carries
+// the same two leading conjuncts plus one per-query discriminator, the
+// best case for the conjunct-prefix plan trie - the shared prefix
+// evaluates once per record and fans out to every resident query.
+//
 // scripts/bench.sh passes --json BENCH_ext_query_fleet.json and its
-// --compare gate tracks fleet_1k_mbps (the 1000-query row). --smoke
-// shrinks the stream and caps the sweep at 100 queries for CI.
+// --compare gate tracks fleet_1k_mbps and fleet_10k_mbps (the 1000- and
+// 10000-query rows). --smoke shrinks the stream and caps the sweep at
+// 100 queries for CI.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -76,6 +82,18 @@ core::expr_ptr fleet_query(const std::vector<core::expr_ptr>& pool,
   std::vector<core::expr_ptr> members{pool[(i * 7 + (i >> 3)) % p],
                                       pool[(i * 13 + 5) % p]};
   if (i % 3 == 0) members.push_back(pool[(i * 29 + 11) % p]);
+  return core::conj(std::move(members));
+}
+
+// Shared-prefix variant: every query is {pool[0], pool[1], discriminator}.
+// After canonical conjunct sorting the whole fleet hangs off one trie
+// path of depth 2, so the shared work is evaluated once per record no
+// matter how many queries are resident - the plan trie's best case.
+core::expr_ptr shared_prefix_query(const std::vector<core::expr_ptr>& pool,
+                                   std::size_t i) {
+  const std::size_t p = pool.size();
+  std::vector<core::expr_ptr> members{pool[0], pool[1],
+                                      pool[(i * 17 + 3) % p]};
   return core::conj(std::move(members));
 }
 
@@ -191,6 +209,52 @@ int main(int argc, char** argv) {
                 row.speedup);
   }
   bench::rule();
+
+  // Shared-prefix sweep: the trie's best case. Same stream, same timing
+  // harness; only the query generator changes.
+  std::printf("shared-prefix pool: query i = {pool[0], pool[1], "
+              "discriminator} - one trie path serves the whole fleet\n");
+  bench::rule();
+  std::printf("%-8s | %-8s | %-12s | %-16s | %-8s\n", "queries", "engines",
+              "wall MB/s", "independent MB/s", "speedup");
+  bench::rule();
+
+  std::vector<std::size_t> prefix_sweep{1000, 10000};
+  if (smoke) prefix_sweep = {100};
+
+  std::vector<sweep_row> prefix_rows;
+  for (const std::size_t n : prefix_sweep) {
+    std::vector<core::expr_ptr> queries;
+    queries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      queries.push_back(shared_prefix_query(pool, i));
+
+    const core::compiled_layout layout =
+        core::compiled_layout::compile_set(queries);
+    auto engine =
+        core::make_filter_engine(core::engine_kind::chunked, queries);
+
+    sweep_row row;
+    row.queries = n;
+    row.unique_engines = layout.engines.size();
+    row.wall_mbps = timed_scan(*engine, stream, &row.records, &row.accepted);
+    row.independent_mbps = single_mbps / static_cast<double>(n);
+    row.speedup =
+        row.independent_mbps > 0 ? row.wall_mbps / row.independent_mbps : 0.0;
+
+    const auto standalone = core::make_filter_engine(
+        core::engine_kind::chunked,
+        std::vector<core::expr_ptr>{shared_prefix_query(pool, 0)});
+    timed_scan(*standalone, stream, nullptr, nullptr);
+    if (engine->decision_column(0) != standalone->decisions())
+      columns_ok = false;
+
+    prefix_rows.push_back(row);
+    std::printf("%-8zu | %-8zu | %12.2f | %16.4f | %7.1fx\n", row.queries,
+                row.unique_engines, row.wall_mbps, row.independent_mbps,
+                row.speedup);
+  }
+  bench::rule();
   std::printf("query-0 column identical to standalone run at every N: %s\n",
               columns_ok ? "yes" : "NO!");
   std::printf("independent MB/s models N single-query pipelines re-scanning "
@@ -199,11 +263,20 @@ int main(int argc, char** argv) {
               "dedup factor N / unique_engines.\n");
 
   double fleet_1k_mbps = 0.0, fleet_1k_speedup = 0.0;
-  for (const sweep_row& row : rows)
+  double fleet_10k_mbps = 0.0, fleet_10k_speedup = 0.0;
+  for (const sweep_row& row : rows) {
     if (row.queries == 1000) {
       fleet_1k_mbps = row.wall_mbps;
       fleet_1k_speedup = row.speedup;
     }
+    if (row.queries == 10000) {
+      fleet_10k_mbps = row.wall_mbps;
+      fleet_10k_speedup = row.speedup;
+    }
+  }
+  double shared_prefix_10k_mbps = 0.0;
+  for (const sweep_row& row : prefix_rows)
+    if (row.queries == 10000) shared_prefix_10k_mbps = row.wall_mbps;
 
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
@@ -235,10 +308,29 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(rows[i].accepted),
                    i + 1 < rows.size() ? "," : "");
     std::fprintf(f, "  ],\n");
-    // Keys the bench.sh --compare gate greps: the 1000-query row's wall
-    // rate and its speedup over the modeled independent fleet.
+    std::fprintf(f, "  \"shared_prefix_rows\": [\n");
+    for (std::size_t i = 0; i < prefix_rows.size(); ++i)
+      std::fprintf(f,
+                   "    {\"queries\": %zu, \"unique_engines\": %zu, "
+                   "\"wall_mbps\": %.2f, \"independent_mbps\": %.4f, "
+                   "\"speedup\": %.1f, \"records\": %llu, "
+                   "\"accepted\": %llu}%s\n",
+                   prefix_rows[i].queries, prefix_rows[i].unique_engines,
+                   prefix_rows[i].wall_mbps, prefix_rows[i].independent_mbps,
+                   prefix_rows[i].speedup,
+                   static_cast<unsigned long long>(prefix_rows[i].records),
+                   static_cast<unsigned long long>(prefix_rows[i].accepted),
+                   i + 1 < prefix_rows.size() ? "," : "");
+    std::fprintf(f, "  ],\n");
+    // Keys the bench.sh --compare gate greps: the 1000- and 10000-query
+    // rows' wall rates and their speedups over the modeled independent
+    // fleet, plus the shared-prefix 10k rate for the record.
     std::fprintf(f, "  \"fleet_1k_mbps\": %.2f,\n", fleet_1k_mbps);
-    std::fprintf(f, "  \"fleet_1k_speedup\": %.1f\n", fleet_1k_speedup);
+    std::fprintf(f, "  \"fleet_1k_speedup\": %.1f,\n", fleet_1k_speedup);
+    std::fprintf(f, "  \"fleet_10k_mbps\": %.2f,\n", fleet_10k_mbps);
+    std::fprintf(f, "  \"fleet_10k_speedup\": %.1f,\n", fleet_10k_speedup);
+    std::fprintf(f, "  \"shared_prefix_10k_mbps\": %.2f\n",
+                 shared_prefix_10k_mbps);
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", json_path);

@@ -9,8 +9,9 @@
 #     vs the chunked filter-engine path (the tracked speedup), the sharded
 #     multi-stream run, and the concurrent worker-pool scaling rows.
 #   * bench_ext_query_fleet writes its own JSON (--json): the throughput
-#     sweep over resident-query count (1..10k) with the fleet_1k_mbps gate
-#     key (the 1000-query row's wall rate).
+#     sweep over resident-query count (1..10k) plus a shared-prefix pool
+#     sweep, with the fleet_1k_mbps and fleet_10k_mbps gate keys (the
+#     1000- and 10000-query rows' wall rates).
 #   * bench_micro_primitives emits the Google Benchmark JSON report.
 #   * service_latency (the loadgen example, picked up when examples were
 #     built) replays records over a Unix-socket filter_service and writes
@@ -32,8 +33,10 @@
 #               pure scheduler noise). When the service-latency bench ran,
 #               its p99 is gated the same way: fresh p99 more than 25%
 #               above the committed baseline fails the compare. The
-#               query-fleet bench gates fleet_1k_mbps (the 1000-query
-#               row) against its committed baseline too. The projection
+#               query-fleet bench gates fleet_1k_mbps and fleet_10k_mbps
+#               (the 1000- and 10000-query rows) against its committed
+#               baseline too, and fleet trip messages carry the row's
+#               query count. The projection
 #               bench carries two gates: overhead_low_sel_pct (QS1, the
 #               low-selectivity posture) is ABSOLUTE - projection must
 #               stay within 10% of filter-only wall rate no matter what
@@ -296,26 +299,32 @@ if [ "$COMPARE" -eq 1 ] && [ "$failures" -eq 0 ]; then
     echo "  p99_latency: no committed baseline or no fresh run - skipping"
   fi
 
-  # Query-fleet throughput: the 1000-query row's wall rate - the number the
-  # tentpole exists for. Gated like the other wall rates; skipped when the
-  # fleet bench did not run or no baseline is committed yet.
+  # Query-fleet throughput: the 1000- and 10000-query rows' wall rates -
+  # the numbers the shared-evaluation tentpoles exist for. Gated like the
+  # other wall rates; skipped when the fleet bench did not run or no
+  # baseline is committed yet. Trip messages carry the row's query count
+  # so a failure names the fleet size, not just the metric key.
   fresh_fleet=BENCH_ext_query_fleet.json
   if [ -s "$FLEET_BASELINE" ] && [ -f "$fresh_fleet" ]; then
-    base=$(json_number "$FLEET_BASELINE" fleet_1k_mbps)
-    new=$(json_number "$fresh_fleet" fleet_1k_mbps)
-    if [ -z "$base" ] || [ -z "$new" ]; then
-      skip_gate fleet_1k_mbps "$base" "$new"
-    else
-      verdict=$(awk "BEGIN { print ($new < 0.75 * $base) ? \"REGRESSED\" : \"ok\" }")
-      printf '  %-14s baseline %10s  fresh %10s  %s\n' \
-        "fleet_1k_mbps" "$base" "$new" "$verdict"
-      if [ "$verdict" = "REGRESSED" ]; then
-        regressions=$((regressions + 1))
-        tripped="$tripped fleet_1k_mbps:$base:$new"
+    for fleet_gate in fleet_1k_mbps:1000 fleet_10k_mbps:10000; do
+      key=${fleet_gate%%:*}
+      nq=${fleet_gate#*:}
+      base=$(json_number "$FLEET_BASELINE" "$key")
+      new=$(json_number "$fresh_fleet" "$key")
+      if [ -z "$base" ] || [ -z "$new" ]; then
+        skip_gate "$key" "$base" "$new"
+      else
+        verdict=$(awk "BEGIN { print ($new < 0.75 * $base) ? \"REGRESSED\" : \"ok\" }")
+        printf '  %-15s baseline %10s  fresh %10s  %s (%s queries)\n' \
+          "$key" "$base" "$new" "$verdict" "$nq"
+        if [ "$verdict" = "REGRESSED" ]; then
+          regressions=$((regressions + 1))
+          tripped="$tripped $key(${nq}-queries):$base:$new"
+        fi
       fi
-    fi
+    done
   else
-    echo "  fleet_1k_mbps: no committed baseline or no fresh run - skipping"
+    echo "  fleet gates: no committed baseline or no fresh run - skipping"
   fi
 
   # Projection cost: two gates. overhead_low_sel_pct (the QS1 row, the

@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# Docs hygiene gate (PR 10): the documentation tree cannot silently rot.
+#
+#   1. Link check: every relative markdown link in README.md and docs/*.md
+#      must point at a file (or a file#anchor) that exists in the repo.
+#      External links (http/https/mailto) are out of scope - CI must not
+#      flake on someone else's server.
+#   2. Module-table check: every module directory under src/ must have a
+#      row (| `name` |) in the docs/ARCHITECTURE.md module map, so a new
+#      subsystem cannot land undocumented.
+#
+# Runs in CI and from verify.sh.
+#
+# Usage: scripts/check_docs.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+# --- 1. relative-link check ------------------------------------------------
+# Pull every inline markdown link target out of (...) and keep the
+# relative ones. Targets are resolved against the linking file's directory;
+# a '#fragment' suffix is stripped before the existence test.
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  links=$(grep -o '](.*)' "$doc" \
+    | sed -e 's/^](//' -e 's/).*$//' \
+    | grep -v '^[a-z][a-z]*:' | grep -v '^#' || true)
+  for link in $links; do
+    target=${link%%#*}
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "FAIL  $doc: broken link -> $link"
+      status=1
+    fi
+  done
+done
+
+# --- 2. every src/ module documented in the architecture module map --------
+arch=docs/ARCHITECTURE.md
+if [ ! -f "$arch" ]; then
+  echo "FAIL  $arch missing"
+  status=1
+else
+  modules=0
+  for dir in src/*/; do
+    module=$(basename "$dir")
+    modules=$((modules + 1))
+    if ! grep -q "^| \`$module\` |" "$arch"; then
+      echo "FAIL  src/$module has no row in the $arch module map"
+      status=1
+    fi
+  done
+  [ "$status" -eq 0 ] && echo "docs hygiene: all $modules src/ modules documented in $arch"
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "docs hygiene: failures" >&2
+  exit 1
+fi
+echo "docs hygiene: links resolve in README.md and docs/"

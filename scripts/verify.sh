@@ -20,6 +20,7 @@ for arg in "$@"; do
 done
 
 scripts/check_headers.sh
+scripts/check_docs.sh
 
 cmake -B build -S . -DJRF_WERROR=ON
 cmake --build build -j"$(nproc 2>/dev/null || echo 4)"

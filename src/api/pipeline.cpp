@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "core/bitmaps.hpp"
@@ -124,8 +125,20 @@ struct pipeline::impl {
     std::vector<core::query_id> ids;          // dense order
     std::vector<decision_sink> query_sinks;   // parallel to ids; may be null
     bool has_query_sinks = false;
+    /// Ordinals of the queries with a non-null sink: the flush loop visits
+    /// only these instead of probing every resident query per record.
+    std::vector<std::uint32_t> sink_ordinals;
 
     std::size_t wpr() const noexcept { return (ids.size() + 63) / 64; }
+
+    /// Recompute has_query_sinks / sink_ordinals after query_sinks edits.
+    void index_sinks() {
+      sink_ordinals.clear();
+      for (std::size_t qi = 0; qi < query_sinks.size(); ++qi)
+        if (query_sinks[qi])
+          sink_ordinals.push_back(static_cast<std::uint32_t>(qi));
+      has_query_sinks = !sink_ordinals.empty();
+    }
   };
   using registry_ptr = std::shared_ptr<const query_registry>;
 
@@ -169,10 +182,15 @@ struct pipeline::impl {
       bool any = false;
       std::uint64_t index = 0;  // per-shard record ordinal
       registry_ptr reg;
-      std::vector<std::uint64_t> words;
+      std::size_t words_offset = 0;  // first word in row_words, wpr() long
     };
     std::vector<verdict_row> rows;  // staged multi-tenant deliveries
     std::size_t rows_head = 0;      // consumed prefix of `rows`
+    // Verdict bitmaps of the staged rows as one flat word buffer: a batch
+    // lands with a single bulk append of whole 64-bit words and each row
+    // indexes its span by offset, instead of one heap vector per record.
+    // Cleared together with rows.
+    std::vector<std::uint64_t> row_words;
   };
   std::vector<std::unique_ptr<stream_state>> streams;
 
@@ -391,8 +409,13 @@ struct pipeline::impl {
       dealt.push_back(d);
       ++dealt_count;
     }
-    for (const std::uint64_t w : lanes.front()->take_decision_words())
-      dealt_words.push_back(w);
+    // Whole-word batch move: the engine's bitmap rows either BECOME the
+    // dealt buffer or append to it with one bulk insert.
+    std::vector<std::uint64_t> words = lanes.front()->take_decision_words();
+    if (dealt_words.empty())
+      dealt_words = std::move(words);
+    else
+      dealt_words.insert(dealt_words.end(), words.begin(), words.end());
     for (const std::uint32_t n : lanes.front()->take_record_sizes()) {
       lane_bytes[accounted % lanes.size()] += n + 1;  // + separator byte
       ++accounted;
@@ -534,16 +557,16 @@ struct pipeline::impl {
           std::min<std::uint64_t>(st.observed - base, any.size()));
     if (sinks_for(*reg_now) && skip < any.size()) {
       std::lock_guard<std::mutex> lock(st.sink_mutex);
-      for (std::size_t r = skip; r < any.size(); ++r) {
-        stream_state::verdict_row row;
-        row.any = any[r];
-        row.index = base + r;
-        row.reg = reg_now;
-        row.words.assign(words.begin() + static_cast<std::ptrdiff_t>(r * wpr),
-                         words.begin() +
-                             static_cast<std::ptrdiff_t>((r + 1) * wpr));
-        st.rows.push_back(std::move(row));
-      }
+      // The whole batch's bitmaps land with ONE word append; each row just
+      // records where its wpr-word span starts.
+      std::size_t offset = st.row_words.size();
+      st.row_words.insert(st.row_words.end(),
+                          words.begin() +
+                              static_cast<std::ptrdiff_t>(skip * wpr),
+                          words.end());
+      st.rows.reserve(st.rows.size() + (any.size() - skip));
+      for (std::size_t r = skip; r < any.size(); ++r, offset += wpr)
+        st.rows.push_back({any[r], base + r, reg_now, offset});
     }
     if (!h.segments.empty() && h.segments.back().reg == reg_now) {
       stream_history::segment& seg = h.segments.back();
@@ -607,6 +630,7 @@ struct pipeline::impl {
   void flush_decisions(std::size_t shard) {
     if (!sink && !multi.load(std::memory_order_relaxed)) return;
     stream_state& st = *streams[shard];
+    std::vector<std::uint64_t> words_scratch;  // reused across rows
     std::unique_lock<std::mutex> lock(st.sink_mutex);
     if (st.delivering) return;
     st.delivering = true;
@@ -627,25 +651,31 @@ struct pipeline::impl {
         lock.lock();
         continue;
       }
-      stream_state::verdict_row row = std::move(st.rows[st.rows_head++]);
+      const stream_state::verdict_row row = st.rows[st.rows_head++];
+      // Copy the row's word span out before unlocking: producers may
+      // append (and reallocate) row_words while the sinks run.
+      const auto first = st.row_words.begin() +
+                         static_cast<std::ptrdiff_t>(row.words_offset);
+      words_scratch.assign(
+          first, first + static_cast<std::ptrdiff_t>(row.reg->wpr()));
       if (st.rows_head == st.rows.size()) {
         st.rows.clear();
         st.rows_head = 0;
+        st.row_words.clear();
       }
       lock.unlock();
       if (sink) sink(shard, row.index, row.any);
       if (vsink)
         vsink(shard, row.index,
               std::span<const core::query_id>(row.reg->ids),
-              std::span<const std::uint64_t>(row.words));
-      if (row.reg->has_query_sinks) {
-        for (std::size_t qi = 0; qi < row.reg->ids.size(); ++qi) {
-          const decision_sink& qs = row.reg->query_sinks[qi];
-          if (qs)
-            qs(shard, row.index,
-               ((row.words[qi / 64] >> (qi % 64)) & 1u) != 0);
-        }
-      }
+              std::span<const std::uint64_t>(words_scratch));
+      // Only the queries that actually have a sink are visited - the
+      // registry indexes them once per epoch, so a 10k-query fleet with
+      // two subscribed sinks costs two calls per record, not 10k probes.
+      for (const std::uint32_t qi : row.reg->sink_ordinals)
+        row.reg->query_sinks[qi](
+            shard, row.index,
+            ((words_scratch[qi / 64] >> (qi % 64)) & 1u) != 0);
       lock.lock();
     }
     st.delivering = false;
@@ -693,24 +723,24 @@ struct pipeline::impl {
     std::vector<std::vector<query_column>> out(history.size());
     for (std::size_t shard = 0; shard < history.size(); ++shard) {
       std::vector<query_column>& cols = out[shard];
+      // id -> column slot, so a 10k-query epoch costs one hash probe per
+      // query instead of a linear rescan of every column per query.
+      std::unordered_map<core::query_id, std::size_t> slot_of;
       for (const stream_history::segment& seg : history[shard].segments) {
         const std::size_t wpr = seg.reg->wpr();
         const std::size_t rows = wpr == 0 ? 0 : seg.words.size() / wpr;
         for (std::size_t qi = 0; qi < seg.reg->ids.size(); ++qi) {
           const core::query_id id = seg.reg->ids[qi];
-          query_column* col = nullptr;
-          for (query_column& c : cols)
-            if (c.id == id) {
-              col = &c;
-              break;
-            }
-          if (col == nullptr) {
-            cols.push_back({id, seg.first_record, {}});
-            col = &cols.back();
-          }
-          for (std::size_t r = 0; r < rows; ++r)
-            col->decisions.push_back(
-                ((seg.words[r * wpr + qi / 64] >> (qi % 64)) & 1u) != 0);
+          const auto [it, fresh] = slot_of.try_emplace(id, cols.size());
+          if (fresh) cols.push_back({id, seg.first_record, {}});
+          query_column& col = cols[it->second];
+          // Transpose the segment one whole word stride at a time: the
+          // query's (word, shift) address is fixed across the segment.
+          const std::uint64_t* word = seg.words.data() + qi / 64;
+          const unsigned shift = static_cast<unsigned>(qi % 64);
+          col.decisions.reserve(col.decisions.size() + rows);
+          for (std::size_t r = 0; r < rows; ++r, word += wpr)
+            col.decisions.push_back(((*word >> shift) & 1u) != 0);
         }
       }
     }
@@ -878,11 +908,7 @@ struct pipeline::impl {
             break;
           }
     }
-    for (const decision_sink& qs : nreg->query_sinks)
-      if (qs) {
-        nreg->has_query_sinks = true;
-        break;
-      }
+    nreg->index_sinks();
     return nreg;
   }
 
@@ -982,7 +1008,7 @@ struct pipeline::impl {
       auto nreg = snapshot_registry();
       if (query_sink) {
         nreg->query_sinks[qset.ordinal(id)] = std::move(query_sink);
-        nreg->has_query_sinks = true;
+        nreg->index_sinks();
       }
       swap_epoch(std::move(nreg), true);
     } catch (...) {
@@ -1016,12 +1042,7 @@ struct pipeline::impl {
                   "): unknown query id");
     auto nreg = snapshot_registry();
     nreg->query_sinks[qset.ordinal(id)] = std::move(s);
-    nreg->has_query_sinks = false;
-    for (const decision_sink& qs : nreg->query_sinks)
-      if (qs) {
-        nreg->has_query_sinks = true;
-        break;
-      }
+    nreg->index_sinks();
     // Registry-only epoch: the engines already evaluate this query, only
     // the delivery plan changes - every backend supports it.
     swap_epoch(std::move(nreg), false);

@@ -118,7 +118,140 @@ compiled_layout compiled_layout::compile_set(std::span<const expr_ptr> queries,
     if (!queries[q]) throw error("compile_set: null query expression");
     layout.roots.push_back(visit(*queries[q], visit));
   }
+  build_trie(layout);
   return layout;
+}
+
+namespace {
+
+/// Canonical signature of a plan sub-tree. Interning already maps identical
+/// primitive specs / groups to identical indices, so two structurally equal
+/// sub-plans across queries produce the same signature string.
+void plan_signature(const compiled_layout::plan_node& node, std::string& out) {
+  using plan_node = compiled_layout::plan_node;
+  switch (node.k) {
+    case plan_node::kind::leaf:
+      out += 'l';
+      out += std::to_string(node.index);
+      break;
+    case plan_node::kind::group:
+      out += 'g';
+      out += std::to_string(node.index);
+      break;
+    case plan_node::kind::conj:
+    case plan_node::kind::disj:
+      out += node.k == plan_node::kind::conj ? 'c' : 'd';
+      out += '(';
+      for (const plan_node& child : node.children) {
+        plan_signature(child, out);
+        out += ',';
+      }
+      out += ')';
+      break;
+  }
+}
+
+/// Union the engines whose firing is NECESSARY for `node` to hold into the
+/// fired-bitmap mask: a leaf needs its engine, a group every member, a
+/// conjunction its children's union. A disjunction needs only the engines
+/// required by EVERY branch - approximated as none (conservative: the mask
+/// test may pass and eval() still answer false, never the reverse).
+void required_engines(const compiled_layout& layout,
+                      const compiled_layout::plan_node& node,
+                      std::vector<std::uint64_t>& mask) {
+  using plan_node = compiled_layout::plan_node;
+  switch (node.k) {
+    case plan_node::kind::leaf:
+      mask[node.index / 64] |= std::uint64_t{1} << (node.index % 64);
+      break;
+    case plan_node::kind::group:
+      for (const std::size_t m : layout.groups[node.index].members)
+        mask[m / 64] |= std::uint64_t{1} << (m % 64);
+      break;
+    case plan_node::kind::conj:
+      for (const plan_node& child : node.children)
+        required_engines(layout, child, mask);
+      break;
+    case plan_node::kind::disj:
+      break;
+  }
+}
+
+bool plan_is_pure(const compiled_layout::plan_node& node) {
+  using plan_node = compiled_layout::plan_node;
+  if (node.k == plan_node::kind::leaf) return true;
+  if (node.k != plan_node::kind::conj) return false;
+  for (const plan_node& child : node.children)
+    if (!plan_is_pure(child)) return false;
+  return true;
+}
+
+}  // namespace
+
+void compiled_layout::build_trie(compiled_layout& layout) {
+  layout.trie.clear();
+  layout.trie_roots.clear();
+  const std::size_t engine_words = (layout.engines.size() + 63) / 64;
+  // child lookup per node: conjunct signature -> trie index. Index 0 of
+  // `maps` is the virtual root (trie_roots); maps[i + 1] serves trie[i].
+  std::vector<std::unordered_map<std::string, std::size_t>> maps(1);
+  const auto child_of = [&](std::size_t parent_slot, std::string&& sig,
+                            const plan_node& conjunct) -> std::size_t {
+    auto& map = maps[parent_slot];
+    const auto it = map.find(sig);
+    if (it != map.end()) return it->second;
+    const std::size_t idx = layout.trie.size();
+    trie_node node;
+    node.conjunct = conjunct;
+    node.required.assign(engine_words, 0);
+    required_engines(layout, conjunct, node.required);
+    node.pure = plan_is_pure(conjunct);
+    layout.trie.push_back(std::move(node));
+    maps.emplace_back();
+    maps[parent_slot].emplace(std::move(sig), idx);
+    if (parent_slot == 0)
+      layout.trie_roots.push_back(idx);
+    else
+      layout.trie[parent_slot - 1].children.push_back(idx);
+    return idx;
+  };
+  std::vector<std::pair<std::string, const plan_node*>> conjuncts;
+  for (std::size_t q = 0; q < layout.roots.size(); ++q) {
+    const plan_node& root = layout.roots[q];
+    conjuncts.clear();
+    if (root.k == plan_node::kind::conj && !root.children.empty()) {
+      for (const plan_node& child : root.children) {
+        std::string sig;
+        plan_signature(child, sig);
+        conjuncts.emplace_back(std::move(sig), &child);
+      }
+    } else {
+      std::string sig;
+      plan_signature(root, sig);
+      conjuncts.emplace_back(std::move(sig), &root);
+    }
+    // Sorting an AND's conjuncts is semantics-preserving (evaluation is
+    // pure) and maximises shared prefixes across queries.
+    std::sort(conjuncts.begin(), conjuncts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t slot = 0;  // virtual root
+    for (auto& [sig, node] : conjuncts)
+      slot = child_of(slot, std::move(sig), *node) + 1;
+    layout.trie[slot - 1].terminals.push_back(static_cast<std::uint32_t>(q));
+  }
+  // Precompute each terminal set's word-sparse verdict fan-out.
+  for (trie_node& node : layout.trie) {
+    for (const std::uint32_t q : node.terminals) {
+      const std::uint32_t word = q / 64;
+      const std::uint64_t bit = std::uint64_t{1} << (q % 64);
+      auto it = std::find_if(node.fanout.begin(), node.fanout.end(),
+                             [word](const auto& p) { return p.first == word; });
+      if (it == node.fanout.end())
+        node.fanout.emplace_back(word, bit);
+      else
+        it->second |= bit;
+    }
+  }
 }
 
 compiled_layout compiled_layout::clone() const {
@@ -130,6 +263,8 @@ compiled_layout compiled_layout::clone() const {
   copy.bare_engines = bare_engines;
   copy.roots = roots;
   copy.engine_subscribers = engine_subscribers;
+  copy.trie = trie;
+  copy.trie_roots = trie_roots;
   return copy;
 }
 
@@ -572,8 +707,9 @@ class chunked_filter_engine final : public filter_engine {
         run_slot_(other.run_slot_),
         fire_cursor_(other.fire_cursor_.size()),
         fire_lists_(other.fire_lists_.size()),
-        leaf_epoch_(other.leaf_epoch_.size(), 0),
-        leaf_val_(other.leaf_val_.size(), 0),
+        has_run_capable_(other.has_run_capable_),
+        engine_words_(other.engine_words_),
+        fired_words_(other.fired_words_.size(), 0),
         group_epoch_(other.group_epoch_.size(), 0),
         group_val_(other.group_val_.size(), 0),
         memo_(other.memo_) {}  // a warm memo carries over: pure function
@@ -594,10 +730,11 @@ class chunked_filter_engine final : public filter_engine {
       const bool capable = engine->supports_token_runs() && slots < 64;
       run_capable_.push_back(capable ? 1 : 0);
       run_slot_.push_back(capable ? slots++ : 0);
+      if (capable) has_run_capable_ = true;
     }
     if (multi_) {
-      leaf_epoch_.assign(layout_.engines.size(), 0);
-      leaf_val_.assign(layout_.engines.size(), 0);
+      engine_words_ = (layout_.engines.size() + 63) / 64;
+      fired_words_.assign(engine_words_, 0);
       group_epoch_.assign(layout_.groups.size(), 0);
       group_val_.assign(layout_.groups.size(), 0);
     }
@@ -628,8 +765,10 @@ class chunked_filter_engine final : public filter_engine {
   /// Returns the any-match verdict; when `words` is non-null (pre-zeroed,
   /// words_per_record() entries) bit q is set for each accepting query.
   /// The bitmap pass, event walks, token runs and run verdicts are shared
-  /// across every resident query's plan; leaf and group outcomes are
-  /// memoized per record so a dedup'd engine evaluates once and fans out.
+  /// across every resident query's plan; multi-query evaluation computes
+  /// one engine-fire bitmap per record and walks the conjunct-prefix trie
+  /// against it, so a shared conjunct evaluates once and fans out to every
+  /// subscribing verdict bit (group outcomes stay memoized per record).
   bool evaluate_record(std::span<const unsigned char> record,
                        const bitmap_pass& pass, std::size_t offset,
                        std::uint64_t* words = nullptr) {
@@ -647,15 +786,49 @@ class chunked_filter_engine final : public filter_engine {
     }
     ++record_epoch_;  // pre-increment: the zero-initialised stamps of a
                       // fresh/cloned engine can never falsely hit
+    // Engine-fire bitmap: one eager pulse test per UNIQUE engine (run-
+    // capable engines answer from the shared token-run verdict union, the
+    // rest from early-exit fires_in scans). Every leaf of every resident
+    // plan reads its bit from here, and the trie walk below prunes whole
+    // query subtrees off it - a record's cost is O(unique engines) plus
+    // the trie nodes whose required engines all fired, not O(resident
+    // queries).
+    std::fill(fired_words_.begin(), fired_words_.end(), 0);
+    if (has_run_capable_) ensure_run_verdicts(record);
+    for (std::size_t e = 0; e < layout_.engines.size(); ++e) {
+      const bool fired =
+          run_capable_[e]
+              ? ((any_mask_ >> run_slot_[e]) & 1) != 0
+              : layout_.engines[e]->fires_in(record, options_.separator);
+      if (fired) fired_words_[e / 64] |= std::uint64_t{1} << (e % 64);
+    }
     bool any = false;
-    for (std::size_t qi = 0; qi < layout_.roots.size(); ++qi) {
-      if (eval(layout_.roots[qi], record)) {
-        any = true;
-        if (words != nullptr)
-          words[qi / 64] |= std::uint64_t{1} << (qi % 64);
-      }
+    for (const std::size_t root : layout_.trie_roots) {
+      eval_trie(layout_.trie[root], record, words, any);
+      if (any && words == nullptr) break;  // any-match probe: one hit decides
     }
     return any;
+  }
+
+  /// One node of the conjunct-prefix trie: prune on the required-engine
+  /// mask, evaluate the conjunct (free for pure nodes - the mask test IS
+  /// the truth), then fan satisfied terminals out as whole verdict words
+  /// and descend. An ancestor conjunct failing skips every query below it.
+  void eval_trie(const compiled_layout::trie_node& node,
+                 std::span<const unsigned char> record, std::uint64_t* words,
+                 bool& any) {
+    for (std::size_t w = 0; w < engine_words_; ++w)
+      if ((fired_words_[w] & node.required[w]) != node.required[w]) return;
+    if (!node.pure && !eval(node.conjunct, record)) return;
+    if (!node.fanout.empty()) {
+      any = true;
+      if (words != nullptr)
+        for (const auto& [word, mask] : node.fanout) words[word] |= mask;
+    }
+    for (const std::size_t child : node.children) {
+      eval_trie(layout_.trie[child], record, words, any);
+      if (any && words == nullptr) return;
+    }
   }
 
   bool eval(const compiled_layout::plan_node& node,
@@ -663,18 +836,14 @@ class chunked_filter_engine final : public filter_engine {
     using plan_node = compiled_layout::plan_node;
     switch (node.k) {
       case plan_node::kind::leaf:
+        // Multi-query leaves read the eagerly computed engine-fire bitmap
+        // (evaluate_record filled it before any plan walk): a leaf's truth
+        // is exactly "did the engine pulse in record+separator".
+        if (multi_)
+          return (fired_words_[node.index / 64] >> (node.index % 64)) & 1;
         if (run_capable_[node.index]) {
           ensure_run_verdicts(record);
           return (any_mask_ >> run_slot_[node.index]) & 1;
-        }
-        if (multi_) {
-          if (leaf_epoch_[node.index] == record_epoch_)
-            return leaf_val_[node.index] != 0;
-          const bool fired = layout_.engines[node.index]->fires_in(
-              record, options_.separator);
-          leaf_epoch_[node.index] = record_epoch_;
-          leaf_val_[node.index] = fired ? 1 : 0;
-          return fired;
         }
         return layout_.engines[node.index]->fires_in(record,
                                                      options_.separator);
@@ -1236,13 +1405,16 @@ class chunked_filter_engine final : public filter_engine {
   std::vector<std::size_t> fire_cursor_;
   std::vector<std::vector<std::uint32_t>> fire_lists_;
 
-  // Multi-query dedup memo (multi_ only): a shared engine or group
-  // evaluates once per record and every subscribing plan reads the cached
-  // outcome. Epoch stamps avoid clearing the vectors per record;
-  // record_epoch_ pre-increments so a fresh engine's zero stamps never hit.
+  // Multi-query shared-evaluation state (multi_ only). fired_words_ is the
+  // per-record engine-fire bitmap every plan leaf reads and the trie's
+  // required-mask pruning tests against. Groups keep an epoch-stamped memo
+  // (a dedup'd group replays once per record, every subscribing plan reads
+  // the cached outcome); record_epoch_ pre-increments so a fresh engine's
+  // zero stamps never hit.
+  bool has_run_capable_ = false;
+  std::size_t engine_words_ = 0;            // ceil(engines / 64)
+  std::vector<std::uint64_t> fired_words_;  // per-record engine-fire bitmap
   std::uint64_t record_epoch_ = 0;
-  std::vector<std::uint64_t> leaf_epoch_;   // engine order
-  std::vector<char> leaf_val_;              // engine order
   std::vector<std::uint64_t> group_epoch_;  // group order
   std::vector<char> group_val_;             // group order
 

@@ -81,6 +81,35 @@ struct compiled_layout {
     std::vector<plan_node> children;
   };
 
+  /// One node of the conjunct-prefix plan trie (compile_set only). Each
+  /// query's root is decomposed into its top-level conjuncts; conjuncts are
+  /// canonicalised (interned engine/group indices make identical sub-plans
+  /// structurally equal) and sorted, so queries sharing a conjunct prefix
+  /// share a trie path - a sub-plan common to K queries evaluates ONCE per
+  /// record and its result fans out to K verdict bits. Sorting the
+  /// conjuncts of an AND is semantics-preserving (evaluation is pure), so
+  /// trie decisions are byte-identical to the flat per-query walk.
+  struct trie_node {
+    plan_node conjunct;  // sub-plan this node contributes to the prefix
+    /// Engine-fire bitmap words (ceil(engines/64)) an accepting record MUST
+    /// have set for this conjunct to hold: a leaf needs its engine, a group
+    /// every member (a member that never pulses can never latch), a
+    /// conjunction the union of its children. Disjunctions contribute
+    /// nothing (conservative). `(fired & required) == required` failing
+    /// prunes this node AND every query below it without touching eval().
+    std::vector<std::uint64_t> required;
+    /// True when the conjunct is leaves/ANDs only (no group, no
+    /// disjunction): then "all required engines fired" IS the conjunct's
+    /// truth and a passing mask test needs no eval() at all.
+    bool pure = false;
+    std::vector<std::size_t> children;  // trie indices
+    /// Queries whose conjunct list ends here (ordinals), plus their
+    /// verdict fan-out precomputed as (word index, bit mask) pairs so a
+    /// satisfied terminal ORs whole words into the record's bitmap row.
+    std::vector<std::uint32_t> terminals;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> fanout;
+  };
+
   std::vector<std::unique_ptr<primitive_engine>> engines;  // leaf order
   std::vector<std::string> engine_keys;                    // spec_key each
   std::vector<group_info> groups;                          // group order
@@ -90,6 +119,10 @@ struct compiled_layout {
   /// (directly or through a group). The fan-out index of the dedup story:
   /// one engine's fire pulses feed every subscriber's decision tree.
   std::vector<std::vector<std::size_t>> engine_subscribers;
+  /// Conjunct-prefix trie over `roots` (compile_set only; empty for
+  /// single-query layouts). trie_roots indexes the first-level nodes.
+  std::vector<trie_node> trie;
+  std::vector<std::size_t> trie_roots;
 
   std::size_t query_count() const noexcept { return roots.size(); }
 
@@ -107,7 +140,9 @@ struct compiled_layout {
   /// evaluate ONCE per record and fan out to each subscribing plan.
   /// Structural groups dedup on (kind, member engine indices) the same
   /// way. bare_engines stays empty - the scalar cursor walk is a
-  /// single-query concept; multi-query evaluation goes through `roots`.
+  /// single-query concept; multi-query evaluation goes through the
+  /// conjunct-prefix `trie` built over `roots` (the flat plans are kept
+  /// for introspection and the equivalence tests).
   static compiled_layout compile_set(
       std::span<const expr_ptr> queries,
       simd::simd_level level = simd::simd_level::automatic);
@@ -115,6 +150,10 @@ struct compiled_layout {
   /// Fresh lane: engines cloned (sharing compiled artifacts), plans and
   /// group membership copied.
   compiled_layout clone() const;
+
+  /// (Re)build the conjunct-prefix trie over `roots` - compile_set's final
+  /// step, exposed for tests that assemble layouts directly.
+  static void build_trie(compiled_layout& layout);
 };
 
 /// Abstract streaming filter lane. Decisions follow raw_filter semantics:

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -142,11 +143,28 @@ struct filter_service::impl {
                     std::span<const std::uint64_t> words) {
     if (opts.on_verdict) opts.on_verdict(shard, index, ids, words);
     if (!opts.echo_query_bitmaps) return;
-    std::string line;
-    line.reserve(ids.size() + 1);
-    for (std::size_t qi = 0; qi < ids.size(); ++qi)
-      line.push_back(((words[qi / 64] >> (qi % 64)) & 1u) != 0 ? '1' : '0');
-    line.push_back('\n');
+    // Render whole verdict words: each bitmap byte expands to eight
+    // '0'/'1' characters with one SWAR multiply (bit q of byte lanes ->
+    // byte q, normalised to 0/1, ASCII-biased) instead of a shift-and-
+    // branch poke per resident query.
+    std::string line(ids.size() + 1, '\n');
+    char* out = line.data();
+    std::size_t remaining = ids.size();
+    for (std::size_t w = 0; remaining > 0; ++w) {
+      std::uint64_t word = words[w];
+      std::size_t take = remaining < 64 ? remaining : 64;
+      remaining -= take;
+      for (; take >= 8; take -= 8, word >>= 8, out += 8) {
+        const std::uint64_t spread =
+            ((word & 0xff) * 0x0101010101010101ull) & 0x8040201008040201ull;
+        const std::uint64_t chars =
+            (((spread + 0x7f7f7f7f7f7f7f7full) >> 7) & 0x0101010101010101ull) +
+            0x3030303030303030ull;
+        std::memcpy(out, &chars, sizeof chars);
+      }
+      for (; take > 0; --take, word >>= 1)
+        *out++ = static_cast<char>('0' + (word & 1));
+    }
     echo_to_owner(shard, line);
   }
 

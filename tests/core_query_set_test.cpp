@@ -5,8 +5,15 @@
 // column byte-identical to running that query alone, across the riotbench
 // queries, all three datasets, and every SIMD tier this host executes
 // (the forced-scalar CI leg runs the same sweep with one available level).
+//
+// PR 10 adds the conjunct-prefix plan trie: the sweeps below hold trie
+// evaluation byte-identical to the flat per-query plan (the multi-query
+// scalar engine - N independent raw_filters - is the flat reference) on
+// shared-prefix pools, disjoint pools, 70+-query multi-word bitmaps, and
+// records where zero engines fire (the short-circuit path).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -251,6 +258,170 @@ TEST(QuerySet, WideSetsCrossTheWordBoundary) {
     EXPECT_EQ(engine->decision_column(q), alone.filter_stream(stream))
         << "query " << q;
   }
+}
+
+TEST(QuerySet, TrieSharesConjunctPrefixes) {
+  // Three queries over leaves A/B/C: {A&B, A&C, A}. The shared conjunct A
+  // must compile to ONE trie root with the two discriminating conjuncts as
+  // children - A evaluates once per record and fans out to three verdicts.
+  const core::expr_ptr a = core::string_leaf("temperature", 2);
+  const core::expr_ptr b = core::string_leaf("humidity", 2);
+  const core::expr_ptr c = core::string_leaf("light", 2);
+  core::query_set set;
+  set.add(core::conj({a, b}));
+  set.add(core::conj({a, c}));
+  set.add(a);
+  const core::compiled_layout layout = set.compile();
+  ASSERT_EQ(layout.trie_roots.size(), 1u);
+  ASSERT_EQ(layout.trie.size(), 3u);
+  const core::compiled_layout::trie_node& root =
+      layout.trie[layout.trie_roots[0]];
+  EXPECT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.terminals, (std::vector<std::uint32_t>{2}));
+  // A pure conjunct (leaves/ANDs only): the required-engine mask IS its
+  // truth, so the walk never calls eval() for it.
+  EXPECT_TRUE(root.pure);
+  ASSERT_EQ(root.required.size(), 1u);
+  EXPECT_NE(root.required[0], 0u);
+
+  // A single-query compile carries no trie - N=1 stays on the untouched
+  // single-query path by construction.
+  core::query_set one;
+  one.add(a);
+  EXPECT_TRUE(one.compile().trie.empty());
+}
+
+TEST(QuerySet, TrieMatchesFlatPlanOnRiotbenchSweep) {
+  // Trie-vs-flat equivalence over a shared-prefix fleet built from the
+  // riotbench queries: every pairwise conjunction plus the bare queries.
+  // The flat references are the multi-query SCALAR engine (N independent
+  // raw_filters, no trie, no interning) and each query run standalone -
+  // across all three datasets and every SIMD tier this host executes.
+  const auto exprs = riotbench_exprs();
+  core::query_set set;
+  for (const core::expr_ptr& e : exprs) set.add(e);
+  for (std::size_t i = 0; i < exprs.size(); ++i)
+    for (std::size_t j = i + 1; j < exprs.size(); ++j)
+      set.add(core::conj({exprs[i], exprs[j]}));
+
+  for (const std::string& stream : evaluation_streams(100)) {
+    std::vector<std::vector<bool>> expected;
+    for (const core::expr_ptr& q : set.queries())
+      expected.push_back(core::raw_filter(q).filter_stream(stream));
+
+    for (const core::simd::simd_level level :
+         core::simd::available_levels()) {
+      core::filter_options options;
+      options.simd = level;
+      auto flat = set.make_engine(core::engine_kind::scalar, options);
+      auto trie = set.make_engine(core::engine_kind::chunked, options);
+      const std::vector<bool> flat_any = flat->filter_stream(stream);
+      const std::vector<bool> trie_any = trie->filter_stream(stream);
+      ASSERT_EQ(trie_any, flat_any)
+          << "simd=" << core::simd::to_string(level);
+      ASSERT_EQ(trie->decision_words(), flat->decision_words())
+          << "simd=" << core::simd::to_string(level);
+      for (std::size_t q = 0; q < set.size(); ++q)
+        ASSERT_EQ(trie->decision_column(q), expected[q])
+            << "query " << q << " simd=" << core::simd::to_string(level);
+    }
+  }
+}
+
+TEST(QuerySet, TrieMatchesFlatPlanOnWideSharedPrefixPool) {
+  // 72 queries (two bitmap words) drawn from a deliberately overlapping
+  // pool: every query shares its first conjunct with many others, so deep
+  // trie sharing is exercised together with word-1 verdict fan-out.
+  const std::vector<std::string> needles{"temperature", "humidity", "light",
+                                         "dust", "battery", "sound"};
+  std::vector<core::expr_ptr> leaves;
+  for (const std::string& needle : needles)
+    for (int block = 1; block <= 2; ++block)
+      leaves.push_back(core::string_leaf(needle, block));
+  core::query_set set;
+  for (std::size_t i = 0; i < 72; ++i)
+    set.add(core::conj({leaves[i % 4],  // dense prefix overlap
+                        leaves[(i * 5 + 1) % leaves.size()],
+                        leaves[(i * 7 + 2) % leaves.size()]}));
+  const core::compiled_layout layout = set.compile();
+  // Sharing must actually happen: far fewer trie roots than queries (the
+  // canonical conjunct sort decides WHICH conjunct leads a path, so the
+  // root count tracks the distinct lead conjuncts, not the pool stride).
+  EXPECT_LE(layout.trie_roots.size(), 8u);
+  EXPECT_LT(layout.trie.size(), 3 * set.size());
+
+  const std::string stream = data::smartcity_generator().stream(150);
+  auto flat = set.make_engine(core::engine_kind::scalar);
+  auto trie = set.make_engine(core::engine_kind::chunked);
+  EXPECT_EQ(trie->words_per_record(), 2u);
+  const std::vector<bool> flat_any = flat->filter_stream(stream);
+  ASSERT_EQ(trie->filter_stream(stream), flat_any);
+  ASSERT_EQ(trie->decision_words(), flat->decision_words());
+  for (const std::size_t q : {std::size_t{0}, std::size_t{63},
+                              std::size_t{64}, std::size_t{71}}) {
+    core::raw_filter alone(set.queries()[q]);
+    EXPECT_EQ(trie->decision_column(q), alone.filter_stream(stream))
+        << "query " << q;
+  }
+}
+
+TEST(QuerySet, TrieMatchesFlatPlanOnDisjointPool) {
+  // The anti-sharing case: queries with pairwise-disjoint engine sets
+  // degenerate to one trie root per query - the walk must still match the
+  // flat plan bit for bit.
+  const std::vector<std::string> needles{"temperature", "humidity", "light",
+                                         "dust", "battery"};
+  core::query_set set;
+  for (const std::string& needle : needles)
+    set.add(core::string_leaf(needle, 2));
+  const core::compiled_layout layout = set.compile();
+  EXPECT_EQ(layout.trie_roots.size(), set.size());
+
+  for (const std::string& stream : evaluation_streams(100)) {
+    auto flat = set.make_engine(core::engine_kind::scalar);
+    auto trie = set.make_engine(core::engine_kind::chunked);
+    ASSERT_EQ(trie->filter_stream(stream), flat->filter_stream(stream));
+    ASSERT_EQ(trie->decision_words(), flat->decision_words());
+  }
+}
+
+TEST(QuerySet, ShortCircuitWhenZeroEnginesFire) {
+  // Records containing none of the fleet's needles light no bit of the
+  // engine-fire bitmap, so the trie walk prunes every query at its root.
+  // The records must still be decided (all-reject), interleaved cleanly
+  // with accepting records, and byte-identical to the flat plan.
+  core::query_set set;
+  const core::expr_ptr t = core::string_leaf("temperature", 2);
+  const core::expr_ptr h = core::string_leaf("humidity", 2);
+  set.add(core::conj({t, h}));
+  set.add(t);
+  set.add(h);
+
+  const std::string stream =
+      "{\"x\":1}\n"                                  // zero engines fire
+      "{\"temperature\":3,\"humidity\":4}\n"         // all three queries
+      "{\"a\":{\"b\":[]}}\n"                         // zero engines fire
+      "{\"humidity\":9}\n"                           // query 2 only
+      "{\"y\":\"temperature says nothing\"}\n";      // substring still fires
+
+  auto flat = set.make_engine(core::engine_kind::scalar);
+  auto trie = set.make_engine(core::engine_kind::chunked);
+  const std::vector<bool> flat_any = flat->filter_stream(stream);
+  const std::vector<bool> trie_any = trie->filter_stream(stream);
+  ASSERT_EQ(trie_any, flat_any);
+  ASSERT_EQ(trie->decision_words(), flat->decision_words());
+  EXPECT_FALSE(trie_any[0]);
+  EXPECT_TRUE(trie_any[1]);
+  EXPECT_FALSE(trie_any[2]);
+  EXPECT_TRUE(trie_any[3]);
+
+  // The standalone-probe path takes the same short circuit.
+  std::uint64_t words = ~std::uint64_t{0};
+  EXPECT_FALSE(trie->accepts_bits("{\"x\":1}", &words));
+  EXPECT_EQ(words, 0u);
+  EXPECT_TRUE(trie->accepts_bits("{\"temperature\":0,\"humidity\":0}",
+                                 &words));
+  EXPECT_EQ(words, 7u);
 }
 
 }  // namespace
